@@ -1,0 +1,218 @@
+//! A gather (random-access reduction) application engine.
+//!
+//! Kara et al. [8] — the paper's data-analytics reference — stress HBM
+//! with hash probes and gathers: each element of a sequential index
+//! stream selects a random table entry to read. This is the CCRA access
+//! pattern as an *application*: throughput lives or dies with the
+//! memory system's random-access behaviour and reorder depth (Fig. 6).
+//!
+//! Partitioning: the index stream is banded across masters; the gathered
+//! table is shared (random addresses over its whole extent). Each phase
+//! streams a block of indices, issues one small gather per index, and
+//! accumulates locally; only a tiny result block is written at the end.
+
+use hbm_axi::{Addr, BurstLen, MasterId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::engine::DataflowEngine;
+use crate::phase::Phase;
+
+/// Gather problem geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatherDims {
+    /// Number of indices to process.
+    pub num_indices: usize,
+    /// Table size in bytes (gather targets are spread over this).
+    pub table_bytes: u64,
+    /// Bytes fetched per gather (one beat-aligned element group).
+    pub element_bytes: u64,
+    /// Base address: the table, followed by the index stream, followed
+    /// by per-master result blocks.
+    pub base: Addr,
+    /// RNG seed for the index values.
+    pub seed: u64,
+}
+
+impl GatherDims {
+    /// A default-sized problem at address 0.
+    pub fn new(num_indices: usize, table_bytes: u64) -> GatherDims {
+        GatherDims {
+            num_indices,
+            table_bytes,
+            element_bytes: 32,
+            base: 0,
+            seed: 0x6a77_4e12,
+        }
+    }
+
+    /// Base address of the index stream (4 B per index).
+    pub fn index_base(&self) -> Addr {
+        self.base + self.table_bytes
+    }
+
+    /// Base address of the result blocks.
+    pub fn result_base(&self) -> Addr {
+        self.index_base() + self.num_indices as u64 * 4
+    }
+
+    /// Total operations (one accumulate per gathered element word).
+    pub fn total_ops(&self) -> u64 {
+        self.num_indices as u64 * (self.element_bytes / 4)
+    }
+}
+
+/// Indices per phase.
+const INDEX_BLOCK: usize = 64;
+
+/// The deterministic index values (shared by the phase script and the
+/// functional reference).
+pub fn gather_targets(dims: &GatherDims, p: usize, num_masters: usize) -> Vec<u64> {
+    let n0 = dims.num_indices * p / num_masters;
+    let n1 = dims.num_indices * (p + 1) / num_masters;
+    let mut rng = SmallRng::seed_from_u64(dims.seed ^ (p as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let slots = dims.table_bytes / dims.element_bytes;
+    (n0..n1).map(|_| rng.random_range(0..slots) * dims.element_bytes).collect()
+}
+
+/// Builds the phase script for master `p` of `num_masters`.
+pub fn gather_phases(dims: &GatherDims, p: usize, num_masters: usize) -> Vec<Phase> {
+    assert!(p < num_masters);
+    let targets = gather_targets(dims, p, num_masters);
+    let n0 = dims.num_indices * p / num_masters;
+    let mut phases = Vec::new();
+    for (bi, block) in targets.chunks(INDEX_BLOCK).enumerate() {
+        let mut ph = Phase::default();
+        // The index stream itself: sequential, 4 B per index.
+        let idx_addr = dims.index_base() + (n0 + bi * INDEX_BLOCK) as u64 * 4;
+        ph.reads.push((idx_addr, block.len() as u64 * 4));
+        // One small random read per index.
+        for &t in block {
+            ph.reads.push((dims.base + t, dims.element_bytes));
+        }
+        ph.ops = block.len() as u64 * (dims.element_bytes / 4);
+        phases.push(ph);
+    }
+    // Final phase: write this master's accumulator block.
+    if !targets.is_empty() {
+        let mut fin = Phase::default();
+        fin.writes.push((dims.result_base() + p as u64 * 64, 64));
+        phases.push(fin);
+    }
+    phases
+}
+
+/// Builds `P` gather engines (one per master).
+pub fn gather_engines(
+    dims: &GatherDims,
+    num_masters: usize,
+    total_ops_per_cycle: f64,
+    outstanding: usize,
+    num_ids: usize,
+) -> Vec<DataflowEngine> {
+    (0..num_masters)
+        .map(|p| {
+            DataflowEngine::new(
+                MasterId(p as u16),
+                gather_phases(dims, p, num_masters),
+                total_ops_per_cycle / num_masters as f64,
+                // Gathers are small: BL 1 per element keeps the script
+                // honest about its access granularity.
+                BurstLen::of(1),
+                outstanding,
+                num_ids,
+            )
+        })
+        .collect()
+}
+
+/// Functional reference: gathers `table[t]` for every target and sums.
+pub fn gather_sum(table: &[f32], targets: &[u64], element_bytes: u64) -> f64 {
+    let per = (element_bytes / 4) as usize;
+    let mut acc = 0.0f64;
+    for &t in targets {
+        let idx = (t / 4) as usize;
+        for k in 0..per {
+            acc += table[idx + k] as f64;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> GatherDims {
+        GatherDims::new(1024, 1 << 20)
+    }
+
+    #[test]
+    fn targets_are_deterministic_and_in_range() {
+        let d = dims();
+        let a = gather_targets(&d, 3, 8);
+        let b = gather_targets(&d, 3, 8);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&t| t + d.element_bytes <= d.table_bytes));
+        assert!(a.iter().all(|&t| t % d.element_bytes == 0));
+        // Different masters gather different targets.
+        let c = gather_targets(&d, 4, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn indices_partitioned_without_loss() {
+        let d = dims();
+        let total: usize = (0..8).map(|p| gather_targets(&d, p, 8).len()).sum();
+        assert_eq!(total, d.num_indices);
+    }
+
+    #[test]
+    fn phases_read_index_stream_and_table() {
+        let d = dims();
+        let phases = gather_phases(&d, 0, 8);
+        // Index-stream bytes: 128 indices × 4 B.
+        let idx_bytes: u64 = phases
+            .iter()
+            .flat_map(|ph| &ph.reads)
+            .filter(|(a, _)| *a >= d.index_base() && *a < d.result_base())
+            .map(|(_, l)| l)
+            .sum();
+        assert_eq!(idx_bytes, 128 * 4);
+        // Table bytes: one element per index.
+        let table_bytes: u64 = phases
+            .iter()
+            .flat_map(|ph| &ph.reads)
+            .filter(|(a, _)| *a < d.table_bytes)
+            .map(|(_, l)| l)
+            .sum();
+        assert_eq!(table_bytes, 128 * d.element_bytes);
+    }
+
+    #[test]
+    fn ops_cover_every_gather() {
+        let d = dims();
+        let total: u64 = (0..8)
+            .flat_map(|p| gather_phases(&d, p, 8))
+            .map(|ph| ph.ops)
+            .sum();
+        assert_eq!(total, d.total_ops());
+    }
+
+    #[test]
+    fn functional_gather_sums() {
+        let table: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        // Gather elements 0 and 2 (8 B each = 2 f32s).
+        let s = gather_sum(&table, &[0, 16], 8);
+        // table[0]+table[1] + table[4]+table[5] = 0+1+4+5.
+        assert_eq!(s, 10.0);
+    }
+
+    #[test]
+    fn engine_scripts_build() {
+        let d = dims();
+        let engines = gather_engines(&d, 8, 100.0, 16, 16);
+        assert_eq!(engines.len(), 8);
+    }
+}

@@ -1,0 +1,186 @@
+//! Phase-script builder for Accelerator A (systolic PE array).
+//!
+//! The paper's Accelerator A keeps a tile of one input matrix resident
+//! in its PE array, then continuously streams the second input and the
+//! output (2:1 read/write ratio, Table V). With `P` bus masters the
+//! output columns are banded: master `p` owns columns
+//! `[p·n/P, (p+1)·n/P)` of B and C.
+//!
+//! Per master, for every K-tile of its B band:
+//!
+//! 1. a tile-load phase reads the `tile_k × band` block of B,
+//! 2. streaming phases read row blocks of A (`tile_k` columns each) and
+//!    — on the final K-tile — write the finished C rows.
+
+use hbm_axi::{BurstLen, MasterId};
+
+use crate::engine::DataflowEngine;
+use crate::phase::{MatmulDims, Phase};
+
+/// Rows of A streamed per phase (the granularity of write-back).
+const ROW_BLOCK: usize = 16;
+
+/// Builds the phase script for master `p` of `num_masters`.
+pub fn pe_array_phases(
+    dims: &MatmulDims,
+    p: usize,
+    num_masters: usize,
+    tile_k: usize,
+) -> Vec<Phase> {
+    assert!(p < num_masters);
+    assert!(tile_k >= 1);
+    let eb = dims.element_bytes;
+    // Column band owned by this master.
+    let n0 = dims.n * p / num_masters;
+    let n1 = dims.n * (p + 1) / num_masters;
+    let band = n1 - n0;
+    if band == 0 {
+        return Vec::new();
+    }
+    let mut phases = Vec::new();
+    let k_tiles: Vec<(usize, usize)> = (0..dims.k)
+        .step_by(tile_k)
+        .map(|k0| (k0, (k0 + tile_k).min(dims.k)))
+        .collect();
+    for (ti, &(k0, k1)) in k_tiles.iter().enumerate() {
+        let last_tile = ti + 1 == k_tiles.len();
+        // Tile load: B[k0..k1, n0..n1], one range per row.
+        let mut load = Phase::default();
+        for kk in k0..k1 {
+            load.reads.push((dims.b_at(kk, n0), band as u64 * eb));
+        }
+        phases.push(load);
+        // Stream A row blocks; MACs: 2 ops per element pair.
+        for i0 in (0..dims.m).step_by(ROW_BLOCK) {
+            let i1 = (i0 + ROW_BLOCK).min(dims.m);
+            let mut ph = Phase::default();
+            for i in i0..i1 {
+                ph.reads.push((dims.a_at(i, k0), (k1 - k0) as u64 * eb));
+            }
+            ph.ops = 2 * ((i1 - i0) * (k1 - k0) * band) as u64;
+            if last_tile {
+                for i in i0..i1 {
+                    ph.writes.push((dims.c_at(i, n0), band as u64 * eb));
+                }
+            }
+            phases.push(ph);
+        }
+    }
+    phases
+}
+
+/// Builds `P` PE-array engines (one per master, masters `0..P`).
+///
+/// `ops_per_cycle` is the *total* array throughput, split evenly across
+/// masters (the paper's Ccomp = 2·(16P)² ops/cycle for the canonical
+/// sizes).
+pub fn pe_array_engines(
+    dims: &MatmulDims,
+    num_masters: usize,
+    tile_k: usize,
+    total_ops_per_cycle: f64,
+    burst: BurstLen,
+    outstanding: usize,
+    num_ids: usize,
+) -> Vec<DataflowEngine> {
+    (0..num_masters)
+        .map(|p| {
+            DataflowEngine::new(
+                MasterId(p as u16),
+                pe_array_phases(dims, p, num_masters, tile_k),
+                total_ops_per_cycle / num_masters as f64,
+                burst,
+                outstanding,
+                num_ids,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn phases_cover_all_operations() {
+        let dims = MatmulDims::square(64);
+        let masters = 4;
+        let total_ops: u64 = (0..masters)
+            .flat_map(|p| pe_array_phases(&dims, p, masters, 32))
+            .map(|ph| ph.ops)
+            .sum();
+        assert_eq!(total_ops, dims.total_ops());
+    }
+
+    #[test]
+    fn writes_cover_exactly_c() {
+        let dims = MatmulDims::square(32);
+        let masters = 4;
+        let mut bytes_written = std::collections::HashMap::new();
+        for p in 0..masters {
+            for ph in pe_array_phases(&dims, p, masters, 8) {
+                for (addr, len) in ph.writes {
+                    for b in 0..len {
+                        *bytes_written.entry(addr + b).or_insert(0u32) += 1;
+                    }
+                }
+            }
+        }
+        // Every byte of C written exactly once; nothing else touched.
+        for a in dims.c_base()..dims.end() {
+            assert_eq!(bytes_written.get(&a), Some(&1), "byte {a:#x}");
+        }
+        assert_eq!(bytes_written.len() as u64, (dims.end() - dims.c_base()));
+    }
+
+    #[test]
+    fn reads_touch_a_and_b_only() {
+        let dims = MatmulDims::square(32);
+        let mut touched = HashSet::new();
+        for ph in pe_array_phases(&dims, 1, 4, 8) {
+            for (addr, len) in &ph.reads {
+                assert!(addr + len <= dims.c_base(), "read into C region");
+                touched.insert(*addr);
+            }
+        }
+        assert!(!touched.is_empty());
+    }
+
+    #[test]
+    fn a_is_streamed_exactly_once_per_master() {
+        // K-tiles partition the columns of A, so across all tiles each
+        // master reads every element of A exactly once: |A| bytes.
+        let dims = MatmulDims::square(32);
+        let a_bytes: u64 = pe_array_phases(&dims, 0, 4, 16)
+            .iter()
+            .flat_map(|ph| &ph.reads)
+            .filter(|(addr, _)| *addr < dims.b_base())
+            .map(|(_, len)| len)
+            .sum();
+        assert_eq!(a_bytes, (32 * 32) as u64 * dims.element_bytes);
+    }
+
+    #[test]
+    fn band_partitioning_is_disjoint_and_complete() {
+        let dims = MatmulDims::square(48);
+        let masters = 5; // deliberately not a divisor
+        let mut cols = HashSet::new();
+        for p in 0..masters {
+            let n0 = dims.n * p / masters;
+            let n1 = dims.n * (p + 1) / masters;
+            for c in n0..n1 {
+                assert!(cols.insert(c), "column {c} owned twice");
+            }
+        }
+        assert_eq!(cols.len(), dims.n);
+    }
+
+    #[test]
+    fn engines_built_for_each_master() {
+        let dims = MatmulDims::square(32);
+        let engines = pe_array_engines(&dims, 4, 8, 1000.0, BurstLen::of(16), 8, 4);
+        assert_eq!(engines.len(), 4);
+        assert!(engines.iter().all(|e| !e.finished()));
+    }
+}

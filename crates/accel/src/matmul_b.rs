@@ -1,0 +1,159 @@
+//! Phase-script builder for Accelerator B (adder trees).
+//!
+//! The paper's Accelerator B buffers part of one input matrix and the
+//! partial sums locally; only the second input is re-streamed and only
+//! final results are written back — a very read-heavy ratio (RW_rat =
+//! Mh:1) and a constant operational intensity of 2 OPS/B (Table V).
+//!
+//! With `P` masters the rows of A (and C) are banded: master `p` owns
+//! rows `[p·m/P, (p+1)·m/P)`. Per master:
+//!
+//! 1. one phase loads its A row band (resident for the whole run),
+//! 2. for each column block of B, a phase streams the *entire* block of
+//!    B (all K rows) and — since partial sums live locally — writes the
+//!    finished C block at the end.
+
+use hbm_axi::{BurstLen, MasterId};
+
+use crate::engine::DataflowEngine;
+use crate::phase::{MatmulDims, Phase};
+
+/// Columns of B streamed per phase.
+const COL_BLOCK: usize = 16;
+
+/// Builds the phase script for master `p` of `num_masters`.
+pub fn adder_tree_phases(dims: &MatmulDims, p: usize, num_masters: usize) -> Vec<Phase> {
+    assert!(p < num_masters);
+    let eb = dims.element_bytes;
+    let m0 = dims.m * p / num_masters;
+    let m1 = dims.m * (p + 1) / num_masters;
+    let rows = m1 - m0;
+    if rows == 0 {
+        return Vec::new();
+    }
+    let mut phases = Vec::new();
+    // Resident load of the A row band (contiguous in row-major A).
+    let mut load = Phase::default();
+    load.reads.push((dims.a_at(m0, 0), (rows * dims.k) as u64 * eb));
+    phases.push(load);
+    // Stream B column blocks.
+    for j0 in (0..dims.n).step_by(COL_BLOCK) {
+        let j1 = (j0 + COL_BLOCK).min(dims.n);
+        let cols = j1 - j0;
+        let mut ph = Phase::default();
+        for kk in 0..dims.k {
+            ph.reads.push((dims.b_at(kk, j0), cols as u64 * eb));
+        }
+        ph.ops = 2 * (rows * dims.k * cols) as u64;
+        for i in m0..m1 {
+            ph.writes.push((dims.c_at(i, j0), cols as u64 * eb));
+        }
+        phases.push(ph);
+    }
+    phases
+}
+
+/// Builds `P` adder-tree engines (one per master).
+pub fn adder_tree_engines(
+    dims: &MatmulDims,
+    num_masters: usize,
+    total_ops_per_cycle: f64,
+    burst: BurstLen,
+    outstanding: usize,
+    num_ids: usize,
+) -> Vec<DataflowEngine> {
+    (0..num_masters)
+        .map(|p| {
+            DataflowEngine::new(
+                MasterId(p as u16),
+                adder_tree_phases(dims, p, num_masters),
+                total_ops_per_cycle / num_masters as f64,
+                burst,
+                outstanding,
+                num_ids,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_cover_the_multiplication() {
+        let dims = MatmulDims::square(64);
+        let masters = 8;
+        let total: u64 = (0..masters)
+            .flat_map(|p| adder_tree_phases(&dims, p, masters))
+            .map(|ph| ph.ops)
+            .sum();
+        assert_eq!(total, dims.total_ops());
+    }
+
+    #[test]
+    fn b_is_fully_restreamed_by_every_master() {
+        // The defining property: each master reads all of B — total B
+        // traffic is P × |B| (what makes unoptimised B memory bound).
+        let dims = MatmulDims::square(32);
+        let b_size = (32 * 32) as u64 * dims.element_bytes;
+        for p in 0..4 {
+            let b_bytes: u64 = adder_tree_phases(&dims, p, 4)
+                .iter()
+                .flat_map(|ph| &ph.reads)
+                .filter(|(addr, _)| *addr >= dims.b_base() && *addr < dims.c_base())
+                .map(|(_, len)| len)
+                .sum();
+            assert_eq!(b_bytes, b_size, "master {p}");
+        }
+    }
+
+    #[test]
+    fn a_is_read_exactly_once_in_total() {
+        let dims = MatmulDims::square(32);
+        let a_bytes: u64 = (0..4)
+            .flat_map(|p| adder_tree_phases(&dims, p, 4))
+            .flat_map(|ph| ph.reads)
+            .filter(|(addr, _)| *addr < dims.b_base())
+            .map(|(_, len)| len)
+            .sum();
+        assert_eq!(a_bytes, (32 * 32) as u64 * dims.element_bytes);
+    }
+
+    #[test]
+    fn read_write_ratio_is_heavily_read_dominated() {
+        let dims = MatmulDims::square(64);
+        let phases: Vec<Phase> = adder_tree_phases(&dims, 0, 8);
+        let reads: u64 = phases.iter().map(|p| p.read_bytes()).sum();
+        let writes: u64 = phases.iter().map(|p| p.write_bytes()).sum();
+        // Paper: RW_rat = Mh : 1 with Mh ≫ 2.
+        assert!(reads > 8 * writes, "reads {reads} writes {writes}");
+    }
+
+    #[test]
+    fn writes_cover_exactly_the_row_band() {
+        let dims = MatmulDims::square(32);
+        let p = 2;
+        let masters = 4;
+        let m0 = dims.m * p / masters;
+        let m1 = dims.m * (p + 1) / masters;
+        let mut written = std::collections::HashSet::new();
+        for ph in adder_tree_phases(&dims, p, masters) {
+            for (addr, len) in ph.writes {
+                for b in 0..len {
+                    assert!(written.insert(addr + b), "byte written twice");
+                }
+            }
+        }
+        let expect = ((m1 - m0) * dims.n) as u64 * dims.element_bytes;
+        assert_eq!(written.len() as u64, expect);
+        assert!(written.iter().all(|&a| a >= dims.c_at(m0, 0) && a < dims.c_at(m1 - 1, dims.n - 1) + dims.element_bytes));
+    }
+
+    #[test]
+    fn engines_built() {
+        let dims = MatmulDims::square(32);
+        let engines = adder_tree_engines(&dims, 8, 500.0, BurstLen::of(16), 8, 4);
+        assert_eq!(engines.len(), 8);
+    }
+}

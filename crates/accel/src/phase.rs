@@ -1,0 +1,169 @@
+//! Dataflow phases: the dependency unit of an accelerator schedule.
+
+use hbm_axi::{Addr, BurstLen, TxnBuilder, BEAT_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// One step of a dataflow: load the read ranges, perform `ops`
+/// operations, then store the write ranges. Phases execute in order
+/// (compute of phase *p* cannot start before compute of *p−1* has
+/// finished — the pipeline has one compute unit), but reads of upcoming
+/// phases may be prefetched.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Byte ranges read by this phase.
+    pub reads: Vec<(Addr, u64)>,
+    /// Byte ranges written by this phase (after compute).
+    pub writes: Vec<(Addr, u64)>,
+    /// Operations performed once all reads have arrived.
+    pub ops: u64,
+}
+
+impl Phase {
+    /// Total bytes read.
+    pub fn read_bytes(&self) -> u64 {
+        self.reads.iter().map(|(_, l)| l).sum()
+    }
+
+    /// Total bytes written.
+    pub fn write_bytes(&self) -> u64 {
+        self.writes.iter().map(|(_, l)| l).sum()
+    }
+
+    /// Splits the byte ranges into legal AXI bursts of at most
+    /// `max_burst` beats. Ranges are beat-aligned by construction of the
+    /// builders; stray bytes are rounded up to whole beats (the DMA
+    /// fetches the containing beats).
+    pub fn chunks(ranges: &[(Addr, u64)], max_burst: BurstLen) -> Vec<(Addr, BurstLen)> {
+        let mut out = Vec::new();
+        for &(addr, len) in ranges {
+            let start = addr - addr % BEAT_BYTES;
+            let end = addr + len;
+            let end = end.div_ceil(BEAT_BYTES) * BEAT_BYTES;
+            out.extend(TxnBuilder::split(start, end - start, max_burst));
+        }
+        out
+    }
+}
+
+/// Matrix-multiplication problem geometry shared by both accelerators:
+/// `C (m×n) = A (m×k) · B (k×n)`, row-major, `element_bytes` per
+/// element, laid out contiguously as A then B then C from `base`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatmulDims {
+    /// Rows of A and C.
+    pub m: usize,
+    /// Columns of A / rows of B.
+    pub k: usize,
+    /// Columns of B and C.
+    pub n: usize,
+    /// Bytes per element.
+    pub element_bytes: u64,
+    /// Base address of the A/B/C arena.
+    pub base: Addr,
+}
+
+impl MatmulDims {
+    /// A square problem at address 0 with 4-byte elements.
+    pub fn square(dim: usize) -> MatmulDims {
+        MatmulDims { m: dim, k: dim, n: dim, element_bytes: 4, base: 0 }
+    }
+
+    /// Base address of A.
+    pub fn a_base(&self) -> Addr {
+        self.base
+    }
+
+    /// Base address of B.
+    pub fn b_base(&self) -> Addr {
+        self.base + (self.m * self.k) as u64 * self.element_bytes
+    }
+
+    /// Base address of C.
+    pub fn c_base(&self) -> Addr {
+        self.b_base() + (self.k * self.n) as u64 * self.element_bytes
+    }
+
+    /// Exclusive end of the arena.
+    pub fn end(&self) -> Addr {
+        self.c_base() + (self.m * self.n) as u64 * self.element_bytes
+    }
+
+    /// Address of element `A[i, j]`.
+    pub fn a_at(&self, i: usize, j: usize) -> Addr {
+        self.a_base() + (i * self.k + j) as u64 * self.element_bytes
+    }
+
+    /// Address of element `B[i, j]`.
+    pub fn b_at(&self, i: usize, j: usize) -> Addr {
+        self.b_base() + (i * self.n + j) as u64 * self.element_bytes
+    }
+
+    /// Address of element `C[i, j]`.
+    pub fn c_at(&self, i: usize, j: usize) -> Addr {
+        self.c_base() + (i * self.n + j) as u64 * self.element_bytes
+    }
+
+    /// Total operations of the multiplication (2 per multiply-add).
+    pub fn total_ops(&self) -> u64 {
+        2 * (self.m * self.k * self.n) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_contiguous() {
+        let d = MatmulDims::square(64);
+        assert_eq!(d.a_base(), 0);
+        assert_eq!(d.b_base(), 64 * 64 * 4);
+        assert_eq!(d.c_base(), 2 * 64 * 64 * 4);
+        assert_eq!(d.end(), 3 * 64 * 64 * 4);
+    }
+
+    #[test]
+    fn element_addressing_row_major() {
+        let d = MatmulDims::square(8);
+        assert_eq!(d.a_at(0, 0), 0);
+        assert_eq!(d.a_at(1, 0), 8 * 4);
+        assert_eq!(d.a_at(1, 3), 8 * 4 + 12);
+        assert_eq!(d.b_at(0, 0), d.b_base());
+        assert_eq!(d.c_at(7, 7), d.end() - 4);
+    }
+
+    #[test]
+    fn total_ops() {
+        let d = MatmulDims::square(4);
+        assert_eq!(d.total_ops(), 2 * 64);
+    }
+
+    #[test]
+    fn chunks_split_and_align() {
+        let chunks = Phase::chunks(&[(100, 1000)], BurstLen::of(16));
+        // Covers [96, 1120) in beat-aligned bursts.
+        let total: u64 = chunks.iter().map(|(_, b)| b.bytes()).sum();
+        assert_eq!(chunks[0].0, 96);
+        assert_eq!(total, 1120 - 96);
+        assert!(chunks.iter().all(|(a, _)| a % 32 == 0));
+    }
+
+    #[test]
+    fn chunks_multiple_ranges() {
+        let chunks = Phase::chunks(&[(0, 64), (4096, 64)], BurstLen::of(2));
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0], (0, BurstLen::of(2)));
+        assert_eq!(chunks[1], (4096, BurstLen::of(2)));
+    }
+
+    #[test]
+    fn phase_byte_totals() {
+        let p = Phase {
+            reads: vec![(0, 128), (512, 64)],
+            writes: vec![(1024, 32)],
+            ops: 7,
+        };
+        assert_eq!(p.read_bytes(), 192);
+        assert_eq!(p.write_bytes(), 32);
+    }
+}

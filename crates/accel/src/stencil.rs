@@ -1,0 +1,226 @@
+//! A 2D stencil (5-point Jacobi) application engine.
+//!
+//! The paper motivates HBM with application accelerators such as NERO's
+//! weather-prediction stencils [6]. A stencil sweep is the archetypal
+//! *low operational intensity* kernel (≈ 0.6 OPS/B for 5-point Jacobi on
+//! f32): performance is almost purely a function of achievable memory
+//! bandwidth, which makes it the sharpest end-to-end probe of the
+//! interconnect — the MAO speed-up on the CCS pattern translates almost
+//! 1:1 into application speed-up.
+//!
+//! Partitioning: the grid's rows are banded across masters; each phase
+//! streams a row block plus its halo rows, computes, and writes the
+//! output block back.
+
+use hbm_axi::{Addr, BurstLen, MasterId};
+use serde::{Deserialize, Serialize};
+
+use crate::engine::DataflowEngine;
+use crate::phase::Phase;
+
+/// Stencil problem geometry: an `h × w` f32 grid, input at `base`,
+/// output immediately after.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StencilDims {
+    /// Grid rows.
+    pub h: usize,
+    /// Grid columns.
+    pub w: usize,
+    /// Base address of the input grid.
+    pub base: Addr,
+}
+
+impl StencilDims {
+    /// A square grid at address 0.
+    pub fn square(dim: usize) -> StencilDims {
+        StencilDims { h: dim, w: dim, base: 0 }
+    }
+
+    /// Bytes per row.
+    pub fn row_bytes(&self) -> u64 {
+        self.w as u64 * 4
+    }
+
+    /// Address of input row `i`.
+    pub fn in_row(&self, i: usize) -> Addr {
+        self.base + i as u64 * self.row_bytes()
+    }
+
+    /// Address of output row `i`.
+    pub fn out_row(&self, i: usize) -> Addr {
+        self.base + (self.h + i) as u64 * self.row_bytes()
+    }
+
+    /// Total operations of one sweep (4 adds + 1 multiply per interior
+    /// point).
+    pub fn total_ops(&self) -> u64 {
+        if self.h < 3 || self.w < 3 {
+            return 0;
+        }
+        5 * ((self.h - 2) * (self.w - 2)) as u64
+    }
+}
+
+/// Rows per phase.
+const ROW_BLOCK: usize = 8;
+
+/// Builds the phase script for master `p` of `num_masters`: one sweep of
+/// the 5-point stencil over this master's row band.
+pub fn stencil_phases(dims: &StencilDims, p: usize, num_masters: usize) -> Vec<Phase> {
+    assert!(p < num_masters);
+    // Interior rows banded across masters.
+    let interior = dims.h.saturating_sub(2);
+    let r0 = 1 + interior * p / num_masters;
+    let r1 = 1 + interior * (p + 1) / num_masters;
+    let mut phases = Vec::new();
+    for i0 in (r0..r1).step_by(ROW_BLOCK) {
+        let i1 = (i0 + ROW_BLOCK).min(r1);
+        let mut ph = Phase::default();
+        // Halo: rows i0-1 ..= i1 of the input.
+        for i in (i0 - 1)..=(i1.min(dims.h - 1)) {
+            ph.reads.push((dims.in_row(i), dims.row_bytes()));
+        }
+        ph.ops = 5 * ((i1 - i0) * (dims.w - 2)) as u64;
+        for i in i0..i1 {
+            ph.writes.push((dims.out_row(i), dims.row_bytes()));
+        }
+        phases.push(ph);
+    }
+    phases
+}
+
+/// Builds `P` stencil engines (one per master).
+pub fn stencil_engines(
+    dims: &StencilDims,
+    num_masters: usize,
+    total_ops_per_cycle: f64,
+    burst: BurstLen,
+    outstanding: usize,
+    num_ids: usize,
+) -> Vec<DataflowEngine> {
+    (0..num_masters)
+        .map(|p| {
+            DataflowEngine::new(
+                MasterId(p as u16),
+                stencil_phases(dims, p, num_masters),
+                total_ops_per_cycle / num_masters as f64,
+                burst,
+                outstanding,
+                num_ids,
+            )
+        })
+        .collect()
+}
+
+/// Functional reference: one 5-point Jacobi sweep. Boundary rows/columns
+/// are copied unchanged.
+pub fn jacobi_step(grid: &[f32], h: usize, w: usize) -> Vec<f32> {
+    assert_eq!(grid.len(), h * w);
+    let mut out = grid.to_vec();
+    for i in 1..h.saturating_sub(1) {
+        for j in 1..w.saturating_sub(1) {
+            out[i * w + j] = 0.25
+                * (grid[(i - 1) * w + j]
+                    + grid[(i + 1) * w + j]
+                    + grid[i * w + j - 1]
+                    + grid[i * w + j + 1]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_smooths_towards_neighbour_average() {
+        let h = 4;
+        let w = 4;
+        let mut g = vec![0.0f32; h * w];
+        g[1 * w + 1] = 4.0;
+        let out = jacobi_step(&g, h, w);
+        // The spike is replaced by the average of its (zero) neighbours.
+        assert_eq!(out[1 * w + 1], 0.0);
+        // Its neighbours each pick up a quarter of it.
+        assert_eq!(out[1 * w + 2], 1.0);
+        assert_eq!(out[2 * w + 1], 1.0);
+        // Boundaries are copied.
+        assert_eq!(out[0], g[0]);
+    }
+
+    #[test]
+    fn jacobi_fixed_point_on_constant_grid() {
+        let g = vec![3.5f32; 36];
+        let out = jacobi_step(&g, 6, 6);
+        assert_eq!(out, g);
+    }
+
+    #[test]
+    fn phases_cover_every_interior_row_once() {
+        let dims = StencilDims::square(64);
+        let masters = 8;
+        let mut written = std::collections::HashSet::new();
+        for p in 0..masters {
+            for ph in stencil_phases(&dims, p, masters) {
+                for (addr, len) in ph.writes {
+                    assert_eq!(len, dims.row_bytes());
+                    assert!(written.insert(addr), "row written twice");
+                }
+            }
+        }
+        // Interior rows 1..=62.
+        assert_eq!(written.len(), 62);
+        assert!(written.contains(&dims.out_row(1)));
+        assert!(written.contains(&dims.out_row(62)));
+        assert!(!written.contains(&dims.out_row(0)));
+    }
+
+    #[test]
+    fn ops_cover_the_sweep() {
+        let dims = StencilDims::square(64);
+        let total: u64 = (0..8)
+            .flat_map(|p| stencil_phases(&dims, p, 8))
+            .map(|ph| ph.ops)
+            .sum();
+        assert_eq!(total, dims.total_ops());
+    }
+
+    #[test]
+    fn operational_intensity_is_low() {
+        // OpI = ops / bytes < 1 OPS/B — the memory-bound archetype.
+        let dims = StencilDims::square(128);
+        let phases: Vec<Phase> = (0..8).flat_map(|p| stencil_phases(&dims, p, 8)).collect();
+        let bytes: u64 = phases.iter().map(|p| p.read_bytes() + p.write_bytes()).sum();
+        let ops: u64 = phases.iter().map(|p| p.ops).sum();
+        let oi = ops as f64 / bytes as f64;
+        assert!(oi < 1.0, "stencil OpI {oi} should be < 1");
+        assert!(oi > 0.3, "stencil OpI {oi} sanity");
+    }
+
+    #[test]
+    fn halo_rows_read_by_adjacent_masters() {
+        // The boundary row between two bands is read by both (halo).
+        let dims = StencilDims::square(64);
+        let count_reads = |p: usize, row: usize| {
+            stencil_phases(&dims, p, 8)
+                .iter()
+                .flat_map(|ph| &ph.reads)
+                .filter(|(a, _)| *a == dims.in_row(row))
+                .count()
+        };
+        // Band of master 0 covers rows 1..=8 (interior 62 / 8 masters ≈ 7.75).
+        // Find a row at the edge between master 0 and 1.
+        let interior = 62;
+        let r1 = 1 + interior / 8; // first row of master 1's band
+        assert!(count_reads(0, r1) >= 1, "master 0 reads its lower halo");
+        assert!(count_reads(1, r1) >= 1, "master 1 reads its own first row");
+    }
+
+    #[test]
+    fn tiny_grids_produce_no_work() {
+        let dims = StencilDims::square(2);
+        assert_eq!(dims.total_ops(), 0);
+        assert!(stencil_phases(&dims, 0, 8).is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Clock-domain arithmetic.
+//!
+//! The accelerator side of the HBM subsystem runs at a user-chosen clock
+//! `facc` (the paper uses 300 MHz as the realistic timing-closure target
+//! and 450 MHz as the theoretical-maximum reference). All bandwidth and
+//! latency conversions between cycles, nanoseconds, and GB/s go through
+//! [`ClockDomain`] so the whole workspace agrees on them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Cycle, BEAT_BYTES};
+
+/// A clock domain with a frequency in MHz.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClockDomain {
+    freq_mhz: u32,
+}
+
+impl ClockDomain {
+    /// 300 MHz — the conservative accelerator clock the paper settles on.
+    pub const ACC_300: ClockDomain = ClockDomain { freq_mhz: 300 };
+    /// 450 MHz — the clock needed to saturate a pseudo-channel with a
+    /// 256-bit bus (14.4 GB/s).
+    pub const ACC_450: ClockDomain = ClockDomain { freq_mhz: 450 };
+
+    /// Creates a clock domain. Panics on a zero frequency.
+    pub fn new(freq_mhz: u32) -> ClockDomain {
+        assert!(freq_mhz > 0, "clock frequency must be non-zero");
+        ClockDomain { freq_mhz }
+    }
+
+    /// The frequency in MHz.
+    #[inline]
+    pub fn freq_mhz(self) -> u32 {
+        self.freq_mhz
+    }
+
+    /// Duration of one cycle in nanoseconds.
+    #[inline]
+    pub fn period_ns(self) -> f64 {
+        1000.0 / self.freq_mhz as f64
+    }
+
+    /// Converts a cycle count in this domain to nanoseconds.
+    #[inline]
+    pub fn cycles_to_ns(self, cycles: Cycle) -> f64 {
+        cycles as f64 * self.period_ns()
+    }
+
+    /// Converts a duration in nanoseconds to cycles in this domain,
+    /// rounding up (a transfer that takes any part of a cycle occupies it).
+    #[inline]
+    pub fn ns_to_cycles(self, ns: f64) -> Cycle {
+        (ns / self.period_ns()).ceil() as Cycle
+    }
+
+    /// Peak bandwidth of one 256-bit AXI channel in this domain, in GB/s
+    /// (one beat per cycle). At 300 MHz this is 9.6 GB/s — the per-port
+    /// limit visible throughout the paper's measurements.
+    #[inline]
+    pub fn port_bw_gbps(self) -> f64 {
+        BEAT_BYTES as f64 * self.freq_mhz as f64 / 1000.0
+    }
+
+    /// Converts a byte count transferred over a cycle count in this domain
+    /// to GB/s (1 GB = 1e9 B, matching the paper's units).
+    pub fn throughput_gbps(self, bytes: u64, cycles: Cycle) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        bytes as f64 / self.cycles_to_ns(cycles)
+    }
+
+    /// Rescales a cycle count from another clock domain into this one,
+    /// rounding up.
+    pub fn rescale_from(self, cycles: Cycle, from: ClockDomain) -> Cycle {
+        // cycles * (self.freq / from.freq), computed without overflow for
+        // realistic magnitudes (freqs < 2^32, cycles < 2^52 in practice).
+        let num = cycles as u128 * self.freq_mhz as u128;
+        num.div_ceil(from.freq_mhz as u128) as Cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_bandwidth_matches_paper() {
+        // 256 bit * 300 MHz = 9.6 GB/s, 256 bit * 450 MHz = 14.4 GB/s.
+        assert!((ClockDomain::ACC_300.port_bw_gbps() - 9.6).abs() < 1e-9);
+        assert!((ClockDomain::ACC_450.port_bw_gbps() - 14.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_conversion_matches_paper() {
+        // Paper: 48 cycles at 300 MHz = 160 ns, 17 cycles = ~57 ns.
+        assert!((ClockDomain::ACC_300.cycles_to_ns(48) - 160.0).abs() < 1e-9);
+        let w = ClockDomain::ACC_300.cycles_to_ns(17);
+        assert!((w - 56.67).abs() < 0.01, "got {w}");
+    }
+
+    #[test]
+    fn ns_to_cycles_rounds_up() {
+        let c = ClockDomain::ACC_300;
+        assert_eq!(c.ns_to_cycles(0.0), 0);
+        assert_eq!(c.ns_to_cycles(3.0), 1);
+        assert_eq!(c.ns_to_cycles(3.34), 2);
+    }
+
+    #[test]
+    fn throughput_computation() {
+        // 32 B per cycle at 300 MHz = 9.6 GB/s.
+        let c = ClockDomain::ACC_300;
+        let gbps = c.throughput_gbps(32 * 1000, 1000);
+        assert!((gbps - 9.6).abs() < 1e-9, "got {gbps}");
+        assert_eq!(c.throughput_gbps(123, 0), 0.0);
+    }
+
+    #[test]
+    fn rescale_between_domains() {
+        // 48 cycles @300 MHz = 160 ns = 72 cycles @450 MHz.
+        let c450 = ClockDomain::ACC_450;
+        assert_eq!(c450.rescale_from(48, ClockDomain::ACC_300), 72);
+        // Round-trips may round up but never down below the true duration.
+        let back = ClockDomain::ACC_300.rescale_from(72, c450);
+        assert_eq!(back, 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_frequency_rejected() {
+        let _ = ClockDomain::new(0);
+    }
+}

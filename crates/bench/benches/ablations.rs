@@ -1,0 +1,94 @@
+//! Criterion benches for the design-choice ablations of DESIGN.md §5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbm_core::prelude::*;
+use hbm_core::system::FabricKind;
+use hbm_mao::{InterleaveMode, MaoConfig};
+use std::hint::black_box;
+
+const WARM: u64 = 500;
+const MEAS: u64 = 1_500;
+
+fn mao_cfg(mao: MaoConfig) -> SystemConfig {
+    SystemConfig { fabric: FabricKind::Mao(mao), ..SystemConfig::mao() }
+}
+
+fn bench_interleave_granularity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_interleave");
+    g.sample_size(10);
+    for gran in [512u64, 4 << 10, 64 << 10] {
+        let cfg = mao_cfg(MaoConfig {
+            interleave: InterleaveMode::XorFold { granularity: gran },
+            ..MaoConfig::default()
+        });
+        g.bench_function(BenchmarkId::from_parameter(gran), |b| {
+            b.iter(|| black_box(measure(&cfg, Workload::ccs(), WARM, MEAS).total_gbps()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_interleave_scheme(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_scheme");
+    g.sample_size(10);
+    for (name, mode) in [
+        ("block", InterleaveMode::Block { granularity: 512 }),
+        ("xorfold", InterleaveMode::XorFold { granularity: 512 }),
+    ] {
+        let cfg = mao_cfg(MaoConfig { interleave: mode, ..MaoConfig::default() });
+        let wl = Workload { stride: 16 << 10, working_set: 4 << 30, ..Workload::ccs() };
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(measure(&cfg, wl, WARM, MEAS).total_gbps()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_stages");
+    g.sample_size(10);
+    for stages in [1u8, 2] {
+        let cfg = mao_cfg(MaoConfig { stages, ..MaoConfig::default() });
+        g.bench_function(BenchmarkId::from_parameter(stages), |b| {
+            b.iter(|| black_box(measure(&cfg, Workload::ccs(), WARM, MEAS).total_gbps()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mc_window(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_mc_window");
+    g.sample_size(10);
+    for window in [1usize, 16] {
+        let mut cfg = SystemConfig::mao();
+        cfg.hbm.mc.window = window;
+        g.bench_function(BenchmarkId::from_parameter(window), |b| {
+            b.iter(|| black_box(measure(&cfg, Workload::ccra(), WARM, MEAS).total_gbps()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_page_policy_proxy(c: &mut Criterion) {
+    // Open-page benefits show as the gap between dense strides (row
+    // hits) and page-missing large strides.
+    let mut g = c.benchmark_group("ablate_page_policy");
+    g.sample_size(10);
+    for (name, stride) in [("row_friendly", 512u64), ("row_hostile", 4 << 20)] {
+        let wl = Workload { stride, working_set: 4 << 30, ..Workload::ccs() };
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(measure(&SystemConfig::mao(), wl, WARM, MEAS).total_gbps()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_interleave_granularity,
+    bench_interleave_scheme,
+    bench_stages,
+    bench_mc_window,
+    bench_page_policy_proxy
+);
+criterion_main!(ablations);

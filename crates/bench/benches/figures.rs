@@ -1,0 +1,112 @@
+//! Criterion benches — one group per *figure* of the paper.
+//!
+//! Each bench times a representative simulation of the figure's workload
+//! (short window; the full parameter sweeps live in the `repro` binary).
+//! Regressions here mean the simulator got slower, not that the
+//! reproduced numbers changed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbm_axi::BurstLen;
+use hbm_core::prelude::*;
+use std::hint::black_box;
+
+const WARM: u64 = 500;
+const MEAS: u64 = 1_500;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_rw_ratio");
+    g.sample_size(10);
+    for ratio in [RwRatio::READ_ONLY, RwRatio::TWO_TO_ONE, RwRatio::WRITE_ONLY] {
+        let label = format!("{}to{}", ratio.reads, ratio.writes);
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let wl = Workload { rw: ratio, ..Workload::scs() };
+                black_box(measure(&SystemConfig::xilinx(), wl, WARM, MEAS).total_gbps())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_burst_length");
+    g.sample_size(10);
+    for (name, wl) in [
+        ("scs", Workload::scs()),
+        ("ccs", Workload::ccs()),
+        ("scra", Workload::scra()),
+        ("ccra", Workload::ccra()),
+    ] {
+        for bl in [1u8, 16] {
+            let wl = Workload {
+                burst: BurstLen::of(bl),
+                stride: BurstLen::of(bl).bytes(),
+                ..wl
+            };
+            g.bench_function(BenchmarkId::new(name, bl), |b| {
+                b.iter(|| black_box(measure(&SystemConfig::xilinx(), wl, WARM, MEAS).total_gbps()))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_rotation");
+    g.sample_size(10);
+    for rotation in [0usize, 2, 8] {
+        let wl = Workload { rotation, ..Workload::scs() };
+        g.bench_function(BenchmarkId::from_parameter(rotation), |b| {
+            b.iter(|| black_box(measure(&SystemConfig::xilinx(), wl, WARM, MEAS).total_gbps()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_stride");
+    g.sample_size(10);
+    for stride in [512u64, 16 << 10, 4 << 20] {
+        let wl = Workload { stride, working_set: 4 << 30, ..Workload::ccs() };
+        g.bench_function(BenchmarkId::from_parameter(stride), |b| {
+            b.iter(|| black_box(measure(&SystemConfig::mao(), wl, WARM, MEAS).total_gbps()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_reorder");
+    g.sample_size(10);
+    for depth in [1usize, 32] {
+        let wl = Workload { num_ids: depth, outstanding: depth, ..Workload::ccra() };
+        g.bench_function(BenchmarkId::from_parameter(depth), |b| {
+            b.iter(|| black_box(measure(&SystemConfig::mao(), wl, WARM, MEAS).total_gbps()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_accel_bandwidths");
+    g.sample_size(10);
+    g.bench_function("accel_a_mao", |b| {
+        b.iter(|| black_box(measure(&SystemConfig::mao(), Workload::ccs(), WARM, MEAS).total_gbps()))
+    });
+    g.bench_function("accel_b_mao", |b| {
+        let wl = Workload { rw: RwRatio { reads: 15, writes: 1 }, ..Workload::ccs() };
+        b.iter(|| black_box(measure(&SystemConfig::mao(), wl, WARM, MEAS).total_gbps()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7
+);
+criterion_main!(figures);

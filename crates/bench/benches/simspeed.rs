@@ -1,0 +1,66 @@
+//! Criterion benches of the *simulator itself*: simulated cycles per
+//! wall-clock second for each fabric and pattern. These are the numbers
+//! a user extending the simulator should watch for regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hbm_core::prelude::*;
+use hbm_core::HbmSystem;
+use std::hint::black_box;
+
+const CYCLES: u64 = 2_000;
+
+fn bench_sim_speed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_cycles_per_sec");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.sample_size(10);
+    for (fname, cfg) in [
+        ("xilinx", SystemConfig::xilinx()),
+        ("mao", SystemConfig::mao()),
+        ("direct", SystemConfig::direct()),
+    ] {
+        for (wname, wl) in [("scs", Workload::scs()), ("ccra", Workload::ccra())] {
+            if fname == "direct" && wname == "ccra" {
+                continue;
+            }
+            g.bench_function(BenchmarkId::new(fname, wname), |b| {
+                b.iter(|| {
+                    let mut sys = HbmSystem::new(&cfg, wl, None);
+                    sys.run(CYCLES);
+                    black_box(sys.now())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    use hbm_mem::{HbmConfig, PchDram};
+    let mut g = c.benchmark_group("component_speed");
+    g.bench_function("pch_execute_burst", |b| {
+        let cfg = HbmConfig::default();
+        let mut p = PchDram::new(&cfg, 0.0);
+        let mut now = 0.0;
+        let mut off = 0u64;
+        b.iter(|| {
+            let bt = p.execute_burst(now, Dir::Read, off % (1 << 20), 512);
+            now = bt.finish_ns - 40.0;
+            off += 512;
+            black_box(bt.finish_ns)
+        })
+    });
+    g.bench_function("interleave_remap", |b| {
+        use hbm_fabric::AddressMap;
+        use hbm_mao::{InterleaveMode, InterleavedMap};
+        let m = InterleavedMap::new(InterleaveMode::XorFold { granularity: 512 }, 32, 256 << 20);
+        let mut a = 0u64;
+        b.iter(|| {
+            a = (a + 512) % (8 << 30);
+            black_box(m.remap(a))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(simspeed, bench_sim_speed, bench_components);
+criterion_main!(simspeed);

@@ -1,0 +1,80 @@
+//! Criterion benches — one group per *table* of the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbm_axi::BurstLen;
+use hbm_core::prelude::*;
+use hbm_mao::{MaoConfig, MaoResources};
+use hbm_roofline::accelerator::{table5, AcceleratorA, AcceleratorB};
+use std::hint::black_box;
+
+const WARM: u64 = 500;
+const MEAS: u64 = 1_500;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_latency");
+    g.sample_size(10);
+    for (name, outstanding, bl) in [("single", 1usize, 1u8), ("burst", 32, 16)] {
+        let wl = Workload {
+            outstanding,
+            burst: BurstLen::of(bl),
+            stride: BurstLen::of(bl).bytes(),
+            ..Workload::ccs()
+        };
+        g.bench_function(BenchmarkId::new("xlnx_ccs", name), |b| {
+            b.iter(|| {
+                let m = measure(&SystemConfig::xilinx(), wl, WARM, MEAS);
+                black_box(m.read_latency_mean())
+            })
+        });
+        g.bench_function(BenchmarkId::new("mao_ccs", name), |b| {
+            b.iter(|| {
+                let m = measure(&SystemConfig::mao(), wl, WARM, MEAS);
+                black_box(m.read_latency_mean())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_resources");
+    g.bench_function("estimate_all_variants", |b| {
+        b.iter(|| {
+            for full in [false, true] {
+                for stages in [1u8, 2] {
+                    let cfg = MaoConfig { full, stages, ..MaoConfig::default() };
+                    black_box(MaoResources::estimate(&cfg, 256));
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_throughput");
+    g.sample_size(10);
+    for (name, wl) in [("ccs", Workload::ccs()), ("ccra", Workload::ccra())] {
+        g.bench_function(BenchmarkId::new("xlnx", name), |b| {
+            b.iter(|| black_box(measure(&SystemConfig::xilinx(), wl, WARM, MEAS).total_gbps()))
+        });
+        g.bench_function(BenchmarkId::new("mao", name), |b| {
+            b.iter(|| black_box(measure(&SystemConfig::mao(), wl, WARM, MEAS).total_gbps()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_table5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5_accelerators");
+    g.bench_function("analytical_rows", |b| {
+        b.iter(|| {
+            black_box(table5(|p| AcceleratorA { p }, 12.55, 403.75));
+            black_box(table5(|p| AcceleratorB { p }, 9.59, 273.0));
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(tables, bench_table2, bench_table3, bench_table4, bench_table5);
+criterion_main!(tables);

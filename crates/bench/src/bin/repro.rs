@@ -1,0 +1,126 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [EXPERIMENT ...] [--quick] [--json]
+//!
+//! EXPERIMENT: fig2 fig3 fig4 fig5 fig6 fig7 table2 table3 table4 table5
+//!             latency ablations all      (default: all)
+//! --quick:    short simulation windows (CI-friendly)
+//! --json:     machine-readable output (one JSON object per experiment)
+//! ```
+
+use hbm_bench::render;
+use hbm_core::experiment::{self, Fidelity};
+
+fn emit_json(name: &str, rows: impl serde::Serialize) {
+    println!(
+        "{}",
+        serde_json::json!({ "experiment": name, "rows": rows })
+    );
+}
+
+fn run_json(fid: Fidelity, want: impl Fn(&str) -> bool) {
+    if want("fig2") {
+        emit_json("fig2", experiment::fig2_rw_ratio(fid));
+    }
+    if want("fig3") {
+        emit_json("fig3", experiment::fig3_burst_length(fid));
+    }
+    if want("fig4") {
+        emit_json("fig4", experiment::fig4_rotation(fid));
+    }
+    if want("table2") {
+        emit_json("table2", experiment::table2_latency(fid));
+    }
+    if want("table4") {
+        emit_json("table4", experiment::table4_throughput(fid));
+    }
+    if want("fig5") {
+        emit_json("fig5", experiment::fig5_stride(fid));
+    }
+    if want("fig6") {
+        emit_json("fig6", experiment::fig6_reorder(fid));
+    }
+    if want("fig7") || want("table5") {
+        emit_json("fig7", hbm_bench::fig7::fig7_report(fid));
+    }
+    if want("latency") {
+        emit_json("latency", experiment::latency_probe());
+    }
+    if want("ablations") {
+        emit_json("ablate_interleave", experiment::ablate_interleave(fid));
+        emit_json("ablate_interleave_scheme", experiment::ablate_interleave_scheme(fid));
+        emit_json("ablate_stages", experiment::ablate_stages(fid));
+        emit_json("ablate_mc_window", experiment::ablate_mc_window(fid));
+        emit_json("ablate_page_policy", experiment::ablate_page_policy(fid));
+        emit_json("ablate_mao_features", experiment::ablate_mao_features(fid));
+        emit_json("ablate_axi4", experiment::ablate_axi4(fid));
+        emit_json("ablate_stacks", experiment::ablate_stacks(fid));
+        emit_json("ablate_addr_map", experiment::ablate_addr_map(fid));
+        emit_json("ablate_lateral", experiment::ablate_lateral(fid));
+        emit_json("mixed_interference", experiment::mixed_interference(fid));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let fid = if quick { Fidelity::QUICK } else { Fidelity::FULL };
+    let mut wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    if wanted.is_empty() {
+        wanted.push("all");
+    }
+    let all = wanted.contains(&"all");
+    let want = |name: &str| all || wanted.contains(&name);
+
+    if json {
+        run_json(fid, want);
+        return;
+    }
+
+    println!(
+        "Reproduction of \"Fast HBM Access with FPGAs: Analysis, Architectures,\n\
+         and Applications\" (IPDPSW'21) — simulated XCVU37P HBM subsystem\n\
+         fidelity: warmup {} + measure {} cycles @300 MHz\n",
+        fid.warmup, fid.cycles
+    );
+
+    if want("fig2") {
+        println!("{}", render::render_fig2(fid));
+    }
+    if want("fig3") {
+        println!("{}", render::render_fig3(fid));
+    }
+    if want("fig4") {
+        println!("{}", render::render_fig4(fid));
+        println!("{}", render::render_fig4b(fid, 4));
+    }
+    if want("table2") {
+        println!("{}", render::render_table2(fid));
+    }
+    if want("table3") {
+        println!("{}", render::render_table3());
+    }
+    if want("table4") {
+        println!("{}", render::render_table4(fid));
+    }
+    if want("fig5") {
+        println!("{}", render::render_fig5(fid));
+    }
+    if want("fig6") {
+        println!("{}", render::render_fig6(fid));
+    }
+    if want("fig7") || want("table5") {
+        println!("{}", render::render_fig7_table5(fid));
+    }
+    if want("latency") {
+        println!("{}", render::render_latency_probe());
+    }
+    if want("ablations") {
+        println!("{}", render::render_ablations(fid));
+        println!("{}", render::render_mixed(fid));
+    }
+}

@@ -1,0 +1,110 @@
+//! `sweep` — parameter-grid sweeps to CSV.
+//!
+//! ```text
+//! sweep [--fabrics xlnx,mao,direct] [--patterns scs,ccs,scra,ccra]
+//!       [--bursts 1,2,4,8,16] [--rotations 0]
+//!       [--warmup N] [--cycles N] [--threads N]
+//! ```
+//!
+//! Prints one CSV row per grid point to stdout (redirect to a file for
+//! plotting). Every figure of the paper is a slice of this grid.
+
+use hbm_axi::BurstLen;
+use hbm_core::prelude::*;
+
+fn parse_list<'a>(args: &'a [String], flag: &str, default: &'a str) -> Vec<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or(default)
+        .split(',')
+        .map(str::to_string)
+        .collect()
+}
+
+fn parse_num(args: &[String], flag: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("numeric flag value"))
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fabrics = parse_list(&args, "--fabrics", "xlnx,mao");
+    let patterns = parse_list(&args, "--patterns", "scs,ccs,scra,ccra");
+    let bursts = parse_list(&args, "--bursts", "1,2,4,8,16");
+    let rotations = parse_list(&args, "--rotations", "0");
+    let warmup = parse_num(&args, "--warmup", 2_000);
+    let cycles = parse_num(&args, "--cycles", 8_000);
+    let threads = parse_num(
+        &args,
+        "--threads",
+        hbm_core::batch::default_threads() as u64,
+    ) as usize;
+
+    println!(
+        "fabric,pattern,burst,rotation,read_gbps,write_gbps,total_gbps,\
+         read_lat_mean,read_lat_std,write_lat_mean,write_lat_std,\
+         page_hit_rate,lateral_beats,id_stall_cycles"
+    );
+    // Build the grid first, then fan it out over threads.
+    let mut labels: Vec<(String, String, u8, usize)> = Vec::new();
+    let mut grid: Vec<hbm_core::batch::GridPoint> = Vec::new();
+    for fabric in &fabrics {
+        let cfg = match fabric.as_str() {
+            "xlnx" => SystemConfig::xilinx(),
+            "mao" => SystemConfig::mao(),
+            "direct" => SystemConfig::direct(),
+            other => panic!("unknown fabric {other:?}"),
+        };
+        for pattern in &patterns {
+            let base = match pattern.as_str() {
+                "scs" => Workload::scs(),
+                "ccs" => Workload::ccs(),
+                "scra" => Workload::scra(),
+                "ccra" => Workload::ccra(),
+                other => panic!("unknown pattern {other:?}"),
+            };
+            // The direct fabric only supports single-channel locality.
+            if fabric == "direct" && matches!(base.pattern, Pattern::Ccs | Pattern::Ccra) {
+                continue;
+            }
+            for burst in &bursts {
+                let beats: u8 = burst.parse().expect("burst 1..=16");
+                for rotation in &rotations {
+                    let rot: usize = rotation.parse().expect("rotation 0..=31");
+                    if rot != 0 && (fabric == "direct" || !matches!(base.pattern, Pattern::Scs)) {
+                        continue;
+                    }
+                    let wl = Workload {
+                        burst: BurstLen::of(beats),
+                        stride: BurstLen::of(beats).bytes(),
+                        rotation: rot,
+                        ..base
+                    };
+                    labels.push((fabric.clone(), pattern.clone(), beats, rot));
+                    grid.push((cfg.clone(), wl));
+                }
+            }
+        }
+    }
+    let results = hbm_core::batch::run_grid(&grid, warmup, cycles, threads);
+    for ((fabric, pattern, beats, rot), m) in labels.iter().zip(results.iter()) {
+        println!(
+            "{fabric},{pattern},{beats},{rot},{:.3},{:.3},{:.3},{:.1},{:.1},{:.1},{:.1},{:.4},{},{}",
+            m.read_gbps(),
+            m.write_gbps(),
+            m.total_gbps(),
+            m.read_latency_mean().unwrap_or(f64::NAN),
+            m.read_latency_std().unwrap_or(f64::NAN),
+            m.write_latency_mean().unwrap_or(f64::NAN),
+            m.write_latency_std().unwrap_or(f64::NAN),
+            m.mem.hit_rate().unwrap_or(0.0),
+            m.fabric.lateral_beats(),
+            m.fabric.id_stall_cycles,
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Fig. 7 / Table V: measure the accelerators' access-pattern bandwidths
+//! on the simulator, then build their Rooflines.
+
+use hbm_core::experiment::Fidelity;
+use hbm_core::prelude::*;
+use hbm_roofline::accelerator::{table5, AcceleratorA, AcceleratorB, AcceleratorModel, Table5Row};
+use hbm_roofline::Roofline;
+use serde::{Deserialize, Serialize};
+
+/// Measured bandwidths for the two accelerators' access patterns, with
+/// and without the MAO.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AccelBandwidths {
+    /// Accelerator A's pattern (CCS 2:1) on the stock fabric.
+    pub a_xlnx: f64,
+    /// Accelerator A's pattern through the MAO.
+    pub a_mao: f64,
+    /// Accelerator B's pattern (read-dominated CCS) on the stock fabric.
+    pub b_xlnx: f64,
+    /// Accelerator B's pattern through the MAO.
+    pub b_mao: f64,
+}
+
+/// Accelerator A's memory access pattern: contiguous matrices streamed
+/// with the 2:1 read/write ratio at burst length 16.
+fn workload_a() -> Workload {
+    Workload::ccs()
+}
+
+/// Accelerator B's pattern: one matrix re-streamed, only final results
+/// written back — RW_rat = Mh : 1 with Mh ≫ 2 (15:1 here).
+fn workload_b() -> Workload {
+    Workload {
+        rw: RwRatio { reads: 15, writes: 1 },
+        ..Workload::ccs()
+    }
+}
+
+/// Measures the four bandwidths (the simulated counterpart of the
+/// paper's 12.55 / 403.75 / 9.59 / 273 GB/s).
+pub fn accel_bandwidths(fid: Fidelity) -> AccelBandwidths {
+    let run = |cfg: &SystemConfig, wl: Workload| measure(cfg, wl, fid.warmup, fid.cycles).total_gbps();
+    AccelBandwidths {
+        a_xlnx: run(&SystemConfig::xilinx(), workload_a()),
+        a_mao: run(&SystemConfig::mao(), workload_a()),
+        b_xlnx: run(&SystemConfig::xilinx(), workload_b()),
+        b_mao: run(&SystemConfig::mao(), workload_b()),
+    }
+}
+
+/// One accelerator's Fig. 7 summary at a parallelisation degree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7Point {
+    /// Parallelisation degree.
+    pub p: usize,
+    /// Operational intensity.
+    pub op_i: f64,
+    /// Attainable GOPS on the stock fabric.
+    pub gops_xlnx: f64,
+    /// Attainable GOPS through the MAO.
+    pub gops_mao: f64,
+    /// Memory bound on the stock fabric?
+    pub mem_bound_xlnx: bool,
+    /// Memory bound through the MAO?
+    pub mem_bound_mao: bool,
+}
+
+/// Builds the Fig. 7 point set for one accelerator family.
+pub fn fig7_points<M: AcceleratorModel, F: Fn(usize) -> M>(
+    make: F,
+    bw_xlnx: f64,
+    bw_mao: f64,
+) -> Vec<Fig7Point> {
+    [4usize, 8, 16, 32]
+        .iter()
+        .map(|&p| {
+            let m = make(p);
+            let rx = Roofline::new(m.comp_gops(), bw_xlnx);
+            let ro = Roofline::new(m.comp_gops(), bw_mao);
+            Fig7Point {
+                p,
+                op_i: m.op_intensity(),
+                gops_xlnx: rx.attainable(m.op_intensity()),
+                gops_mao: ro.attainable(m.op_intensity()),
+                mem_bound_xlnx: rx.memory_bound(m.op_intensity()),
+                mem_bound_mao: ro.memory_bound(m.op_intensity()),
+            }
+        })
+        .collect()
+}
+
+/// Everything needed to print Fig. 7a/7b and Table V.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7Report {
+    /// Measured bandwidths.
+    pub bw: AccelBandwidths,
+    /// Fig. 7a points (Accelerator A).
+    pub a_points: Vec<Fig7Point>,
+    /// Fig. 7b points (Accelerator B).
+    pub b_points: Vec<Fig7Point>,
+    /// Table V rows for A, from the measured bandwidths.
+    pub table5_a: Vec<Table5Row>,
+    /// Table V rows for B.
+    pub table5_b: Vec<Table5Row>,
+}
+
+/// Runs the Fig. 7 / Table V reproduction.
+pub fn fig7_report(fid: Fidelity) -> Fig7Report {
+    let bw = accel_bandwidths(fid);
+    Fig7Report {
+        a_points: fig7_points(|p| AcceleratorA { p }, bw.a_xlnx, bw.a_mao),
+        b_points: fig7_points(|p| AcceleratorB { p }, bw.b_xlnx, bw.b_mao),
+        table5_a: table5(|p| AcceleratorA { p }, bw.a_xlnx, bw.a_mao),
+        table5_b: table5(|p| AcceleratorB { p }, bw.b_xlnx, bw.b_mao),
+        bw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_bandwidths_match_paper_shape() {
+        let bw = accel_bandwidths(Fidelity::QUICK);
+        // Paper: 12.55 / 403.75 / 9.59 / 273.
+        assert!(bw.a_xlnx < 30.0, "A unoptimised collapses: {}", bw.a_xlnx);
+        assert!(bw.a_mao > 300.0, "A with MAO: {}", bw.a_mao);
+        assert!(bw.b_xlnx < 20.0, "B unoptimised: {}", bw.b_xlnx);
+        assert!(bw.b_mao > 200.0, "B with MAO: {}", bw.b_mao);
+        // B's read-heavy pattern gains less than A's 2:1 pattern.
+        assert!(bw.b_mao < bw.a_mao);
+    }
+
+    #[test]
+    fn fig7_bound_classification_matches_paper() {
+        let r = fig7_report(Fidelity::QUICK);
+        // Paper: without MAO, every configuration of both accelerators
+        // is memory bound.
+        assert!(r.a_points.iter().all(|p| p.mem_bound_xlnx));
+        assert!(r.b_points.iter().all(|p| p.mem_bound_xlnx));
+        // With MAO, A becomes compute bound for P < 32...
+        assert!(r.a_points.iter().filter(|p| p.p < 32).all(|p| !p.mem_bound_mao));
+        // ...and every B configuration becomes compute bound (P = 32
+        // within a hair of the ceiling).
+        assert!(r.b_points.iter().filter(|p| p.p < 32).all(|p| !p.mem_bound_mao));
+    }
+}

@@ -1,0 +1,184 @@
+//! The paper's back-of-envelope performance estimator (§IV / §V).
+//!
+//! Before running (or building) anything, the paper estimates achievable
+//! bandwidth from a handful of rules — "we estimate the maximal
+//! achievable memory throughput to be about 13 GB/s for the access
+//! pattern of Accelerator A in a system without MAO … with MAO we expect
+//! an increase to about the maximum HBM throughput of 416 GB/s" — and
+//! §V shows those estimates land within 2–4 % of measurement. This
+//! module encodes the same rules; `tests/estimator.rs` checks them
+//! against the simulator across the whole pattern grid.
+//!
+//! The rules, in the paper's order:
+//!
+//! 1. **Port clock**: each AXI port moves ≤ `32 B × facc` per direction;
+//!    a read:write mix uses both directions in proportion.
+//! 2. **Effective DRAM rate**: the per-PCH ceiling is the refresh-derated
+//!    raw rate, further derated for short bursts and random access.
+//! 3. **Effective channels** (`N_ch_eff`): the contiguous map confines a
+//!    buffer of `working_set` bytes to `⌈ws / capacity⌉` channels; the
+//!    MAO's interleaving (or single-channel partitioning) uses all of
+//!    them.
+//! 4. **Lateral ceiling** (`N_lat_eff`): cross-channel traffic on the
+//!    segmented fabric is additionally capped by the lateral buses.
+
+use hbm_traffic::{Pattern, Workload};
+use serde::{Deserialize, Serialize};
+
+use crate::system::{FabricKind, SystemConfig};
+
+/// A bandwidth estimate with its contributing ceilings, for reporting.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Estimate {
+    /// The estimated achievable throughput in GB/s.
+    pub total_gbps: f64,
+    /// Port-clock ceiling (GB/s).
+    pub port_ceiling: f64,
+    /// DRAM ceiling over the effective channels (GB/s).
+    pub dram_ceiling: f64,
+    /// Lateral-bus ceiling (GB/s; infinite when not applicable).
+    pub lateral_ceiling: f64,
+    /// Effective number of channels.
+    pub n_ch_eff: usize,
+}
+
+/// Estimates the achievable bandwidth of `wl` on `cfg` using the paper's
+/// §IV rules — no simulation involved.
+pub fn estimate_bandwidth(cfg: &SystemConfig, wl: &Workload) -> Estimate {
+    let n = cfg.hbm.num_pch;
+    let port_bw = cfg.clock.port_bw_gbps(); // per port per direction
+    let read_frac = wl.rw.read_fraction();
+
+    // Rule 3: effective channels.
+    let spread = match (&cfg.fabric, wl.pattern) {
+        // Single-channel patterns are spread by construction.
+        (_, Pattern::Scs | Pattern::Scra) => n,
+        // The MAO interleaves everything.
+        (FabricKind::Mao(_), _) => n,
+        // Contiguous map: the buffer determines the channels touched.
+        (_, Pattern::Ccs | Pattern::Ccra) => {
+            (wl.working_set.div_ceil(cfg.hbm.pch_capacity) as usize).clamp(1, n)
+        }
+    };
+
+    // Rule 1: port ceiling. For spread traffic each master's port is the
+    // limit; for hot-spot traffic the *memory-side* port of the few
+    // channels is.
+    let ports = spread.min(n) as f64;
+    let port_ceiling = if read_frac == 0.0 || read_frac == 1.0 {
+        ports * port_bw
+    } else {
+        // Both directions active: each direction is capped at port_bw,
+        // so the mix is limited by its larger component.
+        let dominant = read_frac.max(1.0 - read_frac);
+        ports * (port_bw / dominant)
+    };
+
+    // Rule 2: DRAM ceiling with burst/pattern derating.
+    let t = &cfg.hbm.timings;
+    let dram_eff = t.effective_bw_gbps();
+    let bl_bytes = wl.burst.bytes() as f64;
+    let pattern_eff = match wl.pattern {
+        Pattern::Scs | Pattern::Ccs => {
+            // Streams: short bursts cost scheduling slots, long ones are
+            // free (the paper: BL 2 nearly saturates a stream).
+            if wl.burst.beats() >= 2 {
+                0.97
+            } else {
+                0.6
+            }
+        }
+        Pattern::Scra | Pattern::Ccra => {
+            // Random: every burst opens a row; the overhead that bank
+            // parallelism cannot hide is roughly the unoverlapped
+            // fraction of tRC per burst.
+            let data_ns = bl_bytes / t.raw_bw_gbps();
+            data_ns / (data_ns + 0.35 * (t.t_rp + t.t_rcd))
+        }
+    };
+    // Mixed traffic pays turnarounds.
+    let mix_eff = if read_frac > 0.0 && read_frac < 1.0 { 0.97 } else { 1.0 };
+    let dram_ceiling = spread as f64 * dram_eff * pattern_eff * mix_eff;
+
+    // Rule 4: lateral ceiling on the segmented fabric for cross-channel
+    // traffic (requests/responses funnel over ≤ 2 buses per direction at
+    // each boundary; uniform random traffic crosses ~half the device).
+    let lateral_ceiling = match (&cfg.fabric, wl.pattern) {
+        (FabricKind::Xilinx | FabricKind::XilinxTweaked(_), Pattern::Ccra) => {
+            // 4 boundaries-worth of paired buses, both directions, spread
+            // over the crossing fraction (~1/2).
+            8.0 * port_bw / 0.5 * 0.7 // 0.7: dead cycles + imbalance
+        }
+        _ => f64::INFINITY,
+    };
+
+    Estimate {
+        total_gbps: port_ceiling.min(dram_ceiling).min(lateral_ceiling),
+        port_ceiling,
+        dram_ceiling,
+        lateral_ceiling,
+        n_ch_eff: spread,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbm_traffic::RwRatio;
+
+    #[test]
+    fn ccs_hotspot_estimate_matches_paper() {
+        // Paper §V: "about 13 GB/s for the access pattern of Accelerator
+        // A in a system without MAO".
+        let e = estimate_bandwidth(&SystemConfig::xilinx(), &Workload::ccs());
+        assert_eq!(e.n_ch_eff, 1);
+        assert!((e.total_gbps - 13.0).abs() < 2.0, "{e:?}");
+    }
+
+    #[test]
+    fn ccs_mao_estimate_matches_paper() {
+        // Paper §V: "with MAO we expect an increase to about the maximum
+        // HBM throughput of 416 GB/s".
+        let e = estimate_bandwidth(&SystemConfig::mao(), &Workload::ccs());
+        assert_eq!(e.n_ch_eff, 32);
+        assert!((380.0..440.0).contains(&e.total_gbps), "{e:?}");
+    }
+
+    #[test]
+    fn read_only_estimates_port_clock() {
+        let wl = Workload { rw: RwRatio::READ_ONLY, ..Workload::scs() };
+        let e = estimate_bandwidth(&SystemConfig::xilinx(), &wl);
+        assert!((e.total_gbps - 307.2).abs() < 5.0, "{e:?}");
+    }
+
+    #[test]
+    fn accelerator_b_estimate_matches_paper() {
+        // Paper §V: B's read-heavy pattern is limited "to roughly 2/3 of
+        // the maximum throughput" ≈ 277 GB/s with MAO; ~10 GB/s without.
+        let read_heavy = Workload { rw: RwRatio { reads: 15, writes: 1 }, ..Workload::ccs() };
+        let mao = estimate_bandwidth(&SystemConfig::mao(), &read_heavy);
+        assert!((250.0..340.0).contains(&mao.total_gbps), "{:?}", mao);
+        let xlnx = estimate_bandwidth(&SystemConfig::xilinx(), &read_heavy);
+        assert!((8.0..14.0).contains(&xlnx.total_gbps), "{:?}", xlnx);
+    }
+
+    #[test]
+    fn ccra_xilinx_hits_the_lateral_ceiling() {
+        let e = estimate_bandwidth(&SystemConfig::xilinx(), &Workload::ccra());
+        assert!(e.lateral_ceiling.is_finite());
+        assert!(e.total_gbps <= e.lateral_ceiling);
+        // Ballpark of the measured 80–90 GB/s.
+        assert!((50.0..130.0).contains(&e.total_gbps), "{e:?}");
+    }
+
+    #[test]
+    fn estimates_scale_with_clock() {
+        let wl = Workload { rw: RwRatio::READ_ONLY, ..Workload::scs() };
+        let e300 = estimate_bandwidth(&SystemConfig::xilinx(), &wl);
+        let e450 = estimate_bandwidth(
+            &SystemConfig::xilinx().at_clock(hbm_axi::ClockDomain::ACC_450),
+            &wl,
+        );
+        assert!(e450.total_gbps > 1.3 * e300.total_gbps);
+    }
+}

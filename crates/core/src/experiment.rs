@@ -1,0 +1,746 @@
+//! One function per figure/table of the paper.
+//!
+//! Each function returns structured rows; the `repro` binary in
+//! `hbm-bench` prints them next to the paper's reference values, and
+//! EXPERIMENTS.md records the comparison. All experiments run at the
+//! paper's 300 MHz accelerator clock unless stated otherwise.
+
+use hbm_axi::{BurstLen, Cycle};
+use hbm_mao::{InterleaveMode, MaoConfig};
+use hbm_traffic::{Pattern, RwRatio, Workload};
+use serde::{Deserialize, Serialize};
+
+use crate::measure::{measure, Measurement};
+use crate::system::{FabricKind, SystemConfig};
+
+/// Simulation fidelity: cycles of warm-up and measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fidelity {
+    /// Warm-up cycles (excluded from statistics).
+    pub warmup: Cycle,
+    /// Measured cycles.
+    pub cycles: Cycle,
+}
+
+impl Fidelity {
+    /// Fast runs for tests.
+    pub const QUICK: Fidelity = Fidelity { warmup: 1_500, cycles: 4_000 };
+    /// Full runs for the reproduction harness.
+    pub const FULL: Fidelity = Fidelity { warmup: 4_000, cycles: 24_000 };
+
+    fn run(&self, cfg: &SystemConfig, wl: Workload) -> Measurement {
+        measure(cfg, wl, self.warmup, self.cycles)
+    }
+}
+
+// ---------------------------------------------------------------- Fig. 2
+
+/// One point of Fig. 2: achievable throughput vs. read/write ratio at
+/// 300 MHz (ideal channel spreading, BL 16).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2Row {
+    /// The issued read:write ratio.
+    pub ratio: RwRatio,
+    /// Read throughput in GB/s.
+    pub read_gbps: f64,
+    /// Write throughput in GB/s.
+    pub write_gbps: f64,
+    /// Combined throughput in GB/s.
+    pub total_gbps: f64,
+}
+
+/// Fig. 2: throughput when AXI reads and writes are issued at different
+/// ratios at 300 MHz. Uses the SCS pattern (one master per channel) so
+/// the fabric does not confound the DRAM-level effect.
+pub fn fig2_rw_ratio(fid: Fidelity) -> Vec<Fig2Row> {
+    let ratios = [
+        RwRatio { reads: 1, writes: 0 },
+        RwRatio { reads: 4, writes: 1 },
+        RwRatio { reads: 3, writes: 1 },
+        RwRatio { reads: 2, writes: 1 },
+        RwRatio { reads: 1, writes: 1 },
+        RwRatio { reads: 1, writes: 2 },
+        RwRatio { reads: 1, writes: 3 },
+        RwRatio { reads: 1, writes: 4 },
+        RwRatio { reads: 0, writes: 1 },
+    ];
+    ratios
+        .iter()
+        .map(|&ratio| {
+            let wl = Workload { rw: ratio, ..Workload::scs() };
+            let m = fid.run(&SystemConfig::xilinx(), wl);
+            Fig2Row {
+                ratio,
+                read_gbps: m.read_gbps(),
+                write_gbps: m.write_gbps(),
+                total_gbps: m.total_gbps(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Fig. 3
+
+/// One point of Fig. 3: throughput for a pattern at a burst length.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3Row {
+    /// Access pattern (SCS/CCS/SCRA/CCRA — panels a–d).
+    pub pattern: Pattern,
+    /// AXI burst length in beats.
+    pub burst: u8,
+    /// Read-only throughput in GB/s.
+    pub rd_gbps: f64,
+    /// Write-only throughput in GB/s.
+    pub wr_gbps: f64,
+    /// Mixed 2:1 throughput in GB/s.
+    pub both_gbps: f64,
+}
+
+/// Fig. 3: burst-length sensitivity of the four basic patterns on the
+/// stock Xilinx fabric.
+pub fn fig3_burst_length(fid: Fidelity) -> Vec<Fig3Row> {
+    let mut rows = Vec::new();
+    for pattern in [Pattern::Scs, Pattern::Ccs, Pattern::Scra, Pattern::Ccra] {
+        for bl in [1u8, 2, 4, 8, 16] {
+            let base = match pattern {
+                Pattern::Scs => Workload::scs(),
+                Pattern::Ccs => Workload::ccs(),
+                Pattern::Scra => Workload::scra(),
+                Pattern::Ccra => Workload::ccra(),
+            };
+            let mk = |rw| Workload {
+                burst: BurstLen::of(bl),
+                stride: BurstLen::of(bl).bytes(),
+                rw,
+                ..base
+            };
+            let rd = fid.run(&SystemConfig::xilinx(), mk(RwRatio::READ_ONLY));
+            let wr = fid.run(&SystemConfig::xilinx(), mk(RwRatio::WRITE_ONLY));
+            let both = fid.run(&SystemConfig::xilinx(), mk(RwRatio::TWO_TO_ONE));
+            rows.push(Fig3Row {
+                pattern,
+                burst: bl,
+                rd_gbps: rd.total_gbps(),
+                wr_gbps: wr.total_gbps(),
+                both_gbps: both.total_gbps(),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- Fig. 4
+
+/// One point of Fig. 4a: SCS rotated by an offset over the switch fabric.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4Row {
+    /// Rotation offset (master `m` targets PCH `m + offset mod 32`).
+    pub rotation: usize,
+    /// Burst length used.
+    pub burst: u8,
+    /// Combined throughput in GB/s.
+    pub total_gbps: f64,
+    /// Throughput as % of the 460.8 GB/s device maximum.
+    pub pct: f64,
+    /// Beats on the busiest single lateral bus (Fig. 4b's contended
+    /// link), normalised per measured cycle.
+    pub max_lateral_util: f64,
+}
+
+/// Fig. 4: effect of the rotation offset on throughput through the
+/// Xilinx switch fabric, for BL 16 and BL 2.
+pub fn fig4_rotation(fid: Fidelity) -> Vec<Fig4Row> {
+    let mut rows = Vec::new();
+    for burst in [16u8, 2] {
+        for rotation in [0usize, 1, 2, 3, 4, 6, 8] {
+            let wl = Workload {
+                rotation,
+                burst: BurstLen::of(burst),
+                stride: BurstLen::of(burst).bytes(),
+                ..Workload::scs()
+            };
+            let m = fid.run(&SystemConfig::xilinx(), wl);
+            rows.push(Fig4Row {
+                rotation,
+                burst,
+                total_gbps: m.total_gbps(),
+                pct: m.pct_of_device(),
+                max_lateral_util: m.fabric.max_lateral_beats() as f64 / m.cycles as f64,
+            });
+        }
+    }
+    rows
+}
+
+// -------------------------------------------------------------- Table II
+
+/// One row of Table II: latency under a traffic setup.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// "Single" (1 outstanding, BL 1) or "Burst" (32 outstanding, BL 16).
+    pub traffic: &'static str,
+    /// "XLNX" or "MAO".
+    pub fabric: &'static str,
+    /// Pattern (CCS or CCRA).
+    pub pattern: Pattern,
+    /// Read latency mean in cycles.
+    pub rd_mean: f64,
+    /// Read latency standard deviation.
+    pub rd_std: f64,
+    /// Write latency mean in cycles.
+    pub wr_mean: f64,
+    /// Write latency standard deviation.
+    pub wr_std: f64,
+}
+
+/// Table II: HBM latency comparison between the Xilinx fabric and the
+/// MAO under light ("Single") and heavy ("Burst") traffic.
+pub fn table2_latency(fid: Fidelity) -> Vec<Table2Row> {
+    let mut rows = Vec::new();
+    for (traffic, outstanding, bl) in [("Single", 1usize, 1u8), ("Burst", 32, 16)] {
+        for (fabric, cfg) in [("XLNX", SystemConfig::xilinx()), ("MAO", SystemConfig::mao())] {
+            for pattern in [Pattern::Ccs, Pattern::Ccra] {
+                let base = if pattern == Pattern::Ccs { Workload::ccs() } else { Workload::ccra() };
+                let wl = Workload {
+                    outstanding,
+                    burst: BurstLen::of(bl),
+                    stride: BurstLen::of(bl).bytes(),
+                    num_ids: if traffic == "Single" { 1 } else { 16 },
+                    ..base
+                };
+                let m = fid.run(&cfg, wl);
+                rows.push(Table2Row {
+                    traffic,
+                    fabric,
+                    pattern,
+                    rd_mean: m.read_latency_mean().unwrap_or(f64::NAN),
+                    rd_std: m.read_latency_std().unwrap_or(f64::NAN),
+                    wr_mean: m.write_latency_mean().unwrap_or(f64::NAN),
+                    wr_std: m.write_latency_std().unwrap_or(f64::NAN),
+                });
+            }
+        }
+    }
+    rows
+}
+
+// -------------------------------------------------------------- Table IV
+
+/// One cell group of Table IV: throughput for a pattern/direction on one
+/// fabric.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// Pattern (CCS or CCRA).
+    pub pattern: Pattern,
+    /// "RD", "WR", or "Both".
+    pub direction: &'static str,
+    /// Throughput through the Xilinx fabric in GB/s.
+    pub xlnx_gbps: f64,
+    /// Throughput through the MAO in GB/s.
+    pub mao_gbps: f64,
+}
+
+impl Table4Row {
+    /// The MAO speed-up factor for this row.
+    pub fn speedup(&self) -> f64 {
+        self.mao_gbps / self.xlnx_gbps
+    }
+}
+
+/// Table IV: CCS/CCRA throughput, Xilinx fabric vs. MAO, for reads only,
+/// writes only, and the 2:1 mix (BL 16).
+pub fn table4_throughput(fid: Fidelity) -> Vec<Table4Row> {
+    let mut rows = Vec::new();
+    for pattern in [Pattern::Ccs, Pattern::Ccra] {
+        let base = if pattern == Pattern::Ccs { Workload::ccs() } else { Workload::ccra() };
+        for (direction, rw) in [
+            ("RD", RwRatio::READ_ONLY),
+            ("WR", RwRatio::WRITE_ONLY),
+            ("Both", RwRatio::TWO_TO_ONE),
+        ] {
+            let wl = Workload { rw, ..base };
+            let x = fid.run(&SystemConfig::xilinx(), wl);
+            let o = fid.run(&SystemConfig::mao(), wl);
+            rows.push(Table4Row {
+                pattern,
+                direction,
+                xlnx_gbps: x.total_gbps(),
+                mao_gbps: o.total_gbps(),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- Fig. 5
+
+/// One point of Fig. 5: stride length vs. throughput with the MAO.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5Row {
+    /// Stride between consecutive chunk starts in bytes.
+    pub stride: u64,
+    /// Combined throughput in GB/s.
+    pub total_gbps: f64,
+}
+
+/// Fig. 5: effect of the stride length on throughput with the MAO.
+/// Strides below the 512 B chunk re-fetch data (overlap); strides above
+/// skip data; very large strides defeat row locality (DRAM page misses).
+pub fn fig5_stride(fid: Fidelity) -> Vec<Fig5Row> {
+    let strides = [
+        64u64,
+        128,
+        256,
+        512,
+        1 << 10,
+        4 << 10,
+        16 << 10,
+        64 << 10,
+        256 << 10,
+        1 << 20,
+        4 << 20,
+    ];
+    strides
+        .iter()
+        .map(|&stride| {
+            let wl = Workload {
+                stride,
+                // A larger working set keeps big strides in range.
+                working_set: 4 << 30,
+                ..Workload::ccs()
+            };
+            let m = fid.run(&SystemConfig::mao(), wl);
+            Fig5Row { stride, total_gbps: m.total_gbps() }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Fig. 6
+
+/// One point of Fig. 6: reorder depth vs. CCRA throughput with the MAO.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Row {
+    /// Independent AXI IDs / reorder-buffer depth.
+    pub depth: usize,
+    /// Combined throughput in GB/s.
+    pub total_gbps: f64,
+}
+
+/// Fig. 6: effect of transaction reordering (independent AXI IDs) on
+/// CCRA throughput with the MAO.
+pub fn fig6_reorder(fid: Fidelity) -> Vec<Fig6Row> {
+    [1usize, 2, 4, 8, 16, 32]
+        .iter()
+        .map(|&depth| {
+            let mao = MaoConfig { reorder_depth: depth.max(2), ..MaoConfig::default() };
+            let cfg = SystemConfig {
+                fabric: FabricKind::Mao(mao),
+                ..SystemConfig::mao()
+            };
+            let wl = Workload { num_ids: depth, outstanding: depth, ..Workload::ccra() };
+            let m = fid.run(&cfg, wl);
+            Fig6Row { depth, total_gbps: m.total_gbps() }
+        })
+        .collect()
+}
+
+// -------------------------------------------------- §IV-A latency probes
+
+/// Closed-page latency probe results (§IV-A of the paper).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyProbe {
+    /// Local read latency in cycles (paper: 48).
+    pub read_local: f64,
+    /// Farthest-PCH read latency in cycles (paper: up to 72).
+    pub read_far: f64,
+    /// Local write latency in cycles (paper: 17).
+    pub write_local: f64,
+    /// Farthest-PCH write latency in cycles (paper: up to 41).
+    pub write_far: f64,
+}
+
+/// Measures single-transaction closed-page latencies on the Xilinx
+/// fabric: local PCH vs. the farthest PCH (maximal rotation).
+pub fn latency_probe() -> LatencyProbe {
+    let probe = |rotation: usize, rw: RwRatio| -> f64 {
+        let wl = Workload {
+            rotation,
+            rw,
+            outstanding: 1,
+            burst: BurstLen::of(1),
+            stride: 32,
+            ..Workload::scs()
+        };
+        let mut sys = crate::system::HbmSystem::new(&SystemConfig::xilinx(), wl, Some(8));
+        sys.run_until_drained(50_000);
+        let stats = sys.gen_stats();
+        // Master 0 with rotation r targets PCH r — distance r/4 switches.
+        let s = &stats[0];
+        match (rw.reads, rw.writes) {
+            (_, 0) => s.read_lat.mean().unwrap(),
+            _ => s.write_lat.mean().unwrap(),
+        }
+    };
+    LatencyProbe {
+        read_local: probe(0, RwRatio::READ_ONLY),
+        read_far: probe(28, RwRatio::READ_ONLY),
+        write_local: probe(0, RwRatio::WRITE_ONLY),
+        write_far: probe(28, RwRatio::WRITE_ONLY),
+    }
+}
+
+// ------------------------------------------------------------- Ablations
+
+/// A single named ablation result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Parameter value description.
+    pub setting: String,
+    /// Combined throughput in GB/s.
+    pub total_gbps: f64,
+}
+
+/// Ablation: MAO interleave granularity under CCS (DESIGN.md §5).
+pub fn ablate_interleave(fid: Fidelity) -> Vec<AblationRow> {
+    [512u64, 1 << 10, 4 << 10, 16 << 10, 64 << 10]
+        .iter()
+        .map(|&g| {
+            let mao = MaoConfig {
+                interleave: InterleaveMode::XorFold { granularity: g },
+                ..MaoConfig::default()
+            };
+            let cfg = SystemConfig { fabric: FabricKind::Mao(mao), ..SystemConfig::mao() };
+            let m = fid.run(&cfg, Workload::ccs());
+            AblationRow { setting: format!("granularity {g} B"), total_gbps: m.total_gbps() }
+        })
+        .collect()
+}
+
+/// Ablation: block vs. XOR-fold interleave under a 16 KiB power-of-two
+/// stride (the case block interleave aliases).
+pub fn ablate_interleave_scheme(fid: Fidelity) -> Vec<AblationRow> {
+    [
+        ("Block", InterleaveMode::Block { granularity: 512 }),
+        ("XorFold", InterleaveMode::XorFold { granularity: 512 }),
+    ]
+    .iter()
+    .map(|&(name, mode)| {
+        let mao = MaoConfig { interleave: mode, ..MaoConfig::default() };
+        let cfg = SystemConfig { fabric: FabricKind::Mao(mao), ..SystemConfig::mao() };
+        let wl = Workload { stride: 16 << 10, working_set: 4 << 30, ..Workload::ccs() };
+        let m = fid.run(&cfg, wl);
+        AblationRow { setting: name.to_string(), total_gbps: m.total_gbps() }
+    })
+    .collect()
+}
+
+/// Ablation: MAO hierarchical stages (latency/throughput trade-off).
+pub fn ablate_stages(fid: Fidelity) -> Vec<AblationRow> {
+    [1u8, 2]
+        .iter()
+        .map(|&stages| {
+            let mao = MaoConfig { stages, ..MaoConfig::default() };
+            let cfg = SystemConfig { fabric: FabricKind::Mao(mao), ..SystemConfig::mao() };
+            let m = fid.run(&cfg, Workload::ccs());
+            AblationRow { setting: format!("{stages} stage(s)"), total_gbps: m.total_gbps() }
+        })
+        .collect()
+}
+
+/// Ablation: decomposing the MAO's three architectural adaptions
+/// (§IV-B). Runs CCS and CCRA with each feature removed in turn:
+///
+/// * *full MAO* — hierarchical network + XOR-fold interleave + reorder
+///   buffers;
+/// * *no interleave* — contiguous map (hot-spots persist: shows the
+///   address remapping is what rescues CCS);
+/// * *shallow reordering* — reorder buffers cut to 4 entries (shows the
+///   reorder depth carries the random-access win; Fig. 6 sweeps this
+///   axis fully);
+/// * *stock fabric* — the Xilinx baseline for reference.
+pub fn ablate_mao_features(fid: Fidelity) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for (pname, base) in [("CCS", Workload::ccs()), ("CCRA", Workload::ccra())] {
+        let full = SystemConfig::mao();
+        let no_il = SystemConfig {
+            fabric: FabricKind::Mao(MaoConfig {
+                interleave: InterleaveMode::Contiguous,
+                ..MaoConfig::default()
+            }),
+            ..SystemConfig::mao()
+        };
+        let shallow = SystemConfig {
+            fabric: FabricKind::Mao(MaoConfig { reorder_depth: 4, ..MaoConfig::default() }),
+            ..SystemConfig::mao()
+        };
+        let xbar = SystemConfig { fabric: FabricKind::FullCrossbar, ..SystemConfig::xilinx() };
+        for (fname, cfg, wl) in [
+            ("full MAO", &full, base),
+            ("no interleave", &no_il, base),
+            ("shallow reordering", &shallow, Workload { num_ids: 4, outstanding: 4, ..base }),
+            ("topology only (full crossbar)", &xbar, base),
+            ("stock fabric", &SystemConfig::xilinx(), base),
+        ] {
+            let m = fid.run(cfg, wl);
+            rows.push(AblationRow {
+                setting: format!("{pname}: {fname}"),
+                total_gbps: m.total_gbps(),
+            });
+        }
+    }
+    rows
+}
+
+/// Ablation: DRAM bank/row address mapping (Shuhai's configuration
+/// axis): row-interleaved banks vs contiguous per-bank slices, under a
+/// linear stream.
+pub fn ablate_addr_map(fid: Fidelity) -> Vec<AblationRow> {
+    [
+        ("row-interleaved banks", hbm_mem::AddressMapPolicy::RowInterleaved),
+        ("bank-contiguous slices", hbm_mem::AddressMapPolicy::BankContiguous),
+    ]
+    .iter()
+    .map(|&(name, policy)| {
+        let mut cfg = SystemConfig::xilinx();
+        cfg.hbm.addr_map = policy;
+        let m = fid.run(&cfg, Workload { rw: RwRatio::READ_ONLY, ..Workload::scs() });
+        AblationRow { setting: name.to_string(), total_gbps: m.total_gbps() }
+    })
+    .collect()
+}
+
+/// What-if: AXI4 burst lengths beyond the AXI3 limit of 16 beats.
+///
+/// The paper's analysis stops at BL 16 because the device speaks AXI3;
+/// this study asks how much an AXI4 front-end (bursts to 4 KiB) would
+/// add. Expected: little for strided traffic (BL 16 already amortises
+/// page opens) and a modest gain for random traffic (fewer, larger
+/// DRAM jobs per scheduling decision).
+pub fn ablate_axi4(fid: Fidelity) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for (pname, base) in [("SCS", Workload::scs()), ("SCRA", Workload::scra())] {
+        for beats in [16u8, 32, 64, 128] {
+            let burst = BurstLen::new_axi4(beats).expect("valid AXI4 length");
+            let mao = MaoConfig {
+                interleave: InterleaveMode::XorFold { granularity: 4096 },
+                ..MaoConfig::default()
+            };
+            let cfg = SystemConfig { fabric: FabricKind::Mao(mao), ..SystemConfig::mao() };
+            let wl = Workload { burst, stride: burst.bytes(), rw: RwRatio::READ_ONLY, ..base };
+            let m = fid.run(&cfg, wl);
+            rows.push(AblationRow {
+                setting: format!("{pname} BL {beats}"),
+                total_gbps: m.total_gbps(),
+            });
+        }
+    }
+    rows
+}
+
+/// Ablation: open vs. closed page policy (MC configuration axis from
+/// the paper's reference [13], Wang et al.).
+pub fn ablate_page_policy(fid: Fidelity) -> Vec<AblationRow> {
+    [("open page", hbm_mem::PagePolicy::Open), ("closed page", hbm_mem::PagePolicy::Closed)]
+        .iter()
+        .map(|&(name, policy)| {
+            let mut cfg = SystemConfig::mao();
+            cfg.hbm.mc.page_policy = policy;
+            let m = fid.run(&cfg, Workload::ccs());
+            AblationRow { setting: name.to_string(), total_gbps: m.total_gbps() }
+        })
+        .collect()
+}
+
+/// Ablation: memory-controller scheduling window (FIFO vs. FR-FCFS).
+pub fn ablate_mc_window(fid: Fidelity) -> Vec<AblationRow> {
+    [1usize, 4, 16]
+        .iter()
+        .map(|&window| {
+            let mut cfg = SystemConfig::mao();
+            cfg.hbm.mc.window = window;
+            let m = fid.run(&cfg, Workload::ccra());
+            AblationRow { setting: format!("window {window}"), total_gbps: m.total_gbps() }
+        })
+        .collect()
+}
+
+/// Ablation: lateral-bus count on the Xilinx fabric under the
+/// rotation-4 workload — the hardware fix the paper weighs against the
+/// MAO ("a trade-off between latency, throughput, and chip space").
+pub fn ablate_lateral(fid: Fidelity) -> Vec<AblationRow> {
+    use crate::system::XilinxTweaks;
+    let wl = Workload { rotation: 4, ..Workload::scs() };
+    let mut rows: Vec<AblationRow> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&buses| {
+            let cfg = SystemConfig {
+                fabric: FabricKind::XilinxTweaked(XilinxTweaks {
+                    lateral_buses: buses,
+                    ..XilinxTweaks::default()
+                }),
+                ..SystemConfig::xilinx()
+            };
+            let m = fid.run(&cfg, wl);
+            AblationRow {
+                setting: format!("{buses} lateral bus(es)/dir"),
+                total_gbps: m.total_gbps(),
+            }
+        })
+        .collect();
+    let local = fid.run(&SystemConfig::xilinx(), Workload::scs());
+    rows.push(AblationRow { setting: "reference: rotation 0".into(), total_gbps: local.total_gbps() });
+    rows
+}
+
+// ------------------------------------------------------- Stack scaling
+
+/// Future-work study: throughput vs. HBM stack count (the paper's
+/// conclusion expects accelerators to scale with "future FPGAs with more
+/// HBM stacks"). Runs MAO-CCS on 1/2/4-stack devices.
+pub fn ablate_stacks(fid: Fidelity) -> Vec<AblationRow> {
+    [1usize, 2, 4]
+        .iter()
+        .map(|&stacks| {
+            let mut cfg = SystemConfig::mao();
+            cfg.hbm = hbm_mem::HbmConfig::with_stacks(stacks);
+            let m = fid.run(&cfg, Workload::ccs());
+            AblationRow {
+                setting: format!("{stacks} stack(s), {} PCH", cfg.hbm.num_pch),
+                total_gbps: m.total_gbps(),
+            }
+        })
+        .collect()
+}
+
+// --------------------------------------------------- Mixed interference
+
+/// Result of the heterogeneous-traffic experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixedRow {
+    /// Fabric name.
+    pub fabric: &'static str,
+    /// Throughput of the 16 streaming (CCS) masters, GB/s.
+    pub stream_gbps: f64,
+    /// Throughput of the 16 random (CCRA) masters, GB/s.
+    pub random_gbps: f64,
+    /// Combined throughput, GB/s.
+    pub total_gbps: f64,
+}
+
+/// Heterogeneous interference: half the masters stream a shared buffer
+/// (CCS) while the other half scatter random accesses (CCRA) — the
+/// cooperating-cores scenario the paper's introduction motivates global
+/// addressing with. Compares the stock fabric against the MAO.
+pub fn mixed_interference(fid: Fidelity) -> Vec<MixedRow> {
+    let mut rows = Vec::new();
+    for (fabric, cfg) in [("XLNX", SystemConfig::xilinx()), ("MAO", SystemConfig::mao())] {
+        let workloads: Vec<Workload> = (0..cfg.hbm.num_pch)
+            .map(|m| if m % 2 == 0 { Workload::ccs() } else { Workload::ccra() })
+            .collect();
+        let mut sys = crate::system::HbmSystem::with_workloads(&cfg, &workloads);
+        sys.run(fid.warmup);
+        sys.reset_stats();
+        sys.run(fid.cycles);
+        let clock = sys.clock();
+        let stats = sys.gen_stats();
+        let bytes = |rem: usize| -> u64 {
+            stats
+                .iter()
+                .enumerate()
+                .filter(|(m, _)| m % 2 == rem)
+                .map(|(_, g)| g.total_bytes())
+                .sum()
+        };
+        let stream = clock.throughput_gbps(bytes(0), fid.cycles);
+        let random = clock.throughput_gbps(bytes(1), fid.cycles);
+        rows.push(MixedRow {
+            fabric,
+            stream_gbps: stream,
+            random_gbps: random,
+            total_gbps: stream + random,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FID: Fidelity = Fidelity { warmup: 1_000, cycles: 3_000 };
+
+    #[test]
+    fn mixed_interference_mao_wins_for_both_classes() {
+        let rows = mixed_interference(FID);
+        let xlnx = rows.iter().find(|r| r.fabric == "XLNX").unwrap();
+        let mao = rows.iter().find(|r| r.fabric == "MAO").unwrap();
+        // The MAO must improve the total AND not starve either class.
+        assert!(mao.total_gbps > 2.0 * xlnx.total_gbps, "{mao:?} vs {xlnx:?}");
+        assert!(mao.stream_gbps > xlnx.stream_gbps);
+        assert!(mao.random_gbps > xlnx.random_gbps);
+    }
+
+    #[test]
+    fn mao_feature_decomposition_ordering() {
+        let rows = ablate_mao_features(FID);
+        let get = |s: &str| rows.iter().find(|r| r.setting == s).unwrap().total_gbps;
+        // CCS: interleaving is the load-bearing feature.
+        assert!(
+            get("CCS: no interleave") < 0.2 * get("CCS: full MAO"),
+            "CCS without interleave must hot-spot"
+        );
+        // CCRA: reorder depth carries a large share of the win.
+        assert!(
+            get("CCRA: shallow reordering") < 0.8 * get("CCRA: full MAO"),
+            "CCRA with shallow reordering must suffer"
+        );
+        // Everything beats the stock fabric's hot-spot CCS.
+        assert!(get("CCS: full MAO") > 10.0 * get("CCS: stock fabric"));
+    }
+
+    #[test]
+    fn fig2_peak_is_at_mixed_ratio() {
+        let rows = fig2_rw_ratio(FID);
+        assert_eq!(rows.len(), 9);
+        let uni_read = rows.first().unwrap().total_gbps;
+        let best = rows.iter().map(|r| r.total_gbps).fold(0.0, f64::max);
+        let two_one = rows
+            .iter()
+            .find(|r| r.ratio.reads == 2 && r.ratio.writes == 1)
+            .unwrap()
+            .total_gbps;
+        // Mixed traffic beats unidirectional at 300 MHz (paper Fig. 2).
+        assert!(two_one > uni_read, "2:1 {two_one} vs RD-only {uni_read}");
+        assert!(two_one > 0.9 * best, "2:1 near the peak");
+    }
+
+    #[test]
+    fn fig4_throughput_decreases_with_rotation() {
+        let rows = fig4_rotation(FID);
+        let bl16: Vec<&Fig4Row> = rows.iter().filter(|r| r.burst == 16).collect();
+        let r0 = bl16.iter().find(|r| r.rotation == 0).unwrap().total_gbps;
+        let r4 = bl16.iter().find(|r| r.rotation == 4).unwrap().total_gbps;
+        let r8 = bl16.iter().find(|r| r.rotation == 8).unwrap().total_gbps;
+        assert!(r4 < 0.8 * r0, "rotation 4 must lose throughput: {r4} vs {r0}");
+        assert!(r8 <= r4 * 1.05, "rotation 8 at or below rotation 4");
+    }
+
+    #[test]
+    fn fig6_reorder_depth_helps() {
+        let rows = fig6_reorder(FID);
+        let d1 = rows.iter().find(|r| r.depth == 1).unwrap().total_gbps;
+        let d32 = rows.iter().find(|r| r.depth == 32).unwrap().total_gbps;
+        assert!(d32 > 2.0 * d1, "reordering must pay off: {d1} → {d32}");
+    }
+
+    #[test]
+    fn latency_probe_matches_paper_shape() {
+        let p = latency_probe();
+        assert!(p.read_local < p.read_far, "far reads are slower");
+        assert!(p.write_local < p.write_far, "far writes are slower");
+        assert!(p.write_local < p.read_local, "writes ack early");
+        // Paper anchors: 48 / 72 / 17 / 41 cycles.
+        assert!((p.read_local - 48.0).abs() < 20.0, "read_local {}", p.read_local);
+        assert!((p.write_local - 17.0).abs() < 12.0, "write_local {}", p.write_local);
+    }
+}

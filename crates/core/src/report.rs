@@ -1,0 +1,171 @@
+//! Plain-text table rendering for experiment results.
+
+/// A simple fixed-width text table builder.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> TextTable {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>w$}", c, w = width[i]));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        out.push('\n');
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a horizontal ASCII bar chart: one labelled bar per value,
+/// scaled to `width` characters at the maximum value. Used by the
+/// `repro` binary to sketch the paper's figures in the terminal.
+pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|(_, v)| *v).fold(0.0, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in rows {
+        let n = if max > 0.0 {
+            ((v / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{:>label_w$} |{}{} {v:.1}\n",
+            label,
+            "#".repeat(n),
+            " ".repeat(width.saturating_sub(n)),
+        ));
+    }
+    out
+}
+
+/// Formats a GB/s value with one decimal.
+pub fn gbps(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a mean ± std pair.
+pub fn mean_std(mean: f64, std: f64) -> String {
+    format!("{mean:.1} ±{std:.1}")
+}
+
+/// Formats a speed-up factor.
+pub fn speedup(v: f64) -> String {
+    format!("{v:.2}×")
+}
+
+/// Formats a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["a", "1"]);
+        t.row(["long-name", "1234"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with("---"));
+        // Right-aligned: the short value lines up with the long one.
+        assert!(lines[2].ends_with("1"));
+        assert!(lines[3].ends_with("1234"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_wrong_width() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let rows = vec![("a".to_string(), 10.0), ("bb".to_string(), 5.0)];
+        let s = bar_chart(&rows, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(&"#".repeat(10)));
+        assert!(lines[1].contains("#####"));
+        assert!(!lines[1].contains("######"));
+        // Labels right-aligned to the widest.
+        assert!(lines[0].starts_with(" a"));
+    }
+
+    #[test]
+    fn bar_chart_all_zero() {
+        let rows = vec![("x".to_string(), 0.0)];
+        let s = bar_chart(&rows, 8);
+        assert!(s.contains("| "));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(gbps(13.04), "13.0");
+        assert_eq!(mean_std(71.84, 19.75), "71.8 ±19.8");
+        assert_eq!(speedup(40.599), "40.60×");
+        assert_eq!(pct(90.63), "90.6%");
+    }
+}

@@ -1,0 +1,503 @@
+//! The assembled HBM system and its cycle-driven simulation loop.
+
+use hbm_axi::{ClockDomain, Completion, Cycle, MasterId, PortId};
+use hbm_fabric::{
+    DirectFabric, FabricConfig, FabricStats, FullCrossbarFabric, Interconnect, XilinxFabric,
+};
+use hbm_mao::{MaoConfig, MaoFabric};
+use hbm_mem::{HbmConfig, MemStats, MemoryController};
+use hbm_traffic::{BmTrafficGen, GenStats, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Overridable parameters of the Xilinx switch fabric, for what-if
+/// studies (e.g. the lateral-bus-count ablation of DESIGN.md §5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct XilinxTweaks {
+    /// Lateral buses per direction between adjacent switches (stock: 2).
+    pub lateral_buses: usize,
+    /// Lateral bandwidth in beats per accelerator cycle (stock: 1.0).
+    pub lateral_rate: f64,
+    /// Dead beats per arbitration grant switch (stock: 2.0).
+    pub dead_beats: f64,
+}
+
+impl Default for XilinxTweaks {
+    fn default() -> XilinxTweaks {
+        XilinxTweaks { lateral_buses: 2, lateral_rate: 1.0, dead_beats: 2.0 }
+    }
+}
+
+/// Which interconnect connects masters to pseudo-channels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FabricKind {
+    /// The stock Xilinx segmented switch network.
+    Xilinx,
+    /// The Xilinx network with overridden fabric parameters.
+    XilinxTweaked(XilinxTweaks),
+    /// The Memory Access Optimizer.
+    Mao(MaoConfig),
+    /// A hypothetical monolithic 32×32 crossbar: no lateral buses, but
+    /// the contiguous address map and AXI ID stalls of the stock fabric
+    /// (isolates the topology adaption from the MAO's other two).
+    FullCrossbar,
+    /// Direct 1:1 port mapping (single-channel only).
+    Direct,
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Accelerator clock.
+    pub clock: ClockDomain,
+    /// HBM geometry and timing.
+    pub hbm: HbmConfig,
+    /// Interconnect choice.
+    pub fabric: FabricKind,
+}
+
+impl SystemConfig {
+    /// The paper's measurement platform: XCVU37P HBM behind the stock
+    /// Xilinx switch fabric at 300 MHz.
+    pub fn xilinx() -> SystemConfig {
+        SystemConfig {
+            clock: ClockDomain::ACC_300,
+            hbm: HbmConfig::default(),
+            fabric: FabricKind::Xilinx,
+        }
+    }
+
+    /// The same platform with the MAO ("version four" of Table III)
+    /// inserted in place of the switch fabric's lateral routing.
+    pub fn mao() -> SystemConfig {
+        SystemConfig {
+            clock: ClockDomain::ACC_300,
+            hbm: HbmConfig::default(),
+            fabric: FabricKind::Mao(MaoConfig::default()),
+        }
+    }
+
+    /// A direct 1:1 system (ideal single-channel baseline).
+    pub fn direct() -> SystemConfig {
+        SystemConfig {
+            clock: ClockDomain::ACC_300,
+            hbm: HbmConfig::default(),
+            fabric: FabricKind::Direct,
+        }
+    }
+
+    /// Same configuration at a different accelerator clock.
+    pub fn at_clock(mut self, clock: ClockDomain) -> SystemConfig {
+        self.clock = clock;
+        self
+    }
+
+    fn build_fabric(&self) -> Box<dyn Interconnect> {
+        match &self.fabric {
+            FabricKind::Xilinx => {
+                let mut fc = FabricConfig::for_clock(self.clock);
+                fc.port_capacity = self.hbm.pch_capacity;
+                fc.num_switches = self.hbm.num_pch / fc.ports_per_switch;
+                Box::new(XilinxFabric::new(fc))
+            }
+            FabricKind::XilinxTweaked(t) => {
+                let mut fc = FabricConfig::for_clock(self.clock);
+                fc.port_capacity = self.hbm.pch_capacity;
+                fc.num_switches = self.hbm.num_pch / fc.ports_per_switch;
+                fc.lateral_buses = t.lateral_buses;
+                fc.lateral_rate = t.lateral_rate;
+                fc.dead_beats = t.dead_beats;
+                Box::new(XilinxFabric::new(fc))
+            }
+            FabricKind::Mao(mc) => {
+                let mut mc = *mc;
+                mc.num_ports = self.hbm.num_pch;
+                mc.num_masters = self.hbm.num_pch;
+                mc.port_capacity = self.hbm.pch_capacity;
+                Box::new(MaoFabric::new(mc))
+            }
+            FabricKind::FullCrossbar => Box::new(FullCrossbarFabric::new(
+                self.hbm.num_pch,
+                self.hbm.pch_capacity,
+                6,
+                8,
+            )),
+            FabricKind::Direct => Box::new(DirectFabric::new(
+                self.hbm.num_pch,
+                self.hbm.pch_capacity,
+                4,
+                8,
+            )),
+        }
+    }
+}
+
+/// A producer/consumer of memory transactions attached to one master
+/// port — either a synthetic [`BmTrafficGen`] or an accelerator engine
+/// (see the `hbm-accel` crate).
+///
+/// Contract per cycle: the system calls [`poll`](TrafficSource::poll)
+/// once; if the returned transaction is accepted by the interconnect it
+/// calls [`accepted`](TrafficSource::accepted), otherwise the source
+/// must return the *same* transaction on the next poll (head-of-line
+/// retry). Delivered completions arrive via
+/// [`completed`](TrafficSource::completed).
+pub trait TrafficSource {
+    /// The head-of-line transaction to offer this cycle, if any.
+    fn poll(&mut self, now: Cycle) -> Option<hbm_axi::Transaction>;
+
+    /// The pending transaction was accepted by the interconnect.
+    fn accepted(&mut self);
+
+    /// A completion for this source was delivered. Implementations must
+    /// panic on AXI ordering violations (they indicate simulator bugs).
+    fn completed(&mut self, now: Cycle, txn: &hbm_axi::Transaction);
+
+    /// Traffic statistics.
+    fn stats(&self) -> &GenStats;
+
+    /// Clears statistics (end of warm-up).
+    fn reset_stats(&mut self);
+
+    /// `true` when the source has nothing pending and nothing in flight.
+    fn drained(&self) -> bool;
+}
+
+impl TrafficSource for BmTrafficGen {
+    fn poll(&mut self, now: Cycle) -> Option<hbm_axi::Transaction> {
+        BmTrafficGen::poll(self, now)
+    }
+
+    fn accepted(&mut self) {
+        BmTrafficGen::accepted(self)
+    }
+
+    fn completed(&mut self, now: Cycle, txn: &hbm_axi::Transaction) {
+        BmTrafficGen::completed(self, now, txn).expect("AXI ordering violated — simulator bug")
+    }
+
+    fn stats(&self) -> &GenStats {
+        BmTrafficGen::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        BmTrafficGen::reset_stats(self)
+    }
+
+    fn drained(&self) -> bool {
+        BmTrafficGen::drained(self)
+    }
+}
+
+/// The simulated system: traffic sources, interconnect, memory
+/// controllers.
+pub struct HbmSystem {
+    cfg: SystemConfig,
+    gens: Vec<Box<dyn TrafficSource>>,
+    fabric: Box<dyn Interconnect>,
+    mcs: Vec<MemoryController>,
+    /// Completions produced by a controller that could not yet enter the
+    /// return network (per port).
+    stuck: Vec<Option<Completion>>,
+    now: Cycle,
+}
+
+impl HbmSystem {
+    /// Builds a system in which every master runs `workload`, optionally
+    /// bounded to `max_txns` transactions per master.
+    pub fn new(cfg: &SystemConfig, workload: Workload, max_txns: Option<u64>) -> HbmSystem {
+        let n = cfg.hbm.num_pch;
+        let sources = (0..n)
+            .map(|m| {
+                Box::new(BmTrafficGen::new(
+                    MasterId(m as u16),
+                    n,
+                    cfg.hbm.pch_capacity,
+                    workload,
+                    max_txns,
+                )) as Box<dyn TrafficSource>
+            })
+            .collect();
+        HbmSystem::with_sources(cfg, sources)
+    }
+
+    /// Builds a heterogeneous system: one workload per master (the
+    /// paper's motivation for global addressing is exactly such systems,
+    /// where "data can often not be partitioned in a way that the memory
+    /// access from all [cores] is optimal", §V).
+    pub fn with_workloads(cfg: &SystemConfig, workloads: &[Workload]) -> HbmSystem {
+        let n = cfg.hbm.num_pch;
+        assert_eq!(workloads.len(), n, "need exactly one workload per master");
+        let sources = workloads
+            .iter()
+            .enumerate()
+            .map(|(m, wl)| {
+                Box::new(BmTrafficGen::new(
+                    MasterId(m as u16),
+                    n,
+                    cfg.hbm.pch_capacity,
+                    *wl,
+                    None,
+                )) as Box<dyn TrafficSource>
+            })
+            .collect();
+        HbmSystem::with_sources(cfg, sources)
+    }
+
+    /// Builds a system driven by arbitrary traffic sources, one per
+    /// master port (e.g. accelerator engines).
+    pub fn with_sources(cfg: &SystemConfig, sources: Vec<Box<dyn TrafficSource>>) -> HbmSystem {
+        cfg.hbm.validate().expect("invalid HBM configuration");
+        let n = cfg.hbm.num_pch;
+        assert_eq!(sources.len(), n, "need exactly one traffic source per master port");
+        let fabric = cfg.build_fabric();
+        let mcs = (0..n)
+            .map(|p| {
+                let phase = p as f64 / n as f64 * cfg.hbm.timings.t_refi;
+                MemoryController::new(&cfg.hbm, cfg.clock, phase)
+            })
+            .collect();
+        HbmSystem {
+            stuck: vec![None; n],
+            gens: sources,
+            fabric,
+            mcs,
+            now: 0,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// The configured accelerator clock.
+    pub fn clock(&self) -> ClockDomain {
+        self.cfg.clock
+    }
+
+    /// The current simulation cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Advances the system by one cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+        // 1. Masters offer their head-of-line transaction.
+        for gen in &mut self.gens {
+            if let Some(txn) = gen.poll(now) {
+                if self.fabric.offer_request(now, txn).is_ok() {
+                    gen.accepted();
+                }
+            }
+        }
+        // 2. The interconnect moves flits.
+        self.fabric.tick(now);
+        // 3. Memory side: deliver requests (one per port per cycle, as an
+        //    AXI handshake would) and return completions.
+        for (p, mc) in self.mcs.iter_mut().enumerate() {
+            let port = PortId(p as u16);
+            if let Some(head) = self.fabric.peek_request(now, port) {
+                if mc.can_accept(head.dir) {
+                    let txn = self.fabric.pop_request(now, port).expect("peeked head");
+                    mc.accept(now, txn);
+                }
+            }
+            mc.tick(now);
+            if let Some(c) = self.stuck[p].take() {
+                if let Err(c) = self.fabric.offer_completion(now, port, c) {
+                    self.stuck[p] = Some(c);
+                }
+            }
+            if self.stuck[p].is_none() {
+                if let Some(c) = mc.pop_completion(now) {
+                    if let Err(c) = self.fabric.offer_completion(now, port, c) {
+                        self.stuck[p] = Some(c);
+                    }
+                }
+            }
+        }
+        // 4. Masters drain completions.
+        for (m, gen) in self.gens.iter_mut().enumerate() {
+            while let Some(c) = self.fabric.pop_completion(now, MasterId(m as u16)) {
+                gen.completed(now, &c.txn);
+            }
+        }
+        self.now += 1;
+    }
+
+    /// Runs for `cycles` cycles.
+    pub fn run(&mut self, cycles: Cycle) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Runs until every generator, the fabric, and every controller are
+    /// drained, or until `max_cycles` more cycles have elapsed. Returns
+    /// `true` on a clean drain.
+    pub fn run_until_drained(&mut self, max_cycles: Cycle) -> bool {
+        let deadline = self.now + max_cycles;
+        while self.now < deadline {
+            if self.drained() {
+                return true;
+            }
+            self.step();
+        }
+        self.drained()
+    }
+
+    /// `true` when no transaction is anywhere in the system.
+    pub fn drained(&self) -> bool {
+        self.gens.iter().all(|g| g.drained())
+            && self.fabric.drained()
+            && self.mcs.iter().all(|m| m.drained())
+            && self.stuck.iter().all(|s| s.is_none())
+    }
+
+    /// Clears all statistics (end of warm-up).
+    pub fn reset_stats(&mut self) {
+        for g in &mut self.gens {
+            g.reset_stats();
+        }
+        for m in &mut self.mcs {
+            m.reset_stats();
+        }
+        self.fabric.reset_stats();
+    }
+
+    /// Per-master generator statistics.
+    pub fn gen_stats(&self) -> Vec<GenStats> {
+        self.gens.iter().map(|g| *g.stats()).collect()
+    }
+
+    /// Aggregate memory statistics over all pseudo-channels.
+    pub fn mem_stats(&self) -> MemStats {
+        let mut total = MemStats::default();
+        for m in &self.mcs {
+            total.merge(m.stats());
+        }
+        total
+    }
+
+    /// Per-pseudo-channel memory statistics.
+    pub fn mem_stats_per_pch(&self) -> Vec<MemStats> {
+        self.mcs.iter().map(|m| *m.stats()).collect()
+    }
+
+    /// Interconnect statistics.
+    pub fn fabric_stats(&self) -> FabricStats {
+        self.fabric.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbm_axi::Dir;
+    use hbm_traffic::RwRatio;
+
+    #[test]
+    fn scs_system_drains_bounded_stream() {
+        let mut sys = HbmSystem::new(&SystemConfig::xilinx(), Workload::scs(), Some(8));
+        assert!(sys.run_until_drained(100_000), "system failed to drain");
+        let total: u64 = sys.gen_stats().iter().map(|g| g.completed).sum();
+        assert_eq!(total, 32 * 8);
+    }
+
+    #[test]
+    fn mao_system_drains_ccra_stream() {
+        let mut sys = HbmSystem::new(&SystemConfig::mao(), Workload::ccra(), Some(8));
+        assert!(sys.run_until_drained(200_000));
+        let total: u64 = sys.gen_stats().iter().map(|g| g.completed).sum();
+        assert_eq!(total, 32 * 8);
+    }
+
+    #[test]
+    fn direct_system_runs_scs() {
+        let mut sys = HbmSystem::new(&SystemConfig::direct(), Workload::scs(), Some(16));
+        assert!(sys.run_until_drained(100_000));
+    }
+
+    #[test]
+    fn bytes_move_through_memory() {
+        let mut sys = HbmSystem::new(&SystemConfig::xilinx(), Workload::scs(), Some(4));
+        sys.run_until_drained(100_000);
+        let mem = sys.mem_stats();
+        // 32 masters × 4 × 512 B, split 2:1 read/write (3 reads, 1 write
+        // per master under the 2:1 sequence R,R,W,R).
+        assert_eq!(mem.total_bytes(), 32 * 4 * 512);
+        assert!(mem.bytes_read > mem.bytes_written);
+    }
+
+    #[test]
+    fn read_latency_matches_paper_ballpark() {
+        // Single local read at low load: the paper measures 48 cycles
+        // (global addressing enabled, closest PCH).
+        let wl = Workload {
+            rw: RwRatio::READ_ONLY,
+            outstanding: 1,
+            ..Workload::scs()
+        };
+        let mut sys = HbmSystem::new(&SystemConfig::xilinx(), wl, Some(4));
+        sys.run_until_drained(10_000);
+        let stats = &sys.gen_stats()[0];
+        let mean = stats.read_lat.mean().unwrap();
+        assert!(
+            (30.0..70.0).contains(&mean),
+            "local read latency {mean} should be near the paper's 48 cycles"
+        );
+    }
+
+    #[test]
+    fn write_latency_below_read_latency() {
+        let run = |dir| {
+            let wl = Workload {
+                rw: if dir == Dir::Read { RwRatio::READ_ONLY } else { RwRatio::WRITE_ONLY },
+                outstanding: 1,
+                ..Workload::scs()
+            };
+            let mut sys = HbmSystem::new(&SystemConfig::xilinx(), wl, Some(4));
+            sys.run_until_drained(10_000);
+            let s = &sys.gen_stats()[0];
+            match dir {
+                Dir::Read => s.read_lat.mean().unwrap(),
+                Dir::Write => s.write_lat.mean().unwrap(),
+            }
+        };
+        let rd = run(Dir::Read);
+        let wr = run(Dir::Write);
+        assert!(
+            wr < rd - 10.0,
+            "posted writes ({wr}) must ack much faster than reads ({rd})"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut sys = HbmSystem::new(&SystemConfig::mao(), Workload::ccra(), Some(32));
+            sys.run_until_drained(200_000);
+            let stats = sys.gen_stats();
+            (
+                stats.iter().map(|g| g.completed).sum::<u64>(),
+                stats.iter().map(|g| g.read_lat.mean().unwrap_or(0.0)).sum::<f64>(),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1, "identical seeds must give identical results");
+    }
+
+    #[test]
+    fn rotation_zero_uses_no_lateral_buses() {
+        let mut sys = HbmSystem::new(&SystemConfig::xilinx(), Workload::scs(), Some(16));
+        sys.run_until_drained(100_000);
+        assert_eq!(sys.fabric_stats().lateral_beats(), 0);
+    }
+
+    #[test]
+    fn rotation_crosses_lateral_buses() {
+        let wl = Workload { rotation: 4, ..Workload::scs() };
+        let mut sys = HbmSystem::new(&SystemConfig::xilinx(), wl, Some(16));
+        sys.run_until_drained(100_000);
+        assert!(sys.fabric_stats().lateral_beats() > 0);
+    }
+}

@@ -1,0 +1,312 @@
+//! A monolithic full crossbar — the "just remove the lateral buses"
+//! what-if.
+//!
+//! Hypothetical hardware that connects every master to every
+//! pseudo-channel through one non-blocking 32×32 crossbar, but keeps
+//! everything else exactly like the stock fabric: the **contiguous**
+//! address map and the AXI same-ID/different-destination ingress stall
+//! (no reorder buffers). Comparing this against [`crate::XilinxFabric`]
+//! and the MAO separates the paper's three adaptions: topology alone
+//! fixes the rotation pathologies but *not* the CCS hot-spot (that needs
+//! interleaving) and *not* the random-access ID stalls (that needs
+//! reorder buffers).
+
+use std::collections::HashMap;
+
+use hbm_axi::{Addr, Completion, Cycle, Dir, MasterId, PortId, Transaction};
+
+use crate::addressmap::{AddressMap, ContiguousMap};
+use crate::link::{Flit, SerialLink};
+use crate::stats::FabricStats;
+use crate::Interconnect;
+
+fn dir_key(d: Dir) -> u8 {
+    match d {
+        Dir::Read => 0,
+        Dir::Write => 1,
+    }
+}
+
+/// The monolithic crossbar fabric.
+pub struct FullCrossbarFabric {
+    map: ContiguousMap,
+    ingress: Vec<SerialLink<Flit>>,
+    port_out: Vec<SerialLink<Flit>>,
+    ret_in: Vec<SerialLink<Flit>>,
+    master_out: Vec<SerialLink<Flit>>,
+    rr_port: Vec<usize>,
+    rr_master: Vec<usize>,
+    ingress_popped: Vec<Cycle>,
+    ret_popped: Vec<Cycle>,
+    id_track: Vec<HashMap<(u8, u8), (PortId, u32)>>,
+    id_stall_cycles: u64,
+    n: usize,
+}
+
+impl FullCrossbarFabric {
+    /// A full crossbar over `n` master/port pairs of `port_capacity`
+    /// bytes. `latency` is the one-way pipeline depth (a flat 32×32
+    /// crossbar at this size would realistically need several register
+    /// stages — pass ≥ the Xilinx local-path latency).
+    pub fn new(n: usize, port_capacity: u64, latency: Cycle, capacity: usize) -> FullCrossbarFabric {
+        let mk = |dead: f64, lat: Cycle| SerialLink::new(1.0, dead, capacity, lat);
+        FullCrossbarFabric {
+            map: ContiguousMap::new(n, port_capacity),
+            ingress: (0..n).map(|_| mk(0.0, latency)).collect(),
+            port_out: (0..n).map(|_| mk(2.0, 1)).collect(),
+            ret_in: (0..n).map(|_| mk(0.0, latency)).collect(),
+            master_out: (0..n).map(|_| mk(2.0, 1)).collect(),
+            rr_port: vec![0; n],
+            rr_master: vec![0; n],
+            ingress_popped: vec![Cycle::MAX; n],
+            ret_popped: vec![Cycle::MAX; n],
+            id_track: (0..n).map(|_| HashMap::new()).collect(),
+            id_stall_cycles: 0,
+            n,
+        }
+    }
+}
+
+impl Interconnect for FullCrossbarFabric {
+    fn num_masters(&self) -> usize {
+        self.n
+    }
+
+    fn num_ports(&self) -> usize {
+        self.n
+    }
+
+    fn port_of(&self, addr: Addr) -> PortId {
+        self.map.port_of(addr)
+    }
+
+    fn offer_request(&mut self, now: Cycle, txn: Transaction) -> Result<(), Transaction> {
+        let m = txn.master.idx();
+        let port = self.map.port_of(txn.addr);
+        let key = (dir_key(txn.dir), txn.id.0);
+        if let Some(&(p, cnt)) = self.id_track[m].get(&key) {
+            if cnt > 0 && p != port {
+                self.id_stall_cycles += 1;
+                return Err(txn);
+            }
+        }
+        if !self.ingress[m].can_send(now) {
+            return Err(txn);
+        }
+        let cost = txn.fwd_link_cycles();
+        self.ingress[m].send(now, 0, cost, Flit::Req(txn));
+        let e = self.id_track[m].entry(key).or_insert((port, 0));
+        *e = (port, e.1 + 1);
+        Ok(())
+    }
+
+    fn peek_request(&self, now: Cycle, port: PortId) -> Option<&Transaction> {
+        match self.port_out[port.idx()].peek(now) {
+            Some(Flit::Req(t)) => Some(t),
+            _ => None,
+        }
+    }
+
+    fn pop_request(&mut self, now: Cycle, port: PortId) -> Option<Transaction> {
+        match self.port_out[port.idx()].pop(now) {
+            Some(Flit::Req(t)) => Some(t),
+            _ => None,
+        }
+    }
+
+    fn offer_completion(
+        &mut self,
+        now: Cycle,
+        port: PortId,
+        c: Completion,
+    ) -> Result<(), Completion> {
+        let link = &mut self.ret_in[port.idx()];
+        if !link.can_send(now) {
+            return Err(c);
+        }
+        let cost = c.txn.ret_link_cycles();
+        link.send(now, 0, cost, Flit::Resp(c));
+        Ok(())
+    }
+
+    fn pop_completion(&mut self, now: Cycle, master: MasterId) -> Option<Completion> {
+        let m = master.idx();
+        match self.master_out[m].pop(now) {
+            Some(Flit::Resp(c)) => {
+                let key = (dir_key(c.txn.dir), c.txn.id.0);
+                if let Some(e) = self.id_track[m].get_mut(&key) {
+                    debug_assert!(e.1 > 0);
+                    e.1 -= 1;
+                }
+                Some(c)
+            }
+            _ => None,
+        }
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        // Forward: each port grants one FIFO ingress head per cycle.
+        for p in 0..self.n {
+            if !self.port_out[p].can_send(now) {
+                continue;
+            }
+            let start = self.rr_port[p];
+            for j in 0..self.n {
+                let m = (start + j) % self.n;
+                if self.ingress_popped[m] == now {
+                    continue;
+                }
+                let Some(Flit::Req(t)) = self.ingress[m].peek(now) else {
+                    continue;
+                };
+                if self.map.port_of(t.addr).idx() != p {
+                    continue;
+                }
+                let flit = self.ingress[m].pop(now).expect("peeked head vanished");
+                self.ingress_popped[m] = now;
+                let cost = flit.cost_beats();
+                self.port_out[p].send(now, m as u16, cost, flit);
+                self.rr_port[p] = (m + 1) % self.n;
+                break;
+            }
+        }
+        // Return: strict FIFO per port (no reorder buffers — head-of-line
+        // blocking on the return path is part of what the MAO removes).
+        for m in 0..self.n {
+            if !self.master_out[m].can_send(now) {
+                continue;
+            }
+            let start = self.rr_master[m];
+            for j in 0..self.n {
+                let p = (start + j) % self.n;
+                if self.ret_popped[p] == now {
+                    continue;
+                }
+                let Some(Flit::Resp(c)) = self.ret_in[p].peek(now) else {
+                    continue;
+                };
+                if c.txn.master.idx() != m {
+                    continue;
+                }
+                let flit = self.ret_in[p].pop(now).expect("peeked head vanished");
+                self.ret_popped[p] = now;
+                let cost = flit.cost_beats();
+                self.master_out[m].send(now, p as u16, cost, flit);
+                self.rr_master[m] = (p + 1) % self.n;
+                break;
+            }
+        }
+    }
+
+    fn drained(&self) -> bool {
+        self.ingress.iter().all(|l| l.is_empty())
+            && self.port_out.iter().all(|l| l.is_empty())
+            && self.ret_in.iter().all(|l| l.is_empty())
+            && self.master_out.iter().all(|l| l.is_empty())
+    }
+
+    fn stats(&self) -> FabricStats {
+        let mut st = FabricStats {
+            id_stall_cycles: self.id_stall_cycles,
+            ..Default::default()
+        };
+        for l in &self.ingress {
+            st.ingress.merge(l.stats());
+        }
+        for l in &self.master_out {
+            st.egress.merge(l.stats());
+        }
+        for l in self.port_out.iter().chain(self.ret_in.iter()) {
+            st.mc_links.merge(l.stats());
+        }
+        st
+    }
+
+    fn reset_stats(&mut self) {
+        for l in self
+            .ingress
+            .iter_mut()
+            .chain(self.port_out.iter_mut())
+            .chain(self.ret_in.iter_mut())
+            .chain(self.master_out.iter_mut())
+        {
+            l.reset_stats();
+        }
+        self.id_stall_cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbm_axi::{AxiId, BurstLen, TxnBuilder};
+
+    fn xbar() -> FullCrossbarFabric {
+        FullCrossbarFabric::new(32, 256 << 20, 6, 8)
+    }
+
+    #[test]
+    fn routes_any_master_to_any_port() {
+        let mut f = xbar();
+        let mut b = TxnBuilder::new(MasterId(3));
+        let t = b
+            .issue(AxiId(0), 29 * (256u64 << 20), BurstLen::of(1), Dir::Read, 0)
+            .unwrap();
+        assert!(f.offer_request(0, t).is_ok());
+        let mut arrived = None;
+        for now in 0..100 {
+            f.tick(now);
+            if let Some(t) = f.pop_request(now, PortId(29)) {
+                arrived = Some((now, t));
+                break;
+            }
+        }
+        let (cycle, t) = arrived.expect("request never arrived");
+        assert_eq!(t.master, MasterId(3));
+        // Flat latency: no hop count, unlike the segmented network.
+        assert!(cycle <= 10, "crossed in {cycle} cycles");
+    }
+
+    #[test]
+    fn keeps_the_id_dest_stall() {
+        let mut f = xbar();
+        let mut b = TxnBuilder::new(MasterId(0));
+        let t0 = b.issue(AxiId(0), 0, BurstLen::of(1), Dir::Read, 0).unwrap();
+        let t1 = b.issue(AxiId(0), 256 << 20, BurstLen::of(1), Dir::Read, 0).unwrap();
+        assert!(f.offer_request(0, t0).is_ok());
+        assert!(f.offer_request(0, t1).is_err(), "no reorder buffers here");
+        assert_eq!(f.stats().id_stall_cycles, 1);
+    }
+
+    #[test]
+    fn contiguous_map_still_hotspots() {
+        // The crossbar does not remap addresses: a 64 MiB buffer still
+        // lives entirely in PCH 0.
+        let f = xbar();
+        for addr in [0u64, 1 << 20, 63 << 20] {
+            assert_eq!(f.port_of(addr), PortId(0));
+        }
+    }
+
+    #[test]
+    fn round_trip_completes() {
+        let mut f = xbar();
+        let mut b = TxnBuilder::new(MasterId(7));
+        let t = b.issue(AxiId(0), 12 * (256u64 << 20), BurstLen::of(16), Dir::Write, 0).unwrap();
+        assert!(f.offer_request(0, t).is_ok());
+        let mut done = false;
+        for now in 0..200 {
+            f.tick(now);
+            if let Some(t) = f.pop_request(now, PortId(12)) {
+                let c = Completion { txn: t, produced_at: now };
+                f.offer_completion(now, PortId(12), c).unwrap();
+            }
+            if f.pop_completion(now, MasterId(7)).is_some() {
+                done = true;
+                break;
+            }
+        }
+        assert!(done);
+        assert!(f.drained());
+    }
+}

@@ -1,0 +1,122 @@
+//! # hbm-fabric — interconnect substrate
+//!
+//! Cycle-level model of the global-addressing interconnect between bus
+//! masters and HBM pseudo-channels, in two flavours:
+//!
+//! * [`XilinxFabric`] — the segmented switch network of Xilinx Virtex
+//!   UltraScale+ HBM devices (paper Fig. 1): eight local 4×4 crossbar
+//!   switches, each serving four masters and four pseudo-channels, chained
+//!   by **two lateral buses per direction**. Requests and responses share
+//!   the lateral buses; arbitration is round-robin with dead cycles on
+//!   grant switches; lateral-bus assignment is static. These properties
+//!   produce the paper's headline pathologies: hot-spot collapse
+//!   (Fig. 3b), rotation-offset throughput loss (Fig. 4), and
+//!   high-variance latency under cross-channel traffic (Table II).
+//! * [`DirectFabric`] — the 1:1 port mapping used by Single-Channel
+//!   patterns (no global addressing, no interference).
+//!
+//! The Memory Access Optimizer (`hbm-mao`) implements the same
+//! [`Interconnect`] trait with a hierarchical network instead.
+//!
+//! ## Clocking model
+//!
+//! Master-facing AXI ports and the per-PCH AXI front-ends move one
+//! 32-byte beat per accelerator cycle (9.6 GB/s at 300 MHz) — this is the
+//! empirically consistent reading of the paper's measurements (hot-spot
+//! reads saturate at exactly 9.6 GB/s). Switch-internal and lateral buses
+//! run at the 450 MHz HBM reference clock (14.4 GB/s), matching the
+//! paper's rotation-saturation arithmetic (4 lateral paths ≈ 57.6 GB/s).
+//!
+//! ## Example
+//!
+//! ```
+//! use hbm_fabric::{FabricConfig, Interconnect, XilinxFabric};
+//! use hbm_axi::{AxiId, BurstLen, ClockDomain, Dir, MasterId, PortId, TxnBuilder};
+//!
+//! let mut fabric = XilinxFabric::new(FabricConfig::for_clock(ClockDomain::ACC_300));
+//! let mut b = TxnBuilder::new(MasterId(0));
+//! // Master 0 reads from PCH 4 — one switch to the right.
+//! let txn = b.issue(AxiId(0), 4 * (256 << 20), BurstLen::of(1), Dir::Read, 0).unwrap();
+//! fabric.offer_request(0, txn).unwrap();
+//! for now in 0..100 {
+//!     fabric.tick(now);
+//!     if fabric.pop_request(now, PortId(4)).is_some() {
+//!         // The request crossed a lateral bus to reach switch 1.
+//!         assert!(fabric.stats().lateral_beats() > 0);
+//!         return;
+//!     }
+//! }
+//! panic!("request never arrived");
+//! ```
+
+pub mod addressmap;
+pub mod direct;
+pub mod fullxbar;
+pub mod link;
+pub mod stats;
+pub mod xilinx;
+
+pub use addressmap::{AddressMap, ContiguousMap};
+pub use direct::DirectFabric;
+pub use fullxbar::FullCrossbarFabric;
+pub use link::{Flit, SerialLink};
+pub use stats::{FabricStats, LinkStats};
+pub use xilinx::{FabricConfig, XilinxFabric};
+
+use hbm_axi::{Addr, Completion, Cycle, MasterId, PortId, Transaction};
+
+/// A routable interconnect between bus masters and pseudo-channel ports.
+///
+/// The simulation loop drives implementations as follows, once per cycle:
+///
+/// 1. masters call [`offer_request`](Interconnect::offer_request) (retrying
+///    a rejected transaction next cycle — head-of-line stall),
+/// 2. [`tick`](Interconnect::tick) moves flits internally,
+/// 3. the memory side drains [`pop_request`](Interconnect::pop_request)
+///    (gated on controller acceptance via
+///    [`peek_request`](Interconnect::peek_request)) and feeds completions
+///    back via [`offer_completion`](Interconnect::offer_completion),
+/// 4. masters drain [`pop_completion`](Interconnect::pop_completion).
+pub trait Interconnect {
+    /// Number of master-side AXI ports.
+    fn num_masters(&self) -> usize;
+
+    /// Number of memory-side pseudo-channel ports.
+    fn num_ports(&self) -> usize;
+
+    /// The pseudo-channel port a global address routes to (after any
+    /// internal remapping).
+    fn port_of(&self, addr: Addr) -> PortId;
+
+    /// Offers a transaction from its master's AXI port. Returns the
+    /// transaction back when it cannot be accepted this cycle (port
+    /// serialization, full ingress queue, or an AXI ID-ordering stall).
+    fn offer_request(&mut self, now: Cycle, txn: Transaction) -> Result<(), Transaction>;
+
+    /// The request waiting at a pseudo-channel port, if any is ready.
+    fn peek_request(&self, now: Cycle, port: PortId) -> Option<&Transaction>;
+
+    /// Removes the request waiting at a pseudo-channel port.
+    fn pop_request(&mut self, now: Cycle, port: PortId) -> Option<Transaction>;
+
+    /// Offers a completion (read data / write ack) from a pseudo-channel
+    /// port for return routing. Returns it back when the port's return
+    /// link cannot accept it this cycle.
+    fn offer_completion(&mut self, now: Cycle, port: PortId, c: Completion)
+        -> Result<(), Completion>;
+
+    /// Delivers the next completion for a master, if one has arrived.
+    fn pop_completion(&mut self, now: Cycle, master: MasterId) -> Option<Completion>;
+
+    /// Advances internal state by one cycle.
+    fn tick(&mut self, now: Cycle);
+
+    /// `true` when no flit is anywhere in flight inside the fabric.
+    fn drained(&self) -> bool;
+
+    /// Aggregate statistics snapshot.
+    fn stats(&self) -> FabricStats;
+
+    /// Clears statistics counters (after warm-up).
+    fn reset_stats(&mut self);
+}

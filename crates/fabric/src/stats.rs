@@ -1,0 +1,115 @@
+//! Fabric traffic statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for one bus link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Flits transferred.
+    pub flits: u64,
+    /// Data beats transferred (32 B each).
+    pub beats: u64,
+    /// Grant changes between different sources (each paid dead cycles).
+    pub grant_switches: u64,
+}
+
+impl LinkStats {
+    /// Adds another link's counters into this one.
+    pub fn merge(&mut self, o: &LinkStats) {
+        self.flits += o.flits;
+        self.beats += o.beats;
+        self.grant_switches += o.grant_switches;
+    }
+}
+
+/// Aggregate fabric statistics, including per-boundary lateral-bus
+/// traffic — the data behind the paper's Fig. 4b contention illustration.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FabricStats {
+    /// Totals over master ingress links.
+    pub ingress: LinkStats,
+    /// Totals over master egress (completion delivery) links.
+    pub egress: LinkStats,
+    /// Totals over memory-port links (both directions).
+    pub mc_links: LinkStats,
+    /// Per-boundary, right-going lateral traffic: `right[b][i]` is bus `i`
+    /// crossing boundary `b` (between switch `b` and `b+1`).
+    pub lateral_right: Vec<[LinkStats; 2]>,
+    /// Per-boundary, left-going lateral traffic.
+    pub lateral_left: Vec<[LinkStats; 2]>,
+    /// Transactions stalled at ingress by the AXI same-ID/different-
+    /// destination ordering rule (counted once per stalled cycle).
+    pub id_stall_cycles: u64,
+}
+
+impl FabricStats {
+    /// Total beats that crossed any lateral bus.
+    pub fn lateral_beats(&self) -> u64 {
+        let r: u64 = self.lateral_right.iter().flatten().map(|l| l.beats).sum();
+        let l: u64 = self.lateral_left.iter().flatten().map(|l| l.beats).sum();
+        r + l
+    }
+
+    /// The busiest single lateral bus in beats (the contended link of
+    /// Fig. 4b).
+    pub fn max_lateral_beats(&self) -> u64 {
+        self.lateral_right
+            .iter()
+            .chain(self.lateral_left.iter())
+            .flatten()
+            .map(|l| l.beats)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total grant switches over every counted link.
+    pub fn total_grant_switches(&self) -> u64 {
+        let lat: u64 = self
+            .lateral_right
+            .iter()
+            .chain(self.lateral_left.iter())
+            .flatten()
+            .map(|l| l.grant_switches)
+            .sum();
+        self.ingress.grant_switches
+            + self.egress.grant_switches
+            + self.mc_links.grant_switches
+            + lat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let a = LinkStats { flits: 1, beats: 2, grant_switches: 3 };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b, LinkStats { flits: 2, beats: 4, grant_switches: 6 });
+    }
+
+    #[test]
+    fn lateral_totals() {
+        let mut s = FabricStats::default();
+        s.lateral_right.push([
+            LinkStats { flits: 1, beats: 10, grant_switches: 0 },
+            LinkStats { flits: 1, beats: 20, grant_switches: 0 },
+        ]);
+        s.lateral_left.push([
+            LinkStats { flits: 1, beats: 5, grant_switches: 2 },
+            LinkStats::default(),
+        ]);
+        assert_eq!(s.lateral_beats(), 35);
+        assert_eq!(s.max_lateral_beats(), 20);
+        assert_eq!(s.total_grant_switches(), 2);
+    }
+
+    #[test]
+    fn empty_stats_zero() {
+        let s = FabricStats::default();
+        assert_eq!(s.lateral_beats(), 0);
+        assert_eq!(s.max_lateral_beats(), 0);
+    }
+}

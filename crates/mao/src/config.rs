@@ -1,0 +1,165 @@
+//! MAO configuration.
+
+use hbm_axi::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Address-interleaving scheme applied by the MAO before routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InterleaveMode {
+    /// No remapping (each PCH's capacity is contiguous) — the Xilinx
+    /// default, kept for comparison runs.
+    Contiguous,
+    /// Plain block interleave: block `addr / granularity` goes to port
+    /// `block % num_ports`.
+    Block {
+        /// Interleave block size in bytes (power of two, ≥ 512 so a
+        /// maximal AXI burst never spans two ports).
+        granularity: u64,
+    },
+    /// Block interleave with an XOR-folded port index: the port is
+    /// `(block % P) ^ xor_fold(block / P)`. Power-of-two strides — which
+    /// alias to a single port under plain block interleave — stay spread
+    /// over all channels. This is the MAO default.
+    XorFold {
+        /// Interleave block size in bytes (power of two, ≥ 512).
+        granularity: u64,
+    },
+}
+
+/// Configuration of the MAO core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaoConfig {
+    /// `true`: the MAO replaces the entire vendor switch fabric;
+    /// `false` (*Partial*): it reuses the local 4×4 crossbars and only
+    /// leaves the lateral connections unused. Affects area/fmax
+    /// (Table III), not routing behaviour in this model.
+    pub full: bool,
+    /// Hierarchical distribution stages (1 or 2). One stage is lower
+    /// latency; two stages close timing at a higher fmax (Table III).
+    pub stages: u8,
+    /// Address-interleaving scheme.
+    pub interleave: InterleaveMode,
+    /// Reorder-buffer slots per bus master (out-of-order completions the
+    /// MAO can hold). This is the independent-AXI-ID depth swept in
+    /// Fig. 6 of the paper.
+    pub reorder_depth: usize,
+    /// Number of master-side ports.
+    pub num_masters: usize,
+    /// Number of pseudo-channel ports.
+    pub num_ports: usize,
+    /// Capacity per pseudo-channel in bytes.
+    pub port_capacity: u64,
+    /// Queue capacity per internal link (flits).
+    pub link_capacity: usize,
+    /// Dead beats on arbiter grant switches. The hierarchical network is
+    /// designed for clean multiplexing, so this is small.
+    pub dead_beats: f64,
+}
+
+impl Default for MaoConfig {
+    fn default() -> MaoConfig {
+        // "Version four" of Table III — Partial, two stages — is the
+        // variant the paper inserts for its Table IV / Fig. 5 / Fig. 6
+        // measurements.
+        MaoConfig {
+            full: false,
+            stages: 2,
+            interleave: InterleaveMode::XorFold { granularity: 512 },
+            reorder_depth: 32,
+            num_masters: 32,
+            num_ports: 32,
+            port_capacity: 256 << 20,
+            link_capacity: 8,
+            dead_beats: 0.5,
+        }
+    }
+}
+
+impl MaoConfig {
+    /// Request-path latency through the MAO in cycles.
+    pub fn req_latency(&self) -> Cycle {
+        match self.stages {
+            1 => 6,
+            _ => 12,
+        }
+    }
+
+    /// Response-path latency through the MAO in cycles. Together with
+    /// [`MaoConfig::req_latency`] this gives the 12 / 25 cycle round-trip
+    /// additions of Table III.
+    pub fn ret_latency(&self) -> Cycle {
+        match self.stages {
+            1 => 6,
+            _ => 13,
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.stages == 1 || self.stages == 2) {
+            return Err(format!("stages must be 1 or 2, got {}", self.stages));
+        }
+        if self.reorder_depth == 0 {
+            return Err("reorder_depth must be ≥ 1".into());
+        }
+        if !self.num_ports.is_power_of_two() {
+            return Err("num_ports must be a power of two (XOR interleaving)".into());
+        }
+        match self.interleave {
+            InterleaveMode::Contiguous => {}
+            InterleaveMode::Block { granularity } | InterleaveMode::XorFold { granularity } => {
+                if !granularity.is_power_of_two() || granularity < 512 {
+                    return Err(format!(
+                        "interleave granularity {granularity} must be a power of two ≥ 512 \
+                         (so one AXI burst never spans two ports)"
+                    ));
+                }
+            }
+        }
+        if !self.port_capacity.is_power_of_two() {
+            return Err("port_capacity must be a power of two".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_variant_four() {
+        let c = MaoConfig::default();
+        c.validate().unwrap();
+        assert!(!c.full);
+        assert_eq!(c.stages, 2);
+        assert_eq!(c.req_latency() + c.ret_latency(), 25);
+    }
+
+    #[test]
+    fn one_stage_is_12_cycles_round_trip() {
+        let c = MaoConfig { stages: 1, ..MaoConfig::default() };
+        assert_eq!(c.req_latency() + c.ret_latency(), 12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_granularity() {
+        let mut c = MaoConfig::default();
+        c.interleave = InterleaveMode::Block { granularity: 256 };
+        assert!(c.validate().is_err(), "granularity below max burst size");
+        c.interleave = InterleaveMode::Block { granularity: 768 };
+        assert!(c.validate().is_err(), "non power of two");
+        c.interleave = InterleaveMode::Block { granularity: 1024 };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_stages_and_depth() {
+        let mut c = MaoConfig::default();
+        c.stages = 3;
+        assert!(c.validate().is_err());
+        c.stages = 2;
+        c.reorder_depth = 0;
+        assert!(c.validate().is_err());
+    }
+}

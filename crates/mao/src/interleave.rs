@@ -1,0 +1,239 @@
+//! Configurable address interleaving (architectural adaption #2).
+//!
+//! The Xilinx default maps each pseudo-channel's capacity contiguously,
+//! so a linearly-filled buffer lives entirely in one PCH (the hot-spot of
+//! paper Fig. 3b). The MAO remaps addresses so consecutive blocks hit
+//! different channels. Two schemes are provided:
+//!
+//! * **Block** — classic modulo interleave. Simple, but strides that are
+//!   multiples of `granularity × num_ports` alias onto one port.
+//! * **XorFold** — the port index is XOR-mixed with folded high address
+//!   bits, so power-of-two strides keep using all channels. This is the
+//!   default and the scheme behind the wide plateau of Fig. 5.
+
+use hbm_axi::{Addr, PortId};
+use hbm_fabric::AddressMap;
+
+use crate::config::InterleaveMode;
+
+/// XOR-fold of `v` into `bits` bits.
+fn xor_fold(mut v: u64, bits: u32) -> u64 {
+    let mask = (1u64 << bits) - 1;
+    let mut acc = 0u64;
+    while v != 0 {
+        acc ^= v & mask;
+        v >>= bits;
+    }
+    acc
+}
+
+/// An interleaving address map over `num_ports` pseudo-channels.
+#[derive(Debug, Clone, Copy)]
+pub struct InterleavedMap {
+    mode: InterleaveMode,
+    num_ports: usize,
+    port_capacity: u64,
+}
+
+impl InterleavedMap {
+    /// Creates the map. `num_ports` must be a power of two; granularities
+    /// must be powers of two ≥ 512 (checked by `MaoConfig::validate`,
+    /// asserted here for direct users).
+    pub fn new(mode: InterleaveMode, num_ports: usize, port_capacity: u64) -> InterleavedMap {
+        assert!(num_ports.is_power_of_two(), "num_ports must be a power of two");
+        assert!(port_capacity.is_power_of_two(), "port_capacity must be a power of two");
+        if let InterleaveMode::Block { granularity } | InterleaveMode::XorFold { granularity } =
+            mode
+        {
+            assert!(
+                granularity.is_power_of_two() && granularity >= 512,
+                "granularity must be a power of two ≥ 512"
+            );
+            assert!(granularity <= port_capacity);
+        }
+        InterleavedMap { mode, num_ports, port_capacity }
+    }
+
+    /// The interleave mode.
+    pub fn mode(&self) -> InterleaveMode {
+        self.mode
+    }
+
+    fn port_bits(&self) -> u32 {
+        self.num_ports.trailing_zeros()
+    }
+}
+
+impl AddressMap for InterleavedMap {
+    fn num_ports(&self) -> usize {
+        self.num_ports
+    }
+
+    fn port_capacity(&self) -> u64 {
+        self.port_capacity
+    }
+
+    fn remap(&self, addr: Addr) -> Addr {
+        let p = self.num_ports as u64;
+        debug_assert!(addr < p * self.port_capacity, "address beyond device capacity");
+        match self.mode {
+            InterleaveMode::Contiguous => addr,
+            InterleaveMode::Block { granularity } => {
+                let block = addr / granularity;
+                let within = addr % granularity;
+                let port = block % p;
+                let local_block = block / p;
+                port * self.port_capacity + local_block * granularity + within
+            }
+            InterleaveMode::XorFold { granularity } => {
+                let block = addr / granularity;
+                let within = addr % granularity;
+                let local_block = block / p;
+                let port = (block % p) ^ xor_fold(local_block, self.port_bits());
+                // Bank scramble: streams whose base addresses differ by a
+                // large power of two land on identical per-channel offset
+                // sequences and would hammer the same DRAM bank with
+                // different rows. Mixing a few low local-block bits with
+                // folded high bits de-phases such streams (bijective:
+                // the xored bits do not feed their own mix).
+                let bank_mix = xor_fold(local_block >> 13, 4) << 1;
+                let local_block = local_block ^ bank_mix;
+                port * self.port_capacity + local_block * granularity + within
+            }
+        }
+    }
+
+    fn port_of(&self, addr: Addr) -> PortId {
+        PortId((self.remap(addr) / self.port_capacity) as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InterleaveMode as M;
+
+    const CAP: u64 = 256 << 20;
+
+    #[test]
+    fn xor_fold_basic() {
+        assert_eq!(xor_fold(0, 5), 0);
+        assert_eq!(xor_fold(0b10101, 5), 0b10101);
+        assert_eq!(xor_fold(0b1_00001, 5), 0b00001 ^ 0b1);
+    }
+
+    #[test]
+    fn block_interleave_spreads_consecutive_blocks() {
+        let m = InterleavedMap::new(M::Block { granularity: 512 }, 32, CAP);
+        for i in 0..64u64 {
+            assert_eq!(m.port_of(i * 512), PortId((i % 32) as u16));
+        }
+    }
+
+    #[test]
+    fn block_interleave_within_block_same_port() {
+        let m = InterleavedMap::new(M::Block { granularity: 1024 }, 32, CAP);
+        let p = m.port_of(5 * 1024);
+        for off in [0u64, 32, 512, 1023] {
+            assert_eq!(m.port_of(5 * 1024 + off), p);
+        }
+    }
+
+    #[test]
+    fn block_interleave_aliases_power_of_two_strides() {
+        // Stride = granularity × ports: every access lands on port 0 —
+        // the weakness XorFold fixes.
+        let m = InterleavedMap::new(M::Block { granularity: 512 }, 32, CAP);
+        for i in 0..32u64 {
+            assert_eq!(m.port_of(i * 512 * 32), PortId(0));
+        }
+    }
+
+    #[test]
+    fn xorfold_spreads_power_of_two_strides() {
+        let m = InterleavedMap::new(M::XorFold { granularity: 512 }, 32, CAP);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..32u64 {
+            seen.insert(m.port_of(i * 512 * 32).0);
+        }
+        assert!(
+            seen.len() >= 16,
+            "xor-fold should use most ports under a 16 KiB stride, used {}",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn xorfold_consecutive_blocks_all_distinct_per_round() {
+        let m = InterleavedMap::new(M::XorFold { granularity: 512 }, 32, CAP);
+        for round in 0..8u64 {
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..32u64 {
+                seen.insert(m.port_of((round * 32 + i) * 512).0);
+            }
+            assert_eq!(seen.len(), 32, "round {round} must cover all ports");
+        }
+    }
+
+    #[test]
+    fn contiguous_is_identity() {
+        let m = InterleavedMap::new(M::Contiguous, 32, CAP);
+        assert_eq!(m.remap(12345), 12345);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_ports() {
+        let _ = InterleavedMap::new(M::Contiguous, 31, CAP);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::config::InterleaveMode as M;
+    use proptest::prelude::*;
+
+    const CAP: u64 = 1 << 24; // 16 MiB per port keeps the test space small
+
+    fn modes() -> impl Strategy<Value = M> {
+        prop_oneof![
+            Just(M::Contiguous),
+            (9u32..14).prop_map(|g| M::Block { granularity: 1 << g }),
+            (9u32..14).prop_map(|g| M::XorFold { granularity: 1 << g }),
+        ]
+    }
+
+    proptest! {
+        /// Every mode is a bijection: distinct addresses map to distinct
+        /// physical addresses, within the device range.
+        #[test]
+        fn remap_is_injective_and_in_range(
+            mode in modes(),
+            addrs in proptest::collection::hash_set(0u64..(32 * CAP), 2..100),
+        ) {
+            let m = InterleavedMap::new(mode, 32, CAP);
+            let mut out = std::collections::HashSet::new();
+            for &a in &addrs {
+                let r = m.remap(a);
+                prop_assert!(r < 32 * CAP);
+                prop_assert!(out.insert(r), "collision remapping {a:#x}");
+            }
+        }
+
+        /// A 512-byte aligned burst never spans two ports.
+        #[test]
+        fn bursts_stay_on_one_port(
+            mode in modes(),
+            chunk in 0u64..(32 * CAP / 512),
+        ) {
+            let m = InterleavedMap::new(mode, 32, CAP);
+            let base = chunk * 512;
+            let first = m.port_of(base);
+            let last = m.port_of(base + 511);
+            prop_assert_eq!(first, last);
+            // And the remapped burst is contiguous.
+            prop_assert_eq!(m.remap(base) + 511, m.remap(base + 511));
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Analytical area / timing model of the MAO core (paper Table III).
+//!
+//! No synthesis toolchain exists in this reproduction, so Table III is
+//! reproduced by an analytical model **calibrated to the paper's
+//! published results** for the four canonical configurations on the
+//! XCVU37P (32 masters, 256-bit data paths), and scaled first-order for
+//! other geometries:
+//!
+//! * LUTs grow with the crossbar multiplexing work,
+//!   ∝ `masters · width · log2(ports)`;
+//! * FFs grow with pipeline registers, ∝ `masters · width · stages`;
+//! * BRAM grows with buffering (reorder + stage buffers);
+//! * fmax falls with multiplexer depth, which the hierarchical stages
+//!   shorten (the reason the 2-stage variants close timing higher).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::MaoConfig;
+
+/// FPGA capacity numbers used for utilisation percentages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceCapacity {
+    /// Total LUTs.
+    pub luts: u64,
+    /// Total flip-flops.
+    pub ffs: u64,
+    /// Total BRAM tiles (36 Kb).
+    pub bram: u64,
+}
+
+/// The Virtex UltraScale+ XCVU37P used throughout the paper.
+pub const XCVU37P: DeviceCapacity = DeviceCapacity {
+    luts: 1_303_680,
+    ffs: 2_607_360,
+    bram: 2_016,
+};
+
+/// A resource / timing estimate for one MAO configuration — one row of
+/// Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceEstimate {
+    /// Maximum clock frequency in MHz.
+    pub fmax_mhz: u32,
+    /// Read-path latency in cycles.
+    pub lat_rd: u32,
+    /// Write-path latency in cycles.
+    pub lat_wr: u32,
+    /// LUT count.
+    pub luts: u64,
+    /// Flip-flop count.
+    pub ffs: u64,
+    /// BRAM tiles.
+    pub bram: u64,
+}
+
+impl ResourceEstimate {
+    /// LUT utilisation on a device, in percent.
+    pub fn lut_pct(&self, dev: DeviceCapacity) -> f64 {
+        100.0 * self.luts as f64 / dev.luts as f64
+    }
+
+    /// FF utilisation on a device, in percent.
+    pub fn ff_pct(&self, dev: DeviceCapacity) -> f64 {
+        100.0 * self.ffs as f64 / dev.ffs as f64
+    }
+
+    /// BRAM utilisation on a device, in percent.
+    pub fn bram_pct(&self, dev: DeviceCapacity) -> f64 {
+        100.0 * self.bram as f64 / dev.bram as f64
+    }
+}
+
+/// The analytical model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaoResources;
+
+/// Calibration constants, fitted to the paper's Table III at the
+/// reference geometry (32 masters, 256-bit data path, 32 ports).
+mod cal {
+    /// Reference LUTs: Partial, (1 stage, 2 stages).
+    pub const P_LUT: [f64; 2] = [152_771.0, 147_798.0];
+    /// Extra LUTs when the MAO fully replaces the vendor fabric.
+    pub const F_LUT: [f64; 2] = [132_556.0, 131_002.0];
+    /// Reference FFs: Partial (1, 2 stages).
+    pub const P_FF: [f64; 2] = [197_831.0, 251_676.0];
+    /// Extra FFs for Full.
+    pub const F_FF: [f64; 2] = [77_048.0, 3_446.0];
+    /// Reference fmax in MHz: (partial, full) × (1, 2 stages).
+    pub const FMAX: [[u32; 2]; 2] = [[350, 360], [130, 150]];
+    /// Reference geometry factor: 32 masters × 256 bit.
+    pub const REF_WORK: f64 = 32.0 * 256.0;
+}
+
+impl MaoResources {
+    /// Estimates resources and timing for a configuration with the given
+    /// AXI data width in bits (256 on the paper's device).
+    pub fn estimate(cfg: &MaoConfig, width_bits: u32) -> ResourceEstimate {
+        let s = (cfg.stages.clamp(1, 2) - 1) as usize;
+        let f = cfg.full as usize;
+        // First-order scaling with the crossbar work relative to the
+        // calibration point.
+        let work = cfg.num_masters as f64 * width_bits as f64;
+        let log_ports = (cfg.num_ports.max(2) as f64).log2() / 5.0; // ref: log2(32)=5
+        let scale = work / cal::REF_WORK * log_ports;
+
+        let luts = (cal::P_LUT[s] + f as f64 * cal::F_LUT[s]) * scale;
+        let ffs = (cal::P_FF[s] + f as f64 * cal::F_FF[s]) * scale;
+        // Buffering: 4 BRAM control overhead + 128 per buffered stage
+        // level; Full always needs the deeper buffering. Reorder depth
+        // beyond the reference 32 adds proportionally.
+        let stage_levels = if cfg.full { 2 } else { cfg.stages as u64 };
+        let rob_scale = (cfg.reorder_depth as f64 / 32.0).max(1.0);
+        let bram = 4 + ((128 * stage_levels) as f64 * scale * rob_scale).round() as u64;
+
+        let (lat_rd, lat_wr) = match cfg.stages {
+            1 => (12, 12),
+            _ => (25, 12),
+        };
+
+        ResourceEstimate {
+            fmax_mhz: cal::FMAX[f][s],
+            lat_rd,
+            lat_wr,
+            luts: luts.round() as u64,
+            ffs: ffs.round() as u64,
+            bram,
+        }
+    }
+
+    /// The four canonical Table III rows (Full/Partial × 1/2 stages), in
+    /// the paper's order.
+    pub fn table3() -> Vec<(String, ResourceEstimate)> {
+        let mut rows = Vec::new();
+        for (full, name) in [(true, "Full"), (false, "Partial")] {
+            for stages in [1u8, 2] {
+                let cfg = MaoConfig { full, stages, ..MaoConfig::default() };
+                rows.push((
+                    format!("{name} ({stages} stage{})", if stages > 1 { "s" } else { "" }),
+                    Self::estimate(&cfg, 256),
+                ));
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(full: bool, stages: u8) -> MaoConfig {
+        MaoConfig { full, stages, ..MaoConfig::default() }
+    }
+
+    #[test]
+    fn reproduces_paper_table3_luts() {
+        // Paper: Full = 285 327 / 278 800; Partial = 152 771 / 147 798.
+        let e = MaoResources::estimate(&cfg(true, 1), 256);
+        assert_eq!(e.luts, 285_327);
+        let e = MaoResources::estimate(&cfg(true, 2), 256);
+        assert_eq!(e.luts, 278_800);
+        let e = MaoResources::estimate(&cfg(false, 1), 256);
+        assert_eq!(e.luts, 152_771);
+        let e = MaoResources::estimate(&cfg(false, 2), 256);
+        assert_eq!(e.luts, 147_798);
+    }
+
+    #[test]
+    fn reproduces_paper_table3_ffs_and_fmax() {
+        let e = MaoResources::estimate(&cfg(true, 1), 256);
+        assert_eq!(e.ffs, 274_879);
+        assert_eq!(e.fmax_mhz, 130);
+        let e = MaoResources::estimate(&cfg(true, 2), 256);
+        assert_eq!(e.ffs, 255_122);
+        assert_eq!(e.fmax_mhz, 150);
+        let e = MaoResources::estimate(&cfg(false, 1), 256);
+        assert_eq!(e.ffs, 197_831);
+        assert_eq!(e.fmax_mhz, 350);
+        let e = MaoResources::estimate(&cfg(false, 2), 256);
+        assert_eq!(e.ffs, 251_676);
+        assert_eq!(e.fmax_mhz, 360);
+    }
+
+    #[test]
+    fn reproduces_paper_table3_bram_and_latency() {
+        // Paper BRAM: 260 / 260 / 132 / 260.
+        assert_eq!(MaoResources::estimate(&cfg(true, 1), 256).bram, 260);
+        assert_eq!(MaoResources::estimate(&cfg(true, 2), 256).bram, 260);
+        assert_eq!(MaoResources::estimate(&cfg(false, 1), 256).bram, 132);
+        assert_eq!(MaoResources::estimate(&cfg(false, 2), 256).bram, 260);
+        // Latencies 12/12 for one stage, 25/12 for two.
+        let e = MaoResources::estimate(&cfg(false, 1), 256);
+        assert_eq!((e.lat_rd, e.lat_wr), (12, 12));
+        let e = MaoResources::estimate(&cfg(false, 2), 256);
+        assert_eq!((e.lat_rd, e.lat_wr), (25, 12));
+    }
+
+    #[test]
+    fn utilisation_percentages_match_paper() {
+        let e = MaoResources::estimate(&cfg(true, 1), 256);
+        assert!((e.lut_pct(XCVU37P) - 21.89).abs() < 0.01);
+        assert!((e.ff_pct(XCVU37P) - 10.54).abs() < 0.01);
+        assert!((e.bram_pct(XCVU37P) - 12.90).abs() < 0.01);
+    }
+
+    #[test]
+    fn halving_masters_scales_down() {
+        let mut c = cfg(false, 2);
+        c.num_masters = 16;
+        c.num_ports = 16;
+        let small = MaoResources::estimate(&c, 256);
+        let big = MaoResources::estimate(&cfg(false, 2), 256);
+        assert!(small.luts < big.luts / 2, "fewer masters and shallower mux");
+    }
+
+    #[test]
+    fn wider_bus_scales_up() {
+        let wide = MaoResources::estimate(&cfg(false, 2), 512);
+        let base = MaoResources::estimate(&cfg(false, 2), 256);
+        assert_eq!(wide.luts, base.luts * 2);
+    }
+
+    #[test]
+    fn table3_has_four_rows() {
+        let rows = MaoResources::table3();
+        assert_eq!(rows.len(), 4);
+        assert!(rows[0].0.starts_with("Full"));
+        assert!(rows[3].0.starts_with("Partial"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Address decode within one pseudo-channel.
+//!
+//! A PCH-local byte address splits into column (within a row), bank, and
+//! row. Consecutive rows map to consecutive banks (row-granularity bank
+//! interleaving), so a linear stream activates banks round-robin and
+//! overlaps row activations with data transfer — the behaviour that lets
+//! strided patterns stream near the bus limit while random patterns are
+//! bounded by the activate rate.
+
+use hbm_axi::Addr;
+
+use crate::config::{AddressMapPolicy, HbmConfig};
+
+/// Decoded PCH-local address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PchAddress {
+    /// Bank index within the pseudo-channel.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u64,
+    /// Byte offset within the row.
+    pub col: u32,
+}
+
+impl PchAddress {
+    /// Decodes a PCH-local byte offset.
+    pub fn decode(cfg: &HbmConfig, offset: Addr) -> PchAddress {
+        debug_assert!(offset < cfg.pch_capacity, "offset beyond PCH capacity");
+        let col = (offset % cfg.row_bytes) as u32;
+        let row_linear = offset / cfg.row_bytes;
+        match cfg.addr_map {
+            AddressMapPolicy::RowInterleaved => PchAddress {
+                bank: (row_linear % cfg.banks_per_pch as u64) as u32,
+                row: row_linear / cfg.banks_per_pch as u64,
+                col,
+            },
+            AddressMapPolicy::BankContiguous => PchAddress {
+                bank: (row_linear / cfg.rows_per_bank()) as u32,
+                row: row_linear % cfg.rows_per_bank(),
+                col,
+            },
+        }
+    }
+
+    /// Re-encodes to the PCH-local byte offset (inverse of `decode`).
+    pub fn encode(&self, cfg: &HbmConfig) -> Addr {
+        let row_linear = match cfg.addr_map {
+            AddressMapPolicy::RowInterleaved => {
+                self.row * cfg.banks_per_pch as u64 + self.bank as u64
+            }
+            AddressMapPolicy::BankContiguous => {
+                self.bank as u64 * cfg.rows_per_bank() + self.row
+            }
+        };
+        row_linear * cfg.row_bytes + self.col as u64
+    }
+}
+
+/// Splits a PCH-local byte range `[offset, offset + bytes)` into per-row
+/// segments `(PchAddress, segment_bytes)`. A DRAM access cannot stream
+/// across a row boundary without a new activate, so the controller issues
+/// one job per segment.
+pub fn split_by_row(cfg: &HbmConfig, offset: Addr, bytes: u64) -> Vec<(PchAddress, u64)> {
+    let mut out = Vec::with_capacity(2);
+    let mut cur = offset;
+    let mut left = bytes;
+    while left > 0 {
+        let a = PchAddress::decode(cfg, cur);
+        let room = cfg.row_bytes - a.col as u64;
+        let seg = left.min(room);
+        out.push((a, seg));
+        cur += seg;
+        left -= seg;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HbmConfig {
+        HbmConfig::default()
+    }
+
+    #[test]
+    fn decode_first_row() {
+        let c = cfg();
+        let a = PchAddress::decode(&c, 0);
+        assert_eq!((a.bank, a.row, a.col), (0, 0, 0));
+        let a = PchAddress::decode(&c, 100);
+        assert_eq!((a.bank, a.row, a.col), (0, 0, 100));
+    }
+
+    #[test]
+    fn consecutive_rows_interleave_banks() {
+        let c = cfg();
+        let a = PchAddress::decode(&c, c.row_bytes);
+        assert_eq!((a.bank, a.row), (1, 0));
+        let a = PchAddress::decode(&c, c.row_bytes * c.banks_per_pch as u64);
+        assert_eq!((a.bank, a.row), (0, 1));
+    }
+
+    #[test]
+    fn encode_is_inverse() {
+        let c = cfg();
+        for off in [0u64, 1, 1023, 1024, 123_456, c.pch_capacity - 1] {
+            let a = PchAddress::decode(&c, off);
+            assert_eq!(a.encode(&c), off, "offset {off}");
+        }
+    }
+
+    #[test]
+    fn bank_contiguous_policy_maps_slices() {
+        let mut c = cfg();
+        c.addr_map = AddressMapPolicy::BankContiguous;
+        // First 16 MiB (capacity / 16 banks) stays in bank 0.
+        let slice = c.pch_capacity / c.banks_per_pch as u64;
+        let a = PchAddress::decode(&c, 0);
+        assert_eq!(a.bank, 0);
+        let a = PchAddress::decode(&c, slice - 1);
+        assert_eq!(a.bank, 0);
+        let a = PchAddress::decode(&c, slice);
+        assert_eq!((a.bank, a.row), (1, 0));
+        // Round trips under the alternate policy too.
+        for off in [0u64, slice - 1, slice, 3 * slice + 12345] {
+            assert_eq!(PchAddress::decode(&c, off).encode(&c), off);
+        }
+    }
+
+    #[test]
+    fn split_within_one_row() {
+        let c = cfg();
+        let parts = split_by_row(&c, 64, 512);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].1, 512);
+        assert_eq!(parts[0].0.col, 64);
+    }
+
+    #[test]
+    fn split_across_row_boundary() {
+        let c = cfg();
+        // 512 B starting 128 B below the end of row 0.
+        let start = c.row_bytes - 128;
+        let parts = split_by_row(&c, start, 512);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].1, 128);
+        assert_eq!(parts[1].1, 384);
+        assert_eq!(parts[1].0.bank, 1);
+        assert_eq!(parts[1].0.col, 0);
+    }
+
+    #[test]
+    fn split_exact_row_end_no_empty_segment() {
+        let c = cfg();
+        let parts = split_by_row(&c, c.row_bytes - 512, 512);
+        assert_eq!(parts.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// decode/encode round-trips for arbitrary in-range offsets.
+        #[test]
+        fn decode_encode_roundtrip(off in 0u64..(256u64 << 20)) {
+            let c = HbmConfig::default();
+            let a = PchAddress::decode(&c, off);
+            prop_assert_eq!(a.encode(&c), off);
+            prop_assert!((a.bank as usize) < c.banks_per_pch);
+            prop_assert!((a.col as u64) < c.row_bytes);
+            prop_assert!(a.row < c.rows_per_bank());
+        }
+
+        /// Row segments tile the range exactly and never cross a row.
+        #[test]
+        fn split_tiles_range(
+            off in 0u64..(1u64 << 20),
+            bytes in 1u64..8192,
+        ) {
+            let c = HbmConfig::default();
+            let parts = split_by_row(&c, off, bytes);
+            let mut cursor = off;
+            for (a, seg) in &parts {
+                prop_assert_eq!(PchAddress::decode(&c, cursor), *a);
+                // Segment stays inside its row.
+                prop_assert!(a.col as u64 + seg <= c.row_bytes);
+                cursor += seg;
+            }
+            prop_assert_eq!(cursor, off + bytes);
+        }
+    }
+}

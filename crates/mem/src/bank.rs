@@ -1,0 +1,218 @@
+//! DRAM bank state machine.
+//!
+//! Each bank tracks which row (if any) is open and when it is next able
+//! to deliver data. Timing is kept in nanoseconds — the bank's native
+//! domain — and the page policy is *open page*: a row stays open after an
+//! access until a conflicting access or a refresh closes it, so
+//! consecutive accesses to the same row are hits.
+
+use crate::config::Timings;
+
+/// Outcome of presenting an access to a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageOutcome {
+    /// The addressed row was already open.
+    Hit,
+    /// The bank was idle (no row open); pays ACTIVATE + CAS.
+    Closed,
+    /// A different row was open; pays PRECHARGE + ACTIVATE + CAS.
+    Miss,
+}
+
+/// One DRAM bank.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    open_row: Option<u64>,
+    /// Earliest next activate (set by auto-precharge under the closed
+    /// page policy).
+    ready_at: f64,
+    /// Time at which the currently open row's data can first appear on the
+    /// bus (covers tRCD+tCL after an activate).
+    row_data_ready: f64,
+    /// Earliest time a precharge may start (tRAS after the activate).
+    precharge_ok_at: f64,
+    /// Time until which the open row is needed by in-flight column
+    /// accesses; precharge must additionally wait tRTP past this.
+    row_busy_until: f64,
+}
+
+impl Bank {
+    /// A bank with no row open.
+    pub fn new() -> Bank {
+        Bank {
+            open_row: None,
+            ready_at: 0.0,
+            row_data_ready: 0.0,
+            precharge_ok_at: 0.0,
+            row_busy_until: 0.0,
+        }
+    }
+
+    /// The currently open row, if any.
+    #[inline]
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    /// Whether an access to `row` at this moment would be a hit, closed
+    /// access, or miss — without changing state. Used by FR-FCFS
+    /// scheduling to rank candidates.
+    pub fn classify(&self, row: u64) -> PageOutcome {
+        match self.open_row {
+            Some(r) if r == row => PageOutcome::Hit,
+            Some(_) => PageOutcome::Miss,
+            None => PageOutcome::Closed,
+        }
+    }
+
+    /// Performs the row-management part of an access to `row` starting no
+    /// earlier than `now` ns. `activate_floor` is the channel-level
+    /// earliest-activate constraint (tRRD / tFAW, computed by the PCH).
+    /// Returns `(outcome, data_ready, activate)` where `data_ready` is
+    /// the earliest time data can be on the bus and `activate` the
+    /// ACTIVATE command time, if one was issued. The data-bus occupancy
+    /// itself is handled by the PCH.
+    pub fn access(
+        &mut self,
+        t: &Timings,
+        now: f64,
+        activate_floor: f64,
+        row: u64,
+    ) -> (PageOutcome, f64, Option<f64>) {
+        let outcome = self.classify(row);
+        match outcome {
+            PageOutcome::Hit => (outcome, now.max(self.row_data_ready), None),
+            PageOutcome::Closed => {
+                let activate = now.max(activate_floor).max(self.ready_at);
+                self.open_row = Some(row);
+                self.precharge_ok_at = activate + t.t_ras;
+                self.row_data_ready = activate + t.t_rcd + t.t_cl;
+                (outcome, self.row_data_ready, Some(activate))
+            }
+            PageOutcome::Miss => {
+                // Precharge may not start before tRAS has elapsed, nor
+                // before the in-flight column accesses of the old row
+                // have completed (plus tRTP).
+                let precharge = now
+                    .max(self.precharge_ok_at)
+                    .max(self.row_busy_until + t.t_rtp);
+                let activate = (precharge + t.t_rp).max(activate_floor);
+                self.open_row = Some(row);
+                self.precharge_ok_at = activate + t.t_ras;
+                self.row_data_ready = activate + t.t_rcd + t.t_cl;
+                (outcome, self.row_data_ready, Some(activate))
+            }
+        }
+    }
+
+    /// Records that a column access to the open row completes at `t`
+    /// (its data leaves the bus then); the row may not be precharged
+    /// earlier.
+    pub fn note_data_end(&mut self, t: f64) {
+        self.row_busy_until = self.row_busy_until.max(t);
+    }
+
+    /// Auto-precharges after an access completing at `data_end` (closed
+    /// page policy): the row closes and the next activate must wait for
+    /// tRTP + tRP past the data (and tRAS from the activate).
+    pub fn auto_precharge(&mut self, t: &Timings, data_end: f64) {
+        let precharge = (data_end + t.t_rtp).max(self.precharge_ok_at);
+        self.open_row = None;
+        self.ready_at = precharge + t.t_rp;
+    }
+
+    /// Closes the open row (refresh does this to every bank).
+    pub fn close(&mut self) {
+        self.open_row = None;
+    }
+}
+
+impl Default for Bank {
+    fn default() -> Bank {
+        Bank::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Timings {
+        Timings::default()
+    }
+
+    #[test]
+    fn closed_access_pays_rcd_plus_cl() {
+        let mut b = Bank::new();
+        let (o, ready, act) = b.access(&t(), 100.0, 0.0, 5);
+        assert_eq!(act, Some(100.0));
+        assert_eq!(o, PageOutcome::Closed);
+        assert!((ready - (100.0 + 28.0)).abs() < 1e-9);
+        assert_eq!(b.open_row(), Some(5));
+    }
+
+    #[test]
+    fn hit_is_immediate_after_first_data() {
+        let mut b = Bank::new();
+        let (_, first, _) = b.access(&t(), 0.0, 0.0, 5);
+        let (o, ready, act) = b.access(&t(), first + 10.0, 0.0, 5);
+        assert_eq!(act, None);
+        assert_eq!(o, PageOutcome::Hit);
+        assert!((ready - (first + 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hit_before_row_ready_waits() {
+        let mut b = Bank::new();
+        let (_, first, _) = b.access(&t(), 0.0, 0.0, 5);
+        // A second access issued immediately still waits for the row.
+        let (o, ready, _) = b.access(&t(), 1.0, 0.0, 5);
+        assert_eq!(o, PageOutcome::Hit);
+        assert!((ready - first).abs() < 1e-9);
+    }
+
+    #[test]
+    fn miss_pays_precharge_activate_cas_and_respects_tras() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.access(&tm, 0.0, 0.0, 1); // activate at 0, precharge_ok at tRAS=33
+        // Conflicting access at 5 ns: precharge must wait until 33.
+        let (o, ready, _) = b.access(&tm, 5.0, 0.0, 2);
+        assert_eq!(o, PageOutcome::Miss);
+        let expect = 33.0 + tm.t_rp + tm.t_rcd + tm.t_cl;
+        assert!((ready - expect).abs() < 1e-9, "ready {ready} expect {expect}");
+        assert_eq!(b.open_row(), Some(2));
+    }
+
+    #[test]
+    fn miss_after_tras_starts_immediately() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.access(&tm, 0.0, 0.0, 1);
+        let (o, ready, _) = b.access(&tm, 100.0, 0.0, 2);
+        assert_eq!(o, PageOutcome::Miss);
+        let expect = 100.0 + tm.t_rp + tm.t_rcd + tm.t_cl;
+        assert!((ready - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn close_resets_to_closed_state() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.access(&tm, 0.0, 0.0, 1);
+        b.close();
+        assert_eq!(b.open_row(), None);
+        let (o, _, _) = b.access(&tm, 200.0, 0.0, 1);
+        assert_eq!(o, PageOutcome::Closed);
+    }
+
+    #[test]
+    fn classify_does_not_mutate() {
+        let tm = t();
+        let mut b = Bank::new();
+        b.access(&tm, 0.0, 0.0, 1);
+        assert_eq!(b.classify(1), PageOutcome::Hit);
+        assert_eq!(b.classify(2), PageOutcome::Miss);
+        assert_eq!(b.open_row(), Some(1));
+    }
+}

@@ -1,0 +1,360 @@
+//! Memory controller: AXI→DDR conversion and request scheduling.
+//!
+//! One controller front-ends one pseudo-channel. Its scheduler implements
+//! a bounded-window FR-FCFS policy with direction batching:
+//!
+//! * it examines up to `window` queued requests,
+//! * a request is *eligible* only if no older queued request shares its
+//!   (master, AXI ID, direction) — the AXI same-ID ordering rule; this is
+//!   exactly the mechanism the paper varies in Fig. 6 (more independent
+//!   IDs → more scheduling freedom),
+//! * among eligible requests it prefers the current bus direction (up to
+//!   `dir_batch` in a row, amortising turnarounds), then row hits
+//!   (FR-FCFS), then age.
+//!
+//! Writes are *posted*: the B acknowledge is produced when the controller
+//! accepts the transaction, which is why the paper measures a local write
+//! latency of only 17 cycles against 48 for reads.
+
+use hbm_axi::{ClockDomain, Completion, Cycle, DelayQueue, Dir, Transaction};
+
+use crate::config::HbmConfig;
+use crate::pch::PchDram;
+use crate::stats::MemStats;
+
+/// Memory controller for one pseudo-channel.
+#[derive(Debug)]
+pub struct MemoryController {
+    cfg: HbmConfig,
+    clock: ClockDomain,
+    req_q: DelayQueue<Transaction>,
+    resp_q: DelayQueue<Completion>,
+    ack_q: DelayQueue<Completion>,
+    dram: PchDram,
+    last_dir: Dir,
+    dir_run: usize,
+    /// PCH-local base: global address minus this gives the PCH offset.
+    /// The fabric's address map decides which controller sees a
+    /// transaction; the controller only needs the local offset, so the
+    /// mapping function is injected per transaction instead.
+    offset_mask: u64,
+}
+
+impl MemoryController {
+    /// A controller for one PCH. `refresh_phase` staggers refresh across
+    /// channels (pass e.g. `pch_index as f64 / num_pch as f64 * tREFI`).
+    pub fn new(cfg: &HbmConfig, clock: ClockDomain, refresh_phase: f64) -> MemoryController {
+        MemoryController {
+            req_q: DelayQueue::new(cfg.mc.queue_depth, cfg.mc.req_latency),
+            resp_q: DelayQueue::new(cfg.mc.resp_depth, cfg.mc.resp_latency),
+            ack_q: DelayQueue::new(cfg.mc.queue_depth, cfg.mc.resp_latency),
+            dram: PchDram::new(cfg, refresh_phase),
+            last_dir: Dir::Read,
+            dir_run: 0,
+            offset_mask: cfg.pch_capacity - 1,
+            cfg: cfg.clone(),
+            clock,
+        }
+    }
+
+    /// `true` if a new transaction can be accepted this cycle.
+    ///
+    /// Writes additionally require space in the acknowledge queue, since
+    /// accepting a posted write produces its B response immediately.
+    pub fn can_accept(&self, dir: Dir) -> bool {
+        self.req_q.can_push() && (dir == Dir::Read || self.ack_q.can_push())
+    }
+
+    /// Accepts a transaction whose *global* address the fabric has already
+    /// routed here; only the PCH-local offset (low bits) is used.
+    ///
+    /// Panics if `can_accept` is false — callers must gate on it.
+    pub fn accept(&mut self, now: Cycle, txn: Transaction) {
+        if txn.dir == Dir::Write {
+            // Posted write: acknowledge on acceptance.
+            self.ack_q
+                .push(now, Completion { txn, produced_at: now })
+                .ok()
+                .expect("ack queue full; can_accept not honoured");
+        }
+        self.req_q
+            .push(now, txn)
+            .ok()
+            .expect("request queue full; can_accept not honoured");
+    }
+
+    /// Advances the controller by one cycle: possibly issues one DRAM job.
+    pub fn tick(&mut self, now: Cycle) {
+        let now_ns = self.clock.cycles_to_ns(now);
+        // Issue-ahead gate: don't let the DRAM backlog grow unboundedly.
+        if self.dram.bus_free_at() > now_ns + self.cfg.mc.lookahead_ns {
+            return;
+        }
+        // Reads need a response slot reserved before issuing; when the
+        // response queue is full only writes are considered.
+        let allow_reads = self.resp_q.can_push();
+        let Some(idx) = self.pick_candidate(now, allow_reads) else {
+            return;
+        };
+        let txn = self.req_q.pop_at(now, idx).expect("candidate vanished");
+        let offset = txn.addr & self.offset_mask;
+        let timing = self.dram.execute_burst(now_ns, txn.dir, offset, txn.bytes());
+        if txn.dir == self.last_dir {
+            self.dir_run += 1;
+        } else {
+            self.last_dir = txn.dir;
+            self.dir_run = 1;
+        }
+        if txn.dir == Dir::Read {
+            let finish_cycle = self
+                .clock
+                .ns_to_cycles(timing.finish_ns + self.cfg.mc.phy_read_ns);
+            self.resp_q
+                .push(finish_cycle.max(now), Completion { txn, produced_at: finish_cycle.max(now) })
+                .ok()
+                .expect("response slot reserved above");
+        }
+    }
+
+    /// FR-FCFS candidate selection within the window. Returns a queue
+    /// index, or `None` when nothing is eligible this cycle.
+    fn pick_candidate(&self, now: Cycle, allow_reads: bool) -> Option<usize> {
+        let window = self.cfg.mc.window.min(self.req_q.ready_len(now));
+        let entries: Vec<&Transaction> = self.req_q.iter().take(window).collect();
+        let mut best: Option<(usize, u32)> = None;
+        for (i, txn) in entries.iter().enumerate() {
+            // AXI same-ID ordering: an older queued request with the same
+            // (master, id, dir) must go first.
+            let blocked = entries[..i]
+                .iter()
+                .any(|e| e.master == txn.master && e.id == txn.id && e.dir == txn.dir);
+            if blocked || (!allow_reads && txn.dir == Dir::Read) {
+                continue;
+            }
+            let same_dir = txn.dir == self.last_dir;
+            let prefer_dir = if self.dir_run < self.cfg.mc.dir_batch {
+                same_dir
+            } else {
+                // Batch exhausted: prefer the other direction if present.
+                !same_dir
+            };
+            let offset = txn.addr & self.offset_mask;
+            let hit = self.dram.would_hit(offset);
+            // Score: direction preference (4) > row hit (2) > age.
+            let score = (prefer_dir as u32) * 4 + (hit as u32) * 2;
+            match best {
+                Some((_, s)) if s >= score => {}
+                _ => best = Some((i, score)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// A completion ready to enter the return network, oldest first across
+    /// read data and write acknowledges. `None` if nothing is ready.
+    pub fn peek_completion(&self, now: Cycle) -> Option<&Completion> {
+        match (self.resp_q.peek(now), self.ack_q.peek(now)) {
+            (Some(r), Some(a)) => Some(if r.produced_at <= a.produced_at { r } else { a }),
+            (Some(r), None) => Some(r),
+            (None, Some(a)) => Some(a),
+            (None, None) => None,
+        }
+    }
+
+    /// Pops the completion returned by `peek_completion`.
+    pub fn pop_completion(&mut self, now: Cycle) -> Option<Completion> {
+        match (self.resp_q.peek(now), self.ack_q.peek(now)) {
+            (Some(r), Some(a)) => {
+                if r.produced_at <= a.produced_at {
+                    self.resp_q.pop(now)
+                } else {
+                    self.ack_q.pop(now)
+                }
+            }
+            (Some(_), None) => self.resp_q.pop(now),
+            (None, Some(_)) => self.ack_q.pop(now),
+            (None, None) => None,
+        }
+    }
+
+    /// `true` once every queue is empty (used to drain simulations).
+    pub fn drained(&self) -> bool {
+        self.req_q.is_empty() && self.resp_q.is_empty() && self.ack_q.is_empty()
+    }
+
+    /// Number of requests waiting in the input queue.
+    pub fn queue_len(&self) -> usize {
+        self.req_q.len()
+    }
+
+    /// DRAM statistics for this channel.
+    pub fn stats(&self) -> &MemStats {
+        self.dram.stats()
+    }
+
+    /// Clears DRAM statistics (after warm-up).
+    pub fn reset_stats(&mut self) {
+        self.dram.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbm_axi::{AxiId, BurstLen, MasterId, TxnBuilder};
+
+    fn mc() -> MemoryController {
+        MemoryController::new(&HbmConfig::default(), ClockDomain::ACC_300, 0.0)
+    }
+
+    fn txn(b: &mut TxnBuilder, id: u8, addr: u64, beats: u8, dir: Dir, now: Cycle) -> Transaction {
+        b.issue(AxiId(id), addr, BurstLen::of(beats), dir, now).unwrap()
+    }
+
+    /// Runs the controller until drained, returning completions with their
+    /// pop cycle.
+    fn run_to_drain(m: &mut MemoryController, start: Cycle) -> Vec<(Cycle, Completion)> {
+        let mut out = Vec::new();
+        let mut now = start;
+        let deadline = start + 1_000_000;
+        while !m.drained() && now < deadline {
+            m.tick(now);
+            while let Some(c) = m.pop_completion(now) {
+                out.push((now, c));
+            }
+            now += 1;
+        }
+        assert!(m.drained(), "controller failed to drain");
+        out
+    }
+
+    #[test]
+    fn read_produces_completion_with_dram_latency() {
+        let mut m = mc();
+        let mut b = TxnBuilder::new(MasterId(0));
+        m.accept(0, txn(&mut b, 0, 0, 1, Dir::Read, 0));
+        let done = run_to_drain(&mut m, 0);
+        assert_eq!(done.len(), 1);
+        let (cycle, c) = done[0];
+        assert_eq!(c.txn.dir, Dir::Read);
+        // req_latency (13) + closed-page (28 ns ≈ 9 cycles) + PHY (50 ns
+        // ≈ 15 cycles) + beat + resp_latency (4).
+        assert!(cycle >= 30 && cycle <= 50, "read completion at {cycle}");
+    }
+
+    #[test]
+    fn write_acked_at_acceptance_not_dram() {
+        let mut m = mc();
+        let mut b = TxnBuilder::new(MasterId(0));
+        m.accept(0, txn(&mut b, 0, 0, 16, Dir::Write, 0));
+        let done = run_to_drain(&mut m, 0);
+        assert_eq!(done.len(), 1);
+        let (cycle, c) = done[0];
+        assert_eq!(c.txn.dir, Dir::Write);
+        // Ack passes only resp_latency, far below DRAM time.
+        assert!(cycle <= 8, "write ack at {cycle}");
+        // The DRAM still performed the write.
+        assert_eq!(m.stats().bytes_written, 512);
+    }
+
+    #[test]
+    fn same_id_reads_complete_in_order() {
+        let mut m = mc();
+        let mut b = TxnBuilder::new(MasterId(0));
+        // Same ID, second one is a row hit for the first's row — FR-FCFS
+        // must NOT reorder them (same id).
+        m.accept(0, txn(&mut b, 0, 1024 * 64, 1, Dir::Read, 0)); // row X
+        m.accept(0, txn(&mut b, 0, 0, 1, Dir::Read, 0)); // row 0
+        let done = run_to_drain(&mut m, 0);
+        let seqs: Vec<u64> = done.iter().map(|(_, c)| c.txn.seq).collect();
+        assert_eq!(seqs, vec![0, 1]);
+    }
+
+    #[test]
+    fn different_ids_allow_row_hit_first_scheduling() {
+        let cfg = HbmConfig::default();
+        let mut m = MemoryController::new(&cfg, ClockDomain::ACC_300, 0.0);
+        let mut b = TxnBuilder::new(MasterId(0));
+        // Open row 0 with a first read (id 0), then queue a far-row read
+        // (id 1) and a row-0 hit (id 2) behind it. FR-FCFS should service
+        // the hit before the miss.
+        m.accept(0, txn(&mut b, 0, 0, 1, Dir::Read, 0));
+        m.accept(0, txn(&mut b, 1, cfg.row_bytes * cfg.banks_per_pch as u64 * 8, 1, Dir::Read, 0));
+        m.accept(0, txn(&mut b, 2, 32, 1, Dir::Read, 0));
+        let done = run_to_drain(&mut m, 0);
+        let seqs: Vec<u64> = done.iter().map(|(_, c)| c.txn.seq).collect();
+        assert_eq!(seqs[0], 0);
+        assert_eq!(seqs[1], 2, "row hit (seq 2) should be scheduled before miss (seq 1)");
+    }
+
+    #[test]
+    fn backpressure_when_queue_full() {
+        let cfg = HbmConfig::default();
+        let mut m = MemoryController::new(&cfg, ClockDomain::ACC_300, 0.0);
+        let mut b = TxnBuilder::new(MasterId(0));
+        for i in 0..cfg.mc.queue_depth {
+            assert!(m.can_accept(Dir::Read));
+            m.accept(0, txn(&mut b, 0, (i as u64) * 32, 1, Dir::Read, 0));
+        }
+        assert!(!m.can_accept(Dir::Read));
+    }
+
+    #[test]
+    fn direction_batching_groups_same_direction() {
+        // Interleave R/W accepts; the schedule should produce runs rather
+        // than strict alternation, keeping turnarounds well below the
+        // worst case (one per transaction).
+        let mut m = mc();
+        let mut b = TxnBuilder::new(MasterId(0));
+        let n = 16;
+        for i in 0..n {
+            let dir = if i % 2 == 0 { Dir::Read } else { Dir::Write };
+            // Distinct IDs so the scheduler is free to reorder.
+            m.accept(0, txn(&mut b, (i % 16) as u8, i as u64 * 512, 16, dir, 0));
+        }
+        run_to_drain(&mut m, 0);
+        let turns = m.stats().turnarounds;
+        assert!(turns < n / 2, "turnarounds {turns} not batched (n={n})");
+    }
+
+    #[test]
+    fn throughput_sequential_reads_near_effective_bw() {
+        // Keep the controller fed with sequential BL16 reads for a while;
+        // achieved bandwidth should approach the DRAM effective rate
+        // (the queue/window machinery must not add systematic bubbles).
+        let cfg = HbmConfig::default();
+        let clock = ClockDomain::ACC_450; // port faster than a single PCH
+        let mut m = MemoryController::new(&cfg, clock, 0.0);
+        let mut b = TxnBuilder::new(MasterId(0));
+        let mut addr = 0u64;
+        let mut bytes = 0u64;
+        let horizon = 100_000; // cycles @450 MHz ≈ 222 µs
+        for now in 0..horizon {
+            while m.can_accept(Dir::Read) && bytes < (1 << 30) {
+                m.accept(now, txn(&mut b, (addr / 512 % 16) as u8, addr, 16, Dir::Read, now));
+                addr += 512;
+                bytes += 512;
+            }
+            m.tick(now);
+            while m.pop_completion(now).is_some() {}
+        }
+        let delivered = m.stats().bytes_read as f64;
+        let gbps = delivered / clock.cycles_to_ns(horizon);
+        let eff = cfg.timings.effective_bw_gbps();
+        assert!(
+            gbps > eff * 0.93,
+            "sequential read bandwidth {gbps} GB/s vs effective {eff}"
+        );
+    }
+
+    #[test]
+    fn drained_reports_correctly() {
+        let mut m = mc();
+        assert!(m.drained());
+        let mut b = TxnBuilder::new(MasterId(0));
+        m.accept(0, txn(&mut b, 0, 0, 1, Dir::Read, 0));
+        assert!(!m.drained());
+        run_to_drain(&mut m, 0);
+        assert!(m.drained());
+    }
+}

@@ -1,0 +1,95 @@
+//! Per-pseudo-channel statistics counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a [`crate::PchDram`] and its controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Bytes delivered to read requests.
+    pub bytes_read: u64,
+    /// Bytes accepted from write requests.
+    pub bytes_written: u64,
+    /// Row-buffer hits (open row matched).
+    pub page_hits: u64,
+    /// Accesses to an idle bank (activate without precharge).
+    pub page_closed: u64,
+    /// Row conflicts (precharge + activate).
+    pub page_misses: u64,
+    /// Data-bus direction switches (each pays tWTR/tRTW).
+    pub turnarounds: u64,
+    /// Refresh commands executed.
+    pub refreshes: u64,
+    /// Nanoseconds the data bus spent transferring beats.
+    pub busy_ns: f64,
+    /// Nanoseconds the data bus waited on bank timing (unhidden activate
+    /// or precharge latency) while work was queued.
+    pub stall_ns: f64,
+}
+
+impl MemStats {
+    /// Total bytes moved in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Row-hit rate over all classified accesses, or `None` when no
+    /// accesses have been recorded.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.page_hits + self.page_closed + self.page_misses;
+        (total > 0).then(|| self.page_hits as f64 / total as f64)
+    }
+
+    /// Adds another stats block into this one (for device-level totals).
+    pub fn merge(&mut self, other: &MemStats) {
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.page_hits += other.page_hits;
+        self.page_closed += other.page_closed;
+        self.page_misses += other.page_misses;
+        self.turnarounds += other.turnarounds;
+        self.refreshes += other.refreshes;
+        self.busy_ns += other.busy_ns;
+        self.stall_ns += other.stall_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_none_when_empty() {
+        assert_eq!(MemStats::default().hit_rate(), None);
+    }
+
+    #[test]
+    fn hit_rate_computed() {
+        let s = MemStats {
+            page_hits: 3,
+            page_closed: 1,
+            page_misses: 0,
+            ..Default::default()
+        };
+        assert_eq!(s.hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let a = MemStats {
+            bytes_read: 1,
+            bytes_written: 2,
+            page_hits: 3,
+            page_closed: 4,
+            page_misses: 5,
+            turnarounds: 6,
+            refreshes: 7,
+            busy_ns: 8.0,
+            stall_ns: 9.0,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.bytes_read, 2);
+        assert_eq!(b.refreshes, 14);
+        assert_eq!(b.total_bytes(), 6);
+    }
+}

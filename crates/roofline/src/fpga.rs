@@ -1,0 +1,50 @@
+//! FPGA device capacity for utilisation accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Programmable-logic resources of an FPGA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceResources {
+    /// Look-up tables.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// BRAM tiles (36 Kb).
+    pub bram: u64,
+    /// DSP slices.
+    pub dsps: u64,
+}
+
+impl DeviceResources {
+    /// The Virtex UltraScale+ XCVU37P used throughout the paper.
+    pub const XCVU37P: DeviceResources = DeviceResources {
+        luts: 1_303_680,
+        ffs: 2_607_360,
+        bram: 2_016,
+        dsps: 9_024,
+    };
+
+    /// Whether a design using `pct` percent of the dominant resource
+    /// fits (the paper's red/green colouring of Table V).
+    pub fn fits(pct: f64) -> bool {
+        pct <= 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xcvu37p_capacity() {
+        let d = DeviceResources::XCVU37P;
+        assert_eq!(d.luts, 1_303_680);
+        assert_eq!(d.dsps, 9_024);
+    }
+
+    #[test]
+    fn fits_boundary() {
+        assert!(DeviceResources::fits(100.0));
+        assert!(!DeviceResources::fits(100.1));
+    }
+}

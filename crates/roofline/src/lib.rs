@@ -1,0 +1,43 @@
+//! # hbm-roofline — Roofline methodology and accelerator models
+//!
+//! The paper's §V evaluates its design guidelines by placing two matrix-
+//! multiplication accelerators in a Roofline model whose bandwidth
+//! ceiling is the *measured* HBM throughput (not the theoretical one —
+//! the paper's central methodological point):
+//!
+//! * [`model`] — the Roofline itself: compute ceiling, bandwidth
+//!   ceilings, attainable performance, ridge points, plot series
+//!   (Fig. 7);
+//! * [`accelerator`] — analytical models of Accelerator A (systolic PE
+//!   array) and Accelerator B (adder tree): operational intensity,
+//!   compute ceiling, resource utilisation, read/write ratio, speed-ups
+//!   (Table V);
+//! * [`matmul`] — functional software analogues of both dataflows,
+//!   verified against a reference implementation (the reproduction's
+//!   proof that the modelled dataflows compute the right thing);
+//! * [`fpga`] — XCVU37P capacity numbers for utilisation percentages.
+//!
+//! ## Example
+//!
+//! ```
+//! use hbm_roofline::accelerator::{AcceleratorA, AcceleratorModel};
+//! use hbm_roofline::Roofline;
+//!
+//! // Accelerator A at P = 4 against the paper's measured bandwidths:
+//! let acc = AcceleratorA { p: 4 };
+//! let unopt = Roofline::new(acc.comp_gops(), 12.55);
+//! let mao = Roofline::new(acc.comp_gops(), 403.75);
+//! assert!(unopt.memory_bound(acc.op_intensity()));
+//! assert!(!mao.memory_bound(acc.op_intensity()));
+//! ```
+
+pub mod accelerator;
+pub mod fpga;
+pub mod matmul;
+pub mod model;
+pub mod multi;
+
+pub use accelerator::{AcceleratorA, AcceleratorB, AcceleratorModel, Table5Row};
+pub use fpga::DeviceResources;
+pub use model::{Roofline, RooflinePoint};
+pub use multi::{Ceiling, MultiRoofline};

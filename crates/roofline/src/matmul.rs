@@ -1,0 +1,266 @@
+//! Functional software analogues of the two accelerator dataflows.
+//!
+//! The paper's accelerators are RTL; this reproduction cannot synthesise
+//! them, but it *can* prove that the modelled dataflows compute correct
+//! results. [`systolic_matmul`] mimics Accelerator A: a weight-stationary
+//! PE-array tile of one input is kept "resident" while the other input
+//! streams through, accumulating outputs tile by tile. [`adder_tree_matmul`]
+//! mimics Accelerator B: one input row is buffered, the other matrix
+//! streams, and each output element is produced by a tree reduction over
+//! partial products. Both are verified against [`reference_matmul`].
+//!
+//! Matrices are row-major `f32`; dimensions follow the paper's
+//! `(Mh × Mw) · (Mw × Nw)` convention.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Row-major data, `rows × cols` elements.
+    pub data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix from a generator function `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Maximum absolute element difference to another matrix.
+    pub fn max_abs_diff(&self, o: &Matrix) -> f32 {
+        assert_eq!((self.rows, self.cols), (o.rows, o.cols));
+        self.data
+            .iter()
+            .zip(&o.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+/// Reference triple-loop matrix multiplication: `A (m×k) · B (k×n)`.
+pub fn reference_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols, b.rows, "inner dimensions must agree");
+    let mut c = Matrix::zeros(a.rows, b.cols);
+    for i in 0..a.rows {
+        for kk in 0..a.cols {
+            let av = a.at(i, kk);
+            for j in 0..b.cols {
+                *c.at_mut(i, j) += av * b.at(kk, j);
+            }
+        }
+    }
+    c
+}
+
+/// Accelerator A's dataflow: weight-stationary tiled multiplication.
+///
+/// The PE array holds a `tile × tile` block of `B`; rows of `A` stream
+/// through it, producing partial output rows that are accumulated into
+/// `C` (the memory traffic the paper analyses: `B` loaded once per tile,
+/// `A` and `C` streamed — the 2:1 read/write ratio of Table V).
+pub fn systolic_matmul(a: &Matrix, b: &Matrix, tile: usize) -> Matrix {
+    assert_eq!(a.cols, b.rows, "inner dimensions must agree");
+    assert!(tile >= 1);
+    let mut c = Matrix::zeros(a.rows, b.cols);
+    // Loop over resident tiles of B.
+    for k0 in (0..b.rows).step_by(tile) {
+        let k1 = (k0 + tile).min(b.rows);
+        for j0 in (0..b.cols).step_by(tile) {
+            let j1 = (j0 + tile).min(b.cols);
+            // "Load" the tile into the PE array (local copy = the PEs'
+            // registers).
+            let th = k1 - k0;
+            let tw = j1 - j0;
+            let mut resident = vec![0.0f32; th * tw];
+            for (ti, kk) in (k0..k1).enumerate() {
+                for (tj, j) in (j0..j1).enumerate() {
+                    resident[ti * tw + tj] = b.at(kk, j);
+                }
+            }
+            // Stream every row of A through the array.
+            for i in 0..a.rows {
+                for (tj, j) in (j0..j1).enumerate() {
+                    let mut acc = 0.0f32;
+                    for (ti, kk) in (k0..k1).enumerate() {
+                        acc += a.at(i, kk) * resident[ti * tw + tj];
+                    }
+                    *c.at_mut(i, j) += acc;
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Accelerator B's dataflow: buffered rows of `A` with adder-tree
+/// reduction.
+///
+/// A block of `rows_buf` rows of `A` and their partial sums stay in
+/// local memory; `B` streams through column by column, and each output
+/// element is reduced by a binary adder tree over the buffered products
+/// (so only `B` is re-loaded per row block — the `Mh:1` read/write ratio
+/// of Table V).
+pub fn adder_tree_matmul(a: &Matrix, b: &Matrix, rows_buf: usize) -> Matrix {
+    assert_eq!(a.cols, b.rows, "inner dimensions must agree");
+    assert!(rows_buf >= 1);
+    let mut c = Matrix::zeros(a.rows, b.cols);
+    for i0 in (0..a.rows).step_by(rows_buf) {
+        let i1 = (i0 + rows_buf).min(a.rows);
+        // Stream B once per row block.
+        for j in 0..b.cols {
+            for i in i0..i1 {
+                // Adder tree: reduce pairwise for a bit-exact tree order.
+                let mut terms: Vec<f32> =
+                    (0..a.cols).map(|kk| a.at(i, kk) * b.at(kk, j)).collect();
+                while terms.len() > 1 {
+                    let mut next = Vec::with_capacity(terms.len().div_ceil(2));
+                    for pair in terms.chunks(2) {
+                        next.push(if pair.len() == 2 { pair[0] + pair[1] } else { pair[0] });
+                    }
+                    terms = next;
+                }
+                *c.at_mut(i, j) = terms.first().copied().unwrap_or(0.0);
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rows: usize, cols: usize, seed: u32) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            // Small integers keep f32 accumulation exact.
+            (((r as u32 * 31 + c as u32 * 17 + seed) % 7) as f32) - 3.0
+        })
+    }
+
+    #[test]
+    fn reference_identity() {
+        let a = sample(4, 4, 1);
+        let i = Matrix::from_fn(4, 4, |r, c| (r == c) as u32 as f32);
+        assert_eq!(reference_matmul(&a, &i), a);
+    }
+
+    #[test]
+    fn reference_known_product() {
+        let a = Matrix { rows: 2, cols: 2, data: vec![1.0, 2.0, 3.0, 4.0] };
+        let b = Matrix { rows: 2, cols: 2, data: vec![5.0, 6.0, 7.0, 8.0] };
+        let c = reference_matmul(&a, &b);
+        assert_eq!(c.data, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn systolic_matches_reference_square() {
+        let a = sample(16, 16, 1);
+        let b = sample(16, 16, 2);
+        let want = reference_matmul(&a, &b);
+        for tile in [1, 3, 4, 16, 32] {
+            let got = systolic_matmul(&a, &b, tile);
+            assert!(want.max_abs_diff(&got) < 1e-3, "tile {tile}");
+        }
+    }
+
+    #[test]
+    fn systolic_matches_reference_rectangular() {
+        let a = sample(7, 13, 3);
+        let b = sample(13, 5, 4);
+        let want = reference_matmul(&a, &b);
+        let got = systolic_matmul(&a, &b, 4);
+        assert!(want.max_abs_diff(&got) < 1e-3);
+    }
+
+    #[test]
+    fn adder_tree_matches_reference() {
+        let a = sample(12, 9, 5);
+        let b = sample(9, 11, 6);
+        let want = reference_matmul(&a, &b);
+        for rows_buf in [1, 2, 5, 12, 100] {
+            let got = adder_tree_matmul(&a, &b, rows_buf);
+            assert!(want.max_abs_diff(&got) < 1e-3, "rows_buf {rows_buf}");
+        }
+    }
+
+    #[test]
+    fn empty_inner_dimension() {
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 3);
+        let c = reference_matmul(&a, &b);
+        assert!(c.data.iter().all(|&v| v == 0.0));
+        let c = adder_tree_matmul(&a, &b, 2);
+        assert!(c.data.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn max_abs_diff_reports_largest() {
+        let a = Matrix { rows: 1, cols: 3, data: vec![1.0, 2.0, 3.0] };
+        let b = Matrix { rows: 1, cols: 3, data: vec![1.0, 0.5, 3.25] };
+        assert_eq!(a.max_abs_diff(&b), 1.5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_matrix(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
+        (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(|(m, k, n)| {
+            (
+                proptest::collection::vec(-4i8..=4, m * k),
+                proptest::collection::vec(-4i8..=4, k * n),
+            )
+                .prop_map(move |(da, db)| {
+                    (
+                        Matrix { rows: m, cols: k, data: da.iter().map(|&v| v as f32).collect() },
+                        Matrix { rows: k, cols: n, data: db.iter().map(|&v| v as f32).collect() },
+                    )
+                })
+        })
+    }
+
+    proptest! {
+        /// Both dataflows agree with the reference for arbitrary small
+        /// integer matrices and arbitrary tilings (exact in f32).
+        #[test]
+        fn dataflows_match_reference(
+            (a, b) in small_matrix(10),
+            tile in 1usize..8,
+            rows_buf in 1usize..8,
+        ) {
+            let want = reference_matmul(&a, &b);
+            let sys = systolic_matmul(&a, &b, tile);
+            prop_assert!(want.max_abs_diff(&sys) == 0.0);
+            let tree = adder_tree_matmul(&a, &b, rows_buf);
+            prop_assert!(want.max_abs_diff(&tree) == 0.0);
+        }
+    }
+}

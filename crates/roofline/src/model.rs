@@ -1,0 +1,137 @@
+//! The Roofline model (Williams et al., CACM 2009) as used in the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// One point in the Roofline plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Operational intensity in operations per byte.
+    pub oi: f64,
+    /// Performance in GOPS.
+    pub gops: f64,
+}
+
+/// A Roofline: one compute ceiling and one memory-bandwidth ceiling.
+///
+/// The paper's methodological point is that `bw_gbps` must be the
+/// *measured* bandwidth of the actual access pattern on the actual
+/// interconnect — plugging in the 460 GB/s theoretical number predicts
+/// performance that global addressing on the stock fabric misses by more
+/// than an order of magnitude.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Compute ceiling in GOPS.
+    pub comp_gops: f64,
+    /// Memory-bandwidth ceiling in GB/s.
+    pub bw_gbps: f64,
+}
+
+impl Roofline {
+    /// A roofline from a compute ceiling and a bandwidth ceiling.
+    pub fn new(comp_gops: f64, bw_gbps: f64) -> Roofline {
+        assert!(comp_gops > 0.0 && bw_gbps > 0.0);
+        Roofline { comp_gops, bw_gbps }
+    }
+
+    /// Attainable performance at operational intensity `oi`, in GOPS:
+    /// `min(comp, bw × oi)`.
+    pub fn attainable(&self, oi: f64) -> f64 {
+        self.comp_gops.min(self.bw_gbps * oi)
+    }
+
+    /// The ridge point: the operational intensity at which the memory
+    /// ceiling meets the compute ceiling. Kernels left of it are memory
+    /// bound, kernels right of it compute bound.
+    pub fn ridge_oi(&self) -> f64 {
+        self.comp_gops / self.bw_gbps
+    }
+
+    /// `true` if a kernel at `oi` is memory bound.
+    pub fn memory_bound(&self, oi: f64) -> bool {
+        oi < self.ridge_oi()
+    }
+
+    /// How close attainable performance at `oi` is to the memory ceiling
+    /// (1.0 = exactly on it). The paper notes Accelerator B at P = 32
+    /// lands "less than 0.1 % away from the memory ceiling".
+    pub fn memory_ceiling_fraction(&self, oi: f64) -> f64 {
+        self.attainable(oi) / (self.bw_gbps * oi)
+    }
+
+    /// Generates a log-spaced plot series of the roofline between
+    /// `oi_min` and `oi_max` (both > 0), `n` points — the lines of
+    /// Fig. 7.
+    pub fn series(&self, oi_min: f64, oi_max: f64, n: usize) -> Vec<RooflinePoint> {
+        assert!(oi_min > 0.0 && oi_max > oi_min && n >= 2);
+        let step = (oi_max / oi_min).ln() / (n - 1) as f64;
+        (0..n)
+            .map(|i| {
+                let oi = oi_min * (step * i as f64).exp();
+                RooflinePoint { oi, gops: self.attainable(oi) }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attainable_min_of_ceilings() {
+        let r = Roofline::new(1000.0, 10.0);
+        assert_eq!(r.attainable(1.0), 10.0);
+        assert_eq!(r.attainable(100.0), 1000.0);
+        assert_eq!(r.attainable(1000.0), 1000.0);
+    }
+
+    #[test]
+    fn ridge_point() {
+        let r = Roofline::new(1000.0, 10.0);
+        assert_eq!(r.ridge_oi(), 100.0);
+        assert!(r.memory_bound(99.0));
+        assert!(!r.memory_bound(101.0));
+    }
+
+    #[test]
+    fn paper_accelerator_a_example() {
+        // A at P = 4 with unoptimised HBM: min(2458, 12.55 × 42) ≈ 527.
+        let r = Roofline::new(2458.0, 12.55);
+        let perf = r.attainable(42.0);
+        assert!((perf - 527.1).abs() < 1.0, "{perf}");
+        assert!(r.memory_bound(42.0));
+        // With the MAO the same kernel becomes compute bound.
+        let r = Roofline::new(2458.0, 403.75);
+        assert_eq!(r.attainable(42.0), 2458.0);
+        assert!(!r.memory_bound(42.0));
+    }
+
+    #[test]
+    fn ceiling_fraction() {
+        let r = Roofline::new(547.0, 273.0);
+        // B at P = 32: OpI 2 → 546 GB/s×OpI vs 547 comp: 0.2 % below.
+        let f = r.memory_ceiling_fraction(2.0);
+        assert!(f > 0.99 && f <= 1.0, "{f}");
+    }
+
+    #[test]
+    fn series_is_monotone_and_log_spaced() {
+        let r = Roofline::new(100.0, 10.0);
+        let s = r.series(0.1, 1000.0, 50);
+        assert_eq!(s.len(), 50);
+        assert!((s[0].oi - 0.1).abs() < 1e-9);
+        assert!((s[49].oi - 1000.0).abs() < 1e-6);
+        for w in s.windows(2) {
+            assert!(w[1].oi > w[0].oi);
+            assert!(w[1].gops >= w[0].gops);
+        }
+        // Plateau at the compute ceiling.
+        assert_eq!(s[49].gops, 100.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_ceilings() {
+        let _ = Roofline::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Multi-ceiling Roofline.
+//!
+//! The paper's §III credits Siracusa et al. with extending the Roofline
+//! model by *additional* bandwidth ceilings for random-access and
+//! gather/scatter patterns, and argues such ceilings must be measured on
+//! the actual memory system. [`MultiRoofline`] implements that: a
+//! compute ceiling plus one named bandwidth ceiling per access class,
+//! each typically filled in from a simulator measurement
+//! (`hbm-core::measure`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::RooflinePoint;
+
+/// A named bandwidth ceiling (e.g. "sequential", "random", "hot-spot").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ceiling {
+    /// Access-class label.
+    pub name: String,
+    /// Measured bandwidth in GB/s.
+    pub bw_gbps: f64,
+}
+
+/// A Roofline with several measured bandwidth ceilings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiRoofline {
+    /// Compute ceiling in GOPS.
+    pub comp_gops: f64,
+    /// Bandwidth ceilings, typically sorted fastest first.
+    pub ceilings: Vec<Ceiling>,
+}
+
+impl MultiRoofline {
+    /// A model with a compute ceiling and no bandwidth ceilings yet.
+    pub fn new(comp_gops: f64) -> MultiRoofline {
+        assert!(comp_gops > 0.0);
+        MultiRoofline { comp_gops, ceilings: Vec::new() }
+    }
+
+    /// Adds a measured ceiling.
+    pub fn with_ceiling(mut self, name: &str, bw_gbps: f64) -> MultiRoofline {
+        assert!(bw_gbps > 0.0, "bandwidth must be positive");
+        self.ceilings.push(Ceiling { name: name.to_string(), bw_gbps });
+        self
+    }
+
+    /// The ceiling for an access class.
+    pub fn ceiling(&self, name: &str) -> Option<&Ceiling> {
+        self.ceilings.iter().find(|c| c.name == name)
+    }
+
+    /// Attainable performance for a kernel of intensity `oi` whose
+    /// traffic is governed by the named access class.
+    pub fn attainable(&self, name: &str, oi: f64) -> Option<f64> {
+        let c = self.ceiling(name)?;
+        Some(self.comp_gops.min(c.bw_gbps * oi))
+    }
+
+    /// Attainable performance for a kernel whose bytes split across
+    /// several access classes: `mix` gives (class, fraction of bytes).
+    /// The effective bandwidth is the harmonic combination — each byte
+    /// class takes time proportional to its share over its ceiling.
+    pub fn attainable_mixed(&self, mix: &[(&str, f64)], oi: f64) -> Option<f64> {
+        let total: f64 = mix.iter().map(|(_, f)| f).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut time_per_byte = 0.0;
+        for (name, frac) in mix {
+            let c = self.ceiling(name)?;
+            time_per_byte += (frac / total) / c.bw_gbps;
+        }
+        let eff_bw = 1.0 / time_per_byte;
+        Some(self.comp_gops.min(eff_bw * oi))
+    }
+
+    /// Ridge point for a ceiling.
+    pub fn ridge_oi(&self, name: &str) -> Option<f64> {
+        Some(self.comp_gops / self.ceiling(name)?.bw_gbps)
+    }
+
+    /// Plot series (log-spaced) for a ceiling.
+    pub fn series(&self, name: &str, oi_min: f64, oi_max: f64, n: usize) -> Option<Vec<RooflinePoint>> {
+        let c = self.ceiling(name)?;
+        assert!(oi_min > 0.0 && oi_max > oi_min && n >= 2);
+        let step = (oi_max / oi_min).ln() / (n - 1) as f64;
+        Some(
+            (0..n)
+                .map(|i| {
+                    let oi = oi_min * (step * i as f64).exp();
+                    RooflinePoint { oi, gops: self.comp_gops.min(c.bw_gbps * oi) }
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> MultiRoofline {
+        // Ballpark ceilings from the reproduction's Table IV (MAO).
+        MultiRoofline::new(10_000.0)
+            .with_ceiling("sequential", 395.0)
+            .with_ceiling("random", 353.0)
+            .with_ceiling("hot-spot", 12.4)
+    }
+
+    #[test]
+    fn per_class_attainable() {
+        let m = model();
+        assert_eq!(m.attainable("sequential", 10.0), Some(3950.0));
+        assert_eq!(m.attainable("hot-spot", 10.0), Some(124.0));
+        assert_eq!(m.attainable("sequential", 1e6), Some(10_000.0));
+        assert_eq!(m.attainable("unknown", 1.0), None);
+    }
+
+    #[test]
+    fn ridge_points_order_by_bandwidth() {
+        let m = model();
+        let seq = m.ridge_oi("sequential").unwrap();
+        let hot = m.ridge_oi("hot-spot").unwrap();
+        assert!(hot > seq, "slower ceilings ridge later: {hot} vs {seq}");
+    }
+
+    #[test]
+    fn mixed_traffic_is_harmonic() {
+        let m = MultiRoofline::new(1e9)
+            .with_ceiling("fast", 400.0)
+            .with_ceiling("slow", 100.0);
+        // 50/50 bytes: harmonic mean = 2/(1/400 + 1/100) = 160 GB/s.
+        let got = m.attainable_mixed(&[("fast", 0.5), ("slow", 0.5)], 1.0).unwrap();
+        assert!((got - 160.0).abs() < 1e-9, "{got}");
+        // All fast = fast ceiling.
+        let got = m.attainable_mixed(&[("fast", 1.0)], 1.0).unwrap();
+        assert!((got - 400.0).abs() < 1e-9);
+        // Unknown class → None; empty mix → None.
+        assert!(m.attainable_mixed(&[("nope", 1.0)], 1.0).is_none());
+        assert!(m.attainable_mixed(&[], 1.0).is_none());
+    }
+
+    #[test]
+    fn series_clamps_at_compute() {
+        let m = model();
+        let s = m.series("sequential", 0.1, 1e4, 32).unwrap();
+        assert_eq!(s.len(), 32);
+        assert_eq!(s.last().unwrap().gops, 10_000.0);
+        assert!(m.series("unknown", 0.1, 1.0, 2).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_bandwidth() {
+        let _ = MultiRoofline::new(1.0).with_ceiling("x", 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Fluent construction of [`Workload`]s.
+//!
+//! The `Workload` struct literal is fine for experiment code; downstream
+//! users get a validating builder:
+//!
+//! ```
+//! use hbm_traffic::{Pattern, RwRatio, WorkloadBuilder};
+//!
+//! let wl = WorkloadBuilder::new(Pattern::Ccra)
+//!     .burst(8)
+//!     .outstanding(16)
+//!     .ids(16)
+//!     .rw(RwRatio::TWO_TO_ONE)
+//!     .working_set(1 << 30)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(wl.burst.beats(), 8);
+//! ```
+
+use hbm_axi::BurstLen;
+
+use crate::workload::{Pattern, RwRatio, Workload};
+
+/// Builder for [`Workload`] with validation at `build` time.
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    wl: Workload,
+    burst_err: Option<String>,
+}
+
+impl WorkloadBuilder {
+    /// Starts from the canonical preset for `pattern`.
+    pub fn new(pattern: Pattern) -> WorkloadBuilder {
+        let wl = match pattern {
+            Pattern::Scs => Workload::scs(),
+            Pattern::Ccs => Workload::ccs(),
+            Pattern::Scra => Workload::scra(),
+            Pattern::Ccra => Workload::ccra(),
+        };
+        WorkloadBuilder { wl, burst_err: None }
+    }
+
+    /// AXI3 burst length in beats (1..=16); the stride follows unless
+    /// overridden afterwards.
+    pub fn burst(mut self, beats: u8) -> WorkloadBuilder {
+        match BurstLen::new(beats) {
+            Some(b) => {
+                self.wl.burst = b;
+                self.wl.stride = b.bytes();
+            }
+            None => self.burst_err = Some(format!("invalid AXI3 burst length {beats}")),
+        }
+        self
+    }
+
+    /// Maximum outstanding transactions per direction.
+    pub fn outstanding(mut self, n: usize) -> WorkloadBuilder {
+        self.wl.outstanding = n;
+        self
+    }
+
+    /// Independent AXI IDs (reorder window).
+    pub fn ids(mut self, n: usize) -> WorkloadBuilder {
+        self.wl.num_ids = n;
+        self
+    }
+
+    /// Read/write mix.
+    pub fn rw(mut self, rw: RwRatio) -> WorkloadBuilder {
+        self.wl.rw = rw;
+        self
+    }
+
+    /// Stride between chunk starts in bytes.
+    pub fn stride(mut self, bytes: u64) -> WorkloadBuilder {
+        self.wl.stride = bytes;
+        self
+    }
+
+    /// SCS rotation offset.
+    pub fn rotation(mut self, r: usize) -> WorkloadBuilder {
+        self.wl.rotation = r;
+        self
+    }
+
+    /// Working-set size in bytes.
+    pub fn working_set(mut self, bytes: u64) -> WorkloadBuilder {
+        self.wl.working_set = bytes;
+        self
+    }
+
+    /// RNG seed for random patterns.
+    pub fn seed(mut self, seed: u64) -> WorkloadBuilder {
+        self.wl.seed = seed;
+        self
+    }
+
+    /// Validates and returns the workload.
+    pub fn build(self) -> Result<Workload, String> {
+        if let Some(e) = self.burst_err {
+            return Err(e);
+        }
+        self.wl.validate()?;
+        Ok(self.wl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_valid_workloads() {
+        let wl = WorkloadBuilder::new(Pattern::Scs)
+            .burst(4)
+            .outstanding(8)
+            .rotation(2)
+            .build()
+            .unwrap();
+        assert_eq!(wl.burst.beats(), 4);
+        assert_eq!(wl.stride, 128, "stride follows burst");
+        assert_eq!(wl.rotation, 2);
+    }
+
+    #[test]
+    fn rejects_invalid_burst() {
+        let e = WorkloadBuilder::new(Pattern::Ccs).burst(0).build().unwrap_err();
+        assert!(e.contains("burst"), "{e}");
+        let e = WorkloadBuilder::new(Pattern::Ccs).burst(17).build().unwrap_err();
+        assert!(e.contains("burst"), "{e}");
+    }
+
+    #[test]
+    fn rejects_invalid_downstream_fields() {
+        let e = WorkloadBuilder::new(Pattern::Ccs).outstanding(0).build().unwrap_err();
+        assert!(e.contains("outstanding"), "{e}");
+        let e = WorkloadBuilder::new(Pattern::Ccs).stride(100).build().unwrap_err();
+        assert!(e.contains("stride"), "{e}");
+    }
+
+    #[test]
+    fn stride_override_after_burst() {
+        let wl = WorkloadBuilder::new(Pattern::Ccs)
+            .burst(16)
+            .stride(16 << 10)
+            .working_set(4 << 30)
+            .build()
+            .unwrap();
+        assert_eq!(wl.stride, 16 << 10);
+    }
+}

@@ -1,0 +1,210 @@
+//! Workload specifications.
+
+use hbm_axi::BurstLen;
+use serde::{Deserialize, Serialize};
+
+/// The four basic access patterns of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Single-Channel Stride: master *i* streams linearly through its own
+    /// pseudo-channel's partition (optionally rotated, Fig. 4).
+    Scs,
+    /// Cross-Channel Stride: all masters walk one globally contiguous
+    /// buffer, each requesting the globally subsequent chunk in turn.
+    Ccs,
+    /// Single-Channel Random Access: master *i* reads random chunks
+    /// within its own partition.
+    Scra,
+    /// Cross-Channel Random Access: masters read random chunks anywhere
+    /// in the working set.
+    Ccra,
+}
+
+/// Ratio of concurrent read to write transactions, e.g. 2:1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RwRatio {
+    /// Reads per period.
+    pub reads: u32,
+    /// Writes per period.
+    pub writes: u32,
+}
+
+impl RwRatio {
+    /// Read-only traffic.
+    pub const READ_ONLY: RwRatio = RwRatio { reads: 1, writes: 0 };
+    /// Write-only traffic.
+    pub const WRITE_ONLY: RwRatio = RwRatio { reads: 0, writes: 1 };
+    /// The 2:1 mix the paper identifies as the 300 MHz sweet spot.
+    pub const TWO_TO_ONE: RwRatio = RwRatio { reads: 2, writes: 1 };
+
+    /// Fraction of transactions that are reads.
+    pub fn read_fraction(&self) -> f64 {
+        let total = self.reads + self.writes;
+        assert!(total > 0, "ratio must have at least one side");
+        self.reads as f64 / total as f64
+    }
+
+    /// Whether the `n`-th transaction of the repeating period is a read.
+    pub fn is_read(&self, n: u64) -> bool {
+        let period = (self.reads + self.writes) as u64;
+        (n % period) < self.reads as u64
+    }
+}
+
+/// A complete workload description for one experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Access pattern.
+    pub pattern: Pattern,
+    /// AXI burst length.
+    pub burst: BurstLen,
+    /// Maximum outstanding transactions per master per direction
+    /// (the paper's `N_ot`).
+    pub outstanding: usize,
+    /// Independent AXI IDs each master cycles through (reorder window,
+    /// Fig. 6).
+    pub num_ids: usize,
+    /// Read/write mix.
+    pub rw: RwRatio,
+    /// Distance between consecutive chunk starts in bytes. Equal to the
+    /// burst size for dense streams; larger values skip data and smaller
+    /// values re-fetch it (Fig. 5).
+    pub stride: u64,
+    /// SCS rotation offset: master *i* targets pseudo-channel
+    /// `(i + rotation) mod N` (Fig. 4).
+    pub rotation: usize,
+    /// Bytes of the shared buffer (CC patterns) or of each master's
+    /// private region (SC patterns). Reads use the first half, writes the
+    /// second, so mixed traffic touches disjoint data like a real
+    /// read-modify-write kernel.
+    pub working_set: u64,
+    /// RNG seed for the random patterns.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// A dense CCS workload over a 64 MiB contiguous buffer — the
+    /// configuration that hot-spots a single pseudo-channel on the
+    /// Xilinx fabric (Fig. 3b / Table IV).
+    pub fn ccs() -> Workload {
+        Workload {
+            pattern: Pattern::Ccs,
+            burst: BurstLen::of(16),
+            outstanding: 32,
+            num_ids: 16,
+            rw: RwRatio::TWO_TO_ONE,
+            stride: 512,
+            rotation: 0,
+            working_set: 64 << 20,
+            seed: 0x5eed_0001,
+        }
+    }
+
+    /// A CCRA workload scattering 512 B chunks over the whole 8 GiB
+    /// device (Table IV) — random accesses touch every pseudo-channel.
+    pub fn ccra() -> Workload {
+        Workload {
+            pattern: Pattern::Ccra,
+            working_set: 8 << 30,
+            ..Workload::ccs()
+        }
+    }
+
+    /// A dense SCS workload, each master in its own 64 MiB partition
+    /// slice (Fig. 3a).
+    pub fn scs() -> Workload {
+        Workload {
+            pattern: Pattern::Scs,
+            ..Workload::ccs()
+        }
+    }
+
+    /// An SCRA workload (Fig. 3c).
+    pub fn scra() -> Workload {
+        Workload {
+            pattern: Pattern::Scra,
+            ..Workload::ccs()
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.stride % 32 != 0 || self.stride == 0 {
+            return Err(format!("stride {} must be a positive multiple of 32 B", self.stride));
+        }
+        if self.stride < self.burst.bytes() && self.stride % self.burst.bytes() != 0 {
+            // Overlapping strides are allowed (Fig. 5's low end) but must
+            // keep bursts 512-aligned relative to each other? No: they
+            // only need beat alignment, which the 32 B check gives.
+        }
+        if self.outstanding == 0 {
+            return Err("outstanding must be ≥ 1".into());
+        }
+        if self.num_ids == 0 || self.num_ids > 256 {
+            return Err("num_ids must be in 1..=256".into());
+        }
+        if self.rw.reads + self.rw.writes == 0 {
+            return Err("read/write ratio must be non-empty".into());
+        }
+        if self.working_set < 2 * self.burst.bytes() {
+            return Err("working set too small for split read/write regions".into());
+        }
+        // Bursts must never cross a 4 KiB boundary (AXI rule). AXI3 caps
+        // at 512 B; AXI4 what-if studies may go to 4 KiB, in which case
+        // the interleave granularity must be at least the burst size
+        // (validated by `MaoConfig`).
+        if self.burst.bytes() > 4096 {
+            return Err("burst exceeds the 4 KiB AXI boundary".into());
+        }
+        if self.burst.bytes() > 512 && self.stride < self.burst.bytes() {
+            return Err("long-burst workloads must not overlap bursts".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_read_fraction() {
+        assert_eq!(RwRatio::READ_ONLY.read_fraction(), 1.0);
+        assert_eq!(RwRatio::WRITE_ONLY.read_fraction(), 0.0);
+        assert!((RwRatio::TWO_TO_ONE.read_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_sequence() {
+        let r = RwRatio::TWO_TO_ONE;
+        let seq: Vec<bool> = (0..6).map(|n| r.is_read(n)).collect();
+        assert_eq!(seq, [true, true, false, true, true, false]);
+    }
+
+    #[test]
+    fn presets_validate() {
+        Workload::ccs().validate().unwrap();
+        Workload::ccra().validate().unwrap();
+        Workload::scs().validate().unwrap();
+        Workload::scra().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut w = Workload::ccs();
+        w.stride = 100;
+        assert!(w.validate().is_err());
+
+        let mut w = Workload::ccs();
+        w.outstanding = 0;
+        assert!(w.validate().is_err());
+
+        let mut w = Workload::ccs();
+        w.rw = RwRatio { reads: 0, writes: 0 };
+        assert!(w.validate().is_err());
+
+        let mut w = Workload::ccs();
+        w.working_set = 512;
+        assert!(w.validate().is_err());
+    }
+}

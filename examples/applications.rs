@@ -1,0 +1,64 @@
+//! Application studies: stencil and gather on the simulated HBM system.
+//!
+//! The paper's title promises "Applications": its §I cites weather
+//! stencils (NERO) and data analytics (Kara et al.) as the accelerators
+//! that need HBM. This example runs both archetypes end to end:
+//!
+//! * a 5-point Jacobi stencil — streaming, operational intensity < 1,
+//!   purely bandwidth-bound;
+//! * a gather reduction — random accesses over a large table, bound by
+//!   the memory system's reorder capability (Fig. 6 as an application).
+//!
+//! Run with: `cargo run --release --example applications`
+
+use hbm_fpga::accel::{
+    gather_engines, run_engines, stencil_engines, GatherDims, StencilDims,
+};
+use hbm_fpga::axi::BurstLen;
+use hbm_fpga::core::prelude::*;
+
+fn main() {
+    // ---- stencil -------------------------------------------------------
+    let dims = StencilDims::square(512);
+    println!(
+        "5-point Jacobi, {}x{} f32 grid ({} MiB per sweep of traffic)\n",
+        dims.h,
+        dims.w,
+        2 * dims.h * dims.w * 4 >> 20
+    );
+    for (name, cfg) in [("stock fabric", SystemConfig::xilinx()), ("MAO", SystemConfig::mao())] {
+        let engines = stencil_engines(&dims, 32, 1e9, BurstLen::of(16), 16, 8);
+        match run_engines(&cfg, engines, dims.total_ops(), 100_000_000) {
+            Some(r) => println!(
+                "  {name:14}: sweep in {:>8} cycles  ({:6.1} GB/s, {:5.1} GOPS, OpI {:.2})",
+                r.cycles, r.gbps, r.gops, r.op_intensity
+            ),
+            None => println!("  {name:14}: did not finish"),
+        }
+    }
+
+    // ---- gather --------------------------------------------------------
+    let gdims = GatherDims::new(16_384, 512 << 20);
+    println!(
+        "\ngather reduction, {} random 32 B probes over a {} MiB table\n",
+        gdims.num_indices,
+        gdims.table_bytes >> 20
+    );
+    for (name, cfg) in [("stock fabric", SystemConfig::xilinx()), ("MAO", SystemConfig::mao())] {
+        for (rname, out, ids) in [("shallow reorder (2)", 2usize, 2usize), ("deep reorder (32)", 32, 32)] {
+            let engines = gather_engines(&gdims, 32, 1e9, out, ids);
+            match run_engines(&cfg, engines, gdims.total_ops(), 100_000_000) {
+                Some(r) => println!(
+                    "  {name:14} {rname:20}: {:>9} cycles  ({:6.2} GB/s of gathers)",
+                    r.cycles, r.gbps
+                ),
+                None => println!("  {name:14} {rname:20}: did not finish"),
+            }
+        }
+    }
+    println!(
+        "\nThe stencil tracks the CCS bandwidth gap; the gather tracks Fig. 6's\n\
+         reorder-depth curve — applications inherit exactly the pattern-level\n\
+         behaviour the paper's analysis predicts."
+    );
+}

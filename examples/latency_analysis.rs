@@ -1,0 +1,52 @@
+//! Latency behaviour of the HBM subsystem (paper Table II and §IV-A).
+//!
+//! Reproduces the closed-page latency probes (local vs. farthest
+//! pseudo-channel) and the Table II latency comparison between the stock
+//! fabric and the MAO under light and heavy traffic — including the
+//! paper's observation that the MAO costs a few cycles when idle but
+//! wins dramatically, with far lower variance, under load.
+//!
+//! Run with: `cargo run --release --example latency_analysis`
+
+use hbm_fpga::axi::BurstLen;
+use hbm_fpga::core::experiment;
+use hbm_fpga::core::prelude::*;
+
+fn main() {
+    // --- §IV-A probes --------------------------------------------------------
+    let p = experiment::latency_probe();
+    println!("closed-page single-transaction latency (cycles @300 MHz):");
+    println!("  read  local {:5.1}   farthest {:5.1}   (paper: 48 → 72)", p.read_local, p.read_far);
+    println!("  write local {:5.1}   farthest {:5.1}   (paper: 17 → 41)\n", p.write_local, p.write_far);
+
+    // --- Table II style comparison -------------------------------------------
+    println!("{:8} {:6} {:8} {:>16} {:>16}", "traffic", "fabric", "pattern", "read mean±σ", "write mean±σ");
+    for (traffic, outstanding, bl) in [("Single", 1usize, 1u8), ("Burst", 32, 16)] {
+        for (fabric, cfg) in [("XLNX", SystemConfig::xilinx()), ("MAO", SystemConfig::mao())] {
+            for (pname, base) in [("CCS", Workload::ccs()), ("CCRA", Workload::ccra())] {
+                let wl = Workload {
+                    outstanding,
+                    burst: BurstLen::of(bl),
+                    stride: BurstLen::of(bl).bytes(),
+                    num_ids: if outstanding == 1 { 1 } else { 16 },
+                    ..base
+                };
+                let m = measure(&cfg, wl, 2_000, 8_000);
+                println!(
+                    "{:8} {:6} {:8} {:>9.1} ±{:>5.1} {:>9.1} ±{:>5.1}",
+                    traffic,
+                    fabric,
+                    pname,
+                    m.read_latency_mean().unwrap_or(f64::NAN),
+                    m.read_latency_std().unwrap_or(f64::NAN),
+                    m.write_latency_mean().unwrap_or(f64::NAN),
+                    m.write_latency_std().unwrap_or(f64::NAN),
+                );
+            }
+        }
+    }
+    println!(
+        "\npaper reference (Burst): XLNX CCS 3020.8 ±1478.8 read — the MAO cuts\n\
+         this by >10× (264.5 ±13.4) by eliminating lateral-bus contention."
+    );
+}

@@ -1,0 +1,64 @@
+//! Timed accelerator engines on the simulated memory system.
+//!
+//! Goes one step beyond the paper's §V: instead of only *predicting*
+//! accelerator performance from measured bandwidth (Fig. 7), this runs
+//! cycle-level engines of both dataflows — tile loads, streaming reads,
+//! compute gating, write-back — against the simulated HBM subsystem, so
+//! the memory-bound/compute-bound crossover *emerges* and can be checked
+//! against the Roofline prediction (the paper reports its model within
+//! 3–4 %).
+//!
+//! Run with: `cargo run --release --example timed_accelerator`
+
+use hbm_fpga::accel::{adder_tree_engines, pe_array_engines, run_engines, MatmulDims};
+use hbm_fpga::axi::BurstLen;
+use hbm_fpga::core::prelude::*;
+use hbm_fpga::roofline::Roofline;
+
+fn main() {
+    let dims = MatmulDims::square(192); // 192³ matmul, f32
+    println!(
+        "C = A·B with m=k=n={} ({} MOPs, {} KiB per matrix)\n",
+        dims.m,
+        dims.total_ops() / 1_000_000,
+        dims.m * dims.k * 4 / 1024
+    );
+
+    println!(
+        "{:34} {:>9} {:>10} {:>10} {:>9} {:>10}",
+        "configuration", "cycles", "GOPS", "GB/s", "OpI", "roofline"
+    );
+
+    for (name, cfg) in [("stock fabric", SystemConfig::xilinx()), ("MAO", SystemConfig::mao())] {
+        // Accelerator A, P = 8, realistic compute rate (2·(16·8)² ops/cy
+        // would dwarf this problem; use a rate that shows the crossover).
+        for (rate_name, opc) in [("fast compute", 4096.0), ("slow compute", 64.0)] {
+            let engines = pe_array_engines(&dims, 8, 64, opc, BurstLen::of(16), 16, 8);
+            let Some(r) = run_engines(&cfg, engines, dims.total_ops(), 50_000_000) else {
+                println!("{name}/A/{rate_name}: did not finish");
+                continue;
+            };
+            let predicted = Roofline::new(opc * 0.3, r.gbps).attainable(r.op_intensity);
+            println!(
+                "A (PE array)  {name:12} {rate_name:12} {:>9} {:>10.1} {:>10.1} {:>9.1} {:>10.1}",
+                r.cycles, r.gops, r.gbps, r.op_intensity, predicted
+            );
+        }
+        // Accelerator B, P = 8.
+        let engines = adder_tree_engines(&dims, 8, 1024.0, BurstLen::of(16), 16, 8);
+        if let Some(r) = run_engines(&cfg, engines, dims.total_ops(), 50_000_000) {
+            let predicted = Roofline::new(1024.0 * 0.3, r.gbps).attainable(r.op_intensity);
+            println!(
+                "B (adder tree) {name:12} {:24} {:>9} {:>10.1} {:>10.1} {:>9.1} {:>10.1}",
+                "", r.cycles, r.gops, r.gbps, r.op_intensity, predicted
+            );
+        }
+    }
+
+    println!(
+        "\nReading the table: with fast compute the engines are memory bound and\n\
+         GOPS tracks bandwidth × OpI; with slow compute they pin to the compute\n\
+         ceiling (rate × 0.3 GHz). The 'roofline' column is the prediction from\n\
+         the achieved bandwidth — the paper's §V methodology, validated in time."
+    );
+}

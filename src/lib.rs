@@ -1,0 +1,18 @@
+//! # hbm-fpga — Fast HBM Access with FPGAs (IPDPSW'21 reproduction)
+//!
+//! Umbrella crate re-exporting the whole workspace. See the README for a
+//! guided tour and `DESIGN.md` for the system inventory.
+
+pub use hbm_accel as accel;
+pub use hbm_axi as axi;
+pub use hbm_core as core;
+pub use hbm_fabric as fabric;
+pub use hbm_mao as mao;
+pub use hbm_mem as mem;
+pub use hbm_roofline as roofline;
+pub use hbm_traffic as traffic;
+
+/// Convenience prelude pulling in the most commonly used items.
+pub mod prelude {
+    pub use hbm_axi::{BurstLen, ClockDomain, Dir, MasterId, PortId};
+}

@@ -1,0 +1,102 @@
+//! End-to-end application runs: the paper's "Applications" angle beyond
+//! matrix multiplication — a stencil sweep (NERO-style, memory bound)
+//! and a gather reduction (analytics-style, random-access bound) driven
+//! through the simulated memory system.
+
+use hbm_fpga::accel::{
+    gather_engines, run_engines, stencil_engines, GatherDims, StencilDims,
+};
+use hbm_fpga::accel::gather::{gather_sum, gather_targets};
+use hbm_fpga::accel::stencil::jacobi_step;
+use hbm_fpga::axi::BurstLen;
+use hbm_fpga::core::prelude::*;
+
+#[test]
+fn stencil_functional_and_timed() {
+    // Functional: two sweeps shrink the max towards the mean.
+    let h = 32;
+    let w = 32;
+    let grid: Vec<f32> = (0..h * w).map(|i| ((i * 37) % 11) as f32).collect();
+    let once = jacobi_step(&grid, h, w);
+    let twice = jacobi_step(&once, h, w);
+    let spread = |g: &[f32]| {
+        let interior: Vec<f32> = (1..h - 1)
+            .flat_map(|i| (1..w - 1).map(move |j| g[i * w + j]))
+            .collect();
+        let max = interior.iter().cloned().fold(f32::MIN, f32::max);
+        let min = interior.iter().cloned().fold(f32::MAX, f32::min);
+        max - min
+    };
+    assert!(spread(&twice) <= spread(&grid), "Jacobi must not expand the range");
+
+    // Timed: the sweep is memory bound; MAO >> stock fabric.
+    let dims = StencilDims::square(256);
+    let run = |cfg: &SystemConfig| {
+        let engines = stencil_engines(&dims, 8, 1e9, BurstLen::of(16), 16, 8);
+        run_engines(cfg, engines, dims.total_ops(), 30_000_000).expect("stencil finished")
+    };
+    let mao = run(&SystemConfig::mao());
+    let xlnx = run(&SystemConfig::xilinx());
+    assert!(
+        mao.gops > 3.0 * xlnx.gops,
+        "stencil: MAO {} vs XLNX {} GOPS",
+        mao.gops,
+        xlnx.gops
+    );
+    // Memory bound: achieved OpI < 1 and GOPS ≈ bw × OpI.
+    assert!(mao.op_intensity < 1.0);
+    let err = mao.prediction_error(1e12, mao.gbps);
+    assert!(err < 0.02, "roofline self-consistency {err}");
+}
+
+#[test]
+fn gather_functional_matches_reference() {
+    let dims = GatherDims::new(512, 1 << 16);
+    let table: Vec<f32> = (0..(dims.table_bytes / 4)).map(|i| (i % 97) as f32).collect();
+    // Functional result per master is deterministic.
+    let a: f64 = (0..8)
+        .map(|p| gather_sum(&table, &gather_targets(&dims, p, 8), dims.element_bytes))
+        .sum();
+    let b: f64 = (0..8)
+        .map(|p| gather_sum(&table, &gather_targets(&dims, p, 8), dims.element_bytes))
+        .sum();
+    assert_eq!(a, b);
+    assert!(a > 0.0);
+}
+
+#[test]
+fn gather_is_reorder_sensitive() {
+    // The gather application is the paper's Fig. 6 in application form:
+    // deep reordering must outperform shallow reordering on the MAO.
+    let dims = GatherDims::new(4_096, 64 << 20);
+    let run = |outstanding: usize, ids: usize| {
+        let engines = gather_engines(&dims, 32, 1e9, outstanding, ids);
+        run_engines(&SystemConfig::mao(), engines, dims.total_ops(), 30_000_000)
+            .expect("gather finished")
+    };
+    let deep = run(32, 32);
+    let shallow = run(2, 2);
+    assert!(
+        deep.cycles * 2 < shallow.cycles,
+        "deep reordering {} cycles vs shallow {}",
+        deep.cycles,
+        shallow.cycles
+    );
+}
+
+#[test]
+fn gather_mao_beats_xilinx() {
+    let dims = GatherDims::new(4_096, 64 << 20);
+    let run = |cfg: &SystemConfig| {
+        let engines = gather_engines(&dims, 32, 1e9, 16, 16);
+        run_engines(cfg, engines, dims.total_ops(), 60_000_000).expect("gather finished")
+    };
+    let mao = run(&SystemConfig::mao());
+    let xlnx = run(&SystemConfig::xilinx());
+    assert!(
+        xlnx.cycles > mao.cycles,
+        "gather: MAO {} cycles vs XLNX {}",
+        mao.cycles,
+        xlnx.cycles
+    );
+}

@@ -1,0 +1,68 @@
+//! Estimator-vs-simulator accuracy, the paper's §V methodology check.
+//!
+//! The paper validates its quick estimates against measurements and
+//! reports 2–4 % error for its two accelerators. Here the analytical
+//! estimator (`hbm_core::estimate`) is checked against the cycle-level
+//! simulator across the pattern grid — with a wider tolerance, since the
+//! grid covers far more cases than the paper's two.
+
+use hbm_fpga::core::estimate::estimate_bandwidth;
+use hbm_fpga::core::prelude::*;
+
+fn sim(cfg: &SystemConfig, wl: Workload) -> f64 {
+    measure(cfg, wl, 2_500, 8_000).total_gbps()
+}
+
+fn check(cfg: &SystemConfig, wl: Workload, tolerance: f64) {
+    let est = estimate_bandwidth(cfg, &wl).total_gbps;
+    let meas = sim(cfg, wl);
+    let err = (est - meas).abs() / meas;
+    assert!(
+        err < tolerance,
+        "estimate {est:.1} vs measured {meas:.1} GB/s (err {:.0} %) for {wl:?} on {:?}",
+        err * 100.0,
+        cfg.fabric,
+    );
+}
+
+#[test]
+fn accelerator_a_pattern_like_the_paper() {
+    // The paper's own validation case: 2:1 CCS, with and without MAO,
+    // model within a few percent.
+    check(&SystemConfig::xilinx(), Workload::ccs(), 0.10);
+    check(&SystemConfig::mao(), Workload::ccs(), 0.10);
+}
+
+#[test]
+fn accelerator_b_pattern_like_the_paper() {
+    let wl = Workload { rw: RwRatio { reads: 15, writes: 1 }, ..Workload::ccs() };
+    check(&SystemConfig::xilinx(), wl, 0.20);
+    check(&SystemConfig::mao(), wl, 0.15);
+}
+
+#[test]
+fn unidirectional_port_bound_cases() {
+    for rw in [RwRatio::READ_ONLY, RwRatio::WRITE_ONLY] {
+        check(&SystemConfig::xilinx(), Workload { rw, ..Workload::scs() }, 0.12);
+        check(&SystemConfig::mao(), Workload { rw, ..Workload::ccs() }, 0.12);
+    }
+}
+
+#[test]
+fn random_access_cases() {
+    // Random patterns are the hardest to estimate; allow a wider band.
+    check(&SystemConfig::mao(), Workload::ccra(), 0.35);
+    check(&SystemConfig::xilinx(), Workload::ccra(), 0.45);
+    check(&SystemConfig::xilinx(), Workload::scra(), 0.35);
+}
+
+#[test]
+fn estimator_never_exceeds_theory() {
+    for cfg in [SystemConfig::xilinx(), SystemConfig::mao()] {
+        for wl in [Workload::scs(), Workload::ccs(), Workload::scra(), Workload::ccra()] {
+            let e = estimate_bandwidth(&cfg, &wl);
+            assert!(e.total_gbps <= cfg.hbm.theoretical_bw_gbps() + 1e-9);
+            assert!(e.total_gbps > 0.0);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Randomised stress tests ("fuzz") over all interconnects: arbitrary
+//! workload mixes must never lose a transaction, violate AXI ordering
+//! (asserted inside the system loop), or fail to drain.
+
+use hbm_fpga::axi::BurstLen;
+use hbm_fpga::core::prelude::*;
+use hbm_fpga::core::HbmSystem;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_workload(rng: &mut SmallRng) -> Workload {
+    let pattern = match rng.random_range(0..4) {
+        0 => Pattern::Scs,
+        1 => Pattern::Ccs,
+        2 => Pattern::Scra,
+        _ => Pattern::Ccra,
+    };
+    let beats = *[1u8, 2, 4, 8, 16].get(rng.random_range(0..5)).unwrap();
+    let burst = BurstLen::of(beats);
+    let rw = match rng.random_range(0..4) {
+        0 => RwRatio::READ_ONLY,
+        1 => RwRatio::WRITE_ONLY,
+        2 => RwRatio::TWO_TO_ONE,
+        _ => RwRatio { reads: rng.random_range(1..5), writes: rng.random_range(1..5) },
+    };
+    Workload {
+        pattern,
+        burst,
+        stride: burst.bytes() * rng.random_range(1..4),
+        outstanding: rng.random_range(1..33),
+        num_ids: 1 << rng.random_range(0..6),
+        rw,
+        rotation: rng.random_range(0..32),
+        working_set: (1u64 << rng.random_range(20..27)).max(2 * burst.bytes()),
+        seed: rng.random(),
+    }
+}
+
+fn stress(cfg: &SystemConfig, seed: u64, iterations: usize) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..iterations {
+        let wl = random_workload(&mut rng);
+        let per_master = rng.random_range(1..12);
+        let mut sys = HbmSystem::new(cfg, wl, Some(per_master));
+        let ok = sys.run_until_drained(3_000_000);
+        assert!(ok, "iteration {i}: failed to drain with {wl:?}");
+        let done: u64 = sys.gen_stats().iter().map(|g| g.completed).sum();
+        assert_eq!(
+            done,
+            32 * per_master,
+            "iteration {i}: lost transactions with {wl:?}"
+        );
+        let gen_bytes: u64 = sys.gen_stats().iter().map(|g| g.total_bytes()).sum();
+        assert_eq!(
+            gen_bytes,
+            sys.mem_stats().total_bytes(),
+            "iteration {i}: byte conservation broke with {wl:?}"
+        );
+    }
+}
+
+#[test]
+fn fuzz_xilinx_fabric() {
+    stress(&SystemConfig::xilinx(), 0xFA88_0001, 12);
+}
+
+#[test]
+fn fuzz_mao_fabric() {
+    stress(&SystemConfig::mao(), 0xFA88_0002, 12);
+}
+
+#[test]
+fn fuzz_heterogeneous_mixes() {
+    // Different random workload per master, both fabrics.
+    let mut rng = SmallRng::seed_from_u64(0xFA88_0003);
+    for cfg in [SystemConfig::xilinx(), SystemConfig::mao()] {
+        let workloads: Vec<Workload> = (0..32)
+            .map(|_| {
+                let mut wl = random_workload(&mut rng);
+                // with_workloads runs unbounded; measure a fixed window.
+                wl.rotation = 0;
+                wl
+            })
+            .collect();
+        let mut sys = HbmSystem::with_workloads(&cfg, &workloads);
+        sys.run(6_000);
+        let done: u64 = sys.gen_stats().iter().map(|g| g.completed).sum();
+        assert!(done > 0, "heterogeneous mix made no progress");
+        let gen_bytes: u64 = sys.gen_stats().iter().map(|g| g.total_bytes()).sum();
+        assert!(gen_bytes <= sys.mem_stats().total_bytes(), "more completed than moved");
+    }
+}
+
+#[test]
+fn fuzz_pathological_configs() {
+    // Deliberately nasty corners: 1 outstanding, 1 ID, BL 1, rotation at
+    // the wrap point, minimal working set.
+    for (fabric, cfg) in [("xlnx", SystemConfig::xilinx()), ("mao", SystemConfig::mao())] {
+        let wl = Workload {
+            pattern: Pattern::Scs,
+            burst: BurstLen::of(1),
+            stride: 32,
+            outstanding: 1,
+            num_ids: 1,
+            rw: RwRatio { reads: 1, writes: 1 },
+            rotation: 31,
+            working_set: 1024,
+            seed: 7,
+        };
+        let mut sys = HbmSystem::new(&cfg, wl, Some(6));
+        assert!(sys.run_until_drained(3_000_000), "{fabric}: pathological config hung");
+    }
+}

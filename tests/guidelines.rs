@@ -1,0 +1,158 @@
+//! The paper's §IV design guidelines as executable assertions.
+//!
+//! §IV-A closes each analysis with an italicised rule; this file encodes
+//! every one of them against the simulator, so a model change that
+//! breaks a guideline's premise fails loudly.
+
+use hbm_fpga::axi::BurstLen;
+use hbm_fpga::core::prelude::*;
+
+const WARM: u64 = 2_000;
+const MEAS: u64 = 6_000;
+
+fn run(cfg: &SystemConfig, wl: Workload) -> hbm_fpga::core::Measurement {
+    measure(cfg, wl, WARM, MEAS)
+}
+
+/// "It is effective to reduce the clock frequency of HBM accelerators if
+/// it is compensated by an appropriate ratio of concurrent reads and
+/// writes."
+#[test]
+fn guideline_1_clock_vs_ratio() {
+    // 300 MHz mixed ≈ 450 MHz unidirectional (within a few %).
+    let slow_mixed = run(&SystemConfig::xilinx(), Workload::scs());
+    let fast_uni = run(
+        &SystemConfig::xilinx().at_clock(ClockDomain::ACC_450),
+        Workload { rw: RwRatio::READ_ONLY, ..Workload::scs() },
+    );
+    let ratio = slow_mixed.total_gbps() / fast_uni.total_gbps();
+    assert!(
+        ratio > 0.9,
+        "300 MHz mixed {} vs 450 MHz unidirectional {} — compensation failed",
+        slow_mixed.total_gbps(),
+        fast_uni.total_gbps()
+    );
+}
+
+/// "Long bursts generally increase throughput but even shorter ones can
+/// be sufficient for both SCS and SCRA."
+#[test]
+fn guideline_2_burst_lengths() {
+    let bl = |wl: Workload, beats: u8| {
+        run(
+            &SystemConfig::xilinx(),
+            Workload {
+                burst: BurstLen::of(beats),
+                stride: BurstLen::of(beats).bytes(),
+                rw: RwRatio::READ_ONLY,
+                ..wl
+            },
+        )
+        .total_gbps()
+    };
+    // SCS: BL 4 already reaches ≥90 % of BL 16.
+    let scs4 = bl(Workload::scs(), 4);
+    let scs16 = bl(Workload::scs(), 16);
+    assert!(scs4 > 0.9 * scs16, "SCS BL4 {scs4} vs BL16 {scs16}");
+    // SCRA needs about 4× longer bursts for the same level.
+    let scra16 = bl(Workload::scra(), 16);
+    let scra4 = bl(Workload::scra(), 4);
+    assert!(scra4 < 0.9 * scra16, "SCRA should still gain beyond BL4");
+    assert!((scra16 / scs16) > 0.9, "SCRA BL16 catches up with SCS");
+}
+
+/// "Accelerators must always have multiple active AXI transactions on
+/// every bus to prefetch data."
+#[test]
+fn guideline_3_outstanding_transactions() {
+    let out = |n: usize| {
+        run(
+            &SystemConfig::xilinx(),
+            Workload { outstanding: n, rw: RwRatio::READ_ONLY, ..Workload::scs() },
+        )
+        .total_gbps()
+    };
+    let one = out(1);
+    let four = out(4);
+    let sixteen = out(16);
+    // One outstanding transaction cannot cover the ~48-cycle round trip.
+    assert!(four > 2.0 * one, "4 outstanding {four} vs 1 {one}");
+    assert!(sixteen > four, "more prefetch keeps helping");
+}
+
+/// "Accelerators must access all memory channels at every point in
+/// time."
+#[test]
+fn guideline_4_channel_parallelism() {
+    // The same byte volume confined to one channel vs spread over 32.
+    let hot = run(&SystemConfig::xilinx(), Workload::ccs());
+    let spread = run(&SystemConfig::mao(), Workload::ccs());
+    assert!(spread.total_gbps() > 20.0 * hot.total_gbps());
+}
+
+/// "Routing AXI transactions laterally should be avoided as much as
+/// possible" (uniform latencies need local routing).
+#[test]
+fn guideline_5_avoid_lateral_routing() {
+    let local = run(&SystemConfig::xilinx(), Workload::scs());
+    let lateral = run(&SystemConfig::xilinx(), Workload { rotation: 4, ..Workload::scs() });
+    assert!(lateral.total_gbps() < 0.6 * local.total_gbps());
+    // Latency variance is also worse with lateral routing.
+    let (ls, rs) = (
+        local.read_latency_std().unwrap_or(0.0),
+        lateral.read_latency_std().unwrap_or(0.0),
+    );
+    assert!(rs > ls, "lateral routing must raise latency variance ({rs} vs {ls})");
+}
+
+/// "The number of concurrent AXI transactions to different channels
+/// should be reduced (e.g. by increasing the burst length) if contention
+/// in the bus fabric is to be expected."
+#[test]
+fn guideline_6_bursts_amortise_contention() {
+    // Under lateral contention (rotation 4), BL 16 loses less than BL 2:
+    // grant switches cost dead cycles per transaction.
+    let bl = |beats: u8| {
+        let wl = Workload {
+            rotation: 4,
+            burst: BurstLen::of(beats),
+            stride: BurstLen::of(beats).bytes(),
+            ..Workload::scs()
+        };
+        run(&SystemConfig::xilinx(), wl)
+    };
+    let b16 = bl(16);
+    let b2 = bl(2);
+    // Normalise against the uncontended throughput at the same BL.
+    let base = |beats: u8| {
+        let wl = Workload {
+            burst: BurstLen::of(beats),
+            stride: BurstLen::of(beats).bytes(),
+            ..Workload::scs()
+        };
+        run(&SystemConfig::xilinx(), wl).total_gbps()
+    };
+    let eff16 = b16.total_gbps() / base(16);
+    let eff2 = b2.total_gbps() / base(2);
+    assert!(
+        eff16 > eff2,
+        "BL16 keeps {eff16:.2} of its base under contention, BL2 only {eff2:.2} — \
+         longer bursts must amortise dead cycles"
+    );
+}
+
+/// §IV-B: "further reorder buffers on the BM side can free the bus
+/// fabric by accepting and storing out-of-order transactions early."
+#[test]
+fn guideline_7_reordering_frees_the_fabric() {
+    use hbm_fpga::core::FabricKind;
+    use hbm_fpga::mao::MaoConfig;
+    let depth = |d: usize| {
+        let cfg = SystemConfig {
+            fabric: FabricKind::Mao(MaoConfig { reorder_depth: d.max(2), ..MaoConfig::default() }),
+            ..SystemConfig::mao()
+        };
+        run(&cfg, Workload { num_ids: d, outstanding: d, ..Workload::ccra() }).total_gbps()
+    };
+    assert!(depth(32) > 2.5 * depth(2));
+}

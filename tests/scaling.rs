@@ -1,0 +1,58 @@
+//! Geometry generality: the simulator is parametric in stack count, and
+//! throughput scales with it (the paper's future-work expectation).
+
+use hbm_fpga::core::prelude::*;
+use hbm_fpga::mem::HbmConfig;
+
+fn mao_with_stacks(stacks: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::mao();
+    cfg.hbm = HbmConfig::with_stacks(stacks);
+    cfg
+}
+
+fn xlnx_with_stacks(stacks: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::xilinx();
+    cfg.hbm = HbmConfig::with_stacks(stacks);
+    cfg
+}
+
+#[test]
+fn single_stack_system_works() {
+    let m = measure(&mao_with_stacks(1), Workload::ccs(), 2_000, 5_000);
+    // 16 ports at ~12.5 GB/s mixed each.
+    assert!((150.0..231.0).contains(&m.total_gbps()), "{}", m.total_gbps());
+}
+
+#[test]
+fn throughput_scales_with_stacks() {
+    let bw = |stacks| measure(&mao_with_stacks(stacks), Workload::ccs(), 2_000, 5_000).total_gbps();
+    let one = bw(1);
+    let two = bw(2);
+    let four = bw(4);
+    assert!((1.7..2.3).contains(&(two / one)), "1→2 stacks: {one} → {two}");
+    assert!((1.7..2.3).contains(&(four / two)), "2→4 stacks: {two} → {four}");
+}
+
+#[test]
+fn xilinx_fabric_generalises_to_other_geometries() {
+    // The segmented switch network builds for 4 and 16 switches too.
+    for stacks in [1usize, 4] {
+        let mut sys = hbm_fpga::core::HbmSystem::new(
+            &xlnx_with_stacks(stacks),
+            Workload::scs(),
+            Some(8),
+        );
+        assert!(sys.run_until_drained(1_000_000), "{stacks} stacks failed to drain");
+    }
+}
+
+#[test]
+fn hotspot_is_geometry_independent() {
+    // The CCS hot-spot collapses to one channel's worth of bandwidth no
+    // matter how many stacks exist — more hardware does not help
+    // unoptimised access (the paper's core warning).
+    let one = measure(&xlnx_with_stacks(1), Workload::ccs(), 2_000, 5_000).total_gbps();
+    let four = measure(&xlnx_with_stacks(4), Workload::ccs(), 2_000, 5_000).total_gbps();
+    assert!(one < 20.0 && four < 20.0, "hot-spot: {one} vs {four}");
+    assert!((four - one).abs() < 6.0, "stacks must not rescue a hot-spot");
+}
