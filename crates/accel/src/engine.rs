@@ -241,10 +241,8 @@ impl TrafficSource for DataflowEngine {
         self.tracker
             .complete(txn.dir, txn.id, txn.seq)
             .expect("AXI ordering violated — simulator bug");
-        let (phase, is_read) = self
-            .in_flight
-            .remove(&txn.seq)
-            .expect("completion for unknown transaction");
+        let (phase, is_read) =
+            self.in_flight.remove(&txn.seq).expect("completion for unknown transaction");
         let ps = &mut self.phases[phase];
         self.stats.completed += 1;
         let lat = now.saturating_sub(txn.issued_at);
@@ -305,6 +303,10 @@ impl TrafficSource for IdleSource {
 
     fn drained(&self) -> bool {
         true
+    }
+
+    fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        None // never issues anything
     }
 }
 
@@ -401,9 +403,8 @@ mod tests {
     fn prefetch_overlaps_reads_with_compute() {
         // With prefetch, phase 2's reads are issued while phase 1
         // computes; total time ≈ compute-bound, not read+compute serial.
-        let phases: Vec<Phase> = (0..8)
-            .map(|i| phase(vec![(i as u64 * 512, 512)], vec![], 160))
-            .collect();
+        let phases: Vec<Phase> =
+            (0..8).map(|i| phase(vec![(i as u64 * 512, 512)], vec![], 160)).collect();
         let mut e = engine(phases, 1.0);
         let end = run_ideal(&mut e, 50, 50_000);
         // Compute: 8 × 160 = 1280. Serial read+compute would be ≥

@@ -38,13 +38,7 @@ pub struct GatherDims {
 impl GatherDims {
     /// A default-sized problem at address 0.
     pub fn new(num_indices: usize, table_bytes: u64) -> GatherDims {
-        GatherDims {
-            num_indices,
-            table_bytes,
-            element_bytes: 32,
-            base: 0,
-            seed: 0x6a77_4e12,
-        }
+        GatherDims { num_indices, table_bytes, element_bytes: 32, base: 0, seed: 0x6a77_4e12 }
     }
 
     /// Base address of the index stream (4 B per index).
@@ -193,10 +187,7 @@ mod tests {
     #[test]
     fn ops_cover_every_gather() {
         let d = dims();
-        let total: u64 = (0..8)
-            .flat_map(|p| gather_phases(&d, p, 8))
-            .map(|ph| ph.ops)
-            .sum();
+        let total: u64 = (0..8).flat_map(|p| gather_phases(&d, p, 8)).map(|ph| ph.ops).sum();
         assert_eq!(total, d.total_ops());
     }
 

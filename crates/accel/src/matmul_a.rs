@@ -38,10 +38,8 @@ pub fn pe_array_phases(
         return Vec::new();
     }
     let mut phases = Vec::new();
-    let k_tiles: Vec<(usize, usize)> = (0..dims.k)
-        .step_by(tile_k)
-        .map(|k0| (k0, (k0 + tile_k).min(dims.k)))
-        .collect();
+    let k_tiles: Vec<(usize, usize)> =
+        (0..dims.k).step_by(tile_k).map(|k0| (k0, (k0 + tile_k).min(dims.k))).collect();
     for (ti, &(k0, k1)) in k_tiles.iter().enumerate() {
         let last_tile = ti + 1 == k_tiles.len();
         // Tile load: B[k0..k1, n0..n1], one range per row.

@@ -84,10 +84,8 @@ mod tests {
     fn ops_cover_the_multiplication() {
         let dims = MatmulDims::square(64);
         let masters = 8;
-        let total: u64 = (0..masters)
-            .flat_map(|p| adder_tree_phases(&dims, p, masters))
-            .map(|ph| ph.ops)
-            .sum();
+        let total: u64 =
+            (0..masters).flat_map(|p| adder_tree_phases(&dims, p, masters)).map(|ph| ph.ops).sum();
         assert_eq!(total, dims.total_ops());
     }
 
@@ -147,7 +145,10 @@ mod tests {
         }
         let expect = ((m1 - m0) * dims.n) as u64 * dims.element_bytes;
         assert_eq!(written.len() as u64, expect);
-        assert!(written.iter().all(|&a| a >= dims.c_at(m0, 0) && a < dims.c_at(m1 - 1, dims.n - 1) + dims.element_bytes));
+        assert!(written
+            .iter()
+            .all(|&a| a >= dims.c_at(m0, 0)
+                && a < dims.c_at(m1 - 1, dims.n - 1) + dims.element_bytes));
     }
 
     #[test]

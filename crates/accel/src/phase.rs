@@ -158,11 +158,7 @@ mod tests {
 
     #[test]
     fn phase_byte_totals() {
-        let p = Phase {
-            reads: vec![(0, 128), (512, 64)],
-            writes: vec![(1024, 32)],
-            ops: 7,
-        };
+        let p = Phase { reads: vec![(0, 128), (512, 64)], writes: vec![(1024, 32)], ops: 7 };
         assert_eq!(p.read_bytes(), 192);
         assert_eq!(p.write_bytes(), 32);
     }

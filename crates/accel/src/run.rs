@@ -108,8 +108,8 @@ mod tests {
     fn pe_array_completes_on_mao() {
         let dims = MatmulDims::square(128);
         let (engines, ops) = a_engines(&dims, 8, 1e5);
-        let r = run_engines(&mao_cfg(), engines, ops, 3_000_000)
-            .expect("accelerator did not finish");
+        let r =
+            run_engines(&mao_cfg(), engines, ops, 3_000_000).expect("accelerator did not finish");
         assert_eq!(r.ops, dims.total_ops());
         assert!(r.gops > 0.0 && r.gbps > 0.0);
         // 2·128³ ops over ≥ |A|+|B|+|C| bytes.
@@ -166,12 +166,7 @@ mod tests {
         let mao = run_engines(&mao_cfg(), e1, ops, 10_000_000).unwrap();
         let (e2, ops2) = a_engines(&dims, 8, 1e9);
         let xlnx = run_engines(&SystemConfig::xilinx(), e2, ops2, 10_000_000).unwrap();
-        assert!(
-            mao.gops > 3.0 * xlnx.gops,
-            "MAO {} GOPS vs XLNX {} GOPS",
-            mao.gops,
-            xlnx.gops
-        );
+        assert!(mao.gops > 3.0 * xlnx.gops, "MAO {} GOPS vs XLNX {} GOPS", mao.gops, xlnx.gops);
     }
 
     #[test]

@@ -138,12 +138,12 @@ mod tests {
         let h = 4;
         let w = 4;
         let mut g = vec![0.0f32; h * w];
-        g[1 * w + 1] = 4.0;
+        g[w + 1] = 4.0;
         let out = jacobi_step(&g, h, w);
         // The spike is replaced by the average of its (zero) neighbours.
-        assert_eq!(out[1 * w + 1], 0.0);
+        assert_eq!(out[w + 1], 0.0);
         // Its neighbours each pick up a quarter of it.
-        assert_eq!(out[1 * w + 2], 1.0);
+        assert_eq!(out[w + 2], 1.0);
         assert_eq!(out[2 * w + 1], 1.0);
         // Boundaries are copied.
         assert_eq!(out[0], g[0]);
@@ -179,10 +179,7 @@ mod tests {
     #[test]
     fn ops_cover_the_sweep() {
         let dims = StencilDims::square(64);
-        let total: u64 = (0..8)
-            .flat_map(|p| stencil_phases(&dims, p, 8))
-            .map(|ph| ph.ops)
-            .sum();
+        let total: u64 = (0..8).flat_map(|p| stencil_phases(&dims, p, 8)).map(|ph| ph.ops).sum();
         assert_eq!(total, dims.total_ops());
     }
 

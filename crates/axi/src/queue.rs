@@ -26,11 +26,7 @@ impl<T> DelayQueue<T> {
     /// available in the same cycle they were pushed (combinational path).
     pub fn new(capacity: usize, latency: Cycle) -> DelayQueue<T> {
         assert!(capacity >= 1, "queue capacity must be at least 1");
-        DelayQueue {
-            items: VecDeque::with_capacity(capacity.min(1024)),
-            capacity,
-            latency,
-        }
+        DelayQueue { items: VecDeque::with_capacity(capacity.min(1024)), capacity, latency }
     }
 
     /// `true` if another item can be pushed this cycle.
@@ -100,6 +96,16 @@ impl<T> DelayQueue<T> {
     /// readiness. Used by schedulers that look ahead into a window.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.items.iter().map(|(_, item)| item)
+    }
+
+    /// Delivery time of the oldest queued item, if any.
+    ///
+    /// Because the latency is constant, ready times are monotone in queue
+    /// order, so this is the earliest cycle at which `pop` can succeed —
+    /// the queue's contribution to a next-event horizon.
+    #[inline]
+    pub fn next_ready_at(&self) -> Option<Cycle> {
+        self.items.front().map(|(t, _)| *t)
     }
 
     /// Number of leading items whose delay has elapsed at `now`.

@@ -31,7 +31,7 @@ impl OutstandingTracker {
     /// Tracker allowing `max_outstanding` in-flight transactions per
     /// direction, using AXI IDs `0..num_ids`.
     pub fn new(num_ids: usize, max_outstanding: usize) -> OutstandingTracker {
-        assert!(num_ids >= 1 && num_ids <= 256, "AXI IDs are 0..=255");
+        assert!((1..=256).contains(&num_ids), "AXI IDs are 0..=255");
         assert!(max_outstanding >= 1);
         OutstandingTracker {
             max_outstanding,
@@ -92,16 +92,8 @@ impl OutstandingTracker {
                 self.in_flight[dir_idx(dir)] -= 1;
                 Ok(())
             }
-            Some(&front) => Err(OrderViolation {
-                id,
-                expected: front,
-                got: seq,
-            }),
-            None => Err(OrderViolation {
-                id,
-                expected: u64::MAX,
-                got: seq,
-            }),
+            Some(&front) => Err(OrderViolation { id, expected: front, got: seq }),
+            None => Err(OrderViolation { id, expected: u64::MAX, got: seq }),
         }
     }
 }
@@ -225,7 +217,7 @@ mod proptests {
             let mut inflight: Vec<(Dir, AxiId, u64)> = Vec::new();
             for issue in ops {
                 if issue {
-                    let dir = if seq % 3 == 0 { Dir::Write } else { Dir::Read };
+                    let dir = if seq.is_multiple_of(3) { Dir::Write } else { Dir::Read };
                     if t.can_issue(dir) {
                         let id = t.pick_id(seq);
                         t.issue(dir, id, seq);

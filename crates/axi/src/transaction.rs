@@ -63,22 +63,14 @@ impl Transaction {
         issued_at: Cycle,
         seq: u64,
     ) -> Result<Transaction, TxnError> {
-        if addr % BEAT_BYTES != 0 {
+        if !addr.is_multiple_of(BEAT_BYTES) {
             return Err(TxnError::Unaligned(addr));
         }
         let bytes = burst.bytes();
         if addr / 4096 != (addr + bytes - 1) / 4096 {
             return Err(TxnError::Crosses4K { addr, bytes });
         }
-        Ok(Transaction {
-            master,
-            id,
-            addr,
-            burst,
-            dir,
-            issued_at,
-            seq,
-        })
+        Ok(Transaction { master, id, addr, burst, dir, issued_at, seq })
     }
 
     /// Payload size in bytes.
@@ -141,10 +133,7 @@ pub struct TxnBuilder {
 impl TxnBuilder {
     /// A builder for the given master, starting at sequence number 0.
     pub fn new(master: MasterId) -> TxnBuilder {
-        TxnBuilder {
-            master,
-            next_seq: 0,
-        }
+        TxnBuilder { master, next_seq: 0 }
     }
 
     /// The master this builder issues for.
@@ -182,8 +171,8 @@ impl TxnBuilder {
     ///
     /// Returns `(addr, burst)` pairs; the caller issues them in order.
     pub fn split(start: Addr, bytes: u64, max_burst: BurstLen) -> Vec<(Addr, BurstLen)> {
-        assert!(start % BEAT_BYTES == 0, "region start must be beat-aligned");
-        assert!(bytes % BEAT_BYTES == 0, "region size must be a whole number of beats");
+        assert!(start.is_multiple_of(BEAT_BYTES), "region start must be beat-aligned");
+        assert!(bytes.is_multiple_of(BEAT_BYTES), "region size must be a whole number of beats");
         let mut out = Vec::new();
         let mut addr = start;
         let mut left = bytes;
@@ -204,15 +193,7 @@ mod tests {
     use super::*;
 
     fn mk(addr: Addr, beats: u8) -> Result<Transaction, TxnError> {
-        Transaction::new(
-            MasterId(0),
-            AxiId(0),
-            addr,
-            BurstLen::of(beats),
-            Dir::Read,
-            0,
-            0,
-        )
+        Transaction::new(MasterId(0), AxiId(0), addr, BurstLen::of(beats), Dir::Read, 0, 0)
     }
 
     #[test]

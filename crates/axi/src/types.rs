@@ -136,10 +136,7 @@ pub struct BeatCounter {
 impl BeatCounter {
     /// A counter expecting `len.beats()` beats.
     pub fn new(len: BurstLen) -> BeatCounter {
-        BeatCounter {
-            total: len.beats(),
-            done: 0,
-        }
+        BeatCounter { total: len.beats(), done: 0 }
     }
 
     /// Records one transferred beat; returns `true` when this beat was the

@@ -38,11 +38,7 @@ fn bench_fig3(c: &mut Criterion) {
         ("ccra", Workload::ccra()),
     ] {
         for bl in [1u8, 16] {
-            let wl = Workload {
-                burst: BurstLen::of(bl),
-                stride: BurstLen::of(bl).bytes(),
-                ..wl
-            };
+            let wl = Workload { burst: BurstLen::of(bl), stride: BurstLen::of(bl).bytes(), ..wl };
             g.bench_function(BenchmarkId::new(name, bl), |b| {
                 b.iter(|| black_box(measure(&SystemConfig::xilinx(), wl, WARM, MEAS).total_gbps()))
             });
@@ -91,7 +87,9 @@ fn bench_fig7(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig7_accel_bandwidths");
     g.sample_size(10);
     g.bench_function("accel_a_mao", |b| {
-        b.iter(|| black_box(measure(&SystemConfig::mao(), Workload::ccs(), WARM, MEAS).total_gbps()))
+        b.iter(|| {
+            black_box(measure(&SystemConfig::mao(), Workload::ccs(), WARM, MEAS).total_gbps())
+        })
     });
     g.bench_function("accel_b_mao", |b| {
         let wl = Workload { rw: RwRatio { reads: 15, writes: 1 }, ..Workload::ccs() };
@@ -100,13 +98,5 @@ fn bench_fig7(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    figures,
-    bench_fig2,
-    bench_fig3,
-    bench_fig4,
-    bench_fig5,
-    bench_fig6,
-    bench_fig7
-);
+criterion_group!(figures, bench_fig2, bench_fig3, bench_fig4, bench_fig5, bench_fig6, bench_fig7);
 criterion_main!(figures);

@@ -1,8 +1,12 @@
 //! Criterion benches of the *simulator itself*: simulated cycles per
 //! wall-clock second for each fabric and pattern. These are the numbers
 //! a user extending the simulator should watch for regressions.
+//!
+//! `repro simspeed` runs the same scenario matrix outside the Criterion
+//! harness and writes `BENCH_simspeed.json` for machine comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hbm_bench::simspeed::probe_workload;
 use hbm_core::prelude::*;
 use hbm_core::HbmSystem;
 use std::hint::black_box;
@@ -30,6 +34,49 @@ fn bench_sim_speed(c: &mut Criterion) {
                 })
             });
         }
+    }
+    g.finish();
+}
+
+/// Low-duty-cycle scenarios: dominated by simulated cycles in which
+/// little or nothing happens. These are the runs the next-event
+/// fast-forward in `HbmSystem::run`/`run_until_drained` accelerates.
+fn bench_sparse_scenarios(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_sparse");
+    g.sample_size(10);
+
+    for (fname, cfg) in [
+        ("xilinx", SystemConfig::xilinx()),
+        ("mao", SystemConfig::mao()),
+        ("direct", SystemConfig::direct()),
+    ] {
+        // Single-outstanding latency probe: 64 serialized single-beat
+        // reads per master, run to drain.
+        g.bench_function(BenchmarkId::new(fname, "latency_probe"), |b| {
+            b.iter(|| {
+                let mut sys = HbmSystem::new(&cfg, probe_workload(), Some(64));
+                assert!(sys.run_until_drained(10_000_000));
+                black_box(sys.now())
+            })
+        });
+
+        // Drain tail: a bounded saturated burst, then the thinning tail.
+        g.bench_function(BenchmarkId::new(fname, "drain_tail"), |b| {
+            b.iter(|| {
+                let mut sys = HbmSystem::new(&cfg, Workload::scs(), Some(256));
+                assert!(sys.run_until_drained(10_000_000));
+                black_box(sys.now())
+            })
+        });
+
+        // Idle: a quiescent system covering a long simulated window.
+        g.bench_function(BenchmarkId::new(fname, "idle"), |b| {
+            b.iter(|| {
+                let mut sys = HbmSystem::new(&cfg, Workload::scs(), Some(0));
+                sys.run(1_000_000);
+                black_box(sys.now())
+            })
+        });
     }
     g.finish();
 }
@@ -62,5 +109,5 @@ fn bench_components(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(simspeed, bench_sim_speed, bench_components);
+criterion_group!(simspeed, bench_sim_speed, bench_sparse_scenarios, bench_components);
 criterion_main!(simspeed);

@@ -6,19 +6,21 @@
 //! repro [EXPERIMENT ...] [--quick] [--json]
 //!
 //! EXPERIMENT: fig2 fig3 fig4 fig5 fig6 fig7 table2 table3 table4 table5
-//!             latency ablations all      (default: all)
+//!             latency ablations simspeed all      (default: all)
 //! --quick:    short simulation windows (CI-friendly)
 //! --json:     machine-readable output (one JSON object per experiment)
 //! ```
+//!
+//! `simspeed` is not part of `all`: it benchmarks the *simulator* rather
+//! than reproducing the paper, and writes its rows to
+//! `BENCH_simspeed.json` in the current directory (in addition to the
+//! normal stdout report) so runs on the same machine can be diffed.
 
 use hbm_bench::render;
 use hbm_core::experiment::{self, Fidelity};
 
 fn emit_json(name: &str, rows: impl serde::Serialize) {
-    println!(
-        "{}",
-        serde_json::json!({ "experiment": name, "rows": rows })
-    );
+    println!("{}", serde_json::json!({ "experiment": name, "rows": rows }));
 }
 
 fn run_json(fid: Fidelity, want: impl Fn(&str) -> bool) {
@@ -64,17 +66,41 @@ fn run_json(fid: Fidelity, want: impl Fn(&str) -> bool) {
     }
 }
 
+/// Benchmarks the simulator itself and writes `BENCH_simspeed.json`.
+fn run_simspeed(quick: bool, json: bool) {
+    use hbm_bench::simspeed;
+    let rows = simspeed::run_matrix(quick);
+    let payload = serde_json::json!({ "experiment": "simspeed", "rows": rows });
+    std::fs::write("BENCH_simspeed.json", format!("{payload}\n"))
+        .expect("write BENCH_simspeed.json");
+    if json {
+        println!("{payload}");
+    } else {
+        println!("{}", simspeed::render(&rows));
+        println!("wrote BENCH_simspeed.json");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
     let fid = if quick { Fidelity::QUICK } else { Fidelity::FULL };
-    let mut wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let mut wanted: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     if wanted.is_empty() {
         wanted.push("all");
     }
     let all = wanted.contains(&"all");
     let want = |name: &str| all || wanted.contains(&name);
+
+    // Simulator benchmarking is opt-in only (not part of `all`).
+    if wanted.contains(&"simspeed") {
+        run_simspeed(quick, json);
+        if wanted.len() == 1 {
+            return;
+        }
+    }
 
     if json {
         run_json(fid, want);

@@ -39,11 +39,7 @@ fn main() {
     let rotations = parse_list(&args, "--rotations", "0");
     let warmup = parse_num(&args, "--warmup", 2_000);
     let cycles = parse_num(&args, "--cycles", 8_000);
-    let threads = parse_num(
-        &args,
-        "--threads",
-        hbm_core::batch::default_threads() as u64,
-    ) as usize;
+    let threads = parse_num(&args, "--threads", hbm_core::batch::default_threads() as u64) as usize;
 
     println!(
         "fabric,pattern,burst,rotation,read_gbps,write_gbps,total_gbps,\

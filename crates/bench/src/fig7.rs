@@ -30,16 +30,14 @@ fn workload_a() -> Workload {
 /// Accelerator B's pattern: one matrix re-streamed, only final results
 /// written back — RW_rat = Mh : 1 with Mh ≫ 2 (15:1 here).
 fn workload_b() -> Workload {
-    Workload {
-        rw: RwRatio { reads: 15, writes: 1 },
-        ..Workload::ccs()
-    }
+    Workload { rw: RwRatio { reads: 15, writes: 1 }, ..Workload::ccs() }
 }
 
 /// Measures the four bandwidths (the simulated counterpart of the
 /// paper's 12.55 / 403.75 / 9.59 / 273 GB/s).
 pub fn accel_bandwidths(fid: Fidelity) -> AccelBandwidths {
-    let run = |cfg: &SystemConfig, wl: Workload| measure(cfg, wl, fid.warmup, fid.cycles).total_gbps();
+    let run =
+        |cfg: &SystemConfig, wl: Workload| measure(cfg, wl, fid.warmup, fid.cycles).total_gbps();
     AccelBandwidths {
         a_xlnx: run(&SystemConfig::xilinx(), workload_a()),
         a_mao: run(&SystemConfig::mao(), workload_a()),

@@ -10,5 +10,6 @@
 pub mod fig7;
 pub mod paper;
 pub mod render;
+pub mod simspeed;
 
 pub use fig7::{accel_bandwidths, AccelBandwidths};

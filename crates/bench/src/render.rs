@@ -48,12 +48,7 @@ pub fn render_fig3(fid: Fidelity) -> String {
     for pattern in [Pattern::Scs, Pattern::Ccs, Pattern::Scra, Pattern::Ccra] {
         let mut t = TextTable::new(["BL", "RD GB/s", "WR GB/s", "2:1 GB/s"]);
         for r in rows.iter().filter(|r| r.pattern == pattern) {
-            t.row([
-                r.burst.to_string(),
-                gbps(r.rd_gbps),
-                gbps(r.wr_gbps),
-                gbps(r.both_gbps),
-            ]);
+            t.row([r.burst.to_string(), gbps(r.rd_gbps), gbps(r.wr_gbps), gbps(r.both_gbps)]);
         }
         out.push_str(&format!("[{}]\n{}\n", pattern_name(pattern), t.render()));
     }
@@ -65,7 +60,8 @@ pub fn render_fig4(fid: Fidelity) -> String {
     let rows = experiment::fig4_rotation(fid);
     let mut out = String::from("Fig. 4 — SCS rotation through the switch fabric\n\n");
     for burst in [16u8, 2] {
-        let mut t = TextTable::new(["rotation", "GB/s", "% of device", "paper %", "max lateral util"]);
+        let mut t =
+            TextTable::new(["rotation", "GB/s", "% of device", "paper %", "max lateral util"]);
         for r in rows.iter().filter(|r| r.burst == burst) {
             let paper_pct = paper::FIG4_PCT
                 .iter()
@@ -100,9 +96,7 @@ pub fn render_fig4b(fid: Fidelity, rotation: usize) -> String {
     use hbm_core::prelude::*;
     let wl = Workload { rotation, ..Workload::scs() };
     let m = hbm_core::measure(&SystemConfig::xilinx(), wl, fid.warmup, fid.cycles);
-    let mut t = TextTable::new([
-        "boundary", "→ bus0 beats/cyc", "→ bus1", "← bus0", "← bus1",
-    ]);
+    let mut t = TextTable::new(["boundary", "→ bus0 beats/cyc", "→ bus1", "← bus0", "← bus1"]);
     for (b, (r, l)) in m.fabric.lateral_right.iter().zip(m.fabric.lateral_left.iter()).enumerate() {
         let per = |beats: u64| format!("{:.2}", beats as f64 / m.cycles as f64);
         t.row([
@@ -126,12 +120,18 @@ pub fn render_fig4b(fid: Fidelity, rotation: usize) -> String {
 pub fn render_table2(fid: Fidelity) -> String {
     let rows = experiment::table2_latency(fid);
     let mut t = TextTable::new([
-        "traffic", "fabric", "pattern", "read (cyc)", "write (cyc)", "paper read", "paper write",
+        "traffic",
+        "fabric",
+        "pattern",
+        "read (cyc)",
+        "write (cyc)",
+        "paper read",
+        "paper write",
     ]);
     for r in &rows {
-        let p = paper::TABLE2
-            .iter()
-            .find(|(tr, f, pa, ..)| *tr == r.traffic && *f == r.fabric && *pa == pattern_name(r.pattern));
+        let p = paper::TABLE2.iter().find(|(tr, f, pa, ..)| {
+            *tr == r.traffic && *f == r.fabric && *pa == pattern_name(r.pattern)
+        });
         let (pr, pw) = match p {
             Some(&(.., rm, rs, wm, ws)) => (mean_std(rm, rs), mean_std(wm, ws)),
             None => ("—".into(), "—".into()),
@@ -187,7 +187,14 @@ pub fn render_table3() -> String {
 pub fn render_table4(fid: Fidelity) -> String {
     let rows = experiment::table4_throughput(fid);
     let mut t = TextTable::new([
-        "pattern", "dir", "XLNX GB/s", "MAO GB/s", "speedup", "paper XLNX", "paper MAO", "paper SU",
+        "pattern",
+        "dir",
+        "XLNX GB/s",
+        "MAO GB/s",
+        "speedup",
+        "paper XLNX",
+        "paper MAO",
+        "paper SU",
     ]);
     for r in &rows {
         let p = paper::TABLE4
@@ -285,8 +292,18 @@ pub fn render_fig7_table5(fid: Fidelity) -> String {
         ("Accelerator B (Fig. 7b)", &r.b_points, &r.table5_b, &paper::TABLE5_B_SU),
     ] {
         let mut t = TextTable::new([
-            "P", "OpI", "Ccomp GOPS", "GOPS (XLNX)", "GOPS (MAO)", "bound (XLNX)", "bound (MAO)",
-            "SU HBM", "SU HBM+MAO", "paper SU", "util core+MAO", "fits?",
+            "P",
+            "OpI",
+            "Ccomp GOPS",
+            "GOPS (XLNX)",
+            "GOPS (MAO)",
+            "bound (XLNX)",
+            "bound (MAO)",
+            "SU HBM",
+            "SU HBM+MAO",
+            "paper SU",
+            "util core+MAO",
+            "fits?",
         ]);
         for ((pt, row), &(_, psu_hbm, psu_mao)) in points.iter().zip(t5.iter()).zip(psu.iter()) {
             t.row([
@@ -326,12 +343,7 @@ pub fn render_mixed(fid: Fidelity) -> String {
     let rows = experiment::mixed_interference(fid);
     let mut t = TextTable::new(["fabric", "16 streaming GB/s", "16 random GB/s", "total GB/s"]);
     for r in &rows {
-        t.row([
-            r.fabric.to_string(),
-            gbps(r.stream_gbps),
-            gbps(r.random_gbps),
-            gbps(r.total_gbps),
-        ]);
+        t.row([r.fabric.to_string(), gbps(r.stream_gbps), gbps(r.random_gbps), gbps(r.total_gbps)]);
     }
     format!(
         "Mixed interference — half the masters stream (CCS), half scatter (CCRA)

@@ -1,0 +1,149 @@
+//! Sim-speed regression harness: simulated cycles per wall-clock second
+//! for each fabric × traffic scenario.
+//!
+//! The `repro simspeed` subcommand runs these scenarios and writes the
+//! results to `BENCH_simspeed.json` so successive commits can be compared
+//! on the same machine. The scenarios deliberately cover both ends of the
+//! kernel's duty cycle:
+//!
+//! * `saturated_*` — every generator busy every cycle; measures the raw
+//!   per-step cost (arbitration, queues, DRAM model). Event-horizon
+//!   skipping never fires here by construction.
+//! * `latency_probe` — one outstanding single-beat transaction per
+//!   master; the simulator is idle most cycles and the run is dominated
+//!   by gaps the next-event fast-forward can skip.
+//! * `drain_tail` — a bounded burst followed by `run_until_drained`,
+//!   exercising the tail where traffic thins out.
+//! * `idle` — a fully quiescent system; measures the cost of simulated
+//!   time in which nothing happens at all.
+
+use std::time::Instant;
+
+use hbm_axi::BurstLen;
+use hbm_core::{HbmSystem, SystemConfig};
+use hbm_traffic::{RwRatio, Workload};
+use serde::Serialize;
+
+/// One measured (fabric, scenario) cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpeedRow {
+    /// Fabric name (`xilinx`, `mao`, `direct`).
+    pub fabric: &'static str,
+    /// Scenario name (see module docs).
+    pub scenario: &'static str,
+    /// Simulated cycles covered by one run.
+    pub sim_cycles: u64,
+    /// Best-of-N wall time for one run, in seconds.
+    pub wall_s: f64,
+    /// Simulated cycles per wall-clock second (`sim_cycles / wall_s`).
+    pub cycles_per_sec: f64,
+}
+
+/// Single-outstanding, single-beat probe traffic: the latency-measurement
+/// configuration of the paper's Table II, and the worst case for a naive
+/// cycle-by-cycle kernel.
+pub fn probe_workload() -> Workload {
+    Workload {
+        outstanding: 1,
+        num_ids: 1,
+        burst: BurstLen::of(1),
+        stride: 32,
+        rw: RwRatio::READ_ONLY,
+        ..Workload::scs()
+    }
+}
+
+fn wall_best_of<F: FnMut() -> u64>(repeats: usize, mut f: F) -> (u64, f64) {
+    let mut cycles = f(); // warmup (and fixes the cycle count)
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let t0 = Instant::now();
+        cycles = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (cycles, best)
+}
+
+/// Runs the full scenario matrix. `quick` shortens every run ~8× for CI.
+pub fn run_matrix(quick: bool) -> Vec<SpeedRow> {
+    let scale = if quick { 8 } else { 1 };
+    let saturated_cycles = 40_000 / scale;
+    let probe_txns = 512 / scale;
+    let drain_txns = 2_048 / scale;
+    let idle_cycles = 4_000_000 / scale;
+    let repeats = if quick { 1 } else { 3 };
+
+    let fabrics: [(&'static str, SystemConfig); 3] = [
+        ("xilinx", SystemConfig::xilinx()),
+        ("mao", SystemConfig::mao()),
+        ("direct", SystemConfig::direct()),
+    ];
+
+    let mut rows = Vec::new();
+    for (fname, cfg) in &fabrics {
+        for (sname, wl) in
+            [("saturated_scs", Workload::scs()), ("saturated_ccra", Workload::ccra())]
+        {
+            if *fname == "direct" && sname == "saturated_ccra" {
+                continue; // the direct fabric has no cross-channel path
+            }
+            let (sim_cycles, wall_s) = wall_best_of(repeats, || {
+                let mut sys = HbmSystem::new(cfg, wl, None);
+                sys.run(saturated_cycles);
+                sys.now()
+            });
+            rows.push(row(fname, sname, sim_cycles, wall_s));
+        }
+
+        let (sim_cycles, wall_s) = wall_best_of(repeats, || {
+            let mut sys = HbmSystem::new(cfg, probe_workload(), Some(probe_txns));
+            assert!(sys.run_until_drained(100_000_000), "probe did not drain");
+            sys.now()
+        });
+        rows.push(row(fname, "latency_probe", sim_cycles, wall_s));
+
+        let (sim_cycles, wall_s) = wall_best_of(repeats, || {
+            let mut sys = HbmSystem::new(cfg, Workload::scs(), Some(drain_txns));
+            assert!(sys.run_until_drained(100_000_000), "burst did not drain");
+            sys.now()
+        });
+        rows.push(row(fname, "drain_tail", sim_cycles, wall_s));
+
+        let (sim_cycles, wall_s) = wall_best_of(repeats, || {
+            let mut sys = HbmSystem::new(cfg, Workload::scs(), Some(0));
+            sys.run(idle_cycles);
+            sys.now()
+        });
+        rows.push(row(fname, "idle", sim_cycles, wall_s));
+    }
+    rows
+}
+
+fn row(fabric: &'static str, scenario: &'static str, sim_cycles: u64, wall_s: f64) -> SpeedRow {
+    SpeedRow {
+        fabric,
+        scenario,
+        sim_cycles,
+        wall_s,
+        cycles_per_sec: sim_cycles as f64 / wall_s.max(1e-12),
+    }
+}
+
+/// Renders the matrix as an aligned text table.
+pub fn render(rows: &[SpeedRow]) -> String {
+    let mut out = String::from(
+        "Simulator speed (simulated cycles per wall-second; higher is better)\n\
+         fabric   scenario         sim_cycles      wall_s    Mcycles/s\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:<16} {:>10} {:>11.6} {:>12.3}\n",
+            r.fabric,
+            r.scenario,
+            r.sim_cycles,
+            r.wall_s,
+            r.cycles_per_sec / 1e6,
+        ));
+    }
+    out
+}

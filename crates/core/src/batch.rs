@@ -25,10 +25,7 @@ pub fn run_grid(
 ) -> Vec<Measurement> {
     assert!(threads >= 1);
     if threads == 1 || points.len() <= 1 {
-        return points
-            .iter()
-            .map(|(cfg, wl)| measure(cfg, *wl, warmup, cycles))
-            .collect();
+        return points.iter().map(|(cfg, wl)| measure(cfg, *wl, warmup, cycles)).collect();
     }
     let mut results: Vec<Option<Measurement>> = vec![None; points.len()];
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -48,10 +45,7 @@ pub fn run_grid(
             });
         }
     });
-    results
-        .into_iter()
-        .map(|m| m.expect("every grid point was claimed by a worker"))
-        .collect()
+    results.into_iter().map(|m| m.expect("every grid point was claimed by a worker")).collect()
 }
 
 /// A reasonable thread count for sweeps on this machine.

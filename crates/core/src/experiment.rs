@@ -175,7 +175,7 @@ pub fn fig4_rotation(fid: Fidelity) -> Vec<Fig4Row> {
 // -------------------------------------------------------------- Table II
 
 /// One row of Table II: latency under a traffic setup.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct Table2Row {
     /// "Single" (1 outstanding, BL 1) or "Burst" (32 outstanding, BL 16).
     pub traffic: &'static str,
@@ -228,7 +228,7 @@ pub fn table2_latency(fid: Fidelity) -> Vec<Table2Row> {
 
 /// One cell group of Table IV: throughput for a pattern/direction on one
 /// fabric.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct Table4Row {
     /// Pattern (CCS or CCRA).
     pub pattern: Pattern,
@@ -253,11 +253,9 @@ pub fn table4_throughput(fid: Fidelity) -> Vec<Table4Row> {
     let mut rows = Vec::new();
     for pattern in [Pattern::Ccs, Pattern::Ccra] {
         let base = if pattern == Pattern::Ccs { Workload::ccs() } else { Workload::ccra() };
-        for (direction, rw) in [
-            ("RD", RwRatio::READ_ONLY),
-            ("WR", RwRatio::WRITE_ONLY),
-            ("Both", RwRatio::TWO_TO_ONE),
-        ] {
+        for (direction, rw) in
+            [("RD", RwRatio::READ_ONLY), ("WR", RwRatio::WRITE_ONLY), ("Both", RwRatio::TWO_TO_ONE)]
+        {
             let wl = Workload { rw, ..base };
             let x = fid.run(&SystemConfig::xilinx(), wl);
             let o = fid.run(&SystemConfig::mao(), wl);
@@ -287,19 +285,8 @@ pub struct Fig5Row {
 /// Strides below the 512 B chunk re-fetch data (overlap); strides above
 /// skip data; very large strides defeat row locality (DRAM page misses).
 pub fn fig5_stride(fid: Fidelity) -> Vec<Fig5Row> {
-    let strides = [
-        64u64,
-        128,
-        256,
-        512,
-        1 << 10,
-        4 << 10,
-        16 << 10,
-        64 << 10,
-        256 << 10,
-        1 << 20,
-        4 << 20,
-    ];
+    let strides =
+        [64u64, 128, 256, 512, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20];
     strides
         .iter()
         .map(|&stride| {
@@ -333,10 +320,7 @@ pub fn fig6_reorder(fid: Fidelity) -> Vec<Fig6Row> {
         .iter()
         .map(|&depth| {
             let mao = MaoConfig { reorder_depth: depth.max(2), ..MaoConfig::default() };
-            let cfg = SystemConfig {
-                fabric: FabricKind::Mao(mao),
-                ..SystemConfig::mao()
-            };
+            let cfg = SystemConfig { fabric: FabricKind::Mao(mao), ..SystemConfig::mao() };
             let wl = Workload { num_ids: depth, outstanding: depth, ..Workload::ccra() };
             let m = fid.run(&cfg, wl);
             Fig6Row { depth, total_gbps: m.total_gbps() }
@@ -588,7 +572,10 @@ pub fn ablate_lateral(fid: Fidelity) -> Vec<AblationRow> {
         })
         .collect();
     let local = fid.run(&SystemConfig::xilinx(), Workload::scs());
-    rows.push(AblationRow { setting: "reference: rotation 0".into(), total_gbps: local.total_gbps() });
+    rows.push(AblationRow {
+        setting: "reference: rotation 0".into(),
+        total_gbps: local.total_gbps(),
+    });
     rows
 }
 
@@ -615,7 +602,7 @@ pub fn ablate_stacks(fid: Fidelity) -> Vec<AblationRow> {
 // --------------------------------------------------- Mixed interference
 
 /// Result of the heterogeneous-traffic experiment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct MixedRow {
     /// Fabric name.
     pub fabric: &'static str,
@@ -704,11 +691,8 @@ mod tests {
         assert_eq!(rows.len(), 9);
         let uni_read = rows.first().unwrap().total_gbps;
         let best = rows.iter().map(|r| r.total_gbps).fold(0.0, f64::max);
-        let two_one = rows
-            .iter()
-            .find(|r| r.ratio.reads == 2 && r.ratio.writes == 1)
-            .unwrap()
-            .total_gbps;
+        let two_one =
+            rows.iter().find(|r| r.ratio.reads == 2 && r.ratio.writes == 1).unwrap().total_gbps;
         // Mixed traffic beats unidirectional at 300 MHz (paper Fig. 2).
         assert!(two_one > uni_read, "2:1 {two_one} vs RD-only {uni_read}");
         assert!(two_one > 0.9 * best, "2:1 near the peak");

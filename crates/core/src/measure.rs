@@ -80,7 +80,12 @@ impl Measurement {
 
 /// Runs `workload` on `cfg` for `warmup` cycles, clears statistics, then
 /// measures for `cycles` cycles.
-pub fn measure(cfg: &SystemConfig, workload: Workload, warmup: Cycle, cycles: Cycle) -> Measurement {
+pub fn measure(
+    cfg: &SystemConfig,
+    workload: Workload,
+    warmup: Cycle,
+    cycles: Cycle,
+) -> Measurement {
     let mut sys = HbmSystem::new(cfg, workload, None);
     sys.run(warmup);
     sys.reset_stats();
@@ -120,11 +125,7 @@ mod tests {
     fn scs_reaches_high_throughput() {
         let m = measure(&SystemConfig::xilinx(), Workload::scs(), WARM, MEAS);
         // Paper: 416.7 GB/s (90.6 %) for perfect SCS at 2:1.
-        assert!(
-            m.total_gbps() > 350.0,
-            "SCS throughput {} GB/s too low",
-            m.total_gbps()
-        );
+        assert!(m.total_gbps() > 350.0, "SCS throughput {} GB/s too low", m.total_gbps());
         assert!(m.total_gbps() < 461.0, "cannot exceed theoretical bandwidth");
     }
 
@@ -132,11 +133,7 @@ mod tests {
     fn ccs_hotspot_collapses_on_xilinx() {
         let m = measure(&SystemConfig::xilinx(), Workload::ccs(), WARM, MEAS);
         // Paper: 13.0 GB/s (2.8 %).
-        assert!(
-            m.total_gbps() < 40.0,
-            "hot-spot CCS should collapse, got {} GB/s",
-            m.total_gbps()
-        );
+        assert!(m.total_gbps() < 40.0, "hot-spot CCS should collapse, got {} GB/s", m.total_gbps());
     }
 
     #[test]

@@ -10,10 +10,7 @@ pub struct TextTable {
 impl TextTable {
     /// A table with the given column headers.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> TextTable {
-        TextTable {
-            header: header.into_iter().map(Into::into).collect(),
-            rows: Vec::new(),
-        }
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
     }
 
     /// Appends a row (must match the header width).
@@ -78,11 +75,7 @@ pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
     let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     let mut out = String::new();
     for (label, v) in rows {
-        let n = if max > 0.0 {
-            ((v / max) * width as f64).round() as usize
-        } else {
-            0
-        };
+        let n = if max > 0.0 { ((v / max) * width as f64).round() as usize } else { 0 };
         out.push_str(&format!(
             "{:>label_w$} |{}{} {v:.1}\n",
             label,

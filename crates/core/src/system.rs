@@ -115,18 +115,12 @@ impl SystemConfig {
                 mc.port_capacity = self.hbm.pch_capacity;
                 Box::new(MaoFabric::new(mc))
             }
-            FabricKind::FullCrossbar => Box::new(FullCrossbarFabric::new(
-                self.hbm.num_pch,
-                self.hbm.pch_capacity,
-                6,
-                8,
-            )),
-            FabricKind::Direct => Box::new(DirectFabric::new(
-                self.hbm.num_pch,
-                self.hbm.pch_capacity,
-                4,
-                8,
-            )),
+            FabricKind::FullCrossbar => {
+                Box::new(FullCrossbarFabric::new(self.hbm.num_pch, self.hbm.pch_capacity, 6, 8))
+            }
+            FabricKind::Direct => {
+                Box::new(DirectFabric::new(self.hbm.num_pch, self.hbm.pch_capacity, 4, 8))
+            }
         }
     }
 }
@@ -160,6 +154,21 @@ pub trait TrafficSource {
 
     /// `true` when the source has nothing pending and nothing in flight.
     fn drained(&self) -> bool;
+
+    /// A lower bound on the first cycle ≥ `now` at which
+    /// [`poll`](TrafficSource::poll) could return a transaction, assuming
+    /// no completion is delivered in the meantime. `None` means the
+    /// source only wakes on a completion (or is done for good).
+    ///
+    /// The contract is one-sided: reporting earlier than the true next
+    /// issue merely costs a no-op step, reporting later would skip real
+    /// work. The default is the maximally conservative `Some(now)`;
+    /// sources whose idle `poll` is side-effect free override it to
+    /// enable the event-horizon fast-forward of [`HbmSystem::run`] (see
+    /// DESIGN.md §3).
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(now)
+    }
 }
 
 impl TrafficSource for BmTrafficGen {
@@ -185,6 +194,52 @@ impl TrafficSource for BmTrafficGen {
 
     fn drained(&self) -> bool {
         BmTrafficGen::drained(self)
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        BmTrafficGen::next_event(self, now)
+    }
+}
+
+/// Amortizes [`HbmSystem::next_event`] over saturated stretches.
+///
+/// Consulting the horizon costs a scan of every component, which is
+/// wasted work while the system is busy every cycle. After each step the
+/// horizon *confirmed*, the pacer grants an exponentially growing number
+/// of "blind" steps (capped) before the next consultation. Blind steps
+/// are ordinary [`HbmSystem::step`] calls — exactly what naive stepping
+/// would do — so the heuristic cannot affect simulated behaviour; at
+/// worst it executes up to [`Pacer::MAX_CREDIT`] no-op cycles of an idle
+/// gap before the next horizon check skips the rest.
+#[derive(Default)]
+struct Pacer {
+    credit: u32,
+    burst: u32,
+}
+
+impl Pacer {
+    const MAX_CREDIT: u32 = 64;
+
+    /// Consumes one blind-step credit if available.
+    fn take_credit(&mut self) -> bool {
+        if self.credit > 0 {
+            self.credit -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The horizon confirmed an immediate event: grow the blind burst.
+    fn stepped(&mut self) {
+        self.burst = (self.burst * 2).clamp(1, Self::MAX_CREDIT);
+        self.credit = self.burst;
+    }
+
+    /// The horizon skipped ahead: traffic is sparse, re-check every step.
+    fn skipped(&mut self) {
+        self.burst = 0;
+        self.credit = 0;
     }
 }
 
@@ -231,13 +286,8 @@ impl HbmSystem {
             .iter()
             .enumerate()
             .map(|(m, wl)| {
-                Box::new(BmTrafficGen::new(
-                    MasterId(m as u16),
-                    n,
-                    cfg.hbm.pch_capacity,
-                    *wl,
-                    None,
-                )) as Box<dyn TrafficSource>
+                Box::new(BmTrafficGen::new(MasterId(m as u16), n, cfg.hbm.pch_capacity, *wl, None))
+                    as Box<dyn TrafficSource>
             })
             .collect();
         HbmSystem::with_sources(cfg, sources)
@@ -256,14 +306,7 @@ impl HbmSystem {
                 MemoryController::new(&cfg.hbm, cfg.clock, phase)
             })
             .collect();
-        HbmSystem {
-            stuck: vec![None; n],
-            gens: sources,
-            fabric,
-            mcs,
-            now: 0,
-            cfg: cfg.clone(),
-        }
+        HbmSystem { stuck: vec![None; n], gens: sources, fabric, mcs, now: 0, cfg: cfg.clone() }
     }
 
     /// The configured accelerator clock.
@@ -322,25 +365,114 @@ impl HbmSystem {
         self.now += 1;
     }
 
-    /// Runs for `cycles` cycles.
+    /// A lower bound on the first cycle ≥ `now` at which [`step`] would
+    /// do observable work: the minimum of every component's own horizon
+    /// (sources, fabric, controllers, plus any completion stuck between
+    /// a controller and the return network). `None` means the system is
+    /// quiescent forever — nothing will happen without external changes.
+    ///
+    /// Cycles strictly before the returned bound are provably no-op
+    /// steps: every `poll` early-out is side-effect free, fabric ticks
+    /// only mutate on grants (which need a ready queue head), and the
+    /// controllers' idle paths mutate nothing. [`run`] and
+    /// [`run_until_drained`] therefore jump `now` straight to the bound
+    /// without stepping; statistics are bit-identical to naive stepping
+    /// (asserted by the `fastpath_equivalence` property test and
+    /// documented in DESIGN.md §3).
+    pub fn next_event(&self) -> Option<Cycle> {
+        let now = self.now;
+        if self.stuck.iter().any(|s| s.is_some()) {
+            return Some(now); // retried against the fabric every cycle
+        }
+        let mut best: Option<Cycle> = None;
+        let merge = |t: Option<Cycle>, best: &mut Option<Cycle>| -> bool {
+            match t {
+                Some(t) if t <= now => true, // immediate: caller returns Some(now)
+                Some(t) => {
+                    if best.is_none_or(|b| t < b) {
+                        *best = Some(t);
+                    }
+                    false
+                }
+                None => false,
+            }
+        };
+        for g in &self.gens {
+            if merge(g.next_event(now), &mut best) {
+                return Some(now);
+            }
+        }
+        if merge(self.fabric.next_event(now), &mut best) {
+            return Some(now);
+        }
+        for mc in &self.mcs {
+            if merge(mc.next_event(now), &mut best) {
+                return Some(now);
+            }
+        }
+        best
+    }
+
+    /// Runs for `cycles` cycles, fast-forwarding over provably idle gaps.
     pub fn run(&mut self, cycles: Cycle) {
-        for _ in 0..cycles {
-            self.step();
+        let deadline = self.now.saturating_add(cycles);
+        let mut pacer = Pacer::default();
+        while self.now < deadline {
+            if pacer.take_credit() {
+                self.step();
+                continue;
+            }
+            match self.next_event() {
+                Some(t) if t <= self.now => {
+                    self.step();
+                    pacer.stepped();
+                }
+                Some(t) => {
+                    self.now = t.min(deadline);
+                    pacer.skipped();
+                }
+                None => {
+                    self.now = deadline;
+                    pacer.skipped();
+                }
+            }
         }
     }
 
     /// Runs until every generator, the fabric, and every controller are
     /// drained, or until `max_cycles` more cycles have elapsed. Returns
-    /// `true` on a clean drain.
+    /// `true` on a clean drain (in particular: immediately, without
+    /// stepping, when the system is already drained — even with
+    /// `max_cycles == 0`).
     pub fn run_until_drained(&mut self, max_cycles: Cycle) -> bool {
-        let deadline = self.now + max_cycles;
-        while self.now < deadline {
+        let deadline = self.now.saturating_add(max_cycles);
+        let mut pacer = Pacer::default();
+        loop {
             if self.drained() {
                 return true;
             }
-            self.step();
+            if self.now >= deadline {
+                return false;
+            }
+            if pacer.take_credit() {
+                self.step();
+                continue;
+            }
+            match self.next_event() {
+                Some(t) if t <= self.now => {
+                    self.step();
+                    pacer.stepped();
+                }
+                Some(t) => {
+                    self.now = t.min(deadline);
+                    pacer.skipped();
+                }
+                None => {
+                    self.now = deadline;
+                    pacer.skipped();
+                }
+            }
         }
-        self.drained()
     }
 
     /// `true` when no transaction is anywhere in the system.
@@ -430,11 +562,7 @@ mod tests {
     fn read_latency_matches_paper_ballpark() {
         // Single local read at low load: the paper measures 48 cycles
         // (global addressing enabled, closest PCH).
-        let wl = Workload {
-            rw: RwRatio::READ_ONLY,
-            outstanding: 1,
-            ..Workload::scs()
-        };
+        let wl = Workload { rw: RwRatio::READ_ONLY, outstanding: 1, ..Workload::scs() };
         let mut sys = HbmSystem::new(&SystemConfig::xilinx(), wl, Some(4));
         sys.run_until_drained(10_000);
         let stats = &sys.gen_stats()[0];
@@ -463,10 +591,7 @@ mod tests {
         };
         let rd = run(Dir::Read);
         let wr = run(Dir::Write);
-        assert!(
-            wr < rd - 10.0,
-            "posted writes ({wr}) must ack much faster than reads ({rd})"
-        );
+        assert!(wr < rd - 10.0, "posted writes ({wr}) must ack much faster than reads ({rd})");
     }
 
     #[test]

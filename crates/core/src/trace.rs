@@ -96,6 +96,18 @@ impl TrafficSource for TraceSource {
             && self.next == self.events.len()
             && self.tracker.total_in_flight() == 0
     }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.pending.is_some() {
+            return Some(now);
+        }
+        let e = self.events.get(self.next)?;
+        if !self.tracker.can_issue(e.dir()) {
+            return None; // wakes on a completion
+        }
+        // The trace timestamp is the one source of *future* events.
+        Some(e.at.max(now))
+    }
 }
 
 /// Builds a system that replays `trace` on `cfg` with the given

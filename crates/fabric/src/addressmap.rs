@@ -43,10 +43,7 @@ impl ContiguousMap {
             port_capacity.is_power_of_two(),
             "port capacity must be a power of two for mask-based local offsets"
         );
-        ContiguousMap {
-            num_ports,
-            port_capacity,
-        }
+        ContiguousMap { num_ports, port_capacity }
     }
 }
 

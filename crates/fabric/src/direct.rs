@@ -8,7 +8,7 @@
 use hbm_axi::{Addr, Completion, Cycle, MasterId, PortId, Transaction};
 
 use crate::addressmap::{AddressMap, ContiguousMap};
-use crate::link::{Flit, SerialLink};
+use crate::link::{self, Flit, SerialLink};
 use crate::stats::FabricStats;
 use crate::Interconnect;
 
@@ -108,6 +108,10 @@ impl Interconnect for DirectFabric {
         self.fwd.iter().all(|l| l.is_empty()) && self.ret.iter().all(|l| l.is_empty())
     }
 
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        link::horizon(self.fwd.iter().chain(&self.ret), now)
+    }
+
     fn stats(&self) -> FabricStats {
         let mut st = FabricStats::default();
         for l in &self.fwd {
@@ -139,9 +143,7 @@ mod tests {
     fn local_round_trip() {
         let mut f = direct();
         let mut b = TxnBuilder::new(MasterId(2));
-        let t = b
-            .issue(AxiId(0), 2 * (256u64 << 20), BurstLen::of(1), Dir::Read, 0)
-            .unwrap();
+        let t = b.issue(AxiId(0), 2 * (256u64 << 20), BurstLen::of(1), Dir::Read, 0).unwrap();
         assert!(f.offer_request(0, t).is_ok());
         let mut got = None;
         for now in 0..100 {
@@ -166,9 +168,7 @@ mod tests {
     fn cross_channel_access_panics() {
         let mut f = direct();
         let mut b = TxnBuilder::new(MasterId(0));
-        let t = b
-            .issue(AxiId(0), 256 << 20, BurstLen::of(1), Dir::Read, 0)
-            .unwrap();
+        let t = b.issue(AxiId(0), 256 << 20, BurstLen::of(1), Dir::Read, 0).unwrap();
         let _ = f.offer_request(0, t);
     }
 
@@ -181,8 +181,8 @@ mod tests {
         let t0 = b.issue(AxiId(0), 0, BurstLen::of(16), Dir::Write, 0).unwrap();
         let t1 = b.issue(AxiId(1), 512, BurstLen::of(16), Dir::Write, 0).unwrap();
         assert!(f.offer_request(0, t0).is_ok());
-        assert!(f.offer_request(1, t1.clone()).is_err());
-        assert!(f.offer_request(15, t1.clone()).is_err());
+        assert!(f.offer_request(1, t1).is_err());
+        assert!(f.offer_request(15, t1).is_err());
         assert!(f.offer_request(16, t1).is_ok());
     }
 

@@ -11,21 +11,13 @@
 //! interleaving) and *not* the random-access ID stalls (that needs
 //! reorder buffers).
 
-use std::collections::HashMap;
-
-use hbm_axi::{Addr, Completion, Cycle, Dir, MasterId, PortId, Transaction};
+use hbm_axi::{Addr, Completion, Cycle, MasterId, PortId, Transaction};
 
 use crate::addressmap::{AddressMap, ContiguousMap};
-use crate::link::{Flit, SerialLink};
+use crate::idtrack::IdTracker;
+use crate::link::{self, Flit, SerialLink};
 use crate::stats::FabricStats;
 use crate::Interconnect;
-
-fn dir_key(d: Dir) -> u8 {
-    match d {
-        Dir::Read => 0,
-        Dir::Write => 1,
-    }
-}
 
 /// The monolithic crossbar fabric.
 pub struct FullCrossbarFabric {
@@ -38,7 +30,7 @@ pub struct FullCrossbarFabric {
     rr_master: Vec<usize>,
     ingress_popped: Vec<Cycle>,
     ret_popped: Vec<Cycle>,
-    id_track: Vec<HashMap<(u8, u8), (PortId, u32)>>,
+    id_track: IdTracker,
     id_stall_cycles: u64,
     n: usize,
 }
@@ -48,7 +40,12 @@ impl FullCrossbarFabric {
     /// bytes. `latency` is the one-way pipeline depth (a flat 32×32
     /// crossbar at this size would realistically need several register
     /// stages — pass ≥ the Xilinx local-path latency).
-    pub fn new(n: usize, port_capacity: u64, latency: Cycle, capacity: usize) -> FullCrossbarFabric {
+    pub fn new(
+        n: usize,
+        port_capacity: u64,
+        latency: Cycle,
+        capacity: usize,
+    ) -> FullCrossbarFabric {
         let mk = |dead: f64, lat: Cycle| SerialLink::new(1.0, dead, capacity, lat);
         FullCrossbarFabric {
             map: ContiguousMap::new(n, port_capacity),
@@ -60,7 +57,7 @@ impl FullCrossbarFabric {
             rr_master: vec![0; n],
             ingress_popped: vec![Cycle::MAX; n],
             ret_popped: vec![Cycle::MAX; n],
-            id_track: (0..n).map(|_| HashMap::new()).collect(),
+            id_track: IdTracker::new(n),
             id_stall_cycles: 0,
             n,
         }
@@ -83,20 +80,17 @@ impl Interconnect for FullCrossbarFabric {
     fn offer_request(&mut self, now: Cycle, txn: Transaction) -> Result<(), Transaction> {
         let m = txn.master.idx();
         let port = self.map.port_of(txn.addr);
-        let key = (dir_key(txn.dir), txn.id.0);
-        if let Some(&(p, cnt)) = self.id_track[m].get(&key) {
-            if cnt > 0 && p != port {
-                self.id_stall_cycles += 1;
-                return Err(txn);
-            }
+        if self.id_track.conflicts(m, txn.dir, txn.id.0, port) {
+            self.id_stall_cycles += 1;
+            return Err(txn);
         }
         if !self.ingress[m].can_send(now) {
             return Err(txn);
         }
         let cost = txn.fwd_link_cycles();
+        let (dir, id) = (txn.dir, txn.id.0);
         self.ingress[m].send(now, 0, cost, Flit::Req(txn));
-        let e = self.id_track[m].entry(key).or_insert((port, 0));
-        *e = (port, e.1 + 1);
+        self.id_track.issue(m, dir, id, port);
         Ok(())
     }
 
@@ -133,11 +127,7 @@ impl Interconnect for FullCrossbarFabric {
         let m = master.idx();
         match self.master_out[m].pop(now) {
             Some(Flit::Resp(c)) => {
-                let key = (dir_key(c.txn.dir), c.txn.id.0);
-                if let Some(e) = self.id_track[m].get_mut(&key) {
-                    debug_assert!(e.1 > 0);
-                    e.1 -= 1;
-                }
+                self.id_track.retire(m, c.txn.dir, c.txn.id.0);
                 Some(c)
             }
             _ => None,
@@ -205,11 +195,15 @@ impl Interconnect for FullCrossbarFabric {
             && self.master_out.iter().all(|l| l.is_empty())
     }
 
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        link::horizon(
+            self.ingress.iter().chain(&self.port_out).chain(&self.ret_in).chain(&self.master_out),
+            now,
+        )
+    }
+
     fn stats(&self) -> FabricStats {
-        let mut st = FabricStats {
-            id_stall_cycles: self.id_stall_cycles,
-            ..Default::default()
-        };
+        let mut st = FabricStats { id_stall_cycles: self.id_stall_cycles, ..Default::default() };
         for l in &self.ingress {
             st.ingress.merge(l.stats());
         }
@@ -239,7 +233,7 @@ impl Interconnect for FullCrossbarFabric {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hbm_axi::{AxiId, BurstLen, TxnBuilder};
+    use hbm_axi::{AxiId, BurstLen, Dir, TxnBuilder};
 
     fn xbar() -> FullCrossbarFabric {
         FullCrossbarFabric::new(32, 256 << 20, 6, 8)
@@ -249,9 +243,7 @@ mod tests {
     fn routes_any_master_to_any_port() {
         let mut f = xbar();
         let mut b = TxnBuilder::new(MasterId(3));
-        let t = b
-            .issue(AxiId(0), 29 * (256u64 << 20), BurstLen::of(1), Dir::Read, 0)
-            .unwrap();
+        let t = b.issue(AxiId(0), 29 * (256u64 << 20), BurstLen::of(1), Dir::Read, 0).unwrap();
         assert!(f.offer_request(0, t).is_ok());
         let mut arrived = None;
         for now in 0..100 {

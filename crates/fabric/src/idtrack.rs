@@ -1,0 +1,84 @@
+//! Flat per-master tracking of outstanding AXI (direction, ID) →
+//! destination-port bindings.
+//!
+//! AXI ordering requires that transactions sharing an ID (per direction)
+//! complete in issue order, which the fabrics guarantee by stalling an
+//! issue whose ID is still outstanding towards a *different* port. The
+//! tracker sits on the hot issue/retire path of every transaction, so it
+//! is a flat dense array indexed by `(master, direction, id)` — 512
+//! slots of `(PortId, u32)` per master — rather than a hash map.
+
+use hbm_axi::{Dir, PortId};
+
+/// Slots per master: 2 directions × 256 AXI IDs.
+const SLOTS_PER_MASTER: usize = 512;
+
+fn dir_key(d: Dir) -> usize {
+    match d {
+        Dir::Read => 0,
+        Dir::Write => 1,
+    }
+}
+
+/// Outstanding-transaction counts per `(master, direction, id)`, each
+/// bound to the destination port of the oldest outstanding transaction.
+#[derive(Debug, Clone)]
+pub(crate) struct IdTracker {
+    /// `(destination port, outstanding count)` per slot; the port is
+    /// meaningless while the count is 0.
+    slots: Vec<(PortId, u32)>,
+}
+
+impl IdTracker {
+    pub fn new(masters: usize) -> IdTracker {
+        IdTracker { slots: vec![(PortId(0), 0); masters * SLOTS_PER_MASTER] }
+    }
+
+    #[inline]
+    fn slot(master: usize, dir: Dir, id: u8) -> usize {
+        master * SLOTS_PER_MASTER + dir_key(dir) * 256 + id as usize
+    }
+
+    /// `true` when issuing `(dir, id)` towards `port` would violate AXI
+    /// same-ID ordering (the ID is outstanding towards another port).
+    #[inline]
+    pub fn conflicts(&self, master: usize, dir: Dir, id: u8, port: PortId) -> bool {
+        let (p, cnt) = self.slots[Self::slot(master, dir, id)];
+        cnt > 0 && p != port
+    }
+
+    /// Records an accepted issue of `(dir, id)` towards `port`.
+    #[inline]
+    pub fn issue(&mut self, master: usize, dir: Dir, id: u8, port: PortId) {
+        let slot = &mut self.slots[Self::slot(master, dir, id)];
+        *slot = (port, slot.1 + 1);
+    }
+
+    /// Records a delivered completion for `(dir, id)`.
+    #[inline]
+    pub fn retire(&mut self, master: usize, dir: Dir, id: u8) {
+        let slot = &mut self.slots[Self::slot(master, dir, id)];
+        debug_assert!(slot.1 > 0, "completion without outstanding request");
+        slot.1 = slot.1.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_per_master_per_dir_per_id() {
+        let mut t = IdTracker::new(2);
+        assert!(!t.conflicts(0, Dir::Read, 7, PortId(3)));
+        t.issue(0, Dir::Read, 7, PortId(3));
+        assert!(t.conflicts(0, Dir::Read, 7, PortId(4)));
+        assert!(!t.conflicts(0, Dir::Read, 7, PortId(3)));
+        // Other masters, directions, and IDs are independent.
+        assert!(!t.conflicts(1, Dir::Read, 7, PortId(4)));
+        assert!(!t.conflicts(0, Dir::Write, 7, PortId(4)));
+        assert!(!t.conflicts(0, Dir::Read, 8, PortId(4)));
+        t.retire(0, Dir::Read, 7);
+        assert!(!t.conflicts(0, Dir::Read, 7, PortId(4)));
+    }
+}

@@ -52,6 +52,7 @@
 pub mod addressmap;
 pub mod direct;
 pub mod fullxbar;
+mod idtrack;
 pub mod link;
 pub mod stats;
 pub mod xilinx;
@@ -59,7 +60,7 @@ pub mod xilinx;
 pub use addressmap::{AddressMap, ContiguousMap};
 pub use direct::DirectFabric;
 pub use fullxbar::FullCrossbarFabric;
-pub use link::{Flit, SerialLink};
+pub use link::{horizon, Flit, SerialLink};
 pub use stats::{FabricStats, LinkStats};
 pub use xilinx::{FabricConfig, XilinxFabric};
 
@@ -102,14 +103,34 @@ pub trait Interconnect {
     /// Offers a completion (read data / write ack) from a pseudo-channel
     /// port for return routing. Returns it back when the port's return
     /// link cannot accept it this cycle.
-    fn offer_completion(&mut self, now: Cycle, port: PortId, c: Completion)
-        -> Result<(), Completion>;
+    fn offer_completion(
+        &mut self,
+        now: Cycle,
+        port: PortId,
+        c: Completion,
+    ) -> Result<(), Completion>;
 
     /// Delivers the next completion for a master, if one has arrived.
     fn pop_completion(&mut self, now: Cycle, master: MasterId) -> Option<Completion>;
 
     /// Advances internal state by one cycle.
     fn tick(&mut self, now: Cycle);
+
+    /// A lower bound on the first cycle ≥ `now` at which this fabric
+    /// could do observable work — move a flit, expose a request at a
+    /// port, or deliver a completion — assuming no further offers arrive
+    /// in the meantime. `None` means the fabric is quiescent forever
+    /// without new input.
+    ///
+    /// The contract is one-sided: reporting *earlier* than the true next
+    /// event merely costs the caller a no-op `tick`, while reporting
+    /// later would skip real work and break cycle accuracy. The default
+    /// is therefore the maximally conservative `Some(now)`; fabrics
+    /// override it to enable the simulation loop's event-horizon
+    /// fast-forward (see DESIGN.md §3).
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(now)
+    }
 
     /// `true` when no flit is anywhere in flight inside the fabric.
     fn drained(&self) -> bool;

@@ -124,6 +124,14 @@ impl<T> SerialLink<T> {
         self.q.pop_at(now, idx)
     }
 
+    /// Delivery time of the oldest in-flight item, if any — the earliest
+    /// cycle at which `peek`/`pop` can succeed. A past time means the
+    /// head is ready now.
+    #[inline]
+    pub fn next_ready_at(&self) -> Option<Cycle> {
+        self.q.next_ready_at()
+    }
+
     /// Items in flight or waiting downstream.
     #[inline]
     pub fn len(&self) -> usize {
@@ -146,6 +154,29 @@ impl<T> SerialLink<T> {
     pub fn reset_stats(&mut self) {
         self.stats = LinkStats::default();
     }
+}
+
+/// Minimum head-delivery time over a set of links, clamped to `now` —
+/// the links' joint contribution to a fabric's next-event horizon.
+///
+/// Returns `Some(now)` as soon as any head is already ready (callers can
+/// step immediately), the earliest future delivery time otherwise, and
+/// `None` when every link is empty (quiescent until new traffic is
+/// offered).
+pub fn horizon<'a, T: 'a>(
+    links: impl IntoIterator<Item = &'a SerialLink<T>>,
+    now: Cycle,
+) -> Option<Cycle> {
+    let mut best: Option<Cycle> = None;
+    for l in links {
+        if let Some(t) = l.next_ready_at() {
+            if t <= now {
+                return Some(now);
+            }
+            best = Some(best.map_or(t, |b: Cycle| b.min(t)));
+        }
+    }
+    best
 }
 
 #[cfg(test)]

@@ -97,10 +97,8 @@ mod tests {
             LinkStats { flits: 1, beats: 10, grant_switches: 0 },
             LinkStats { flits: 1, beats: 20, grant_switches: 0 },
         ]);
-        s.lateral_left.push([
-            LinkStats { flits: 1, beats: 5, grant_switches: 2 },
-            LinkStats::default(),
-        ]);
+        s.lateral_left
+            .push([LinkStats { flits: 1, beats: 5, grant_switches: 2 }, LinkStats::default()]);
         assert_eq!(s.lateral_beats(), 35);
         assert_eq!(s.max_lateral_beats(), 20);
         assert_eq!(s.total_grant_switches(), 2);

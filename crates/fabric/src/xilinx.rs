@@ -22,12 +22,11 @@
 //! requests stall at ingress. The MAO removes this stall with reorder
 //! buffers — a large part of its random-access win (paper Fig. 6).
 
-use std::collections::HashMap;
-
-use hbm_axi::{Addr, ClockDomain, Completion, Cycle, Dir, MasterId, PortId, Transaction};
+use hbm_axi::{Addr, ClockDomain, Completion, Cycle, MasterId, PortId, Transaction};
 
 use crate::addressmap::{AddressMap, ContiguousMap};
-use crate::link::{Flit, SerialLink};
+use crate::idtrack::IdTracker;
+use crate::link::{self, Flit, SerialLink};
 use crate::stats::{FabricStats, LinkStats};
 use crate::Interconnect;
 
@@ -177,16 +176,13 @@ pub struct XilinxFabric {
     /// Cycle at which each input link last had a flit popped (one pop per
     /// input per cycle).
     popped_at: Vec<Cycle>,
-    /// Per master: outstanding (dir, id) → (destination port, count).
-    id_track: Vec<HashMap<(u8, u8), (PortId, u32)>>,
+    /// Outstanding (master, dir, id) → (destination port, count).
+    id_track: IdTracker,
     id_stall_cycles: u64,
-}
-
-fn dir_key(d: Dir) -> u8 {
-    match d {
-        Dir::Read => 0,
-        Dir::Write => 1,
-    }
+    /// Per-tick routing scratch: `(output link, input position)` of every
+    /// ready input head of the switch under arbitration. Reused across
+    /// ticks to keep the hot loop allocation-free.
+    scratch: Vec<(usize, usize)>,
 }
 
 impl XilinxFabric {
@@ -212,12 +208,7 @@ impl XilinxFabric {
         }
         // MC ingress (completions from controllers): single-source.
         for _ in 0..lay.p {
-            links.push(SerialLink::new(
-                cfg.port_rate,
-                0.0,
-                cfg.out_capacity,
-                cfg.mc_link_latency,
-            ));
+            links.push(SerialLink::new(cfg.port_rate, 0.0, cfg.out_capacity, cfg.mc_link_latency));
         }
         // MC egress (requests to controllers): arbitrated.
         for _ in 0..lay.p {
@@ -300,8 +291,9 @@ impl XilinxFabric {
         XilinxFabric {
             map: ContiguousMap::new(lay.p, cfg.port_capacity),
             popped_at: vec![Cycle::MAX; lay.total()],
-            id_track: (0..lay.m).map(|_| HashMap::new()).collect(),
+            id_track: IdTracker::new(lay.m),
             id_stall_cycles: 0,
+            scratch: Vec::with_capacity(16),
             links,
             inputs,
             outputs,
@@ -401,22 +393,19 @@ impl Interconnect for XilinxFabric {
     fn offer_request(&mut self, now: Cycle, txn: Transaction) -> Result<(), Transaction> {
         let m = txn.master.idx();
         let port = self.map.port_of(txn.addr);
-        let key = (dir_key(txn.dir), txn.id.0);
-        if let Some(&(p, cnt)) = self.id_track[m].get(&key) {
-            if cnt > 0 && p != port {
-                // AXI same-ID ordering across destinations: stall.
-                self.id_stall_cycles += 1;
-                return Err(txn);
-            }
+        if self.id_track.conflicts(m, txn.dir, txn.id.0, port) {
+            // AXI same-ID ordering across destinations: stall.
+            self.id_stall_cycles += 1;
+            return Err(txn);
         }
         let link = &mut self.links[self.lay.master_in(m)];
         if !link.can_send(now) {
             return Err(txn);
         }
         let cost = txn.fwd_link_cycles();
+        let (dir, id) = (txn.dir, txn.id.0);
         link.send(now, 0, cost, Flit::Req(txn));
-        let e = self.id_track[m].entry(key).or_insert((port, 0));
-        *e = (port, e.1 + 1);
+        self.id_track.issue(m, dir, id, port);
         Ok(())
     }
 
@@ -455,11 +444,7 @@ impl Interconnect for XilinxFabric {
         let m = master.idx();
         match self.links[self.lay.master_out(m)].pop(now) {
             Some(Flit::Resp(c)) => {
-                let key = (dir_key(c.txn.dir), c.txn.id.0);
-                if let Some(e) = self.id_track[m].get_mut(&key) {
-                    debug_assert!(e.1 > 0, "completion without outstanding request");
-                    e.1 -= 1;
-                }
+                self.id_track.retire(m, c.txn.dir, c.txn.id.0);
                 Some(c)
             }
             Some(Flit::Req(_)) => unreachable!("request on a completion link"),
@@ -468,32 +453,47 @@ impl Interconnect for XilinxFabric {
     }
 
     fn tick(&mut self, now: Cycle) {
+        // Two passes per switch. Pass 1 routes each ready input head
+        // exactly once into a reusable scratch list; pass 2 arbitrates
+        // each output over the pre-routed candidates. This is
+        // cycle-identical to probing every input per output (candidate
+        // heads are fixed for the whole cycle: every link latency is
+        // ≥ 1, so a flit forwarded this cycle can never become a ready
+        // head this cycle, and popped inputs are excluded explicitly)
+        // but routes each head once instead of once per output probe.
         for s in 0..self.lay.s {
+            self.scratch.clear();
+            let n_in = self.inputs[s].len();
+            for pos in 0..n_in {
+                let in_idx = self.inputs[s][pos];
+                let Some(head) = self.links[in_idx].peek(now) else {
+                    continue;
+                };
+                let out_idx = self.route(s, in_idx, head);
+                self.scratch.push((out_idx, pos));
+            }
+            if self.scratch.is_empty() {
+                continue;
+            }
             for slot in 0..self.outputs[s].len() {
                 let out_idx = self.outputs[s][slot];
                 if !self.links[out_idx].can_send(now) {
                     continue;
                 }
-                // Round-robin over this switch's inputs for a ready head
-                // routed to this output.
-                let n_in = self.inputs[s].len();
+                // Round-robin: the candidate closest after the pointer
+                // wins (one pop per input per cycle).
                 let start = self.rr[s][slot];
-                let mut chosen: Option<usize> = None;
-                for j in 0..n_in {
-                    let pos = (start + j) % n_in;
-                    let in_idx = self.inputs[s][pos];
-                    if self.popped_at[in_idx] == now {
-                        continue; // one pop per input per cycle
-                    }
-                    let Some(head) = self.links[in_idx].peek(now) else {
+                let mut chosen: Option<(usize, usize)> = None; // (rr distance, pos)
+                for &(o, pos) in &self.scratch {
+                    if o != out_idx || self.popped_at[self.inputs[s][pos]] == now {
                         continue;
-                    };
-                    if self.route(s, in_idx, head) == out_idx {
-                        chosen = Some(pos);
-                        break;
+                    }
+                    let dist = (pos + n_in - start) % n_in;
+                    if chosen.is_none_or(|(d, _)| dist < d) {
+                        chosen = Some((dist, pos));
                     }
                 }
-                if let Some(pos) = chosen {
+                if let Some((_, pos)) = chosen {
                     let in_idx = self.inputs[s][pos];
                     let flit = self.links[in_idx].pop(now).expect("peeked head vanished");
                     self.popped_at[in_idx] = now;
@@ -507,6 +507,16 @@ impl Interconnect for XilinxFabric {
 
     fn drained(&self) -> bool {
         self.links.iter().all(|l| l.is_empty())
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // The fabric only does work when some link delivers its head:
+        // every tick grant pops a ready head, and every port-side
+        // peek/pop needs one. Output back-pressure (`can_send`) clears
+        // either with time (`busy_until`, checked when the waiting head
+        // is ready) or when a downstream pop frees the queue — both only
+        // matter on cycles where some head is ready anyway.
+        link::horizon(&self.links, now)
     }
 
     fn stats(&self) -> FabricStats {
@@ -550,7 +560,7 @@ impl Interconnect for XilinxFabric {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hbm_axi::{AxiId, BurstLen, TxnBuilder};
+    use hbm_axi::{AxiId, BurstLen, Dir, TxnBuilder};
 
     fn fabric() -> XilinxFabric {
         XilinxFabric::new(FabricConfig::for_clock(ClockDomain::ACC_300))
@@ -580,18 +590,18 @@ mod tests {
             }
             pending = still;
             f.tick(now);
-            for p in 0..f.num_ports() {
+            for (p, slot) in stuck.iter_mut().enumerate() {
                 let port = PortId(p as u16);
-                if let Some(c) = stuck[p].take() {
+                if let Some(c) = slot.take() {
                     if let Err(c) = f.offer_completion(now, port, c) {
-                        stuck[p] = Some(c);
+                        *slot = Some(c);
                     }
                 }
-                if stuck[p].is_none() {
+                if slot.is_none() {
                     if let Some(t) = f.pop_request(now, port) {
                         let c = Completion { txn: t, produced_at: now };
                         if let Err(c) = f.offer_completion(now, port, c) {
-                            stuck[p] = Some(c);
+                            *slot = Some(c);
                         }
                     }
                 }
@@ -615,7 +625,7 @@ mod tests {
         let (cycle, c) = done[0];
         assert_eq!(c.txn.master, MasterId(0));
         // ingress 4 + mc_link 3 + mc_link 3 + egress 4 + arbitration ≈ 15–20.
-        assert!(cycle >= 14 && cycle <= 24, "local round trip {cycle}");
+        assert!((14..=24).contains(&cycle), "local round trip {cycle}");
     }
 
     #[test]

@@ -144,8 +144,10 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_granularity() {
-        let mut c = MaoConfig::default();
-        c.interleave = InterleaveMode::Block { granularity: 256 };
+        let mut c = MaoConfig {
+            interleave: InterleaveMode::Block { granularity: 256 },
+            ..MaoConfig::default()
+        };
         assert!(c.validate().is_err(), "granularity below max burst size");
         c.interleave = InterleaveMode::Block { granularity: 768 };
         assert!(c.validate().is_err(), "non power of two");
@@ -155,8 +157,7 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_stages_and_depth() {
-        let mut c = MaoConfig::default();
-        c.stages = 3;
+        let mut c = MaoConfig { stages: 3, ..MaoConfig::default() };
         assert!(c.validate().is_err());
         c.stages = 2;
         c.reorder_depth = 0;

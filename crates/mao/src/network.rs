@@ -14,7 +14,7 @@
 //! traffic, drastically lower and far more uniform latency under load.
 
 use hbm_axi::{Addr, Completion, Cycle, MasterId, PortId, Transaction};
-use hbm_fabric::{AddressMap, FabricStats, Flit, Interconnect, SerialLink};
+use hbm_fabric::{horizon, AddressMap, FabricStats, Flit, Interconnect, SerialLink};
 
 use crate::config::MaoConfig;
 use crate::interleave::InterleavedMap;
@@ -51,21 +51,14 @@ impl MaoFabric {
         cfg.validate().expect("invalid MAO configuration");
         let m = cfg.num_masters;
         let p = cfg.num_ports;
-        let mk = |rate: f64, dead: f64, cap: usize, lat: Cycle| SerialLink::new(rate, dead, cap, lat);
+        let mk =
+            |rate: f64, dead: f64, cap: usize, lat: Cycle| SerialLink::new(rate, dead, cap, lat);
         MaoFabric {
             map: InterleavedMap::new(cfg.interleave, p, cfg.port_capacity),
-            ingress: (0..m)
-                .map(|_| mk(1.0, 0.0, cfg.link_capacity, cfg.req_latency()))
-                .collect(),
-            port_out: (0..p)
-                .map(|_| mk(1.0, cfg.dead_beats, cfg.link_capacity, 1))
-                .collect(),
-            ret_in: (0..p)
-                .map(|_| mk(1.0, 0.0, cfg.link_capacity, cfg.ret_latency()))
-                .collect(),
-            master_ret: (0..m)
-                .map(|_| mk(1.0, cfg.dead_beats, cfg.link_capacity, 1))
-                .collect(),
+            ingress: (0..m).map(|_| mk(1.0, 0.0, cfg.link_capacity, cfg.req_latency())).collect(),
+            port_out: (0..p).map(|_| mk(1.0, cfg.dead_beats, cfg.link_capacity, 1)).collect(),
+            ret_in: (0..p).map(|_| mk(1.0, 0.0, cfg.link_capacity, cfg.ret_latency())).collect(),
+            master_ret: (0..m).map(|_| mk(1.0, cfg.dead_beats, cfg.link_capacity, 1)).collect(),
             rob: (0..m).map(|_| ReorderBuffer::new(cfg.reorder_depth)).collect(),
             rr_port: vec![0; p],
             rr_master: vec![0; m],
@@ -239,11 +232,20 @@ impl Interconnect for MaoFabric {
             && self.rob.iter().all(|r| r.is_empty())
     }
 
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // A reorder buffer holding deliverable completions is an
+        // immediate event: the master-side drain pulls from it directly.
+        if self.rob.iter().any(|r| r.has_ready()) {
+            return Some(now);
+        }
+        horizon(
+            self.ingress.iter().chain(&self.port_out).chain(&self.ret_in).chain(&self.master_ret),
+            now,
+        )
+    }
+
     fn stats(&self) -> FabricStats {
-        let mut st = FabricStats {
-            id_stall_cycles: self.rob_stall_cycles,
-            ..Default::default()
-        };
+        let mut st = FabricStats { id_stall_cycles: self.rob_stall_cycles, ..Default::default() };
         for l in &self.ingress {
             st.ingress.merge(l.stats());
         }
@@ -295,18 +297,18 @@ mod tests {
             }
             pending = still;
             f.tick(now);
-            for p in 0..f.num_ports() {
+            for (p, slot) in stuck.iter_mut().enumerate() {
                 let port = PortId(p as u16);
-                if let Some(c) = stuck[p].take() {
+                if let Some(c) = slot.take() {
                     if let Err(c) = f.offer_completion(now, port, c) {
-                        stuck[p] = Some(c);
+                        *slot = Some(c);
                     }
                 }
-                if stuck[p].is_none() {
+                if slot.is_none() {
                     if let Some(t) = f.pop_request(now, port) {
                         let c = Completion { txn: t, produced_at: now };
                         if let Err(c) = f.offer_completion(now, port, c) {
-                            stuck[p] = Some(c);
+                            *slot = Some(c);
                         }
                     }
                 }

@@ -40,10 +40,7 @@ impl ReorderBuffer {
     /// A buffer with `capacity` slots (max outstanding per master).
     pub fn new(capacity: usize) -> ReorderBuffer {
         assert!(capacity >= 1, "reorder buffer needs at least one slot");
-        ReorderBuffer {
-            capacity,
-            ..Default::default()
-        }
+        ReorderBuffer { capacity, ..Default::default() }
     }
 
     /// `true` if a new transaction can reserve a slot.
@@ -110,6 +107,11 @@ impl ReorderBuffer {
     pub fn is_empty(&self) -> bool {
         self.in_flight == 0 && self.parked.is_empty() && self.ready.is_empty()
     }
+
+    /// `true` when an in-order completion is waiting to be delivered.
+    pub fn has_ready(&self) -> bool {
+        !self.ready.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -118,16 +120,8 @@ mod tests {
     use hbm_axi::{AxiId, BurstLen, MasterId, Transaction};
 
     fn comp(id: u8, seq: u64, dir: Dir) -> Completion {
-        let txn = Transaction::new(
-            MasterId(0),
-            AxiId(id),
-            seq * 512,
-            BurstLen::of(1),
-            dir,
-            0,
-            seq,
-        )
-        .unwrap();
+        let txn = Transaction::new(MasterId(0), AxiId(id), seq * 512, BurstLen::of(1), dir, 0, seq)
+            .unwrap();
         Completion { txn, produced_at: 0 }
     }
 

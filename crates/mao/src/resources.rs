@@ -29,11 +29,7 @@ pub struct DeviceCapacity {
 }
 
 /// The Virtex UltraScale+ XCVU37P used throughout the paper.
-pub const XCVU37P: DeviceCapacity = DeviceCapacity {
-    luts: 1_303_680,
-    ffs: 2_607_360,
-    bram: 2_016,
-};
+pub const XCVU37P: DeviceCapacity = DeviceCapacity { luts: 1_303_680, ffs: 2_607_360, bram: 2_016 };
 
 /// A resource / timing estimate for one MAO configuration — one row of
 /// Table III.

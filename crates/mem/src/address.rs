@@ -48,9 +48,7 @@ impl PchAddress {
             AddressMapPolicy::RowInterleaved => {
                 self.row * cfg.banks_per_pch as u64 + self.bank as u64
             }
-            AddressMapPolicy::BankContiguous => {
-                self.bank as u64 * cfg.rows_per_bank() + self.row
-            }
+            AddressMapPolicy::BankContiguous => self.bank as u64 * cfg.rows_per_bank() + self.row,
         };
         row_linear * cfg.row_bytes + self.col as u64
     }

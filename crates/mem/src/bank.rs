@@ -93,9 +93,7 @@ impl Bank {
                 // Precharge may not start before tRAS has elapsed, nor
                 // before the in-flight column accesses of the old row
                 // have completed (plus tRTP).
-                let precharge = now
-                    .max(self.precharge_ok_at)
-                    .max(self.row_busy_until + t.t_rtp);
+                let precharge = now.max(self.precharge_ok_at).max(self.row_busy_until + t.t_rtp);
                 let activate = (precharge + t.t_rp).max(activate_floor);
                 self.open_row = Some(row);
                 self.precharge_ok_at = activate + t.t_ras;
@@ -176,7 +174,7 @@ mod tests {
         let tm = t();
         let mut b = Bank::new();
         b.access(&tm, 0.0, 0.0, 1); // activate at 0, precharge_ok at tRAS=33
-        // Conflicting access at 5 ns: precharge must wait until 33.
+                                    // Conflicting access at 5 ns: precharge must wait until 33.
         let (o, ready, _) = b.access(&tm, 5.0, 0.0, 2);
         assert_eq!(o, PageOutcome::Miss);
         let expect = 33.0 + tm.t_rp + tm.t_rcd + tm.t_cl;

@@ -232,10 +232,7 @@ impl HbmConfig {
     /// possible to increase Ccomp even further").
     pub fn with_stacks(stacks: usize) -> HbmConfig {
         assert!(stacks >= 1);
-        HbmConfig {
-            num_pch: 16 * stacks,
-            ..HbmConfig::default()
-        }
+        HbmConfig { num_pch: 16 * stacks, ..HbmConfig::default() }
     }
 
     /// Total device capacity in bytes (8 GiB with the defaults).
@@ -271,7 +268,7 @@ impl HbmConfig {
         if !self.row_bytes.is_power_of_two() || self.row_bytes < 64 {
             return Err(format!("row_bytes {} must be a power of two ≥ 64", self.row_bytes));
         }
-        if self.pch_capacity % (self.row_bytes * self.banks_per_pch as u64) != 0 {
+        if !self.pch_capacity.is_multiple_of(self.row_bytes * self.banks_per_pch as u64) {
             return Err("pch_capacity must be a whole number of rows per bank".into());
         }
         if self.mc.window == 0 || self.mc.queue_depth == 0 || self.mc.resp_depth == 0 {
@@ -318,20 +315,16 @@ mod tests {
     #[test]
     fn rows_per_bank_consistent() {
         let c = HbmConfig::default();
-        assert_eq!(
-            c.rows_per_bank() * c.row_bytes * c.banks_per_pch as u64,
-            c.pch_capacity
-        );
+        assert_eq!(c.rows_per_bank() * c.row_bytes * c.banks_per_pch as u64, c.pch_capacity);
     }
 
     #[test]
     fn validate_catches_bad_configs() {
-        let mut c = HbmConfig::default();
-        c.num_pch = 0;
+        let c = HbmConfig { num_pch: 0, ..HbmConfig::default() };
         assert!(c.validate().is_err());
 
-        let mut c = HbmConfig::default();
-        c.row_bytes = 1000; // not a power of two
+        // 1000 is not a power of two.
+        let c = HbmConfig { row_bytes: 1000, ..HbmConfig::default() };
         assert!(c.validate().is_err());
 
         let mut c = HbmConfig::default();
@@ -347,8 +340,7 @@ mod tests {
         let l = McConfig::latency_optimised();
         assert_eq!(l.page_policy, PagePolicy::Closed);
         assert_eq!(l.window, 1);
-        let mut c = HbmConfig::default();
-        c.mc = l;
+        let c = HbmConfig { mc: l, ..HbmConfig::default() };
         c.validate().unwrap();
     }
 

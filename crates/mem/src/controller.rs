@@ -16,7 +16,7 @@
 //! accepts the transaction, which is why the paper measures a local write
 //! latency of only 17 cycles against 48 for reads.
 
-use hbm_axi::{ClockDomain, Completion, Cycle, DelayQueue, Dir, Transaction};
+use hbm_axi::{AxiId, ClockDomain, Completion, Cycle, DelayQueue, Dir, MasterId, Transaction};
 
 use crate::config::HbmConfig;
 use crate::pch::PchDram;
@@ -33,6 +33,10 @@ pub struct MemoryController {
     dram: PchDram,
     last_dir: Dir,
     dir_run: usize,
+    /// Scheduling scratch: `(master, id, dir)` keys of the window entries
+    /// examined so far in one `pick_candidate` pass. Reused across calls
+    /// to keep the per-cycle scheduler allocation-free.
+    seen_keys: Vec<(MasterId, AxiId, Dir)>,
     /// PCH-local base: global address minus this gives the PCH offset.
     /// The fabric's address map decides which controller sees a
     /// transaction; the controller only needs the local offset, so the
@@ -51,6 +55,7 @@ impl MemoryController {
             dram: PchDram::new(cfg, refresh_phase),
             last_dir: Dir::Read,
             dir_run: 0,
+            seen_keys: Vec::with_capacity(cfg.mc.window),
             offset_mask: cfg.pch_capacity - 1,
             cfg: cfg.clone(),
             clock,
@@ -74,13 +79,9 @@ impl MemoryController {
             // Posted write: acknowledge on acceptance.
             self.ack_q
                 .push(now, Completion { txn, produced_at: now })
-                .ok()
                 .expect("ack queue full; can_accept not honoured");
         }
-        self.req_q
-            .push(now, txn)
-            .ok()
-            .expect("request queue full; can_accept not honoured");
+        self.req_q.push(now, txn).expect("request queue full; can_accept not honoured");
     }
 
     /// Advances the controller by one cycle: possibly issues one DRAM job.
@@ -106,28 +107,27 @@ impl MemoryController {
             self.dir_run = 1;
         }
         if txn.dir == Dir::Read {
-            let finish_cycle = self
-                .clock
-                .ns_to_cycles(timing.finish_ns + self.cfg.mc.phy_read_ns);
+            let finish_cycle = self.clock.ns_to_cycles(timing.finish_ns + self.cfg.mc.phy_read_ns);
             self.resp_q
                 .push(finish_cycle.max(now), Completion { txn, produced_at: finish_cycle.max(now) })
-                .ok()
                 .expect("response slot reserved above");
         }
     }
 
     /// FR-FCFS candidate selection within the window. Returns a queue
     /// index, or `None` when nothing is eligible this cycle.
-    fn pick_candidate(&self, now: Cycle, allow_reads: bool) -> Option<usize> {
+    fn pick_candidate(&mut self, now: Cycle, allow_reads: bool) -> Option<usize> {
         let window = self.cfg.mc.window.min(self.req_q.ready_len(now));
-        let entries: Vec<&Transaction> = self.req_q.iter().take(window).collect();
         let mut best: Option<(usize, u32)> = None;
-        for (i, txn) in entries.iter().enumerate() {
+        self.seen_keys.clear();
+        for (i, txn) in self.req_q.iter().take(window).enumerate() {
             // AXI same-ID ordering: an older queued request with the same
-            // (master, id, dir) must go first.
-            let blocked = entries[..i]
-                .iter()
-                .any(|e| e.master == txn.master && e.id == txn.id && e.dir == txn.dir);
+            // (master, id, dir) must go first. `seen_keys` holds the keys of
+            // entries 0..i, so one contiguous scan replaces re-walking the
+            // queue per candidate.
+            let key = (txn.master, txn.id, txn.dir);
+            let blocked = self.seen_keys.contains(&key);
+            self.seen_keys.push(key);
             if blocked || (!allow_reads && txn.dir == Dir::Read) {
                 continue;
             }
@@ -180,6 +180,36 @@ impl MemoryController {
     /// `true` once every queue is empty (used to drain simulations).
     pub fn drained(&self) -> bool {
         self.req_q.is_empty() && self.resp_q.is_empty() && self.ack_q.is_empty()
+    }
+
+    /// A lower bound on the first cycle ≥ `now` at which [`tick`] could
+    /// issue a DRAM job or [`pop_completion`] could return a completion,
+    /// assuming nothing new is accepted in the meantime. `None` when
+    /// every queue is empty: a drained controller stays idle forever
+    /// without input (DRAM refresh is accounted lazily inside
+    /// [`PchDram::execute_burst`], so it creates no spontaneous events).
+    ///
+    /// See DESIGN.md §3 for the one-sided contract: waking early is a
+    /// harmless no-op, waking late would break cycle accuracy.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut best: Option<Cycle> = None;
+        let mut merge = |t: Cycle| match best {
+            Some(b) if b <= t => {}
+            _ => best = Some(t),
+        };
+        if let Some(t) = self.resp_q.next_ready_at() {
+            merge(t);
+        }
+        if let Some(t) = self.ack_q.next_ready_at() {
+            merge(t);
+        }
+        if let Some(t) = self.req_q.next_ready_at() {
+            // A queued request can only be scheduled once it is visible
+            // *and* the issue-ahead gate has cleared.
+            let gate = self.dram.gate_opens_at(self.clock, self.cfg.mc.lookahead_ns);
+            merge(t.max(gate));
+        }
+        best.map(|t| t.max(now))
     }
 
     /// Number of requests waiting in the input queue.
@@ -239,7 +269,7 @@ mod tests {
         assert_eq!(c.txn.dir, Dir::Read);
         // req_latency (13) + closed-page (28 ns ≈ 9 cycles) + PHY (50 ns
         // ≈ 15 cycles) + beat + resp_latency (4).
-        assert!(cycle >= 30 && cycle <= 50, "read completion at {cycle}");
+        assert!((30..=50).contains(&cycle), "read completion at {cycle}");
     }
 
     #[test]
@@ -310,7 +340,7 @@ mod tests {
         for i in 0..n {
             let dir = if i % 2 == 0 { Dir::Read } else { Dir::Write };
             // Distinct IDs so the scheduler is free to reorder.
-            m.accept(0, txn(&mut b, (i % 16) as u8, i as u64 * 512, 16, dir, 0));
+            m.accept(0, txn(&mut b, (i % 16) as u8, i * 512, 16, dir, 0));
         }
         run_to_drain(&mut m, 0);
         let turns = m.stats().turnarounds;
@@ -341,10 +371,7 @@ mod tests {
         let delivered = m.stats().bytes_read as f64;
         let gbps = delivered / clock.cycles_to_ns(horizon);
         let eff = cfg.timings.effective_bw_gbps();
-        assert!(
-            gbps > eff * 0.93,
-            "sequential read bandwidth {gbps} GB/s vs effective {eff}"
-        );
+        assert!(gbps > eff * 0.93, "sequential read bandwidth {gbps} GB/s vs effective {eff}");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!    the bus (previous occupancy + turnaround if the direction changed),
 //! 4. the bus is then occupied for `bytes / 32 × t_beat`.
 
-use hbm_axi::Dir;
+use hbm_axi::{ClockDomain, Cycle, Dir};
 
 use crate::address::split_by_row;
 use crate::bank::{Bank, PageOutcome};
@@ -72,6 +72,22 @@ impl PchDram {
         self.bus_free_at
     }
 
+    /// First cycle of `clock` at which a controller with the given
+    /// issue-ahead window is past its gate (`bus_free_at ≤ now_ns +
+    /// lookahead_ns`), i.e. allowed to issue the next burst.
+    ///
+    /// Deliberately one cycle early: the gate comparison is in float
+    /// nanoseconds, and a next-event horizon may wake a sleeper early
+    /// (one no-op tick) but never late (a missed issue slot would change
+    /// simulated timing).
+    pub fn gate_opens_at(&self, clock: ClockDomain, lookahead_ns: f64) -> Cycle {
+        let target_ns = self.bus_free_at - lookahead_ns;
+        if target_ns <= 0.0 {
+            return 0;
+        }
+        clock.ns_to_cycles(target_ns).saturating_sub(1)
+    }
+
     /// Whether an access to the given PCH offset would hit an open row
     /// (for FR-FCFS candidate ranking). Only the first row segment is
     /// considered — bursts rarely span rows.
@@ -84,7 +100,7 @@ impl PchDram {
     /// Executes one burst of `bytes` at PCH-local `offset`, starting no
     /// earlier than `now_ns`. Returns the burst's data timing.
     pub fn execute_burst(&mut self, now_ns: f64, dir: Dir, offset: u64, bytes: u64) -> BurstTiming {
-        debug_assert!(bytes > 0 && bytes % 32 == 0, "bursts are whole beats");
+        debug_assert!(bytes > 0 && bytes.is_multiple_of(32), "bursts are whole beats");
         debug_assert!(offset + bytes <= self.cfg.pch_capacity, "burst beyond PCH");
         let t = self.cfg.timings;
 
@@ -117,13 +133,12 @@ impl PchDram {
         for (a, seg) in split_by_row(&self.cfg, offset, bytes) {
             // Channel-level activate constraints: tRRD after the most
             // recent activate, tFAW after the fourth-most-recent.
-            let activate_floor = (self.recent_activates[3] + t.t_rrd)
-                .max(self.recent_activates[0] + t.t_faw);
+            let activate_floor =
+                (self.recent_activates[3] + t.t_rrd).max(self.recent_activates[0] + t.t_faw);
             let bank = &mut self.banks[a.bank as usize];
             // Activates are issued as soon as the request arrives and
             // overlap earlier segments' data transfer (bank parallelism).
-            let (outcome, data_ready, activate) =
-                bank.access(&t, now_ns, activate_floor, a.row);
+            let (outcome, data_ready, activate) = bank.access(&t, now_ns, activate_floor, a.row);
             match outcome {
                 PageOutcome::Hit => self.stats.page_hits += 1,
                 PageOutcome::Closed => self.stats.page_closed += 1,
@@ -153,10 +168,7 @@ impl PchDram {
             Dir::Write => self.stats.bytes_written += bytes,
         }
 
-        BurstTiming {
-            first_data_ns: first_data,
-            finish_ns: bus_at,
-        }
+        BurstTiming { first_data_ns: first_data, finish_ns: bus_at }
     }
 }
 
@@ -281,10 +293,7 @@ mod tests {
         }
         let gbps = bytes as f64 / now;
         let eff = t.effective_bw_gbps();
-        assert!(
-            (gbps - eff).abs() / eff < 0.03,
-            "achieved {gbps} GB/s vs effective {eff} GB/s"
-        );
+        assert!((gbps - eff).abs() / eff < 0.03, "achieved {gbps} GB/s vs effective {eff} GB/s");
     }
 
     #[test]

@@ -64,12 +64,7 @@ mod tests {
 
     #[test]
     fn hit_rate_computed() {
-        let s = MemStats {
-            page_hits: 3,
-            page_closed: 1,
-            page_misses: 0,
-            ..Default::default()
-        };
+        let s = MemStats { page_hits: 3, page_closed: 1, page_misses: 0, ..Default::default() };
         assert_eq!(s.hit_rate(), Some(0.75));
     }
 

@@ -144,7 +144,7 @@ impl AcceleratorModel for AcceleratorB {
 }
 
 /// One row of the reproduced Table V.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct Table5Row {
     /// Accelerator name.
     pub name: &'static str,
@@ -209,10 +209,7 @@ mod tests {
         // Paper: 2458 / 9831 / 39322 / 157286 GOPS.
         for (p, want) in [(4, 2458.0), (8, 9830.0), (16, 39322.0), (32, 157286.0)] {
             let got = AcceleratorA { p }.comp_gops();
-            assert!(
-                (got - want).abs() / want < 0.01,
-                "P={p}: {got} vs paper {want}"
-            );
+            assert!((got - want).abs() / want < 0.01, "P={p}: {got} vs paper {want}");
         }
     }
 
@@ -222,10 +219,7 @@ mod tests {
         // within 5 %).
         for (p, want) in [(4, 42.0), (8, 84.0), (16, 167.0), (32, 328.0)] {
             let got = AcceleratorA { p }.op_intensity();
-            assert!(
-                (got - want).abs() / want < 0.05,
-                "P={p}: {got} vs paper {want}"
-            );
+            assert!((got - want).abs() / want < 0.05, "P={p}: {got} vs paper {want}");
         }
     }
 
@@ -234,10 +228,7 @@ mod tests {
         // Paper: 68 / 137 / 274 / 547 GOPS.
         for (p, want) in [(4, 68.0), (8, 137.0), (16, 274.0), (32, 547.0)] {
             let got = AcceleratorB { p }.comp_gops();
-            assert!(
-                (got - want).abs() / want < 0.01,
-                "P={p}: {got} vs paper {want}"
-            );
+            assert!((got - want).abs() / want < 0.01, "P={p}: {got} vs paper {want}");
         }
     }
 

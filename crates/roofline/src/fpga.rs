@@ -17,12 +17,8 @@ pub struct DeviceResources {
 
 impl DeviceResources {
     /// The Virtex UltraScale+ XCVU37P used throughout the paper.
-    pub const XCVU37P: DeviceResources = DeviceResources {
-        luts: 1_303_680,
-        ffs: 2_607_360,
-        bram: 2_016,
-        dsps: 9_024,
-    };
+    pub const XCVU37P: DeviceResources =
+        DeviceResources { luts: 1_303_680, ffs: 2_607_360, bram: 2_016, dsps: 9_024 };
 
     /// Whether a design using `pct` percent of the dominant resource
     /// fits (the paper's red/green colouring of Table V).

@@ -55,11 +55,7 @@ impl Matrix {
     /// Maximum absolute element difference to another matrix.
     pub fn max_abs_diff(&self, o: &Matrix) -> f32 {
         assert_eq!((self.rows, self.cols), (o.rows, o.cols));
-        self.data
-            .iter()
-            .zip(&o.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(&o.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
     }
 }
 
@@ -136,8 +132,7 @@ pub fn adder_tree_matmul(a: &Matrix, b: &Matrix, rows_buf: usize) -> Matrix {
         for j in 0..b.cols {
             for i in i0..i1 {
                 // Adder tree: reduce pairwise for a bit-exact tree order.
-                let mut terms: Vec<f32> =
-                    (0..a.cols).map(|kk| a.at(i, kk) * b.at(kk, j)).collect();
+                let mut terms: Vec<f32> = (0..a.cols).map(|kk| a.at(i, kk) * b.at(kk, j)).collect();
                 while terms.len() > 1 {
                     let mut next = Vec::with_capacity(terms.len().div_ceil(2));
                     for pair in terms.chunks(2) {
@@ -234,10 +229,7 @@ mod proptests {
 
     fn small_matrix(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
         (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(|(m, k, n)| {
-            (
-                proptest::collection::vec(-4i8..=4, m * k),
-                proptest::collection::vec(-4i8..=4, k * n),
-            )
+            (proptest::collection::vec(-4i8..=4, m * k), proptest::collection::vec(-4i8..=4, k * n))
                 .prop_map(move |(da, db)| {
                     (
                         Matrix { rows: m, cols: k, data: da.iter().map(|&v| v as f32).collect() },

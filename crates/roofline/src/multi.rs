@@ -80,7 +80,13 @@ impl MultiRoofline {
     }
 
     /// Plot series (log-spaced) for a ceiling.
-    pub fn series(&self, name: &str, oi_min: f64, oi_max: f64, n: usize) -> Option<Vec<RooflinePoint>> {
+    pub fn series(
+        &self,
+        name: &str,
+        oi_min: f64,
+        oi_max: f64,
+        n: usize,
+    ) -> Option<Vec<RooflinePoint>> {
         let c = self.ceiling(name)?;
         assert!(oi_min > 0.0 && oi_max > oi_min && n >= 2);
         let step = (oi_max / oi_min).ln() / (n - 1) as f64;
@@ -126,9 +132,7 @@ mod tests {
 
     #[test]
     fn mixed_traffic_is_harmonic() {
-        let m = MultiRoofline::new(1e9)
-            .with_ceiling("fast", 400.0)
-            .with_ceiling("slow", 100.0);
+        let m = MultiRoofline::new(1e9).with_ceiling("fast", 400.0).with_ceiling("slow", 100.0);
         // 50/50 bytes: harmonic mean = 2/(1/400 + 1/100) = 160 GB/s.
         let got = m.attainable_mixed(&[("fast", 0.5), ("slow", 0.5)], 1.0).unwrap();
         assert!((got - 160.0).abs() < 1e-9, "{got}");

@@ -111,12 +111,8 @@ mod tests {
 
     #[test]
     fn builds_valid_workloads() {
-        let wl = WorkloadBuilder::new(Pattern::Scs)
-            .burst(4)
-            .outstanding(8)
-            .rotation(2)
-            .build()
-            .unwrap();
+        let wl =
+            WorkloadBuilder::new(Pattern::Scs).burst(4).outstanding(8).rotation(2).build().unwrap();
         assert_eq!(wl.burst.beats(), 4);
         assert_eq!(wl.stride, 128, "stride follows burst");
         assert_eq!(wl.rotation, 2);

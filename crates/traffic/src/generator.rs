@@ -1,8 +1,6 @@
 //! Per-master transaction stream generator.
 
-use hbm_axi::{
-    Addr, Cycle, Dir, MasterId, OutstandingTracker, Transaction, TxnBuilder,
-};
+use hbm_axi::{Addr, Cycle, Dir, MasterId, OutstandingTracker, Transaction, TxnBuilder};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -69,7 +67,9 @@ impl BmTrafficGen {
         BmTrafficGen {
             builder: TxnBuilder::new(master),
             tracker: OutstandingTracker::new(wl.num_ids, wl.outstanding),
-            rng: SmallRng::seed_from_u64(wl.seed ^ (master.0 as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+            rng: SmallRng::seed_from_u64(
+                wl.seed ^ (master.0 as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            ),
             pending: None,
             pos: [0, 0],
             n: 0,
@@ -112,6 +112,28 @@ impl BmTrafficGen {
     /// Transactions currently in flight.
     pub fn in_flight(&self) -> usize {
         self.tracker.total_in_flight()
+    }
+
+    /// A lower bound on the first cycle ≥ `now` at which [`poll`] could
+    /// return a transaction, assuming no completion is delivered in the
+    /// meantime: `Some(now)` whenever the head of line is occupied or a
+    /// new transaction could be generated, `None` when the generator
+    /// only wakes on a completion (outstanding limit) or never again
+    /// (stream exhausted). Mirrors `poll`'s early-out conditions, which
+    /// are side-effect free.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.pending.is_some() {
+            return Some(now);
+        }
+        if self.max_txns.is_some_and(|m| self.n >= m) {
+            return None;
+        }
+        let dir = if self.wl.rw.is_read(self.n) { Dir::Read } else { Dir::Write };
+        if self.tracker.can_issue(dir) {
+            Some(now)
+        } else {
+            None
+        }
     }
 
     /// Returns the head-of-line transaction to offer this cycle, if the
@@ -180,11 +202,7 @@ impl BmTrafficGen {
         // Random patterns scatter both directions over the whole set —
         // the paper's RA definition has no layout structure to preserve.
         let random = matches!(self.wl.pattern, Pattern::Scra | Pattern::Ccra);
-        let half = if random {
-            self.wl.working_set
-        } else {
-            (self.wl.working_set / 2).max(chunk)
-        };
+        let half = if random { self.wl.working_set } else { (self.wl.working_set / 2).max(chunk) };
         // Region sized in whole strides so positions wrap cleanly.
         let strides_in_region = (half / self.wl.stride).max(1);
         let region_base = match dir {
@@ -331,10 +349,7 @@ mod tests {
             g.completed(1, &t).unwrap();
             dirs.push(t.dir);
         }
-        assert_eq!(
-            dirs,
-            [Dir::Read, Dir::Read, Dir::Write, Dir::Read, Dir::Read, Dir::Write]
-        );
+        assert_eq!(dirs, [Dir::Read, Dir::Read, Dir::Write, Dir::Read, Dir::Read, Dir::Write]);
     }
 
     #[test]
@@ -438,7 +453,7 @@ mod tests {
     fn legalize_avoids_4k_crossing() {
         // 384 B burst near a page edge is snapped back.
         let a = legalize(4000, 384);
-        assert!(a % 32 == 0);
+        assert!(a.is_multiple_of(32));
         assert!(a % 4096 + 384 <= 4096);
         // Aligned power-of-two bursts pass through.
         assert_eq!(legalize(512, 512), 512);

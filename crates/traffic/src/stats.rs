@@ -35,7 +35,9 @@ mod serde_arrays {
         v.as_slice().serialize(s)
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[u64; LATENCY_BUCKETS], D::Error> {
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> Result<[u64; LATENCY_BUCKETS], D::Error> {
         let v = Vec::<u64>::deserialize(d)?;
         let mut out = [0u64; LATENCY_BUCKETS];
         for (i, x) in v.into_iter().take(LATENCY_BUCKETS).enumerate() {
@@ -47,14 +49,7 @@ mod serde_arrays {
 
 impl Default for LatencyStats {
     fn default() -> LatencyStats {
-        LatencyStats {
-            n: 0,
-            sum: 0.0,
-            sum_sq: 0.0,
-            min: 0,
-            max: 0,
-            buckets: [0; LATENCY_BUCKETS],
-        }
+        LatencyStats { n: 0, sum: 0.0, sum_sq: 0.0, min: 0, max: 0, buckets: [0; LATENCY_BUCKETS] }
     }
 }
 
@@ -259,12 +254,8 @@ mod tests {
 
     #[test]
     fn gen_stats_merge() {
-        let mut a = GenStats::default();
-        a.issued = 2;
-        a.bytes_read = 100;
-        let mut b = GenStats::default();
-        b.issued = 3;
-        b.bytes_written = 50;
+        let mut a = GenStats { issued: 2, bytes_read: 100, ..GenStats::default() };
+        let b = GenStats { issued: 3, bytes_written: 50, ..GenStats::default() };
         a.merge(&b);
         assert_eq!(a.issued, 5);
         assert_eq!(a.total_bytes(), 150);

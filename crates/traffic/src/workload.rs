@@ -103,36 +103,26 @@ impl Workload {
     /// A CCRA workload scattering 512 B chunks over the whole 8 GiB
     /// device (Table IV) — random accesses touch every pseudo-channel.
     pub fn ccra() -> Workload {
-        Workload {
-            pattern: Pattern::Ccra,
-            working_set: 8 << 30,
-            ..Workload::ccs()
-        }
+        Workload { pattern: Pattern::Ccra, working_set: 8 << 30, ..Workload::ccs() }
     }
 
     /// A dense SCS workload, each master in its own 64 MiB partition
     /// slice (Fig. 3a).
     pub fn scs() -> Workload {
-        Workload {
-            pattern: Pattern::Scs,
-            ..Workload::ccs()
-        }
+        Workload { pattern: Pattern::Scs, ..Workload::ccs() }
     }
 
     /// An SCRA workload (Fig. 3c).
     pub fn scra() -> Workload {
-        Workload {
-            pattern: Pattern::Scra,
-            ..Workload::ccs()
-        }
+        Workload { pattern: Pattern::Scra, ..Workload::ccs() }
     }
 
     /// Validates internal consistency.
     pub fn validate(&self) -> Result<(), String> {
-        if self.stride % 32 != 0 || self.stride == 0 {
+        if !self.stride.is_multiple_of(32) || self.stride == 0 {
             return Err(format!("stride {} must be a positive multiple of 32 B", self.stride));
         }
-        if self.stride < self.burst.bytes() && self.stride % self.burst.bytes() != 0 {
+        if self.stride < self.burst.bytes() && !self.stride.is_multiple_of(self.burst.bytes()) {
             // Overlapping strides are allowed (Fig. 5's low end) but must
             // keep bursts 512-aligned relative to each other? No: they
             // only need beat alignment, which the 32 B check gives.

@@ -11,9 +11,7 @@
 //!
 //! Run with: `cargo run --release --example applications`
 
-use hbm_fpga::accel::{
-    gather_engines, run_engines, stencil_engines, GatherDims, StencilDims,
-};
+use hbm_fpga::accel::{gather_engines, run_engines, stencil_engines, GatherDims, StencilDims};
 use hbm_fpga::axi::BurstLen;
 use hbm_fpga::core::prelude::*;
 
@@ -24,7 +22,7 @@ fn main() {
         "5-point Jacobi, {}x{} f32 grid ({} MiB per sweep of traffic)\n",
         dims.h,
         dims.w,
-        2 * dims.h * dims.w * 4 >> 20
+        (2 * dims.h * dims.w * 4) >> 20
     );
     for (name, cfg) in [("stock fabric", SystemConfig::xilinx()), ("MAO", SystemConfig::mao())] {
         let engines = stencil_engines(&dims, 32, 1e9, BurstLen::of(16), 16, 8);
@@ -45,7 +43,9 @@ fn main() {
         gdims.table_bytes >> 20
     );
     for (name, cfg) in [("stock fabric", SystemConfig::xilinx()), ("MAO", SystemConfig::mao())] {
-        for (rname, out, ids) in [("shallow reorder (2)", 2usize, 2usize), ("deep reorder (32)", 32, 32)] {
+        for (rname, out, ids) in
+            [("shallow reorder (2)", 2usize, 2usize), ("deep reorder (32)", 32, 32)]
+        {
             let engines = gather_engines(&gdims, 32, 1e9, out, ids);
             match run_engines(&cfg, engines, gdims.total_ops(), 100_000_000) {
                 Some(r) => println!(

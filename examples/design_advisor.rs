@@ -22,19 +22,26 @@ fn main() {
     let random = arg(2, "strided") == "random";
     let shared = arg(3, "shared") == "shared";
 
-    println!("accelerator: {op_i} OPS/B, {:.0}% reads, {} access, {} data\n",
+    println!(
+        "accelerator: {op_i} OPS/B, {:.0}% reads, {} access, {} data\n",
         read_frac * 100.0,
         if random { "random" } else { "strided" },
-        if shared { "globally shared" } else { "pre-partitioned" });
+        if shared { "globally shared" } else { "pre-partitioned" }
+    );
 
     // ---- Guidelines from §IV-A --------------------------------------------
     println!("guidelines (paper §IV):");
     println!(" 1. clock: 300 MHz is enough — compensate with a read/write mix");
     println!("    close to 2:1 rather than chasing 450 MHz timing closure.");
     let bl = if random { 16 } else { 4 };
-    println!(" 2. burst length: use BL {bl} ({}).",
-        if random { "random access needs long bursts to amortise page misses" }
-        else { "strided streams saturate from BL 2–4; BL 16 also fine" });
+    println!(
+        " 2. burst length: use BL {bl} ({}).",
+        if random {
+            "random access needs long bursts to amortise page misses"
+        } else {
+            "strided streams saturate from BL 2–4; BL 16 also fine"
+        }
+    );
     println!(" 3. keep ≥16 outstanding transactions per port to cover the");
     println!("    48-cycle (160 ns) closed-page read round trip.");
     if shared {
@@ -54,8 +61,10 @@ fn main() {
 
     // ---- Simulate the two candidate systems --------------------------------
     let reads = (read_frac * 8.0).round() as u32;
-    let rw = RwRatio { reads: reads.max(if read_frac > 0.0 { 1 } else { 0 }),
-                       writes: (8 - reads).max(if read_frac < 1.0 { 1 } else { 0 }) };
+    let rw = RwRatio {
+        reads: reads.max(if read_frac > 0.0 { 1 } else { 0 }),
+        writes: (8 - reads).max(if read_frac < 1.0 { 1 } else { 0 }),
+    };
     let pattern = match (random, shared) {
         (false, true) => Pattern::Ccs,
         (true, true) => Pattern::Ccra,
@@ -83,7 +92,11 @@ fn main() {
         println!(
             "  on {name:13}: {:.2} TOPS attainable at {op_i} OPS/B ({})",
             perf_tops,
-            if Roofline::new(1e6, bw).memory_bound(op_i) { "memory bound" } else { "compute bound" },
+            if Roofline::new(1e6, bw).memory_bound(op_i) {
+                "memory bound"
+            } else {
+                "compute bound"
+            },
         );
     }
     if mao > 2.0 * xlnx {

@@ -17,10 +17,16 @@ fn main() {
     let p = experiment::latency_probe();
     println!("closed-page single-transaction latency (cycles @300 MHz):");
     println!("  read  local {:5.1}   farthest {:5.1}   (paper: 48 → 72)", p.read_local, p.read_far);
-    println!("  write local {:5.1}   farthest {:5.1}   (paper: 17 → 41)\n", p.write_local, p.write_far);
+    println!(
+        "  write local {:5.1}   farthest {:5.1}   (paper: 17 → 41)\n",
+        p.write_local, p.write_far
+    );
 
     // --- Table II style comparison -------------------------------------------
-    println!("{:8} {:6} {:8} {:>16} {:>16}", "traffic", "fabric", "pattern", "read mean±σ", "write mean±σ");
+    println!(
+        "{:8} {:6} {:8} {:>16} {:>16}",
+        "traffic", "fabric", "pattern", "read mean±σ", "write mean±σ"
+    );
     for (traffic, outstanding, bl) in [("Single", 1usize, 1u8), ("Burst", 32, 16)] {
         for (fabric, cfg) in [("XLNX", SystemConfig::xilinx()), ("MAO", SystemConfig::mao())] {
             for (pname, base) in [("CCS", Workload::ccs()), ("CCRA", Workload::ccra())] {

@@ -47,7 +47,10 @@ fn main() {
     println!("                    B: XLNX {bw_b_xlnx:6.2}  MAO {bw_b_mao:6.2} GB/s (paper  9.59 / 273.00)\n");
 
     // --- 3. roofline placement ----------------------------------------------
-    println!("{:28} {:>4} {:>9} {:>12} {:>12}  bound", "accelerator", "P", "OpI", "XLNX GOPS", "MAO GOPS");
+    println!(
+        "{:28} {:>4} {:>9} {:>12} {:>12}  bound",
+        "accelerator", "P", "OpI", "XLNX GOPS", "MAO GOPS"
+    );
     for p in [4usize, 8, 16, 32] {
         let acc = AcceleratorA { p };
         report(&acc, bw_a_xlnx, bw_a_mao);

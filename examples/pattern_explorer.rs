@@ -47,11 +47,17 @@ fn main() {
         ..base
     };
 
-    println!("pattern {pattern:?}, fabric {:?}, BL {burst}, N_ot {outstanding}, IDs {num_ids}\n",
-        arg(1, "xlnx"));
+    println!(
+        "pattern {pattern:?}, fabric {:?}, BL {burst}, N_ot {outstanding}, IDs {num_ids}\n",
+        arg(1, "xlnx")
+    );
     let m = measure(&cfg, wl, 3_000, 12_000);
 
-    println!("throughput : {:7.2} GB/s total ({:.1}% of device)", m.total_gbps(), m.pct_of_device());
+    println!(
+        "throughput : {:7.2} GB/s total ({:.1}% of device)",
+        m.total_gbps(),
+        m.pct_of_device()
+    );
     println!("             {:7.2} GB/s read, {:.2} GB/s write", m.read_gbps(), m.write_gbps());
     if let (Some(rm), Some(rs)) = (m.read_latency_mean(), m.read_latency_std()) {
         let p50 = m.read_latency_percentile(0.5).unwrap_or(0);
@@ -76,11 +82,8 @@ fn main() {
     );
 
     // Per-master fairness summary.
-    let per: Vec<f64> = m
-        .per_master
-        .iter()
-        .map(|g| m.clock.throughput_gbps(g.total_bytes(), m.cycles))
-        .collect();
+    let per: Vec<f64> =
+        m.per_master.iter().map(|g| m.clock.throughput_gbps(g.total_bytes(), m.cycles)).collect();
     let min = per.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = per.iter().cloned().fold(0.0, f64::max);
     println!("fairness   : per-master throughput {min:.2}..{max:.2} GB/s");

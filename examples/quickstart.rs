@@ -24,11 +24,7 @@ fn main() {
     );
 
     let mao = measure(&SystemConfig::mao(), workload, warmup, cycles);
-    println!(
-        "with the MAO        : {:6.1} GB/s ({:4.1}%)",
-        mao.total_gbps(),
-        mao.pct_of_device()
-    );
+    println!("with the MAO        : {:6.1} GB/s ({:4.1}%)", mao.total_gbps(), mao.pct_of_device());
 
     println!(
         "\nspeed-up: {:.1}x  (paper: 40.6x, 13.0 -> 414 GB/s)",

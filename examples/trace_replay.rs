@@ -26,7 +26,9 @@ fn main() {
     println!("JSON round trip: {} bytes of trace file\n", json.len());
 
     // Replay on both fabrics.
-    for (name, cfg) in [("stock Xilinx fabric", SystemConfig::xilinx()), ("MAO", SystemConfig::mao())] {
+    for (name, cfg) in
+        [("stock Xilinx fabric", SystemConfig::xilinx()), ("MAO", SystemConfig::mao())]
+    {
         let mut sys = replay_system(&cfg, &trace, 32);
         let ok = sys.run_until_drained(10_000_000);
         assert!(ok, "replay did not finish");

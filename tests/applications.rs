@@ -3,11 +3,9 @@
 //! and a gather reduction (analytics-style, random-access bound) driven
 //! through the simulated memory system.
 
-use hbm_fpga::accel::{
-    gather_engines, run_engines, stencil_engines, GatherDims, StencilDims,
-};
 use hbm_fpga::accel::gather::{gather_sum, gather_targets};
 use hbm_fpga::accel::stencil::jacobi_step;
+use hbm_fpga::accel::{gather_engines, run_engines, stencil_engines, GatherDims, StencilDims};
 use hbm_fpga::axi::BurstLen;
 use hbm_fpga::core::prelude::*;
 
@@ -20,9 +18,8 @@ fn stencil_functional_and_timed() {
     let once = jacobi_step(&grid, h, w);
     let twice = jacobi_step(&once, h, w);
     let spread = |g: &[f32]| {
-        let interior: Vec<f32> = (1..h - 1)
-            .flat_map(|i| (1..w - 1).map(move |j| g[i * w + j]))
-            .collect();
+        let interior: Vec<f32> =
+            (1..h - 1).flat_map(|i| (1..w - 1).map(move |j| g[i * w + j])).collect();
         let max = interior.iter().cloned().fold(f32::MIN, f32::max);
         let min = interior.iter().cloned().fold(f32::MAX, f32::min);
         max - min
@@ -37,12 +34,7 @@ fn stencil_functional_and_timed() {
     };
     let mao = run(&SystemConfig::mao());
     let xlnx = run(&SystemConfig::xilinx());
-    assert!(
-        mao.gops > 3.0 * xlnx.gops,
-        "stencil: MAO {} vs XLNX {} GOPS",
-        mao.gops,
-        xlnx.gops
-    );
+    assert!(mao.gops > 3.0 * xlnx.gops, "stencil: MAO {} vs XLNX {} GOPS", mao.gops, xlnx.gops);
     // Memory bound: achieved OpI < 1 and GOPS ≈ bw × OpI.
     assert!(mao.op_intensity < 1.0);
     let err = mao.prediction_error(1e12, mao.gbps);
@@ -54,12 +46,10 @@ fn gather_functional_matches_reference() {
     let dims = GatherDims::new(512, 1 << 16);
     let table: Vec<f32> = (0..(dims.table_bytes / 4)).map(|i| (i % 97) as f32).collect();
     // Functional result per master is deterministic.
-    let a: f64 = (0..8)
-        .map(|p| gather_sum(&table, &gather_targets(&dims, p, 8), dims.element_bytes))
-        .sum();
-    let b: f64 = (0..8)
-        .map(|p| gather_sum(&table, &gather_targets(&dims, p, 8), dims.element_bytes))
-        .sum();
+    let a: f64 =
+        (0..8).map(|p| gather_sum(&table, &gather_targets(&dims, p, 8), dims.element_bytes)).sum();
+    let b: f64 =
+        (0..8).map(|p| gather_sum(&table, &gather_targets(&dims, p, 8), dims.element_bytes)).sum();
     assert_eq!(a, b);
     assert!(a > 0.0);
 }
@@ -93,10 +83,5 @@ fn gather_mao_beats_xilinx() {
     };
     let mao = run(&SystemConfig::mao());
     let xlnx = run(&SystemConfig::xilinx());
-    assert!(
-        xlnx.cycles > mao.cycles,
-        "gather: MAO {} cycles vs XLNX {}",
-        mao.cycles,
-        xlnx.cycles
-    );
+    assert!(xlnx.cycles > mao.cycles, "gather: MAO {} cycles vs XLNX {}", mao.cycles, xlnx.cycles);
 }

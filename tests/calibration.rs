@@ -130,12 +130,7 @@ fn anchor_table2_latency_ordering() {
     // Paper Table II, Burst rows: the MAO's CCS latency is an order of
     // magnitude below the Xilinx fabric's, with far lower variance.
     use hbm_fpga::axi::BurstLen;
-    let wl = Workload {
-        outstanding: 32,
-        burst: BurstLen::of(16),
-        stride: 512,
-        ..Workload::ccs()
-    };
+    let wl = Workload { outstanding: 32, burst: BurstLen::of(16), stride: 512, ..Workload::ccs() };
     let x = run(&SystemConfig::xilinx(), wl);
     let o = run(&SystemConfig::mao(), wl);
     let (xm, om) = (x.read_latency_mean().unwrap(), o.read_latency_mean().unwrap());

@@ -5,10 +5,7 @@ use hbm_fpga::core::prelude::*;
 use hbm_fpga::core::HbmSystem;
 
 fn configs() -> Vec<(&'static str, SystemConfig)> {
-    vec![
-        ("xilinx", SystemConfig::xilinx()),
-        ("mao", SystemConfig::mao()),
-    ]
+    vec![("xilinx", SystemConfig::xilinx()), ("mao", SystemConfig::mao())]
 }
 
 fn workloads() -> Vec<(&'static str, Workload)> {
@@ -128,11 +125,7 @@ fn odd_burst_lengths_are_legal_too() {
     // Non-power-of-two bursts exercise the 4 KiB legalisation path.
     use hbm_fpga::axi::BurstLen;
     for beats in [3u8, 5, 7, 11, 13] {
-        let wl = Workload {
-            burst: BurstLen::of(beats),
-            stride: 512,
-            ..Workload::scra()
-        };
+        let wl = Workload { burst: BurstLen::of(beats), stride: 512, ..Workload::scra() };
         let mut sys = HbmSystem::new(&SystemConfig::xilinx(), wl, Some(8));
         assert!(sys.run_until_drained(1_000_000), "BL {beats}");
     }

@@ -45,11 +45,7 @@ fn stress(cfg: &SystemConfig, seed: u64, iterations: usize) {
         let ok = sys.run_until_drained(3_000_000);
         assert!(ok, "iteration {i}: failed to drain with {wl:?}");
         let done: u64 = sys.gen_stats().iter().map(|g| g.completed).sum();
-        assert_eq!(
-            done,
-            32 * per_master,
-            "iteration {i}: lost transactions with {wl:?}"
-        );
+        assert_eq!(done, 32 * per_master, "iteration {i}: lost transactions with {wl:?}");
         let gen_bytes: u64 = sys.gen_stats().iter().map(|g| g.total_bytes()).sum();
         assert_eq!(
             gen_bytes,

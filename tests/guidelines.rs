@@ -98,10 +98,8 @@ fn guideline_5_avoid_lateral_routing() {
     let lateral = run(&SystemConfig::xilinx(), Workload { rotation: 4, ..Workload::scs() });
     assert!(lateral.total_gbps() < 0.6 * local.total_gbps());
     // Latency variance is also worse with lateral routing.
-    let (ls, rs) = (
-        local.read_latency_std().unwrap_or(0.0),
-        lateral.read_latency_std().unwrap_or(0.0),
-    );
+    let (ls, rs) =
+        (local.read_latency_std().unwrap_or(0.0), lateral.read_latency_std().unwrap_or(0.0));
     assert!(rs > ls, "lateral routing must raise latency variance ({rs} vs {ls})");
 }
 

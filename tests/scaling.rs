@@ -37,11 +37,8 @@ fn throughput_scales_with_stacks() {
 fn xilinx_fabric_generalises_to_other_geometries() {
     // The segmented switch network builds for 4 and 16 switches too.
     for stacks in [1usize, 4] {
-        let mut sys = hbm_fpga::core::HbmSystem::new(
-            &xlnx_with_stacks(stacks),
-            Workload::scs(),
-            Some(8),
-        );
+        let mut sys =
+            hbm_fpga::core::HbmSystem::new(&xlnx_with_stacks(stacks), Workload::scs(), Some(8));
         assert!(sys.run_until_drained(1_000_000), "{stacks} stacks failed to drain");
     }
 }

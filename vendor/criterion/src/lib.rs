@@ -1,0 +1,185 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Real wall-clock measurements behind the same `Criterion` /
+//! `benchmark_group` / `bench_function` / `Bencher::iter` API the
+//! workspace's benches use — no statistics engine, just warmup plus a
+//! time-budgeted sampling loop, with mean time per iteration (and
+//! throughput, when configured) printed to stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use core::hint::black_box;
+
+/// Throughput annotation: turns time/iter into a rate in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { text: format!("{function}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { text: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { text: s }
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_budget: Duration::from_millis(300),
+            _criterion: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_budget: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling here is time-budgeted
+    /// rather than count-based, so the requested count only scales the
+    /// budget a little.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_budget = Duration::from_millis(30 * n.clamp(3, 30) as u64);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.sample_budget = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { budget: self.sample_budget, elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        let mean_ns =
+            if b.iters > 0 { b.elapsed.as_nanos() as f64 / b.iters as f64 } else { f64::NAN };
+        let mut line =
+            format!("{}/{}: {} ({} iters)", self.name, id.text, fmt_time(mean_ns), b.iters);
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / (mean_ns / 1e9);
+                line.push_str(&format!("  [{} elem/s]", fmt_rate(rate)));
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / (mean_ns / 1e9);
+                line.push_str(&format!("  [{} B/s]", fmt_rate(rate)));
+            }
+            None => {}
+        }
+        println!("{line}");
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1e6 {
+        format!("{:.2} µs/iter", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms/iter", ns / 1e6)
+    } else {
+        format!("{:.3} s/iter", ns / 1e9)
+    }
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.2}G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.2}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.2}k", r / 1e3)
+    } else {
+        format!("{r:.1}")
+    }
+}
+
+/// Runs the measured closure: one warmup call, then iterations until the
+/// sampling budget is spent (at least 3).
+pub struct Bencher {
+    budget: Duration,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup / lazy-init
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let t0 = Instant::now();
+            black_box(f());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if self.iters >= 3 && Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Binds a group name to its benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,247 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no network access and no vendored registry, so
+//! this workspace ships a minimal replacement exposing exactly the trait
+//! surface the repository uses: `Serialize`/`Deserialize` with derive
+//! macros, generic `Serializer`/`Deserializer` bounds (for hand-written
+//! `#[serde(with = "...")]` modules), and a self-describing [`value::Value`]
+//! data model that `serde_json` (the sibling stand-in) renders and parses.
+//!
+//! It is *not* wire-compatible with real serde beyond the JSON produced by
+//! the sibling `serde_json` crate; it only needs to round-trip with itself.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+pub mod de {
+    /// Error construction hook, mirroring `serde::de::Error::custom`.
+    pub trait Error: Sized {
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+pub mod ser {
+    pub use crate::{Serialize, Serializer};
+}
+
+use value::Value;
+
+/// A type that can render itself into the [`Value`] data model.
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A sink for one [`Value`] tree.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error;
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type constructible from the [`Value`] data model.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A source yielding one [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+// ------------------------------------------------------------ primitives
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::U64(*self as u64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_value()? {
+                    Value::U64(v) => Ok(v as $t),
+                    Value::I64(v) if v >= 0 => Ok(v as $t),
+                    Value::F64(v) if v >= 0.0 && v.fract() == 0.0 => Ok(v as $t),
+                    other => Err(de::Error::custom(format_args!(
+                        "expected unsigned integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::I64(*self as i64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_value()? {
+                    Value::I64(v) => Ok(v as $t),
+                    Value::U64(v) => Ok(v as $t),
+                    Value::F64(v) if v.fract() == 0.0 => Ok(v as $t),
+                    other => Err(de::Error::custom(format_args!(
+                        "expected integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::F64(*self as f64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_value()? {
+                    Value::F64(v) => Ok(v as $t),
+                    Value::U64(v) => Ok(v as $t),
+                    Value::I64(v) => Ok(v as $t),
+                    other => Err(de::Error::custom(format_args!(
+                        "expected number, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format_args!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.clone()))
+    }
+}
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+impl Serialize for &str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format_args!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => s.serialize_value(value::to_value(v)),
+            None => s.serialize_value(Value::Null),
+        }
+    }
+}
+impl<'de, T: for<'x> Deserialize<'x>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            v => value::from_value(v).map(Some).map_err(de::Error::custom),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Seq(self.iter().map(value::to_value).collect()))
+    }
+}
+impl<T: Serialize> Serialize for &[T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+impl<'de, T: for<'x> Deserialize<'x>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = Vec::<T>::deserialize(d)?;
+        let n = v.len();
+        v.try_into().map_err(|_| {
+            de::Error::custom(format_args!("expected sequence of {N} elements, got {n}"))
+        })
+    }
+}
+impl<'de, T: for<'x> Deserialize<'x>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Seq(items) => {
+                items.into_iter().map(|v| value::from_value(v).map_err(de::Error::custom)).collect()
+            }
+            other => Err(de::Error::custom(format_args!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Seq(vec![value::to_value(&self.0), value::to_value(&self.1)]))
+    }
+}
+impl<'de, A: for<'x> Deserialize<'x>, B: for<'x> Deserialize<'x>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Seq(items) if items.len() == 2 => {
+                let mut it = items.into_iter();
+                let a = value::from_value(it.next().unwrap()).map_err(de::Error::custom)?;
+                let b = value::from_value(it.next().unwrap()).map_err(de::Error::custom)?;
+                Ok((a, b))
+            }
+            other => Err(de::Error::custom(format_args!("expected pair, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()
+    }
+}

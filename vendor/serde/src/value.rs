@@ -1,0 +1,142 @@
+//! The self-describing data model shared by the offline serde stand-ins.
+
+use crate::{de, Deserialize, Deserializer, Serialize, Serializer};
+
+/// A JSON-shaped value tree. Maps preserve insertion order so struct
+/// round-trips are stable and diffs are readable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+fn write_json_str(f: &mut core::fmt::Formatter<'_>, s: &str) -> core::fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\t' => f.write_str("\\t")?,
+            '\r' => f.write_str("\\r")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+/// Renders the value as JSON. Uses `{:?}` for floats (Rust's shortest
+/// round-trip representation); non-finite floats are emitted as bare
+/// `NaN`/`inf` tokens, which the sibling parser accepts back.
+impl core::fmt::Display for Value {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v:?}"),
+            Value::Str(s) => write_json_str(f, s),
+            Value::Seq(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Map(entries) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_json_str(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Uninhabited error type: serializing into a [`Value`] cannot fail.
+#[derive(Debug)]
+pub enum Never {}
+
+impl core::fmt::Display for Never {
+    fn fmt(&self, _: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {}
+    }
+}
+
+/// Serializer that simply captures the value tree.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Never;
+    fn serialize_value(self, v: Value) -> Result<Value, Never> {
+        Ok(v)
+    }
+}
+
+/// Render any `Serialize` type into a [`Value`].
+pub fn to_value<T: Serialize + ?Sized>(t: &T) -> Value {
+    match t.serialize(ValueSerializer) {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
+/// Deserializer that hands out a pre-built value tree.
+pub struct ValueDeserializer(pub Value);
+
+/// Plain-string error used when rebuilding types from a [`Value`].
+#[derive(Debug)]
+pub struct ValueError(pub String);
+
+impl core::fmt::Display for ValueError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl de::Error for ValueError {
+    fn custom<T: core::fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+    fn take_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+/// Rebuild any `Deserialize` type from a [`Value`].
+pub fn from_value<T: for<'de> Deserialize<'de>>(v: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(v))
+}

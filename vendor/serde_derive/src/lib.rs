@@ -1,0 +1,431 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde stand-in. Parses the item with plain `proc_macro` token
+//! inspection (no syn/quote available offline) and generates impls over the
+//! sibling crate's `serde::value::Value` data model.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! - named-field structs, including `#[serde(with = "module")]` fields
+//! - newtype (single-field tuple) structs, serialized transparently
+//! - enums with unit variants (as the variant-name string), newtype
+//!   variants and struct variants (as single-entry maps)
+//!
+//! Generics are not supported and panic at expansion time.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[derive(Clone)]
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    /// Tuple struct with this many fields (only 1 is supported).
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+/// Extracts `with = "path"` from a `serde(...)` attribute body, if present.
+fn parse_with_attr(attr: &Group) -> Option<String> {
+    let mut it = attr.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        _ => return None,
+    };
+    let toks: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        if let TokenTree::Ident(id) = &toks[i] {
+            if id.to_string() == "with" {
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (toks.get(i + 1), toks.get(i + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let s = lit.to_string();
+                        return Some(s.trim_matches('"').to_string());
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Counts top-level fields in a tuple-struct/variant parenthesis group.
+fn count_tuple_fields(g: &Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for t in &toks {
+        trailing_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+/// Parses `name: Type` fields (with attributes and visibility) from a
+/// brace group. Types are skipped with angle-bracket depth tracking so
+/// `Vec<(A, B)>` style commas don't split fields.
+fn parse_named_fields(g: &Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut with = None;
+        while matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(attr)) = toks.get(i + 1) {
+                if let Some(w) = parse_with_attr(attr) {
+                    with = Some(w);
+                }
+            }
+            i += 2;
+        }
+        if matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(toks.get(i), Some(TokenTree::Group(v)) if v.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("serde_derive: expected field name, found `{t}`"),
+        };
+        i += 1; // name
+        i += 1; // ':'
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+fn parse_variants(g: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("serde_derive: expected variant name, found `{t}`"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(pg)) if pg.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(pg);
+                assert!(
+                    n == 1,
+                    "serde_derive: only newtype tuple variants are supported ({name} has {n})"
+                );
+                i += 1;
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(bg)) if bg.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(bg);
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        out.push(Variant { name, kind });
+    }
+    out
+}
+
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(toks.get(i), Some(TokenTree::Group(v)) if v.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    let kw = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde_derive: expected `struct` or `enum`, found `{t}`"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde_derive: expected item name, found `{t}`"),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported ({name})");
+    }
+    let shape = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g))
+            }
+            t => panic!("serde_derive: unsupported struct body for {name}: {t:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g))
+            }
+            t => panic!("serde_derive: unsupported enum body for {name}: {t:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    (name, shape)
+}
+
+const CUSTOM: &str = "<__D::Error as ::serde::de::Error>::custom";
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                let fname = &f.name;
+                match &f.with {
+                    None => s.push_str(&format!(
+                        "__m.push((\"{fname}\".to_string(), ::serde::value::to_value(&self.{fname})));\n"
+                    )),
+                    Some(with) => s.push_str(&format!(
+                        "__m.push((\"{fname}\".to_string(), \
+                         match {with}::serialize(&self.{fname}, ::serde::value::ValueSerializer) {{ \
+                         ::core::result::Result::Ok(__v) => __v, \
+                         ::core::result::Result::Err(__e) => match __e {{}}, }}));\n"
+                    )),
+                }
+            }
+            s.push_str("__s.serialize_value(::serde::value::Value::Map(__m))\n");
+            s
+        }
+        Shape::TupleStruct(n) => {
+            assert!(
+                *n == 1,
+                "serde_derive: only newtype tuple structs are supported ({name} has {n})"
+            );
+            "::serde::Serialize::serialize(&self.0, __s)\n".to_string()
+        }
+        Shape::Enum(variants) => {
+            let mut s = String::from("let __v = match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => s.push_str(&format!(
+                        "{name}::{vname} => ::serde::value::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantKind::Newtype => s.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::value::Value::Map(vec![(\
+                         \"{vname}\".to_string(), ::serde::value::to_value(__f0))]),\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let pat: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut pushes = String::new();
+                        for f in fields {
+                            let fname = &f.name;
+                            pushes.push_str(&format!(
+                                "__fm.push((\"{fname}\".to_string(), ::serde::value::to_value({fname})));\n"
+                            ));
+                        }
+                        s.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             let mut __fm: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             ::serde::value::Value::Map(vec![(\"{vname}\".to_string(), ::serde::value::Value::Map(__fm))])\n\
+                             }},\n",
+                            pat.join(", ")
+                        ));
+                    }
+                }
+            }
+            s.push_str("};\n__s.serialize_value(__v)\n");
+            s
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __s: __S) -> \
+         ::core::result::Result<__S::Ok, __S::Error> {{\n{body}}}\n}}\n"
+    );
+    out.parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Emits `fieldname: <rebuild from __get("fieldname")>,` initializers.
+fn named_field_inits(fields: &[Field]) -> String {
+    let mut s = String::new();
+    for f in fields {
+        let fname = &f.name;
+        match &f.with {
+            None => s.push_str(&format!(
+                "{fname}: ::serde::value::from_value(__get(\"{fname}\")?)\
+                 .map_err(|__e| {CUSTOM}(__e))?,\n"
+            )),
+            Some(with) => s.push_str(&format!(
+                "{fname}: {with}::deserialize(::serde::value::ValueDeserializer(__get(\"{fname}\")?))\
+                 .map_err(|__e| {CUSTOM}(__e))?,\n"
+            )),
+        }
+    }
+    s
+}
+
+/// Emits the shared `__get` closure over `__entries` for map lookups.
+fn getter(context: &str) -> String {
+    format!(
+        "let __get = |__k: &str| -> ::core::result::Result<::serde::value::Value, __D::Error> {{\n\
+         __entries.iter().find(|(__ek, _)| __ek == __k).map(|(_, __ev)| __ev.clone())\
+         .ok_or_else(|| {CUSTOM}(::std::format!(\"missing field `{{}}` in {context}\", __k)))\n\
+         }};\n"
+    )
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = format!(
+                "let ::serde::value::Value::Map(__entries) = __d.take_value()? else {{\n\
+                 return ::core::result::Result::Err({CUSTOM}(\"expected map for struct {name}\"));\n\
+                 }};\n"
+            );
+            if fields.is_empty() {
+                s.push_str("let _ = __entries;\n");
+            } else {
+                s.push_str(&getter(&name));
+            }
+            s.push_str(&format!(
+                "::core::result::Result::Ok({name} {{\n{}}})\n",
+                named_field_inits(fields)
+            ));
+            s
+        }
+        Shape::TupleStruct(n) => {
+            assert!(
+                *n == 1,
+                "serde_derive: only newtype tuple structs are supported ({name} has {n})"
+            );
+            format!(
+                "::core::result::Result::Ok({name}(\
+                 ::serde::value::from_value(__d.take_value()?)\
+                 .map_err(|__e| {CUSTOM}(__e))?))\n"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Newtype => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                         ::serde::value::from_value(__val).map_err(|__e| {CUSTOM}(__e))?)),\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let ctx = format!("{name}::{vname}");
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let ::serde::value::Value::Map(__entries) = __val else {{\n\
+                             return ::core::result::Result::Err({CUSTOM}(\"expected map for variant {ctx}\"));\n\
+                             }};\n\
+                             {}\
+                             ::core::result::Result::Ok({name}::{vname} {{\n{}}})\n\
+                             }},\n",
+                            getter(&ctx),
+                            named_field_inits(fields)
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __d.take_value()? {{\n\
+                 ::serde::value::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err({CUSTOM}(\
+                 ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                 }},\n\
+                 ::serde::value::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, __val) = __entries.into_iter().next().unwrap();\n\
+                 match __k.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::core::result::Result::Err({CUSTOM}(\
+                 ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::core::result::Result::Err({CUSTOM}(\
+                 ::std::format!(\"unexpected value for enum {name}: {{:?}}\", __other))),\n\
+                 }}\n"
+            )
+        }
+    };
+    let out = format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) -> \
+         ::core::result::Result<Self, __D::Error> {{\n{body}}}\n}}\n"
+    );
+    out.parse().expect("serde_derive: generated invalid Deserialize impl")
+}
