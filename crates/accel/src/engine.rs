@@ -42,7 +42,7 @@ impl PhaseState {
 /// Executes its [`Phase`] script with:
 ///
 /// * bounded outstanding transactions (the paper's `N_ot`),
-/// * read prefetch up to [`PREFETCH_PHASES`] ahead (double buffering),
+/// * read prefetch up to `PREFETCH_PHASES` ahead (double buffering),
 /// * one compute unit of `ops_per_cycle` throughput — compute of phase
 ///   *p* starts when its reads have arrived *and* phase *p−1* has
 ///   finished computing,

@@ -1,6 +1,6 @@
 //! A gather (random-access reduction) application engine.
 //!
-//! Kara et al. [8] — the paper's data-analytics reference — stress HBM
+//! Kara et al. \[8\] — the paper's data-analytics reference — stress HBM
 //! with hash probes and gathers: each element of a sequential index
 //! stream selects a random table entry to read. This is the CCRA access
 //! pattern as an *application*: throughput lives or dies with the

@@ -1,7 +1,7 @@
 //! A 2D stencil (5-point Jacobi) application engine.
 //!
 //! The paper motivates HBM with application accelerators such as NERO's
-//! weather-prediction stencils [6]. A stencil sweep is the archetypal
+//! weather-prediction stencils \[6\]. A stencil sweep is the archetypal
 //! *low operational intensity* kernel (≈ 0.6 OPS/B for 5-point Jacobi on
 //! f32): performance is almost purely a function of achievable memory
 //! bandwidth, which makes it the sharpest end-to-end probe of the

@@ -1,0 +1,678 @@
+//! Opt-in per-transaction lifecycle tracing and latency attribution.
+//!
+//! The simulator's default outputs are end-of-run aggregates; this module
+//! adds the time-resolved layer: every transaction can be stamped at each
+//! stage of its life —
+//!
+//! ```text
+//! issue → fabric ingress-accept → lateral hop(s) → MC enqueue
+//!       → first DRAM command → data-burst start → DRAM done → delivery
+//! ```
+//!
+//! — and each completion decomposed into five latency components whose sum
+//! is *exactly* the end-to-end latency the generators record:
+//!
+//! ```text
+//! source-stall | fabric-transit | mc-queue | dram-service | return-path
+//! ```
+//!
+//! Design constraints (the "overhead contract", see DESIGN.md §3.2):
+//!
+//! * **Zero cost when off.** [`Transaction`] is not grown; stamps live in a
+//!   side-table keyed by `(master, seq)`. Components hold an
+//!   `Option<SharedTracer>` that is `None` by default, so the untraced hot
+//!   path pays one never-taken branch per stamp site and nothing else.
+//!   `tests/fastpath_equivalence.rs` enforces that runs with tracing ON and
+//!   OFF are bit-identical in every statistic.
+//! * **Observation only.** Stamping never changes timing, arbitration, or
+//!   queue occupancy — the tracer has no way to feed back into the
+//!   simulation.
+//! * **Allocation-light when on.** [`TxnRecord`] is `Copy` with a fixed-size
+//!   hop array; the live side-table pre-reserves capacity, and completed
+//!   records are retained up to a configurable cap (beyond it only the
+//!   histograms keep growing).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::transaction::Transaction;
+use crate::types::{Cycle, Dir};
+
+/// Maximum lateral-hop stamps retained per transaction. The Xilinx fabric
+/// routes at most 7 switch-to-switch hops end to end; anything beyond the
+/// cap is counted but not time-stamped.
+pub const MAX_HOPS: usize = 8;
+
+/// Side-table key: `(master, seq)` uniquely identifies a transaction for
+/// its whole life (the MAO rewrites addresses but preserves both fields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TxnKey {
+    /// Issuing master index.
+    pub master: u16,
+    /// Per-master sequence number.
+    pub seq: u64,
+}
+
+impl TxnKey {
+    /// The key of a transaction.
+    #[inline]
+    pub fn of(txn: &Transaction) -> TxnKey {
+        TxnKey { master: txn.master.0, seq: txn.seq }
+    }
+}
+
+/// Multiply-xor hasher for the live side-table. Stamps hit the table up
+/// to five times per transaction, and SipHash dominates that cost; a
+/// `TxnKey` is ten bytes of already-well-distributed integers, so a
+/// single 64-bit mix (splitmix64 finalizer) is collision-safe here and
+/// several times cheaper.
+#[derive(Debug, Default, Clone)]
+struct KeyHasher(u64);
+
+impl std::hash::Hasher for KeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.write_u64(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        let mut z = self.0 ^ i;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+type BuildKeyHasher = std::hash::BuildHasherDefault<KeyHasher>;
+
+/// All lifecycle stamps of one transaction. `issued_at` comes from the
+/// transaction itself; every other stamp is `None` until the corresponding
+/// stage is reached (a posted write is typically delivered before — or
+/// without — its DRAM stamps, because the B ack does not wait for DRAM).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TxnRecord {
+    /// Issuing master index.
+    pub master: u16,
+    /// Per-master sequence number.
+    pub seq: u64,
+    /// AXI ID.
+    pub id: u8,
+    /// Start address as seen at issue (pre-MAO-remap).
+    pub addr: u64,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Read or write.
+    pub dir: Dir,
+    /// Destination pseudo-channel port (set at MC enqueue).
+    pub port: u16,
+    /// Cycle the master issued the transaction (wanted to send it).
+    pub issued_at: Cycle,
+    /// Cycle the fabric accepted it at the ingress port.
+    pub ingress_at: Option<Cycle>,
+    /// Cycle the memory controller enqueued it.
+    pub mc_enqueue_at: Option<Cycle>,
+    /// Cycle the controller issued its first DRAM command.
+    pub dram_cmd_at: Option<Cycle>,
+    /// Cycle the first data beat moved on the DRAM bus.
+    pub data_start_at: Option<Cycle>,
+    /// Cycle the DRAM burst (plus PHY return for reads) finished.
+    pub dram_done_at: Option<Cycle>,
+    /// Cycle the completion reached the issuing master.
+    pub delivered_at: Option<Cycle>,
+    /// Number of lateral (switch-to-switch) hops taken, either direction.
+    pub hops: u8,
+    /// Stamp of each lateral hop, valid for `hop_at[..hops.min(MAX_HOPS)]`.
+    pub hop_at: [Cycle; MAX_HOPS],
+}
+
+impl TxnRecord {
+    fn new(txn: &Transaction) -> TxnRecord {
+        TxnRecord {
+            master: txn.master.0,
+            seq: txn.seq,
+            id: txn.id.0,
+            addr: txn.addr,
+            bytes: txn.bytes(),
+            dir: txn.dir,
+            port: 0,
+            issued_at: txn.issued_at,
+            ingress_at: None,
+            mc_enqueue_at: None,
+            dram_cmd_at: None,
+            data_start_at: None,
+            dram_done_at: None,
+            delivered_at: None,
+            hops: 0,
+            hop_at: [0; MAX_HOPS],
+        }
+    }
+
+    /// End-to-end latency (delivery − issue); `None` until delivered.
+    pub fn end_to_end(&self) -> Option<Cycle> {
+        self.delivered_at.map(|d| d.saturating_sub(self.issued_at))
+    }
+
+    /// Decomposes the end-to-end latency into the five components.
+    ///
+    /// Invariant: `attribution().total() == end_to_end()` *exactly*, for
+    /// every delivered record. Missing stamps inherit the previous stage's
+    /// time (their component is 0), and every stamp is clamped into
+    /// `[previous stage, delivery]` so no component can be negative or
+    /// overshoot. Posted writes attribute everything after MC acceptance
+    /// to the return path: their B ack does not wait for DRAM service, so
+    /// `mc_queue`/`dram_service` are 0 by construction even if the DRAM
+    /// stamps (which may land after the ack) are present.
+    pub fn attribution(&self) -> Option<Attribution> {
+        let delivered = self.delivered_at?;
+        let issued = self.issued_at.min(delivered);
+        let clamp = |s: Option<Cycle>, lo: Cycle| s.unwrap_or(lo).clamp(lo, delivered);
+        let ingress = clamp(self.ingress_at, issued);
+        let enqueue = clamp(self.mc_enqueue_at, ingress);
+        let (cmd, done) = match self.dir {
+            Dir::Read => {
+                let cmd = clamp(self.dram_cmd_at, enqueue);
+                (cmd, clamp(self.dram_done_at, cmd))
+            }
+            // Posted write: the ack never waits for DRAM.
+            Dir::Write => (enqueue, enqueue),
+        };
+        let e2e = delivered - issued;
+        let source_stall = ingress - issued;
+        let fabric_transit = enqueue - ingress;
+        let mc_queue = cmd - enqueue;
+        let dram_service = done - cmd;
+        let return_path = e2e - source_stall - fabric_transit - mc_queue - dram_service;
+        Some(Attribution { source_stall, fabric_transit, mc_queue, dram_service, return_path })
+    }
+}
+
+/// The five-way latency decomposition of one completion, in cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribution {
+    /// Issue → fabric ingress-accept (back-pressure and ID stalls at the
+    /// master's doorstep).
+    pub source_stall: Cycle,
+    /// Ingress-accept → MC enqueue (switch pipeline, lateral buses,
+    /// arbitration).
+    pub fabric_transit: Cycle,
+    /// MC enqueue → first DRAM command (reorder-window queueing).
+    pub mc_queue: Cycle,
+    /// First DRAM command → data returned at the controller (bank timing,
+    /// burst transfer, PHY).
+    pub dram_service: Cycle,
+    /// Everything after: response queue + return fabric to the master.
+    pub return_path: Cycle,
+}
+
+impl Attribution {
+    /// Sum of all components — equals the end-to-end latency exactly.
+    pub fn total(&self) -> Cycle {
+        self.source_stall
+            + self.fabric_transit
+            + self.mc_queue
+            + self.dram_service
+            + self.return_path
+    }
+}
+
+/// Number of power-of-two buckets in a [`Hist`] (covers the full `u64`
+/// cycle range; the top bucket absorbs anything above `2^47`).
+pub const HIST_BUCKETS: usize = 48;
+
+/// HDR-style latency histogram: power-of-two buckets plus exact
+/// min/max/sum, supporting p50/p95/p99/p99.9 with bucket resolution.
+///
+/// A value `v` lands in bucket `floor(log2(max(v,1)))`, so a reported
+/// percentile is the bucket's upper edge clamped to the observed
+/// `[min, max]` — an upper bound off by at most 2× (the same scheme as
+/// `hbm_traffic::LatencyStats`, extended to cover attribution components
+/// that can legitimately be zero).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hist {
+    /// Sample count.
+    pub n: u64,
+    /// Sum of samples (for the mean).
+    pub sum: u64,
+    /// Smallest sample, `u64::MAX` when empty.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Zero-valued samples (bucket 0 also holds the value 1).
+    pub zeros: u64,
+    /// Power-of-two buckets.
+    #[serde(with = "serde_arrays")]
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+mod serde_arrays {
+    use super::HIST_BUCKETS;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &[u64; HIST_BUCKETS], s: S) -> Result<S::Ok, S::Error> {
+        v.as_slice().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[u64; HIST_BUCKETS], D::Error> {
+        let v = Vec::<u64>::deserialize(d)?;
+        let mut out = [0u64; HIST_BUCKETS];
+        for (o, x) in out.iter_mut().zip(v) {
+            *o = x;
+        }
+        Ok(out)
+    }
+}
+
+impl Default for Hist {
+    fn default() -> Hist {
+        Hist { n: 0, sum: 0, min: u64::MAX, max: 0, zeros: 0, buckets: [0; HIST_BUCKETS] }
+    }
+}
+
+impl Hist {
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.n += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if v == 0 {
+            self.zeros += 1;
+        }
+        let b = (63 - v.max(1).leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[b] += 1;
+    }
+
+    /// Sample count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.n as f64
+        }
+    }
+
+    /// The q-quantile (`0 < q <= 1`) as the covering bucket's upper edge,
+    /// clamped to the observed `[min, max]`. `None` when empty.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.n == 0 {
+            return None;
+        }
+        let want = ((q * self.n as f64).ceil() as u64).clamp(1, self.n);
+        // Exact zeros sort before everything in bucket 0.
+        if want <= self.zeros {
+            return Some(0);
+        }
+        let mut seen = self.zeros;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            // Bucket 0 shares its count with the zeros already consumed.
+            let c = if i == 0 { c.saturating_sub(self.zeros) } else { c };
+            seen += c;
+            if seen >= want {
+                let edge = if i + 1 >= 64 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return Some(edge.min(self.max).max(self.min));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median (upper-edge estimate).
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> Option<u64> {
+        self.percentile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> Option<u64> {
+        self.percentile(0.999)
+    }
+
+    /// Adds another histogram into this one.
+    pub fn merge(&mut self, other: &Hist) {
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.zeros += other.zeros;
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Per-direction attribution histograms: one [`Hist`] per component plus
+/// the end-to-end distribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AttrHists {
+    /// Issue → ingress-accept.
+    pub source_stall: Hist,
+    /// Ingress-accept → MC enqueue.
+    pub fabric_transit: Hist,
+    /// MC enqueue → first DRAM command.
+    pub mc_queue: Hist,
+    /// First DRAM command → data at the controller.
+    pub dram_service: Hist,
+    /// Response queue + return fabric.
+    pub return_path: Hist,
+    /// Issue → delivery.
+    pub end_to_end: Hist,
+}
+
+impl AttrHists {
+    fn record(&mut self, a: &Attribution) {
+        self.source_stall.record(a.source_stall);
+        self.fabric_transit.record(a.fabric_transit);
+        self.mc_queue.record(a.mc_queue);
+        self.dram_service.record(a.dram_service);
+        self.return_path.record(a.return_path);
+        self.end_to_end.record(a.total());
+    }
+
+    /// `(name, histogram)` pairs in pipeline order, for rendering.
+    pub fn components(&self) -> [(&'static str, &Hist); 6] {
+        [
+            ("source-stall", &self.source_stall),
+            ("fabric-transit", &self.fabric_transit),
+            ("mc-queue", &self.mc_queue),
+            ("dram-service", &self.dram_service),
+            ("return-path", &self.return_path),
+            ("end-to-end", &self.end_to_end),
+        ]
+    }
+}
+
+/// The lifecycle tracer: a side-table of live [`TxnRecord`]s, a bounded
+/// log of delivered records (in delivery order — deterministic), and the
+/// per-direction attribution histograms.
+///
+/// Components hold it as a [`SharedTracer`] (`Rc<RefCell<_>>` — the
+/// simulator is single-threaded) so the fabric, every controller, and the
+/// system loop all stamp into the same table.
+#[derive(Debug)]
+pub struct Tracer {
+    live: HashMap<TxnKey, TxnRecord, BuildKeyHasher>,
+    done: Vec<TxnRecord>,
+    capacity: usize,
+    dropped: u64,
+    /// Attribution of delivered reads.
+    pub read_attr: AttrHists,
+    /// Attribution of delivered writes.
+    pub write_attr: AttrHists,
+}
+
+/// Shared handle to a [`Tracer`].
+pub type SharedTracer = Rc<RefCell<Tracer>>;
+
+/// Default cap on retained delivered records.
+pub const DEFAULT_RECORD_CAP: usize = 1 << 16;
+
+impl Tracer {
+    /// A tracer retaining up to `record_cap` delivered records (histograms
+    /// keep aggregating past the cap; `dropped()` counts the overflow).
+    pub fn new(record_cap: usize) -> Tracer {
+        Tracer {
+            live: HashMap::with_capacity_and_hasher(4096, BuildKeyHasher::default()),
+            done: Vec::new(),
+            capacity: record_cap,
+            dropped: 0,
+            read_attr: AttrHists::default(),
+            write_attr: AttrHists::default(),
+        }
+    }
+
+    /// A shared tracer with the default record cap.
+    pub fn shared(record_cap: usize) -> SharedTracer {
+        Rc::new(RefCell::new(Tracer::new(record_cap)))
+    }
+
+    /// Stamp: the fabric accepted `txn` at its ingress port. Creates the
+    /// record (issue time is carried by the transaction itself).
+    pub fn ingress_accept(&mut self, now: Cycle, txn: &Transaction) {
+        let mut rec = TxnRecord::new(txn);
+        rec.ingress_at = Some(now);
+        self.live.insert(TxnKey::of(txn), rec);
+    }
+
+    /// Stamp: the flit of `(master, seq)` was granted onto a lateral bus
+    /// (either direction). Unknown keys are ignored — a hop can only
+    /// follow an ingress-accept, so this tolerates tracers attached
+    /// mid-run.
+    pub fn lateral_hop(&mut self, now: Cycle, master: u16, seq: u64) {
+        if let Some(rec) = self.live.get_mut(&TxnKey { master, seq }) {
+            if (rec.hops as usize) < MAX_HOPS {
+                rec.hop_at[rec.hops as usize] = now;
+            }
+            rec.hops = rec.hops.saturating_add(1);
+        }
+    }
+
+    /// Stamp: memory controller `port` enqueued `txn`.
+    pub fn mc_enqueue(&mut self, now: Cycle, txn: &Transaction, port: u16) {
+        if let Some(rec) = self.live.get_mut(&TxnKey::of(txn)) {
+            rec.mc_enqueue_at = Some(now);
+            rec.port = port;
+        }
+    }
+
+    /// Stamp: the controller issued the first DRAM command at `cmd_at`;
+    /// data moves at `data_start_at` and the service (including PHY return
+    /// for reads) finishes at `done_at`.
+    pub fn dram_issue(
+        &mut self,
+        txn: &Transaction,
+        cmd_at: Cycle,
+        data_start_at: Cycle,
+        done_at: Cycle,
+    ) {
+        if let Some(rec) = self.live.get_mut(&TxnKey::of(txn)) {
+            rec.dram_cmd_at = Some(cmd_at);
+            rec.data_start_at = Some(data_start_at);
+            rec.dram_done_at = Some(done_at);
+        }
+    }
+
+    /// Stamp: the completion reached its master. Finalises the record,
+    /// aggregates its attribution, and retires it from the live table.
+    pub fn delivered(&mut self, now: Cycle, txn: &Transaction) {
+        let Some(mut rec) = self.live.remove(&TxnKey::of(txn)) else { return };
+        rec.delivered_at = Some(now);
+        if let Some(attr) = rec.attribution() {
+            match rec.dir {
+                Dir::Read => self.read_attr.record(&attr),
+                Dir::Write => self.write_attr.record(&attr),
+            }
+        }
+        if self.done.len() < self.capacity {
+            self.done.push(rec);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Delivered records in delivery order (bounded by the record cap).
+    pub fn records(&self) -> &[TxnRecord] {
+        &self.done
+    }
+
+    /// Delivered records beyond the cap (aggregated but not retained).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Transactions currently in flight (stamped but not delivered).
+    pub fn live_len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Attribution histograms for one direction.
+    pub fn attr(&self, dir: Dir) -> &AttrHists {
+        match dir {
+            Dir::Read => &self.read_attr,
+            Dir::Write => &self.write_attr,
+        }
+    }
+
+    /// Total delivered transactions (retained + dropped).
+    pub fn delivered_count(&self) -> u64 {
+        self.done.len() as u64 + self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{AxiId, BurstLen, MasterId};
+
+    fn txn(master: u16, seq: u64, dir: Dir, issued_at: Cycle) -> Transaction {
+        Transaction::new(MasterId(master), AxiId(0), 0x1000, BurstLen::of(4), dir, issued_at, seq)
+            .unwrap()
+    }
+
+    #[test]
+    fn full_read_lifecycle_attribution_sums_to_e2e() {
+        let mut t = Tracer::new(16);
+        let x = txn(3, 7, Dir::Read, 10);
+        t.ingress_accept(14, &x);
+        t.lateral_hop(16, 3, 7);
+        t.lateral_hop(18, 3, 7);
+        t.mc_enqueue(25, &x, 12);
+        t.dram_issue(&x, 30, 33, 48);
+        t.delivered(60, &x);
+        let rec = &t.records()[0];
+        assert_eq!(rec.hops, 2);
+        assert_eq!(rec.port, 12);
+        let a = rec.attribution().unwrap();
+        assert_eq!(a.source_stall, 4);
+        assert_eq!(a.fabric_transit, 11);
+        assert_eq!(a.mc_queue, 5);
+        assert_eq!(a.dram_service, 18);
+        assert_eq!(a.return_path, 12);
+        assert_eq!(a.total(), rec.end_to_end().unwrap());
+        assert_eq!(t.read_attr.end_to_end.count(), 1);
+        assert_eq!(t.live_len(), 0);
+    }
+
+    #[test]
+    fn posted_write_attributes_nothing_to_dram() {
+        let mut t = Tracer::new(16);
+        let x = txn(0, 0, Dir::Write, 0);
+        t.ingress_accept(2, &x);
+        t.mc_enqueue(6, &x, 0);
+        // DRAM stamps land *after* the ack has been delivered in real runs;
+        // here they land before, and must still be excluded.
+        t.dram_issue(&x, 100, 103, 140);
+        t.delivered(9, &x);
+        let a = t.records()[0].attribution().unwrap();
+        assert_eq!(a.mc_queue, 0);
+        assert_eq!(a.dram_service, 0);
+        assert_eq!(a.return_path, 3);
+        assert_eq!(a.total(), 9);
+    }
+
+    #[test]
+    fn missing_stamps_inherit_and_still_sum() {
+        let mut t = Tracer::new(16);
+        let x = txn(1, 1, Dir::Read, 5);
+        t.ingress_accept(8, &x);
+        // No MC or DRAM stamps at all (e.g. delivered from a cache-like
+        // shortcut or a tracer attached mid-flight).
+        t.delivered(20, &x);
+        let a = t.records()[0].attribution().unwrap();
+        assert_eq!(a.total(), 15);
+        assert_eq!(a.source_stall, 3);
+        assert_eq!(a.return_path, 12);
+    }
+
+    #[test]
+    fn record_cap_counts_drops_but_keeps_aggregating() {
+        let mut t = Tracer::new(1);
+        for seq in 0..3 {
+            let x = txn(0, seq, Dir::Read, 0);
+            t.ingress_accept(1, &x);
+            t.delivered(10, &x);
+        }
+        assert_eq!(t.records().len(), 1);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.delivered_count(), 3);
+        assert_eq!(t.read_attr.end_to_end.count(), 3);
+    }
+
+    #[test]
+    fn hist_percentiles_ordered_and_bounded() {
+        let mut h = Hist::default();
+        for v in [0u64, 0, 1, 2, 3, 5, 8, 13, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.p50().unwrap();
+        let p95 = h.p95().unwrap();
+        let p99 = h.p99().unwrap();
+        let p999 = h.p999().unwrap();
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= p999);
+        assert!(p999 <= h.max);
+        assert_eq!(h.percentile(1.0).unwrap(), 1000);
+        // 2/10 samples are exact zeros → p20 is exactly 0.
+        assert_eq!(h.percentile(0.2).unwrap(), 0);
+        assert_eq!(Hist::default().p50(), None);
+    }
+
+    #[test]
+    fn hist_merge_matches_combined_recording() {
+        let mut a = Hist::default();
+        let mut b = Hist::default();
+        let mut c = Hist::default();
+        for v in [1u64, 4, 9, 16] {
+            a.record(v);
+            c.record(v);
+        }
+        for v in [0u64, 25, 36] {
+            b.record(v);
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn hop_overflow_is_counted_not_stamped() {
+        let mut t = Tracer::new(4);
+        let x = txn(2, 2, Dir::Read, 0);
+        t.ingress_accept(1, &x);
+        for i in 0..(MAX_HOPS as u64 + 3) {
+            t.lateral_hop(2 + i, 2, 2);
+        }
+        t.delivered(50, &x);
+        let rec = &t.records()[0];
+        assert_eq!(rec.hops as usize, MAX_HOPS + 3);
+        assert_eq!(rec.hop_at[MAX_HOPS - 1], 1 + MAX_HOPS as u64);
+    }
+}

@@ -15,7 +15,10 @@
 //!   is made of,
 //! * [`OutstandingTracker`] — per-ID in-flight accounting enforcing the
 //!   AXI same-ID ordering rule,
-//! * [`BeatCounter`] — burst payload accounting in 32-byte beats.
+//! * [`BeatCounter`] — burst payload accounting in 32-byte beats,
+//! * [`instrument`] — opt-in per-transaction lifecycle tracing and latency
+//!   attribution (a `(master, seq)`-keyed side-table of stamps; zero cost
+//!   when no tracer is attached).
 //!
 //! All higher-level crates (`hbm-mem`, `hbm-fabric`, `hbm-mao`) move
 //! [`Transaction`]s and beats through [`DelayQueue`]s, so timing semantics
@@ -37,12 +40,14 @@
 //! ```
 
 pub mod clock;
+pub mod instrument;
 pub mod queue;
 pub mod tracker;
 pub mod transaction;
 pub mod types;
 
 pub use clock::ClockDomain;
+pub use instrument::{Attribution, SharedTracer, Tracer, TxnKey, TxnRecord};
 pub use queue::DelayQueue;
 pub use tracker::OutstandingTracker;
 pub use transaction::{Completion, Transaction, TxnBuilder, TxnError};

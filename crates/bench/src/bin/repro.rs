@@ -3,18 +3,22 @@
 //! Usage:
 //!
 //! ```text
-//! repro [EXPERIMENT ...] [--quick] [--json]
+//! repro [EXPERIMENT ...] [--quick] [--json] [--smoke]
 //!
 //! EXPERIMENT: fig2 fig3 fig4 fig5 fig6 fig7 table2 table3 table4 table5
-//!             latency ablations simspeed all      (default: all)
+//!             latency ablations simspeed trace all      (default: all)
 //! --quick:    short simulation windows (CI-friendly)
 //! --json:     machine-readable output (one JSON object per experiment)
+//! --smoke:    (trace only) tiny run + schema validation, the CI gate
 //! ```
 //!
-//! `simspeed` is not part of `all`: it benchmarks the *simulator* rather
-//! than reproducing the paper, and writes its rows to
-//! `BENCH_simspeed.json` in the current directory (in addition to the
-//! normal stdout report) so runs on the same machine can be diffed.
+//! `simspeed` and `trace` are not part of `all`: they inspect the
+//! *simulator* rather than reproducing the paper. `simspeed` writes its
+//! rows to `BENCH_simspeed.json` in the current directory (in addition
+//! to the normal stdout report) so runs on the same machine can be
+//! diffed; `trace` writes `TRACE_events.json` (Chrome trace-event JSON,
+//! loadable in Perfetto) and `TRACE_probes.jsonl` (windowed time-series
+//! snapshots) and prints the latency-attribution tables.
 
 use hbm_bench::render;
 use hbm_core::experiment::{self, Fidelity};
@@ -81,10 +85,25 @@ fn run_simspeed(quick: bool, json: bool) {
     }
 }
 
+/// Runs the traced scenario, writes `TRACE_events.json` and
+/// `TRACE_probes.jsonl`, and prints the attribution report.
+fn run_trace(smoke: bool, quick: bool, json: bool) {
+    let out = hbm_bench::tracecmd::run_trace(smoke, quick);
+    std::fs::write("TRACE_events.json", &out.trace_json).expect("write TRACE_events.json");
+    std::fs::write("TRACE_probes.jsonl", &out.probes).expect("write TRACE_probes.jsonl");
+    if json {
+        println!("{}", serde_json::json!({ "experiment": "trace", "delivered": out.delivered }));
+    } else {
+        println!("{}", out.report);
+        println!("wrote TRACE_events.json + TRACE_probes.jsonl");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let fid = if quick { Fidelity::QUICK } else { Fidelity::FULL };
     let mut wanted: Vec<&str> =
         args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
@@ -94,9 +113,16 @@ fn main() {
     let all = wanted.contains(&"all");
     let want = |name: &str| all || wanted.contains(&name);
 
-    // Simulator benchmarking is opt-in only (not part of `all`).
+    // Simulator benchmarking and tracing are opt-in only (not part of
+    // `all`).
     if wanted.contains(&"simspeed") {
         run_simspeed(quick, json);
+        if wanted.len() == 1 {
+            return;
+        }
+    }
+    if wanted.contains(&"trace") {
+        run_trace(smoke, quick, json);
         if wanted.len() == 1 {
             return;
         }

@@ -11,5 +11,6 @@ pub mod fig7;
 pub mod paper;
 pub mod render;
 pub mod simspeed;
+pub mod tracecmd;
 
 pub use fig7::{accel_bandwidths, AccelBandwidths};

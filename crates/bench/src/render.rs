@@ -124,7 +124,9 @@ pub fn render_table2(fid: Fidelity) -> String {
         "fabric",
         "pattern",
         "read (cyc)",
+        "rd p50/p99",
         "write (cyc)",
+        "wr p50/p99",
         "paper read",
         "paper write",
     ]);
@@ -141,12 +143,18 @@ pub fn render_table2(fid: Fidelity) -> String {
             r.fabric.to_string(),
             pattern_name(r.pattern).to_string(),
             mean_std(r.rd_mean, r.rd_std),
+            format!("{}/{}", r.rd_p50, r.rd_p99),
             mean_std(r.wr_mean, r.wr_std),
+            format!("{}/{}", r.wr_p50, r.wr_p99),
             pr,
             pw,
         ]);
     }
-    format!("Table II — HBM latency comparison (mean ± σ, cycles @300 MHz)\n\n{}", t.render())
+    format!(
+        "Table II — HBM latency comparison (mean ± σ and p50/p99, cycles @300 MHz;\n\
+         percentiles resolve to power-of-two bucket edges)\n\n{}",
+        t.render()
+    )
 }
 
 /// Table III: MAO implementation results (analytical model).

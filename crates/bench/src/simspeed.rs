@@ -20,9 +20,18 @@
 use std::time::Instant;
 
 use hbm_axi::BurstLen;
+use hbm_core::probe::ProbeConfig;
 use hbm_core::{HbmSystem, SystemConfig};
 use hbm_traffic::{RwRatio, Workload};
 use serde::Serialize;
+
+/// Record capacity for the traced runs — small enough that a saturated
+/// run cycles the side-table rather than growing without bound, which is
+/// also the realistic steady-state cost.
+const TRACE_CAP: usize = 1 << 14;
+
+/// Probe cadence for the traced runs (the default reporting cadence).
+const TRACE_PROBE: ProbeConfig = ProbeConfig { interval: 1024, capacity: 1 << 10 };
 
 /// One measured (fabric, scenario) cell.
 #[derive(Debug, Clone, Serialize)]
@@ -37,6 +46,15 @@ pub struct SpeedRow {
     pub wall_s: f64,
     /// Simulated cycles per wall-clock second (`sim_cycles / wall_s`).
     pub cycles_per_sec: f64,
+    /// Best-of-N wall time with lifecycle tracing + windowed probe on.
+    pub traced_wall_s: f64,
+    /// Cycles per wall-second with instrumentation on.
+    pub traced_cycles_per_sec: f64,
+    /// Instrumentation overhead: `traced_wall_s / wall_s − 1`, in
+    /// percent. Target < 15 % when on; exactly 0 cost when off (the
+    /// off path is the plain run — no tracer means no stamp sites
+    /// execute).
+    pub overhead_pct: f64,
 }
 
 /// Single-outstanding, single-beat probe traffic: the latency-measurement
@@ -64,6 +82,26 @@ fn wall_best_of<F: FnMut() -> u64>(repeats: usize, mut f: F) -> (u64, f64) {
     (cycles, best)
 }
 
+/// Turns on the full instrumentation stack (lifecycle tracer + windowed
+/// probe) for the traced variant of a scenario.
+fn instrument(sys: &mut HbmSystem) {
+    sys.enable_tracing(TRACE_CAP);
+    sys.attach_probe(TRACE_PROBE);
+}
+
+/// Measures one scenario twice — plain and instrumented — and folds both
+/// into a row. `build(traced)` constructs, runs, and returns `now()`.
+fn measure_pair<F: FnMut(bool) -> u64>(
+    fabric: &'static str,
+    scenario: &'static str,
+    repeats: usize,
+    mut build: F,
+) -> SpeedRow {
+    let (sim_cycles, wall_s) = wall_best_of(repeats, || build(false));
+    let (_, traced_wall_s) = wall_best_of(repeats, || build(true));
+    row(fabric, scenario, sim_cycles, wall_s, traced_wall_s)
+}
+
 /// Runs the full scenario matrix. `quick` shortens every run ~8× for CI.
 pub fn run_matrix(quick: bool) -> Vec<SpeedRow> {
     let scale = if quick { 8 } else { 1 };
@@ -87,45 +125,62 @@ pub fn run_matrix(quick: bool) -> Vec<SpeedRow> {
             if *fname == "direct" && sname == "saturated_ccra" {
                 continue; // the direct fabric has no cross-channel path
             }
-            let (sim_cycles, wall_s) = wall_best_of(repeats, || {
+            rows.push(measure_pair(fname, sname, repeats, |traced| {
                 let mut sys = HbmSystem::new(cfg, wl, None);
+                if traced {
+                    instrument(&mut sys);
+                }
                 sys.run(saturated_cycles);
                 sys.now()
-            });
-            rows.push(row(fname, sname, sim_cycles, wall_s));
+            }));
         }
 
-        let (sim_cycles, wall_s) = wall_best_of(repeats, || {
+        rows.push(measure_pair(fname, "latency_probe", repeats, |traced| {
             let mut sys = HbmSystem::new(cfg, probe_workload(), Some(probe_txns));
+            if traced {
+                instrument(&mut sys);
+            }
             assert!(sys.run_until_drained(100_000_000), "probe did not drain");
             sys.now()
-        });
-        rows.push(row(fname, "latency_probe", sim_cycles, wall_s));
+        }));
 
-        let (sim_cycles, wall_s) = wall_best_of(repeats, || {
+        rows.push(measure_pair(fname, "drain_tail", repeats, |traced| {
             let mut sys = HbmSystem::new(cfg, Workload::scs(), Some(drain_txns));
+            if traced {
+                instrument(&mut sys);
+            }
             assert!(sys.run_until_drained(100_000_000), "burst did not drain");
             sys.now()
-        });
-        rows.push(row(fname, "drain_tail", sim_cycles, wall_s));
+        }));
 
-        let (sim_cycles, wall_s) = wall_best_of(repeats, || {
+        rows.push(measure_pair(fname, "idle", repeats, |traced| {
             let mut sys = HbmSystem::new(cfg, Workload::scs(), Some(0));
+            if traced {
+                instrument(&mut sys);
+            }
             sys.run(idle_cycles);
             sys.now()
-        });
-        rows.push(row(fname, "idle", sim_cycles, wall_s));
+        }));
     }
     rows
 }
 
-fn row(fabric: &'static str, scenario: &'static str, sim_cycles: u64, wall_s: f64) -> SpeedRow {
+fn row(
+    fabric: &'static str,
+    scenario: &'static str,
+    sim_cycles: u64,
+    wall_s: f64,
+    traced_wall_s: f64,
+) -> SpeedRow {
     SpeedRow {
         fabric,
         scenario,
         sim_cycles,
         wall_s,
         cycles_per_sec: sim_cycles as f64 / wall_s.max(1e-12),
+        traced_wall_s,
+        traced_cycles_per_sec: sim_cycles as f64 / traced_wall_s.max(1e-12),
+        overhead_pct: 100.0 * (traced_wall_s / wall_s.max(1e-12) - 1.0),
     }
 }
 
@@ -133,16 +188,21 @@ fn row(fabric: &'static str, scenario: &'static str, sim_cycles: u64, wall_s: f6
 pub fn render(rows: &[SpeedRow]) -> String {
     let mut out = String::from(
         "Simulator speed (simulated cycles per wall-second; higher is better)\n\
-         fabric   scenario         sim_cycles      wall_s    Mcycles/s\n",
+         traced = lifecycle tracer + 1024-cycle probe on; overhead target < 15 %\n\
+         on busy scenarios (`idle` is probe-bound: sampling every window\n\
+         necessarily defeats the event-horizon fast-forward)\n\
+         fabric   scenario         sim_cycles      wall_s    Mcycles/s  traced Mc/s  overhead\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{:<8} {:<16} {:>10} {:>11.6} {:>12.3}\n",
+            "{:<8} {:<16} {:>10} {:>11.6} {:>12.3} {:>12.3} {:>+8.1}%\n",
             r.fabric,
             r.scenario,
             r.sim_cycles,
             r.wall_s,
             r.cycles_per_sec / 1e6,
+            r.traced_cycles_per_sec / 1e6,
+            r.overhead_pct,
         ));
     }
     out

@@ -187,10 +187,18 @@ pub struct Table2Row {
     pub rd_mean: f64,
     /// Read latency standard deviation.
     pub rd_std: f64,
+    /// Read latency median in cycles (bucket upper edge).
+    pub rd_p50: u64,
+    /// Read latency 99th percentile in cycles.
+    pub rd_p99: u64,
     /// Write latency mean in cycles.
     pub wr_mean: f64,
     /// Write latency standard deviation.
     pub wr_std: f64,
+    /// Write latency median in cycles.
+    pub wr_p50: u64,
+    /// Write latency 99th percentile in cycles.
+    pub wr_p99: u64,
 }
 
 /// Table II: HBM latency comparison between the Xilinx fabric and the
@@ -215,8 +223,12 @@ pub fn table2_latency(fid: Fidelity) -> Vec<Table2Row> {
                     pattern,
                     rd_mean: m.read_latency_mean().unwrap_or(f64::NAN),
                     rd_std: m.read_latency_std().unwrap_or(f64::NAN),
+                    rd_p50: m.gen.read_lat.p50().unwrap_or(0),
+                    rd_p99: m.gen.read_lat.p99().unwrap_or(0),
                     wr_mean: m.write_latency_mean().unwrap_or(f64::NAN),
                     wr_std: m.write_latency_std().unwrap_or(f64::NAN),
+                    wr_p50: m.gen.write_lat.p50().unwrap_or(0),
+                    wr_p99: m.gen.write_lat.p99().unwrap_or(0),
                 });
             }
         }
@@ -522,7 +534,7 @@ pub fn ablate_axi4(fid: Fidelity) -> Vec<AblationRow> {
 }
 
 /// Ablation: open vs. closed page policy (MC configuration axis from
-/// the paper's reference [13], Wang et al.).
+/// the paper's reference \[13\], Wang et al.).
 pub fn ablate_page_policy(fid: Fidelity) -> Vec<AblationRow> {
     [("open page", hbm_mem::PagePolicy::Open), ("closed page", hbm_mem::PagePolicy::Closed)]
         .iter()

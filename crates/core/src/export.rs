@@ -1,0 +1,345 @@
+//! Trace export: Chrome trace-event JSON and probe JSONL.
+//!
+//! [`chrome_trace_json`] renders a [`Tracer`]'s delivered records (plus,
+//! optionally, a [`Probe`]'s counter series) in the Chrome trace-event
+//! format, loadable by Perfetto (`ui.perfetto.dev`) and `chrome://tracing`.
+//! Timestamps are **accelerator cycles**, not microseconds — the unit a
+//! cycle simulator is exact in; the clock period is recorded in
+//! `otherData` so wall time can be recovered. Output is byte-deterministic
+//! for a deterministic run (insertion-ordered maps, delivery-ordered
+//! records), which is what the golden-file test pins down.
+//!
+//! [`validate_chrome_trace`] re-parses an exported document and checks it
+//! against the trace-event schema *and* the attribution invariant: every
+//! transaction slice's component durations must sum exactly to its
+//! end-to-end duration. The `repro trace --smoke` CI step runs this.
+
+use std::collections::BTreeSet;
+
+use hbm_axi::{ClockDomain, Dir, Tracer, TxnRecord};
+use serde_json::Value;
+
+use crate::probe::{Probe, Snapshot};
+
+/// Synthetic pid used for probe counter tracks (master pids are 0..32).
+const PROBE_PID: u64 = 4096;
+
+fn ev(fields: Vec<(&str, Value)>) -> Value {
+    Value::Map(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn s(v: &str) -> Value {
+    Value::Str(v.to_string())
+}
+
+fn process_name(pid: u64, name: String) -> Value {
+    ev(vec![
+        ("name", s("process_name")),
+        ("ph", s("M")),
+        ("pid", Value::U64(pid)),
+        ("args", ev(vec![("name", Value::Str(name))])),
+    ])
+}
+
+/// One transaction → one parent slice plus one child slice per non-zero
+/// latency component, all on track `(pid = master, tid = AXI id)`.
+fn txn_events(rec: &TxnRecord, out: &mut Vec<Value>) {
+    let Some(attr) = rec.attribution() else { return };
+    let e2e = attr.total();
+    let name = match rec.dir {
+        Dir::Read => "read",
+        Dir::Write => "write",
+    };
+    out.push(ev(vec![
+        ("name", s(name)),
+        ("cat", s("txn")),
+        ("ph", s("X")),
+        ("pid", Value::U64(rec.master as u64)),
+        ("tid", Value::U64(rec.id as u64)),
+        ("ts", Value::U64(rec.issued_at)),
+        ("dur", Value::U64(e2e)),
+        (
+            "args",
+            ev(vec![
+                ("seq", Value::U64(rec.seq)),
+                ("addr", Value::U64(rec.addr)),
+                ("bytes", Value::U64(rec.bytes)),
+                ("port", Value::U64(rec.port as u64)),
+                ("hops", Value::U64(rec.hops as u64)),
+                ("source_stall", Value::U64(attr.source_stall)),
+                ("fabric_transit", Value::U64(attr.fabric_transit)),
+                ("mc_queue", Value::U64(attr.mc_queue)),
+                ("dram_service", Value::U64(attr.dram_service)),
+                ("return_path", Value::U64(attr.return_path)),
+            ]),
+        ),
+    ]));
+    // Child slices nest under the parent by containment on the same track.
+    let mut t = rec.issued_at;
+    for (comp, dur) in [
+        ("source-stall", attr.source_stall),
+        ("fabric-transit", attr.fabric_transit),
+        ("mc-queue", attr.mc_queue),
+        ("dram-service", attr.dram_service),
+        ("return-path", attr.return_path),
+    ] {
+        if dur > 0 {
+            out.push(ev(vec![
+                ("name", s(comp)),
+                ("cat", s("component")),
+                ("ph", s("X")),
+                ("pid", Value::U64(rec.master as u64)),
+                ("tid", Value::U64(rec.id as u64)),
+                ("ts", Value::U64(t)),
+                ("dur", Value::U64(dur)),
+            ]));
+        }
+        t += dur;
+    }
+}
+
+/// Chrome `C` (counter) events from one probe snapshot.
+fn probe_events(snap: &Snapshot, period_ns: f64, out: &mut Vec<Value>) {
+    let counter = |name: &str, v: Value| {
+        ev(vec![
+            ("name", s(name)),
+            ("ph", s("C")),
+            ("pid", Value::U64(PROBE_PID)),
+            ("ts", Value::U64(snap.at)),
+            ("args", ev(vec![("value", v)])),
+        ])
+    };
+    out.push(counter("throughput GB/s", Value::F64(snap.gbps(period_ns))));
+    out.push(counter("in-flight txns", Value::U64(snap.in_flight)));
+    out.push(counter("fabric occupancy", Value::U64(snap.fabric_occupancy)));
+    out.push(counter("mc queued", Value::U64(snap.mc_queued)));
+    if let Some(hr) = snap.row_hit_rate {
+        out.push(counter("row-hit rate", Value::F64(hr)));
+    }
+}
+
+/// Renders delivered transaction records (and probe counters, when a
+/// probe is given) as a Chrome trace-event JSON document.
+pub fn chrome_trace_json(tracer: &Tracer, probe: Option<&Probe>, clock: ClockDomain) -> String {
+    let mut events = Vec::new();
+    let masters: BTreeSet<u16> = tracer.records().iter().map(|r| r.master).collect();
+    for m in &masters {
+        events.push(process_name(*m as u64, format!("master {m}")));
+    }
+    if probe.is_some() {
+        events.push(process_name(PROBE_PID, "probes".to_string()));
+    }
+    for rec in tracer.records() {
+        txn_events(rec, &mut events);
+    }
+    if let Some(p) = probe {
+        for snap in p.snapshots() {
+            probe_events(snap, clock.period_ns(), &mut events);
+        }
+    }
+    let doc = ev(vec![
+        ("traceEvents", Value::Seq(events)),
+        ("displayTimeUnit", s("ns")),
+        (
+            "otherData",
+            ev(vec![
+                ("ts_unit", s("accelerator-cycle")),
+                ("cycle_ns", Value::F64(clock.period_ns())),
+                ("delivered", Value::U64(tracer.delivered_count())),
+                ("records_dropped", Value::U64(tracer.dropped())),
+                ("generator", s("hbm-fpga repro trace")),
+            ]),
+        ),
+    ]);
+    doc.to_string()
+}
+
+/// Renders probe snapshots as JSONL: one JSON object per line, oldest
+/// first, with a derived `gbps` field.
+pub fn probes_jsonl(probe: &Probe, clock: ClockDomain) -> String {
+    let mut out = String::new();
+    for snap in probe.snapshots() {
+        let mut v = serde::value::to_value(snap);
+        if let Value::Map(entries) = &mut v {
+            entries.push(("gbps".to_string(), Value::F64(snap.gbps(clock.period_ns()))));
+        }
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Summary of a validated trace document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// Transaction slices (`cat == "txn"`) whose component sum was
+    /// verified against their duration.
+    pub txns: usize,
+    /// Counter events.
+    pub counters: usize,
+}
+
+fn num(v: &Value) -> Option<f64> {
+    match v {
+        Value::U64(u) => Some(*u as f64),
+        Value::I64(i) => Some(*i as f64),
+        Value::F64(f) => Some(*f),
+        _ => None,
+    }
+}
+
+fn uint(v: Option<&Value>) -> Option<u64> {
+    match v {
+        Some(Value::U64(u)) => Some(*u),
+        _ => None,
+    }
+}
+
+/// Parses a Chrome trace-event document and checks (a) the schema shape —
+/// `traceEvents` array; every event an object with string `ph`/`name` and
+/// numeric `pid`/`ts`; duration events carry `dur`; counter/metadata
+/// events carry `args` — and (b) the attribution invariant: each `txn`
+/// slice's five components sum exactly to its `dur`.
+pub fn validate_chrome_trace(json: &str) -> Result<TraceCheck, String> {
+    let doc: Value = serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e}"))?;
+    let Some(Value::Seq(events)) = doc.get("traceEvents") else {
+        return Err("missing `traceEvents` array".to_string());
+    };
+    let mut check = TraceCheck { events: events.len(), txns: 0, counters: 0 };
+    for (i, e) in events.iter().enumerate() {
+        let ctx = |what: &str| format!("event {i}: {what}");
+        let Some(Value::Str(ph)) = e.get("ph") else {
+            return Err(ctx("missing string `ph`"));
+        };
+        let Some(Value::Str(_)) = e.get("name") else {
+            return Err(ctx("missing string `name`"));
+        };
+        if e.get("pid").and_then(num).is_none() {
+            return Err(ctx("missing numeric `pid`"));
+        }
+        match ph.as_str() {
+            "X" => {
+                if e.get("ts").and_then(num).is_none() {
+                    return Err(ctx("duration event missing numeric `ts`"));
+                }
+                let Some(dur) = uint(e.get("dur")) else {
+                    return Err(ctx("duration event missing integer `dur`"));
+                };
+                if matches!(e.get("cat"), Some(Value::Str(c)) if c == "txn") {
+                    let args = e.get("args").ok_or_else(|| ctx("txn slice missing `args`"))?;
+                    let mut sum = 0u64;
+                    for comp in [
+                        "source_stall",
+                        "fabric_transit",
+                        "mc_queue",
+                        "dram_service",
+                        "return_path",
+                    ] {
+                        sum += uint(args.get(comp))
+                            .ok_or_else(|| ctx(&format!("txn slice missing `args.{comp}`")))?;
+                    }
+                    if sum != dur {
+                        return Err(ctx(&format!(
+                            "attribution components sum to {sum} but end-to-end dur is {dur}"
+                        )));
+                    }
+                    check.txns += 1;
+                }
+            }
+            "C" => {
+                if e.get("ts").and_then(num).is_none() {
+                    return Err(ctx("counter event missing numeric `ts`"));
+                }
+                if e.get("args").is_none() {
+                    return Err(ctx("counter event missing `args`"));
+                }
+                check.counters += 1;
+            }
+            "M" => {
+                if e.get("args").is_none() {
+                    return Err(ctx("metadata event missing `args`"));
+                }
+            }
+            other => return Err(ctx(&format!("unsupported phase `{other}`"))),
+        }
+    }
+    Ok(check)
+}
+
+/// Parses probe JSONL and checks every line is an object carrying the
+/// snapshot fields. Returns the line count.
+pub fn validate_probes_jsonl(jsonl: &str) -> Result<usize, String> {
+    let mut n = 0;
+    for (i, line) in jsonl.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: not valid JSON: {e}", i + 1))?;
+        for key in ["at", "window", "bytes", "per_pch_bytes", "in_flight", "gbps"] {
+            if v.get(key).is_none() {
+                return Err(format!("line {}: missing `{key}`", i + 1));
+            }
+        }
+        n += 1;
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::ProbeConfig;
+    use crate::system::{HbmSystem, SystemConfig};
+    use hbm_traffic::Workload;
+
+    fn traced_run() -> (HbmSystem, ClockDomain) {
+        let cfg = SystemConfig::xilinx();
+        let mut sys = HbmSystem::new(&cfg, Workload::scs(), Some(4));
+        sys.enable_tracing(1 << 12);
+        sys.attach_probe(ProbeConfig { interval: 256, capacity: 64 });
+        assert!(sys.run_until_drained(100_000));
+        let clock = sys.clock();
+        (sys, clock)
+    }
+
+    #[test]
+    fn export_validates_and_component_sums_match() {
+        let (sys, clock) = traced_run();
+        let tracer = sys.tracer().unwrap().borrow();
+        let json = chrome_trace_json(&tracer, sys.probe(), clock);
+        let check = validate_chrome_trace(&json).expect("exported trace must validate");
+        assert_eq!(check.txns as u64, tracer.delivered_count());
+        assert!(check.counters > 0, "probe counters missing");
+        assert!(check.events > check.txns);
+    }
+
+    #[test]
+    fn probes_jsonl_round_trips() {
+        let (sys, clock) = traced_run();
+        let jsonl = probes_jsonl(sys.probe().unwrap(), clock);
+        let n = validate_probes_jsonl(&jsonl).unwrap();
+        assert_eq!(n, sys.probe().unwrap().len());
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn validator_rejects_bad_component_sums() {
+        let json = r#"{"traceEvents":[{"name":"read","cat":"txn","ph":"X","pid":0,"tid":0,
+            "ts":0,"dur":10,"args":{"source_stall":1,"fabric_transit":2,"mc_queue":3,
+            "dram_service":4,"return_path":5}}]}"#;
+        let err = validate_chrome_trace(json).unwrap_err();
+        assert!(err.contains("sum to 15"), "got: {err}");
+    }
+
+    #[test]
+    fn validator_rejects_schema_violations() {
+        assert!(validate_chrome_trace("[]").is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents":[{"ph":"X"}]}"#).is_err());
+        assert!(
+            validate_chrome_trace(r#"{"traceEvents":[{"name":"x","ph":"?","pid":0}]}"#).is_err()
+        );
+    }
+}

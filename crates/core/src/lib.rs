@@ -9,12 +9,15 @@
 //! ```
 //!
 //! * [`system`] — the cycle-driven [`system::HbmSystem`] and its builder;
-//! * [`measure`] — warm-up + fixed-horizon measurement harness producing
+//! * [`measure`](mod@measure) — warm-up + fixed-horizon measurement harness producing
 //!   throughput/latency [`measure::Measurement`]s;
 //! * [`experiment`] — one function per figure/table of the paper,
 //!   returning structured rows (the `repro` binary and the benches print
 //!   them);
-//! * [`report`] — plain-text table and JSON rendering.
+//! * [`report`] — plain-text table and JSON rendering;
+//! * [`probe`] — windowed time-series sampling of a running system;
+//! * [`export`] — Chrome trace-event JSON and probe JSONL emission (see
+//!   `repro trace`).
 //!
 //! ## Quick start
 //!
@@ -38,7 +41,9 @@
 pub mod batch;
 pub mod estimate;
 pub mod experiment;
+pub mod export;
 pub mod measure;
+pub mod probe;
 pub mod report;
 pub mod system;
 pub mod trace;
@@ -52,4 +57,5 @@ pub mod prelude {
 }
 
 pub use measure::{measure, Measurement};
+pub use probe::{Probe, ProbeConfig, Snapshot};
 pub use system::{FabricKind, HbmSystem, SystemConfig};

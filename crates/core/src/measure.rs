@@ -23,6 +23,13 @@ pub struct Measurement {
     pub mem: MemStats,
     /// Interconnect statistics.
     pub fabric: FabricStats,
+    /// Theoretical device bandwidth of the measured configuration in
+    /// GB/s, derived from the HBM geometry (`num_pch × per-PCH peak`).
+    /// Defaults to 0 when deserializing older measurements;
+    /// [`pct_of_device`](Measurement::pct_of_device) then falls back to
+    /// the stock XCVU37P figure.
+    #[serde(default)]
+    pub device_gbps: f64,
 }
 
 impl Measurement {
@@ -41,10 +48,13 @@ impl Measurement {
         self.read_gbps() + self.write_gbps()
     }
 
-    /// Throughput as a percentage of the theoretical 460.8 GB/s device
-    /// bandwidth the paper normalises against.
+    /// Throughput as a percentage of the configuration's theoretical
+    /// device bandwidth (the paper normalises against 460.8 GB/s — the
+    /// stock 32-PCH XCVU37P value — which remains the fallback for
+    /// measurements that predate the `device_gbps` field).
     pub fn pct_of_device(&self) -> f64 {
-        100.0 * self.total_gbps() / 460.8
+        let device = if self.device_gbps > 0.0 { self.device_gbps } else { 460.8 };
+        100.0 * self.total_gbps() / device
     }
 
     /// Mean read latency in cycles.
@@ -108,6 +118,7 @@ pub fn snapshot(sys: &HbmSystem, cycles: Cycle) -> Measurement {
         per_master,
         mem: sys.mem_stats(),
         fabric: sys.fabric_stats(),
+        device_gbps: sys.config().hbm.theoretical_bw_gbps(),
     }
 }
 
@@ -196,5 +207,31 @@ mod tests {
         let m = measure(&SystemConfig::xilinx(), Workload::scs(), WARM, MEAS);
         let pct = m.pct_of_device();
         assert!((50.0..100.0).contains(&pct), "{pct}");
+    }
+
+    #[test]
+    fn device_bandwidth_derived_from_config() {
+        let cfg = SystemConfig::xilinx();
+        let m = measure(&cfg, Workload::scs(), WARM, MEAS);
+        assert!((m.device_gbps - 460.8).abs() < 1e-9, "{}", m.device_gbps);
+        // A halved device must normalise against its own peak, not the
+        // stock figure.
+        let mut half = cfg.clone();
+        half.hbm.num_pch = 16;
+        let sys = HbmSystem::new(&half, Workload::scs(), Some(1));
+        let m = snapshot(&sys, 1);
+        assert!((m.device_gbps - 230.4).abs() < 1e-9, "{}", m.device_gbps);
+    }
+
+    #[test]
+    fn legacy_measurement_without_device_field_falls_back() {
+        let mut m = measure(&SystemConfig::xilinx(), Workload::scs(), WARM, MEAS);
+        let with_field = m.pct_of_device();
+        m.device_gbps = 0.0; // as deserialized from a pre-field JSON
+        assert!(
+            (m.pct_of_device() - with_field).abs() < 1e-9,
+            "fallback must match the stock device: {} vs {with_field}",
+            m.pct_of_device()
+        );
     }
 }

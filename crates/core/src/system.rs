@@ -1,6 +1,6 @@
 //! The assembled HBM system and its cycle-driven simulation loop.
 
-use hbm_axi::{ClockDomain, Completion, Cycle, MasterId, PortId};
+use hbm_axi::{ClockDomain, Completion, Cycle, MasterId, PortId, SharedTracer, Tracer};
 use hbm_fabric::{
     DirectFabric, FabricConfig, FabricStats, FullCrossbarFabric, Interconnect, XilinxFabric,
 };
@@ -8,6 +8,8 @@ use hbm_mao::{MaoConfig, MaoFabric};
 use hbm_mem::{HbmConfig, MemStats, MemoryController};
 use hbm_traffic::{BmTrafficGen, GenStats, Workload};
 use serde::{Deserialize, Serialize};
+
+use crate::probe::{Probe, ProbeConfig};
 
 /// Overridable parameters of the Xilinx switch fabric, for what-if
 /// studies (e.g. the lateral-bus-count ablation of DESIGN.md §5).
@@ -169,6 +171,13 @@ pub trait TrafficSource {
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
         Some(now)
     }
+
+    /// Transactions issued but not yet completed, as seen by this source.
+    /// Purely observational (feeds the time-series [`Probe`]); the default
+    /// suits sources that do not track it.
+    fn in_flight(&self) -> usize {
+        0
+    }
 }
 
 impl TrafficSource for BmTrafficGen {
@@ -198,6 +207,10 @@ impl TrafficSource for BmTrafficGen {
 
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
         BmTrafficGen::next_event(self, now)
+    }
+
+    fn in_flight(&self) -> usize {
+        BmTrafficGen::in_flight(self)
     }
 }
 
@@ -254,6 +267,12 @@ pub struct HbmSystem {
     /// return network (per port).
     stuck: Vec<Option<Completion>>,
     now: Cycle,
+    /// Lifecycle tracer, when tracing is enabled (see
+    /// [`enable_tracing`](HbmSystem::enable_tracing)). `None` keeps every
+    /// stamp site a single branch — the hot loop is unchanged.
+    tracer: Option<SharedTracer>,
+    /// Windowed time-series sampler, when attached.
+    probe: Option<Probe>,
 }
 
 impl HbmSystem {
@@ -278,7 +297,7 @@ impl HbmSystem {
     /// Builds a heterogeneous system: one workload per master (the
     /// paper's motivation for global addressing is exactly such systems,
     /// where "data can often not be partitioned in a way that the memory
-    /// access from all [cores] is optimal", §V).
+    /// access from all \[cores\] is optimal", §V).
     pub fn with_workloads(cfg: &SystemConfig, workloads: &[Workload]) -> HbmSystem {
         let n = cfg.hbm.num_pch;
         assert_eq!(workloads.len(), n, "need exactly one workload per master");
@@ -306,12 +325,83 @@ impl HbmSystem {
                 MemoryController::new(&cfg.hbm, cfg.clock, phase)
             })
             .collect();
-        HbmSystem { stuck: vec![None; n], gens: sources, fabric, mcs, now: 0, cfg: cfg.clone() }
+        HbmSystem {
+            stuck: vec![None; n],
+            gens: sources,
+            fabric,
+            mcs,
+            now: 0,
+            cfg: cfg.clone(),
+            tracer: None,
+            probe: None,
+        }
     }
 
     /// The configured accelerator clock.
     pub fn clock(&self) -> ClockDomain {
         self.cfg.clock
+    }
+
+    /// The full system configuration this instance was built from.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Turns on per-transaction lifecycle tracing, keeping at most
+    /// `record_cap` completed records. The tracer is attached to the
+    /// interconnect and every memory controller; the returned handle can
+    /// be inspected at any time (e.g. by `hbm_core::export`). Tracing is
+    /// observation-only: a traced run is bit-identical to an untraced one
+    /// (enforced by the `fastpath_equivalence` property tests).
+    pub fn enable_tracing(&mut self, record_cap: usize) -> SharedTracer {
+        let tracer = Tracer::shared(record_cap);
+        self.fabric.attach_tracer(tracer.clone());
+        for (p, mc) in self.mcs.iter_mut().enumerate() {
+            mc.attach_tracer(p as u16, tracer.clone());
+        }
+        self.tracer = Some(tracer.clone());
+        tracer
+    }
+
+    /// The tracer handle, when tracing is enabled.
+    pub fn tracer(&self) -> Option<&SharedTracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Attaches a windowed time-series probe. [`run`](HbmSystem::run) and
+    /// [`run_until_drained`](HbmSystem::run_until_drained) will sample it
+    /// every `cfg.interval` cycles, starting from the current cycle.
+    pub fn attach_probe(&mut self, cfg: ProbeConfig) {
+        self.probe = Some(Probe::new(cfg, self.now, self.cfg.hbm.num_pch));
+    }
+
+    /// The attached probe, when any.
+    pub fn probe(&self) -> Option<&Probe> {
+        self.probe.as_ref()
+    }
+
+    /// Takes one probe sample at the current cycle. Gathers the gauges
+    /// first (immutable borrows), then feeds them to the sampler.
+    fn sample_probe(&mut self) {
+        if self.probe.is_none() {
+            return;
+        }
+        let in_flight: u64 = self.gens.iter().map(|g| g.in_flight() as u64).sum();
+        let fabric_occupancy = self.fabric.occupancy() as u64;
+        let mc_queued: u64 = self.mcs.iter().map(|m| m.queue_len() as u64).sum();
+        let per_pch: Vec<MemStats> = self.mcs.iter().map(|m| *m.stats()).collect();
+        if let Some(p) = self.probe.as_mut() {
+            p.sample(self.now, &per_pch, in_flight, fabric_occupancy, mc_queued);
+        }
+    }
+
+    /// Closes the probe's last (possibly partial) window at the end of a
+    /// run, unless a sample was already taken at this exact cycle.
+    fn sample_probe_final(&mut self) {
+        match &self.probe {
+            Some(p) if p.last_sample_at() != self.now => self.sample_probe(),
+            _ => {}
+        }
     }
 
     /// The current simulation cycle.
@@ -359,14 +449,18 @@ impl HbmSystem {
         // 4. Masters drain completions.
         for (m, gen) in self.gens.iter_mut().enumerate() {
             while let Some(c) = self.fabric.pop_completion(now, MasterId(m as u16)) {
+                if let Some(tr) = &self.tracer {
+                    tr.borrow_mut().delivered(now, &c.txn);
+                }
                 gen.completed(now, &c.txn);
             }
         }
         self.now += 1;
     }
 
-    /// A lower bound on the first cycle ≥ `now` at which [`step`] would
-    /// do observable work: the minimum of every component's own horizon
+    /// A lower bound on the first cycle ≥ `now` at which
+    /// [`step`](Self::step) would do observable work: the minimum of
+    /// every component's own horizon
     /// (sources, fabric, controllers, plus any completion stuck between
     /// a controller and the return network). `None` means the system is
     /// quiescent forever — nothing will happen without external changes.
@@ -374,8 +468,9 @@ impl HbmSystem {
     /// Cycles strictly before the returned bound are provably no-op
     /// steps: every `poll` early-out is side-effect free, fabric ticks
     /// only mutate on grants (which need a ready queue head), and the
-    /// controllers' idle paths mutate nothing. [`run`] and
-    /// [`run_until_drained`] therefore jump `now` straight to the bound
+    /// controllers' idle paths mutate nothing. [`run`](Self::run) and
+    /// [`run_until_drained`](Self::run_until_drained) therefore jump
+    /// `now` straight to the bound
     /// without stepping; statistics are bit-identical to naive stepping
     /// (asserted by the `fastpath_equivalence` property test and
     /// documented in DESIGN.md §3).
@@ -414,7 +509,32 @@ impl HbmSystem {
     }
 
     /// Runs for `cycles` cycles, fast-forwarding over provably idle gaps.
+    /// With a probe attached, the span is split at sampling boundaries;
+    /// the stepped cycles (and hence all statistics) are identical either
+    /// way, because `run_span(a); run_span(b)` ≡ `run_span(a + b)` — the
+    /// fast-forward clamps to the deadline and re-derives the same
+    /// horizon on re-entry.
     pub fn run(&mut self, cycles: Cycle) {
+        if self.probe.is_none() {
+            return self.run_span(cycles);
+        }
+        let deadline = self.now.saturating_add(cycles);
+        while self.now < deadline {
+            let next = self.probe.as_ref().expect("probe attached").next_sample_at();
+            if next <= self.now {
+                self.sample_probe();
+                continue;
+            }
+            self.run_span(next.min(deadline) - self.now);
+            if self.now >= next {
+                self.sample_probe();
+            }
+        }
+        self.sample_probe_final();
+    }
+
+    /// The un-probed span loop behind [`run`](HbmSystem::run).
+    fn run_span(&mut self, cycles: Cycle) {
         let deadline = self.now.saturating_add(cycles);
         let mut pacer = Pacer::default();
         while self.now < deadline {
@@ -444,7 +564,37 @@ impl HbmSystem {
     /// `true` on a clean drain (in particular: immediately, without
     /// stepping, when the system is already drained — even with
     /// `max_cycles == 0`).
+    ///
+    /// With a probe attached the span is split at sampling boundaries,
+    /// exactly like [`run`](HbmSystem::run).
     pub fn run_until_drained(&mut self, max_cycles: Cycle) -> bool {
+        if self.probe.is_none() {
+            return self.drain_span(max_cycles);
+        }
+        let deadline = self.now.saturating_add(max_cycles);
+        let drained = loop {
+            let next = self.probe.as_ref().expect("probe attached").next_sample_at();
+            if next <= self.now {
+                self.sample_probe();
+                continue;
+            }
+            if self.drain_span(next.min(deadline) - self.now) {
+                break true;
+            }
+            if self.now >= next {
+                self.sample_probe();
+            }
+            if self.now >= deadline {
+                break false;
+            }
+        };
+        self.sample_probe_final();
+        drained
+    }
+
+    /// The un-probed drain loop behind
+    /// [`run_until_drained`](HbmSystem::run_until_drained).
+    fn drain_span(&mut self, max_cycles: Cycle) -> bool {
         let deadline = self.now.saturating_add(max_cycles);
         let mut pacer = Pacer::default();
         loop {

@@ -5,7 +5,7 @@
 //! paper's SCS/SCRA baseline configuration: data must be pre-partitioned
 //! so that master *m* only touches PCH *m*'s address range.
 
-use hbm_axi::{Addr, Completion, Cycle, MasterId, PortId, Transaction};
+use hbm_axi::{Addr, Completion, Cycle, MasterId, PortId, SharedTracer, Transaction};
 
 use crate::addressmap::{AddressMap, ContiguousMap};
 use crate::link::{self, Flit, SerialLink};
@@ -17,6 +17,7 @@ pub struct DirectFabric {
     map: ContiguousMap,
     fwd: Vec<SerialLink<Flit>>,
     ret: Vec<SerialLink<Flit>>,
+    tracer: Option<SharedTracer>,
 }
 
 impl DirectFabric {
@@ -28,6 +29,7 @@ impl DirectFabric {
             map: ContiguousMap::new(n, port_capacity),
             fwd: (0..n).map(|_| SerialLink::new(1.0, 0.0, capacity, latency)).collect(),
             ret: (0..n).map(|_| SerialLink::new(1.0, 0.0, capacity, latency)).collect(),
+            tracer: None,
         }
     }
 }
@@ -60,6 +62,9 @@ impl Interconnect for DirectFabric {
             return Err(txn);
         }
         let cost = txn.fwd_link_cycles();
+        if let Some(tr) = &self.tracer {
+            tr.borrow_mut().ingress_accept(now, &txn);
+        }
         link.send(now, 0, cost, Flit::Req(txn));
         Ok(())
     }
@@ -106,6 +111,14 @@ impl Interconnect for DirectFabric {
 
     fn drained(&self) -> bool {
         self.fwd.iter().all(|l| l.is_empty()) && self.ret.iter().all(|l| l.is_empty())
+    }
+
+    fn attach_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    fn occupancy(&self) -> usize {
+        self.fwd.iter().chain(&self.ret).map(|l| l.len()).sum()
     }
 
     fn next_event(&self, now: Cycle) -> Option<Cycle> {

@@ -11,7 +11,7 @@
 //! interleaving) and *not* the random-access ID stalls (that needs
 //! reorder buffers).
 
-use hbm_axi::{Addr, Completion, Cycle, MasterId, PortId, Transaction};
+use hbm_axi::{Addr, Completion, Cycle, MasterId, PortId, SharedTracer, Transaction};
 
 use crate::addressmap::{AddressMap, ContiguousMap};
 use crate::idtrack::IdTracker;
@@ -33,6 +33,7 @@ pub struct FullCrossbarFabric {
     id_track: IdTracker,
     id_stall_cycles: u64,
     n: usize,
+    tracer: Option<SharedTracer>,
 }
 
 impl FullCrossbarFabric {
@@ -60,6 +61,7 @@ impl FullCrossbarFabric {
             id_track: IdTracker::new(n),
             id_stall_cycles: 0,
             n,
+            tracer: None,
         }
     }
 }
@@ -89,6 +91,9 @@ impl Interconnect for FullCrossbarFabric {
         }
         let cost = txn.fwd_link_cycles();
         let (dir, id) = (txn.dir, txn.id.0);
+        if let Some(tr) = &self.tracer {
+            tr.borrow_mut().ingress_accept(now, &txn);
+        }
         self.ingress[m].send(now, 0, cost, Flit::Req(txn));
         self.id_track.issue(m, dir, id, port);
         Ok(())
@@ -193,6 +198,20 @@ impl Interconnect for FullCrossbarFabric {
             && self.port_out.iter().all(|l| l.is_empty())
             && self.ret_in.iter().all(|l| l.is_empty())
             && self.master_out.iter().all(|l| l.is_empty())
+    }
+
+    fn attach_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    fn occupancy(&self) -> usize {
+        self.ingress
+            .iter()
+            .chain(&self.port_out)
+            .chain(&self.ret_in)
+            .chain(&self.master_out)
+            .map(|l| l.len())
+            .sum()
     }
 
     fn next_event(&self, now: Cycle) -> Option<Cycle> {

@@ -64,7 +64,7 @@ pub use link::{horizon, Flit, SerialLink};
 pub use stats::{FabricStats, LinkStats};
 pub use xilinx::{FabricConfig, XilinxFabric};
 
-use hbm_axi::{Addr, Completion, Cycle, MasterId, PortId, Transaction};
+use hbm_axi::{Addr, Completion, Cycle, MasterId, PortId, SharedTracer, Transaction};
 
 /// A routable interconnect between bus masters and pseudo-channel ports.
 ///
@@ -134,6 +134,22 @@ pub trait Interconnect {
 
     /// `true` when no flit is anywhere in flight inside the fabric.
     fn drained(&self) -> bool;
+
+    /// Attaches a lifecycle tracer (see `hbm_axi::instrument`). Once
+    /// attached, the fabric stamps ingress-accepts and lateral hops into
+    /// the shared side-table. Stamping is observation only — it must not
+    /// change timing, arbitration, or acceptance decisions. The default
+    /// ignores the tracer, so custom fabrics stay correct (just unstamped)
+    /// by omission.
+    fn attach_tracer(&mut self, _tracer: SharedTracer) {}
+
+    /// Flits currently in flight inside the fabric (requests and
+    /// completions across all internal queues) — a coarse congestion
+    /// gauge sampled by time-series probes. The default reports 0 for
+    /// fabrics that do not track it.
+    fn occupancy(&self) -> usize {
+        0
+    }
 
     /// Aggregate statistics snapshot.
     fn stats(&self) -> FabricStats;

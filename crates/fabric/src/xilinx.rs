@@ -22,7 +22,7 @@
 //! requests stall at ingress. The MAO removes this stall with reorder
 //! buffers — a large part of its random-access win (paper Fig. 6).
 
-use hbm_axi::{Addr, ClockDomain, Completion, Cycle, MasterId, PortId, Transaction};
+use hbm_axi::{Addr, ClockDomain, Completion, Cycle, MasterId, PortId, SharedTracer, Transaction};
 
 use crate::addressmap::{AddressMap, ContiguousMap};
 use crate::idtrack::IdTracker;
@@ -183,6 +183,8 @@ pub struct XilinxFabric {
     /// ready input head of the switch under arbitration. Reused across
     /// ticks to keep the hot loop allocation-free.
     scratch: Vec<(usize, usize)>,
+    /// Optional lifecycle tracer (ingress-accept + lateral-hop stamps).
+    tracer: Option<SharedTracer>,
 }
 
 impl XilinxFabric {
@@ -294,6 +296,7 @@ impl XilinxFabric {
             id_track: IdTracker::new(lay.m),
             id_stall_cycles: 0,
             scratch: Vec::with_capacity(16),
+            tracer: None,
             links,
             inputs,
             outputs,
@@ -404,6 +407,9 @@ impl Interconnect for XilinxFabric {
         }
         let cost = txn.fwd_link_cycles();
         let (dir, id) = (txn.dir, txn.id.0);
+        if let Some(tr) = &self.tracer {
+            tr.borrow_mut().ingress_accept(now, &txn);
+        }
         link.send(now, 0, cost, Flit::Req(txn));
         self.id_track.issue(m, dir, id, port);
         Ok(())
@@ -498,6 +504,17 @@ impl Interconnect for XilinxFabric {
                     let flit = self.links[in_idx].pop(now).expect("peeked head vanished");
                     self.popped_at[in_idx] = now;
                     let cost = flit.cost_beats();
+                    if let Some(tr) = &self.tracer {
+                        // Grant onto a lateral bus (either direction):
+                        // stamp the flit's transaction.
+                        if out_idx >= self.lay.lateral_base() {
+                            let (m, seq) = match &flit {
+                                Flit::Req(t) => (t.master.0, t.seq),
+                                Flit::Resp(c) => (c.txn.master.0, c.txn.seq),
+                            };
+                            tr.borrow_mut().lateral_hop(now, m, seq);
+                        }
+                    }
                     self.links[out_idx].send(now, in_idx as u16, cost, flit);
                     self.rr[s][slot] = (pos + 1) % n_in;
                 }
@@ -507,6 +524,14 @@ impl Interconnect for XilinxFabric {
 
     fn drained(&self) -> bool {
         self.links.iter().all(|l| l.is_empty())
+    }
+
+    fn attach_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    fn occupancy(&self) -> usize {
+        self.links.iter().map(|l| l.len()).sum()
     }
 
     fn next_event(&self, now: Cycle) -> Option<Cycle> {

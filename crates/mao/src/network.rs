@@ -13,7 +13,7 @@
 //! shows exactly this trade: slightly higher MAO latency under light
 //! traffic, drastically lower and far more uniform latency under load.
 
-use hbm_axi::{Addr, Completion, Cycle, MasterId, PortId, Transaction};
+use hbm_axi::{Addr, Completion, Cycle, MasterId, PortId, SharedTracer, Transaction};
 use hbm_fabric::{horizon, AddressMap, FabricStats, Flit, Interconnect, SerialLink};
 
 use crate::config::MaoConfig;
@@ -43,6 +43,7 @@ pub struct MaoFabric {
     /// Cycle each ingress last had its head popped (one grant per cycle).
     ingress_popped: Vec<Cycle>,
     rob_stall_cycles: u64,
+    tracer: Option<SharedTracer>,
 }
 
 impl MaoFabric {
@@ -64,6 +65,7 @@ impl MaoFabric {
             rr_master: vec![0; m],
             ingress_popped: vec![Cycle::MAX; m],
             rob_stall_cycles: 0,
+            tracer: None,
             cfg,
         }
     }
@@ -118,6 +120,12 @@ impl Interconnect for MaoFabric {
         );
         self.rob[m].reserve(phys.dir, phys.id.0, phys.seq);
         let cost = phys.fwd_link_cycles();
+        if let Some(tr) = &self.tracer {
+            // Stamp with the pre-remap transaction so the record keeps
+            // the address the master issued; (master, seq) is unchanged
+            // by the remap, so downstream stamps still find the record.
+            tr.borrow_mut().ingress_accept(now, &txn);
+        }
         self.ingress[m].send(now, 0, cost, Flit::Req(phys));
         Ok(())
     }
@@ -230,6 +238,16 @@ impl Interconnect for MaoFabric {
             && self.ret_in.iter().all(|l| l.is_empty())
             && self.master_ret.iter().all(|l| l.is_empty())
             && self.rob.iter().all(|r| r.is_empty())
+    }
+
+    fn attach_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    fn occupancy(&self) -> usize {
+        // A reorder-buffer slot is reserved at ingress-accept and released
+        // at delivery, so it already covers every flit in the links.
+        self.rob.iter().map(|r| r.in_flight()).sum()
     }
 
     fn next_event(&self, now: Cycle) -> Option<Cycle> {

@@ -155,7 +155,7 @@ pub struct McConfig {
 
 impl McConfig {
     /// The configuration Wang et al. (Shuhai, the paper's reference
-    /// [13]) found best and the paper adopts: open page, deep FR-FCFS
+    /// \[13\]) found best and the paper adopts: open page, deep FR-FCFS
     /// reordering, direction batching.
     pub fn throughput_optimised() -> McConfig {
         McConfig::default()

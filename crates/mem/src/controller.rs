@@ -16,7 +16,9 @@
 //! accepts the transaction, which is why the paper measures a local write
 //! latency of only 17 cycles against 48 for reads.
 
-use hbm_axi::{AxiId, ClockDomain, Completion, Cycle, DelayQueue, Dir, MasterId, Transaction};
+use hbm_axi::{
+    AxiId, ClockDomain, Completion, Cycle, DelayQueue, Dir, MasterId, SharedTracer, Transaction,
+};
 
 use crate::config::HbmConfig;
 use crate::pch::PchDram;
@@ -42,6 +44,9 @@ pub struct MemoryController {
     /// transaction; the controller only needs the local offset, so the
     /// mapping function is injected per transaction instead.
     offset_mask: u64,
+    /// Optional lifecycle tracer (enqueue + DRAM command stamps) and the
+    /// port index this controller serves, for record labelling.
+    tracer: Option<(u16, SharedTracer)>,
 }
 
 impl MemoryController {
@@ -57,9 +62,17 @@ impl MemoryController {
             dir_run: 0,
             seen_keys: Vec::with_capacity(cfg.mc.window),
             offset_mask: cfg.pch_capacity - 1,
+            tracer: None,
             cfg: cfg.clone(),
             clock,
         }
+    }
+
+    /// Attaches a lifecycle tracer; `port` is the pseudo-channel index
+    /// this controller serves (recorded on every transaction it stamps).
+    /// Stamping is observation only and never alters scheduling.
+    pub fn attach_tracer(&mut self, port: u16, tracer: SharedTracer) {
+        self.tracer = Some((port, tracer));
     }
 
     /// `true` if a new transaction can be accepted this cycle.
@@ -75,6 +88,9 @@ impl MemoryController {
     ///
     /// Panics if `can_accept` is false — callers must gate on it.
     pub fn accept(&mut self, now: Cycle, txn: Transaction) {
+        if let Some((port, tr)) = &self.tracer {
+            tr.borrow_mut().mc_enqueue(now, &txn, *port);
+        }
         if txn.dir == Dir::Write {
             // Posted write: acknowledge on acceptance.
             self.ack_q
@@ -105,6 +121,18 @@ impl MemoryController {
         } else {
             self.last_dir = txn.dir;
             self.dir_run = 1;
+        }
+        if let Some((_, tr)) = &self.tracer {
+            // Observation only: converts the DRAM's nanosecond timing back
+            // into cycles for the record. Reads include the PHY return in
+            // the service time (matching `produced_at` below); the write
+            // stamp covers the bus burst alone (the ack never waits on it).
+            let data_start = self.clock.ns_to_cycles(timing.first_data_ns);
+            let done = match txn.dir {
+                Dir::Read => self.clock.ns_to_cycles(timing.finish_ns + self.cfg.mc.phy_read_ns),
+                Dir::Write => self.clock.ns_to_cycles(timing.finish_ns),
+            };
+            tr.borrow_mut().dram_issue(&txn, now, data_start.max(now), done.max(now));
         }
         if txn.dir == Dir::Read {
             let finish_cycle = self.clock.ns_to_cycles(timing.finish_ns + self.cfg.mc.phy_read_ns);
@@ -182,8 +210,9 @@ impl MemoryController {
         self.req_q.is_empty() && self.resp_q.is_empty() && self.ack_q.is_empty()
     }
 
-    /// A lower bound on the first cycle ≥ `now` at which [`tick`] could
-    /// issue a DRAM job or [`pop_completion`] could return a completion,
+    /// A lower bound on the first cycle ≥ `now` at which
+    /// [`tick`](Self::tick) could issue a DRAM job or
+    /// [`pop_completion`](Self::pop_completion) could return a completion,
     /// assuming nothing new is accepted in the meantime. `None` when
     /// every queue is empty: a drained controller stays idle forever
     /// without input (DRAM refresh is accounted lazily inside

@@ -114,7 +114,8 @@ impl BmTrafficGen {
         self.tracker.total_in_flight()
     }
 
-    /// A lower bound on the first cycle ≥ `now` at which [`poll`] could
+    /// A lower bound on the first cycle ≥ `now` at which
+    /// [`poll`](Self::poll) could
     /// return a transaction, assuming no completion is delivered in the
     /// meantime: `Some(now)` whenever the head of line is occupied or a
     /// new transaction could be generated, `None` when the generator

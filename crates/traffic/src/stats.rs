@@ -88,6 +88,27 @@ impl LatencyStats {
         Some(self.max)
     }
 
+    /// Median latency (upper-edge bucket estimate), `None` with no
+    /// samples.
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&self) -> Option<u64> {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th-percentile latency.
+    pub fn p999(&self) -> Option<u64> {
+        self.percentile(0.999)
+    }
+
     /// Mean latency in cycles, or `None` with no samples.
     pub fn mean(&self) -> Option<f64> {
         (self.n > 0).then(|| self.sum / self.n as f64)
@@ -250,6 +271,30 @@ mod tests {
         a.merge(&b);
         assert!(a.percentile(0.25).unwrap() <= 15);
         assert!(a.percentile(0.9).unwrap() >= 512);
+    }
+
+    #[test]
+    fn named_percentiles_ordered_and_merge_exact() {
+        let mut a = LatencyStats::default();
+        let mut b = LatencyStats::default();
+        let mut all = LatencyStats::default();
+        for v in 1..=700u64 {
+            let (half, x) = if v % 2 == 0 { (&mut a, v) } else { (&mut b, 3 * v) };
+            half.record(x);
+            all.record(x);
+        }
+        a.merge(&b);
+        // Merged percentiles must equal single-stream percentiles exactly
+        // (same bucket counts), for every named accessor.
+        assert_eq!(a.p50(), all.p50());
+        assert_eq!(a.p95(), all.p95());
+        assert_eq!(a.p99(), all.p99());
+        assert_eq!(a.p999(), all.p999());
+        let (p50, p95, p99, p999) =
+            (a.p50().unwrap(), a.p95().unwrap(), a.p99().unwrap(), a.p999().unwrap());
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= p999);
+        assert!(p999 <= a.max);
+        assert!(a.min <= p50);
     }
 
     #[test]

@@ -150,6 +150,92 @@ mod proptests {
     }
 }
 
+/// The instrumentation layer's "zero cost when off / observation only
+/// when on" contract (DESIGN.md §3.2): enabling the lifecycle tracer and
+/// the windowed probe must not perturb the simulation in any observable
+/// way — same final cycle, same stats, bit for bit — on every fabric.
+/// The probe is the risky half: it splits `run`/`run_until_drained` into
+/// sample-window spans, so these tests double as a check that
+/// `run(a + b)` ≡ `run(a); run(b)`.
+mod tracing_equivalence {
+    use super::*;
+    use hbm_fpga::core::ProbeConfig;
+    use proptest::prelude::*;
+
+    fn traced(cfg: &SystemConfig, wl: Workload, per_master: u64, interval: u64) -> HbmSystem {
+        let mut sys = HbmSystem::new(cfg, wl, Some(per_master));
+        sys.enable_tracing(1 << 12);
+        sys.attach_probe(ProbeConfig { interval, capacity: 1 << 10 });
+        sys
+    }
+
+    proptest! {
+        /// Draining with tracing + probes ON matches OFF bit-identically,
+        /// and every delivered record's component sum equals its recorded
+        /// end-to-end latency (the attribution exactness invariant).
+        #[test]
+        fn traced_drained_runs_are_bit_identical(
+            fabric_sel in 0usize..4,
+            pattern_sel in 0usize..4,
+            outstanding in proptest::sample::select(vec![1usize, 2, 8]),
+            per_master in 1u64..9,
+            interval in proptest::sample::select(vec![1u64, 7, 64, 1024]),
+            seed in proptest::arbitrary::any::<u64>(),
+        ) {
+            let cfg = config_for(fabric_sel);
+            let wl = workload_for(fabric_sel, pattern_sel, outstanding, 4, seed);
+
+            let mut on = traced(&cfg, wl, per_master, interval);
+            let mut off = HbmSystem::new(&cfg, wl, Some(per_master));
+
+            let ok_on = on.run_until_drained(3_000_000);
+            let ok_off = off.run_until_drained(3_000_000);
+
+            prop_assert_eq!(ok_on, ok_off);
+            prop_assert!(ok_on, "workload failed to drain: {:?}", wl);
+            prop_assert_eq!(fingerprint(&on), fingerprint(&off));
+
+            let tracer = on.tracer().expect("tracing enabled").borrow();
+            prop_assert!(tracer.delivered_count() > 0);
+            for rec in tracer.records() {
+                let attr = rec.attribution().expect("delivered record attributes");
+                prop_assert_eq!(
+                    attr.total(),
+                    rec.end_to_end().expect("delivered record has e2e"),
+                    "component sum deviates for master {} seq {}",
+                    rec.master,
+                    rec.seq
+                );
+            }
+        }
+
+        /// Windowed `run` with the probe attached — whose sampling chops
+        /// every window into spans — matches the untraced system at every
+        /// window boundary.
+        #[test]
+        fn traced_windowed_runs_are_bit_identical(
+            fabric_sel in 0usize..4,
+            pattern_sel in 0usize..4,
+            per_master in 1u64..6,
+            window in proptest::sample::select(vec![1u64, 7, 100, 5_000]),
+            interval in proptest::sample::select(vec![1u64, 3, 256]),
+            seed in proptest::arbitrary::any::<u64>(),
+        ) {
+            let cfg = config_for(fabric_sel);
+            let wl = workload_for(fabric_sel, pattern_sel, 4, 4, seed);
+
+            let mut on = traced(&cfg, wl, per_master, interval);
+            let mut off = HbmSystem::new(&cfg, wl, Some(per_master));
+
+            for _ in 0..6 {
+                on.run(window);
+                naive_run(&mut off, window);
+                prop_assert_eq!(fingerprint(&on), fingerprint(&off));
+            }
+        }
+    }
+}
+
 /// `deadline == now` corners of `run_until_drained` (the off-by-one audit
 /// from the fast-path change): a zero-cycle budget must report the truth
 /// about the *current* state without stepping.

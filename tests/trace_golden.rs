@@ -1,0 +1,53 @@
+//! Golden-file test for the Chrome trace-event export.
+//!
+//! Pins the exported JSON byte-for-byte on a tiny deterministic run, so
+//! any change to the export format (event ordering, field names, value
+//! encoding) is a conscious decision: regenerate with
+//!
+//! ```text
+//! REGEN_GOLDEN=1 cargo test --test trace_golden
+//! ```
+//!
+//! and review the diff of `tests/golden/trace_smoke.json`.
+
+use hbm_fpga::core::export::{chrome_trace_json, validate_chrome_trace};
+use hbm_fpga::core::prelude::*;
+use hbm_fpga::core::ProbeConfig;
+
+const GOLDEN: &str = "tests/golden/trace_smoke.json";
+
+/// Two rotated-SCS transactions per master on the stock Xilinx fabric:
+/// small enough to review as text, rich enough to cover lateral hops,
+/// nested component slices, and probe counter tracks.
+fn tiny_trace() -> String {
+    let wl = Workload { rotation: 4, ..Workload::scs() };
+    let mut sys = HbmSystem::new(&SystemConfig::xilinx(), wl, Some(2));
+    sys.enable_tracing(1 << 10);
+    sys.attach_probe(ProbeConfig { interval: 64, capacity: 256 });
+    assert!(sys.run_until_drained(1_000_000), "tiny scenario did not drain");
+    let tracer = sys.tracer().expect("tracing enabled").borrow();
+    chrome_trace_json(&tracer, sys.probe(), sys.clock())
+}
+
+#[test]
+fn chrome_trace_export_matches_golden() {
+    let got = tiny_trace();
+    validate_chrome_trace(&got).expect("export must satisfy the trace-event schema");
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN);
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, &got).expect("write golden");
+    }
+    let want = std::fs::read_to_string(&path)
+        .expect("golden file missing — regenerate with REGEN_GOLDEN=1");
+    assert_eq!(
+        got, want,
+        "Chrome trace export drifted from tests/golden/trace_smoke.json; \
+         if intentional, regenerate with REGEN_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn golden_export_is_reproducible() {
+    assert_eq!(tiny_trace(), tiny_trace(), "export must be deterministic");
+}
