@@ -32,9 +32,8 @@
 //!   records are retained up to a configurable cap (beyond it only the
 //!   histograms keep growing).
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
@@ -397,6 +396,16 @@ impl AttrHists {
         self.end_to_end.record(a.total());
     }
 
+    /// Adds another set of attribution histograms into this one.
+    pub fn merge(&mut self, other: &AttrHists) {
+        self.source_stall.merge(&other.source_stall);
+        self.fabric_transit.merge(&other.fabric_transit);
+        self.mc_queue.merge(&other.mc_queue);
+        self.dram_service.merge(&other.dram_service);
+        self.return_path.merge(&other.return_path);
+        self.end_to_end.merge(&other.end_to_end);
+    }
+
     /// `(name, histogram)` pairs in pipeline order, for rendering.
     pub fn components(&self) -> [(&'static str, &Hist); 6] {
         [
@@ -414,10 +423,10 @@ impl AttrHists {
 /// log of delivered records (in delivery order — deterministic), and the
 /// per-direction attribution histograms.
 ///
-/// Components hold it as a [`SharedTracer`] (`Rc<RefCell<_>>` — the
-/// simulator is single-threaded) so the fabric, every controller, and the
-/// system loop all stamp into the same table.
-#[derive(Debug)]
+/// Components hold it through a [`SharedTracer`] handle, which routes
+/// every stamp to a per-shard partition so concurrent execution domains
+/// never contend on one table.
+#[derive(Debug, Clone)]
 pub struct Tracer {
     live: HashMap<TxnKey, TxnRecord, BuildKeyHasher>,
     done: Vec<TxnRecord>,
@@ -429,8 +438,106 @@ pub struct Tracer {
     pub write_attr: AttrHists,
 }
 
-/// Shared handle to a [`Tracer`].
-pub type SharedTracer = Rc<RefCell<Tracer>>;
+/// Shared, thread-safe handle to a partitioned [`Tracer`].
+///
+/// The side-table is split into one partition per execution domain (shard),
+/// keyed by the *issuing master*: master `m` stamps into partition
+/// `m / masters_per_part`. Every lifecycle stamp of one transaction —
+/// ingress, lateral hops, MC enqueue, DRAM issue, delivery — carries the
+/// issuing master, so a transaction lives its whole life in one partition
+/// no matter which shard touches it. Partitioning is fixed at construction
+/// (always one partition per fabric shard, regardless of the run policy),
+/// which keeps traced runs bit-identical between sequential and parallel
+/// execution:
+///
+/// * a partition's `done` log is appended only by the domain that owns the
+///   issuing masters, in that domain's deterministic delivery order;
+/// * cross-domain stamps (a lateral hop recorded by a transit shard) mutate
+///   only the transaction's own record, so their arrival order across
+///   domains is irrelevant;
+/// * [`SharedTracer::snapshot`] merges the partitions into one [`Tracer`]
+///   whose record order — stable-sorted by `(delivered_at, master)` — is
+///   exactly the old monolithic delivery order.
+///
+/// The retained-record cap applies *per partition*.
+#[derive(Debug, Clone)]
+pub struct SharedTracer {
+    parts: Arc<[Mutex<Tracer>]>,
+    masters_per_part: usize,
+}
+
+impl SharedTracer {
+    #[inline]
+    fn part(&self, master: u16) -> &Mutex<Tracer> {
+        let idx = (master as usize / self.masters_per_part).min(self.parts.len() - 1);
+        &self.parts[idx]
+    }
+
+    /// Stamp: the fabric accepted `txn` at its ingress port.
+    #[inline]
+    pub fn ingress_accept(&self, now: Cycle, txn: &Transaction) {
+        self.part(txn.master.0).lock().unwrap().ingress_accept(now, txn);
+    }
+
+    /// Stamp: the flit of `(master, seq)` was granted onto a lateral bus.
+    #[inline]
+    pub fn lateral_hop(&self, now: Cycle, master: u16, seq: u64) {
+        self.part(master).lock().unwrap().lateral_hop(now, master, seq);
+    }
+
+    /// Stamp: memory controller `port` enqueued `txn`.
+    #[inline]
+    pub fn mc_enqueue(&self, now: Cycle, txn: &Transaction, port: u16) {
+        self.part(txn.master.0).lock().unwrap().mc_enqueue(now, txn, port);
+    }
+
+    /// Stamp: first DRAM command / data burst / service completion times.
+    #[inline]
+    pub fn dram_issue(
+        &self,
+        txn: &Transaction,
+        cmd_at: Cycle,
+        data_start_at: Cycle,
+        done_at: Cycle,
+    ) {
+        self.part(txn.master.0).lock().unwrap().dram_issue(txn, cmd_at, data_start_at, done_at);
+    }
+
+    /// Stamp: the completion reached its master.
+    #[inline]
+    pub fn delivered(&self, now: Cycle, txn: &Transaction) {
+        self.part(txn.master.0).lock().unwrap().delivered(now, txn);
+    }
+
+    /// Number of partitions (one per fabric shard).
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Merges all partitions into one coherent [`Tracer`] view.
+    ///
+    /// Delivered records are stable-sorted by `(delivered_at, master)`;
+    /// because partitions cover contiguous ascending master ranges and each
+    /// partition's log is already in delivery order, the merged order equals
+    /// the monolithic tracer's delivery order. Call this only at a quiescent
+    /// point (between run windows); it clones the retained records.
+    pub fn snapshot(&self) -> Tracer {
+        let mut merged = self.parts[0].lock().unwrap().clone();
+        for part in &self.parts[1..] {
+            let p = part.lock().unwrap();
+            merged.live.extend(p.live.iter().map(|(k, v)| (*k, *v)));
+            merged.done.extend_from_slice(&p.done);
+            merged.capacity += p.capacity;
+            merged.dropped += p.dropped;
+            merged.read_attr.merge(&p.read_attr);
+            merged.write_attr.merge(&p.write_attr);
+        }
+        if self.parts.len() > 1 {
+            merged.done.sort_by_key(|r| (r.delivered_at, r.master));
+        }
+        merged
+    }
+}
 
 /// Default cap on retained delivered records.
 pub const DEFAULT_RECORD_CAP: usize = 1 << 16;
@@ -449,9 +556,19 @@ impl Tracer {
         }
     }
 
-    /// A shared tracer with the default record cap.
+    /// A shared single-partition tracer (monolithic fabrics).
     pub fn shared(record_cap: usize) -> SharedTracer {
-        Rc::new(RefCell::new(Tracer::new(record_cap)))
+        Tracer::sharded(record_cap, 1, usize::MAX)
+    }
+
+    /// A shared tracer with one partition per fabric shard. Master `m`
+    /// stamps into partition `m / masters_per_part` (clamped to the last
+    /// partition); `record_cap` applies per partition.
+    pub fn sharded(record_cap: usize, parts: usize, masters_per_part: usize) -> SharedTracer {
+        let parts = parts.max(1);
+        let table: Vec<Mutex<Tracer>> =
+            (0..parts).map(|_| Mutex::new(Tracer::new(record_cap))).collect();
+        SharedTracer { parts: table.into(), masters_per_part: masters_per_part.max(1) }
     }
 
     /// Stamp: the fabric accepted `txn` at its ingress port. Creates the

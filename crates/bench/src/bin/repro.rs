@@ -3,13 +3,15 @@
 //! Usage:
 //!
 //! ```text
-//! repro [EXPERIMENT ...] [--quick] [--json] [--smoke]
+//! repro [EXPERIMENT ...] [--quick] [--json] [--smoke] [--jobs N]
 //!
 //! EXPERIMENT: fig2 fig3 fig4 fig5 fig6 fig7 table2 table3 table4 table5
 //!             latency ablations simspeed trace all      (default: all)
 //! --quick:    short simulation windows (CI-friendly)
 //! --json:     machine-readable output (one JSON object per experiment)
 //! --smoke:    (trace only) tiny run + schema validation, the CI gate
+//! --jobs N:   worker threads for sweep farming (default: HBM_JOBS env
+//!             var, else all cores). Results are bit-identical at any N.
 //! ```
 //!
 //! `simspeed` and `trace` are not part of `all`: they inspect the
@@ -74,13 +76,23 @@ fn run_json(fid: Fidelity, want: impl Fn(&str) -> bool) {
 fn run_simspeed(quick: bool, json: bool) {
     use hbm_bench::simspeed;
     let rows = simspeed::run_matrix(quick);
-    let payload = serde_json::json!({ "experiment": "simspeed", "rows": rows });
+    let sweeps = simspeed::run_sweep_matrix(quick);
+    let conductor = simspeed::run_conductor_matrix(quick);
+    let payload = serde_json::json!({
+        "experiment": "simspeed",
+        "host_threads": hbm_core::batch::default_threads(),
+        "rows": rows,
+        "sweeps": sweeps,
+        "conductor": conductor,
+    });
     std::fs::write("BENCH_simspeed.json", format!("{payload}\n"))
         .expect("write BENCH_simspeed.json");
     if json {
         println!("{payload}");
     } else {
         println!("{}", simspeed::render(&rows));
+        println!("{}", simspeed::render_sweeps(&sweeps));
+        println!("{}", simspeed::render_conductor(&conductor));
         println!("wrote BENCH_simspeed.json");
     }
 }
@@ -105,8 +117,37 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let smoke = args.iter().any(|a| a == "--smoke");
     let fid = if quick { Fidelity::QUICK } else { Fidelity::FULL };
-    let mut wanted: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let mut jobs_value: Option<usize> = None;
+    let mut skip_next = false;
+    let mut positional: Vec<&str> = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--jobs" {
+            let v = args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("--jobs requires a thread count");
+                std::process::exit(2);
+            });
+            jobs_value = Some(v.parse().unwrap_or_else(|_| {
+                eprintln!("--jobs: invalid thread count {v:?}");
+                std::process::exit(2);
+            }));
+            skip_next = true;
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            jobs_value = Some(v.parse().unwrap_or_else(|_| {
+                eprintln!("--jobs: invalid thread count {v:?}");
+                std::process::exit(2);
+            }));
+        } else if !a.starts_with("--") {
+            positional.push(a.as_str());
+        }
+    }
+    if let Some(jobs) = jobs_value {
+        hbm_core::batch::set_sweep_jobs(jobs);
+    }
+    let mut wanted: Vec<&str> = positional;
     if wanted.is_empty() {
         wanted.push("all");
     }

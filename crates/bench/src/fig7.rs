@@ -36,14 +36,18 @@ fn workload_b() -> Workload {
 /// Measures the four bandwidths (the simulated counterpart of the
 /// paper's 12.55 / 403.75 / 9.59 / 273 GB/s).
 pub fn accel_bandwidths(fid: Fidelity) -> AccelBandwidths {
-    let run =
-        |cfg: &SystemConfig, wl: Workload| measure(cfg, wl, fid.warmup, fid.cycles).total_gbps();
-    AccelBandwidths {
-        a_xlnx: run(&SystemConfig::xilinx(), workload_a()),
-        a_mao: run(&SystemConfig::mao(), workload_a()),
-        b_xlnx: run(&SystemConfig::xilinx(), workload_b()),
-        b_mao: run(&SystemConfig::mao(), workload_b()),
-    }
+    // The four measurements are independent simulations — farm them out
+    // like any other sweep.
+    let points = [
+        (SystemConfig::xilinx(), workload_a()),
+        (SystemConfig::mao(), workload_a()),
+        (SystemConfig::xilinx(), workload_b()),
+        (SystemConfig::mao(), workload_b()),
+    ];
+    let gbps = hbm_core::batch::par_map(&points, hbm_core::batch::sweep_jobs(), |(cfg, wl)| {
+        measure(cfg, *wl, fid.warmup, fid.cycles).total_gbps()
+    });
+    AccelBandwidths { a_xlnx: gbps[0], a_mao: gbps[1], b_xlnx: gbps[2], b_mao: gbps[3] }
 }
 
 /// One accelerator's Fig. 7 summary at a parallelisation degree.

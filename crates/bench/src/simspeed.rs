@@ -21,7 +21,7 @@ use std::time::Instant;
 
 use hbm_axi::BurstLen;
 use hbm_core::probe::ProbeConfig;
-use hbm_core::{HbmSystem, SystemConfig};
+use hbm_core::{HbmSystem, RunPolicy, SystemConfig};
 use hbm_traffic::{RwRatio, Workload};
 use serde::Serialize;
 
@@ -182,6 +182,135 @@ fn row(
         traced_cycles_per_sec: sim_cycles as f64 / traced_wall_s.max(1e-12),
         overhead_pct: 100.0 * (traced_wall_s / wall_s.max(1e-12) - 1.0),
     }
+}
+
+/// One measured sweep-farming cell: the same multi-point measurement
+/// grid run with a given worker-thread count.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepRow {
+    /// Grid points in the sweep.
+    pub points: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall time for the whole grid, in seconds.
+    pub wall_s: f64,
+    /// Wall-clock speedup over the single-worker run of the same grid.
+    pub speedup: f64,
+}
+
+/// Times a multi-point sweep — the Fig. 4 rotation grid — farmed over
+/// 1, 2, and 4 worker threads with `hbm_core::batch::run_grid`. Every
+/// point is an independent deterministic simulation, so on a multi-core
+/// host the speedup approaches `min(jobs, cores, points)`; on a
+/// single-core host it stays ≈ 1 (thread scheduling cannot create
+/// cores). The recorded numbers are whatever the current host delivers.
+pub fn run_sweep_matrix(quick: bool) -> Vec<SweepRow> {
+    let (warmup, cycles) = if quick { (500, 1_500) } else { (2_000, 8_000) };
+    let points: Vec<(SystemConfig, Workload)> = [0usize, 1, 2, 3, 4, 6, 8]
+        .iter()
+        .map(|&rotation| (SystemConfig::xilinx(), Workload { rotation, ..Workload::scs() }))
+        .collect();
+    let mut base = f64::NAN;
+    [1usize, 2, 4]
+        .iter()
+        .map(|&jobs| {
+            let t0 = Instant::now();
+            let out = hbm_core::batch::run_grid(&points, warmup, cycles, jobs);
+            let wall_s = t0.elapsed().as_secs_f64();
+            assert_eq!(out.len(), points.len());
+            if jobs == 1 {
+                base = wall_s;
+            }
+            SweepRow { points: points.len(), jobs, wall_s, speedup: base / wall_s.max(1e-12) }
+        })
+        .collect()
+}
+
+/// One measured parallel-conductor cell: a single simulation advanced
+/// under `RunPolicy::Parallel { jobs }` vs the sequential reference.
+#[derive(Debug, Clone, Serialize)]
+pub struct ConductorRow {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Worker threads (1 = the sequential reference path).
+    pub jobs: usize,
+    /// Simulated cycles covered by one run.
+    pub sim_cycles: u64,
+    /// Best-of-N wall time for one run, in seconds.
+    pub wall_s: f64,
+    /// Wall-clock speedup over the sequential run of the same scenario.
+    pub speedup: f64,
+}
+
+/// Times a single saturated Xilinx simulation under the sharded
+/// conductor at 1/2/4 worker threads. `scs_port_affine` never touches a
+/// lateral bus, so the conductor sprints full-span windows — the
+/// best case for in-run threading. `rotation4_lateral` saturates the
+/// lateral boundaries, forcing a barrier every `sync_lag` cycles — the
+/// worst case, expected at or below 1× (the result is still
+/// bit-identical; the threading merely doesn't pay there).
+pub fn run_conductor_matrix(quick: bool) -> Vec<ConductorRow> {
+    let cycles = if quick { 5_000 } else { 40_000 };
+    let repeats = if quick { 1 } else { 3 };
+    let mut rows = Vec::new();
+    for (scenario, wl) in [
+        ("scs_port_affine", Workload::scs()),
+        ("rotation4_lateral", Workload { rotation: 4, ..Workload::scs() }),
+    ] {
+        let mut base = f64::NAN;
+        for jobs in [1usize, 2, 4] {
+            let (sim_cycles, wall_s) = wall_best_of(repeats, || {
+                let mut sys = HbmSystem::new(&SystemConfig::xilinx(), wl, None);
+                if jobs > 1 {
+                    sys.set_run_policy(RunPolicy::Parallel { jobs });
+                }
+                sys.run(cycles);
+                sys.now()
+            });
+            if jobs == 1 {
+                base = wall_s;
+            }
+            rows.push(ConductorRow {
+                scenario,
+                jobs,
+                sim_cycles,
+                wall_s,
+                speedup: base / wall_s.max(1e-12),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the sweep-farming section as an aligned text table.
+pub fn render_sweeps(rows: &[SweepRow]) -> String {
+    let mut out = String::from(
+        "Sweep farming (same measurement grid, more worker threads)\n\
+         points  jobs      wall_s   speedup\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>6} {:>5} {:>11.6} {:>8.2}x\n",
+            r.points, r.jobs, r.wall_s, r.speedup
+        ));
+    }
+    out
+}
+
+/// Renders the parallel-conductor section as an aligned text table.
+pub fn render_conductor(rows: &[ConductorRow]) -> String {
+    let mut out = String::from(
+        "Parallel conductor (one simulation, sharded across threads;\n\
+         bit-identical to sequential by construction)\n\
+         scenario            jobs  sim_cycles      wall_s   speedup\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<19} {:>4} {:>11} {:>11.6} {:>8.2}x\n",
+            r.scenario, r.jobs, r.sim_cycles, r.wall_s, r.speedup
+        ));
+    }
+    out
 }
 
 /// Renders the matrix as an aligned text table.

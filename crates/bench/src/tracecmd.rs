@@ -85,7 +85,7 @@ pub fn run_trace(smoke: bool, quick: bool) -> TraceOutcome {
     assert!(sys.run_until_drained(100_000_000), "trace scenario did not drain");
 
     let clock = sys.clock();
-    let tracer = sys.tracer().expect("tracing enabled").borrow();
+    let tracer = sys.tracer().expect("tracing enabled").snapshot();
     let probe = sys.probe().expect("probe attached");
     let trace_json = chrome_trace_json(&tracer, Some(probe), clock);
     let probes = probes_jsonl(probe, clock);

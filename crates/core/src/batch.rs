@@ -2,9 +2,14 @@
 //!
 //! Parameter sweeps (Fig. 3's 4 patterns × 5 burst lengths × 3 mixes,
 //! the `sweep` binary's grids) are embarrassingly parallel: every run is
-//! an independent deterministic simulation. [`run_grid`] fans a grid out
-//! over OS threads with `std::thread::scope` — no extra dependencies —
-//! while preserving result order.
+//! an independent deterministic simulation. [`par_map`] fans any such
+//! work-list out over OS threads with `std::thread::scope` — no extra
+//! dependencies — while preserving result order; [`run_grid`] is its
+//! measurement-grid specialisation. The process-wide worker budget is
+//! settable once (e.g. from a `--jobs` flag) via [`set_sweep_jobs`] and
+//! consulted everywhere through [`sweep_jobs`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use hbm_traffic::Workload;
 
@@ -14,38 +19,77 @@ use crate::system::SystemConfig;
 /// One grid point: a system configuration and a workload.
 pub type GridPoint = (SystemConfig, Workload);
 
+/// Process-wide sweep worker budget; 0 means "not set explicitly".
+static SWEEP_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide sweep worker budget (e.g. from `--jobs N`).
+/// `0` clears the override, falling back to `HBM_JOBS` / core count.
+pub fn set_sweep_jobs(jobs: usize) {
+    SWEEP_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The sweep worker budget: an explicit [`set_sweep_jobs`] value if one
+/// was given, else the `HBM_JOBS` environment variable, else every
+/// available core. Always at least 1.
+pub fn sweep_jobs() -> usize {
+    let set = SWEEP_JOBS.load(Ordering::Relaxed);
+    if set >= 1 {
+        return set;
+    }
+    if let Ok(v) = std::env::var("HBM_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    default_threads()
+}
+
+/// Order-preserving parallel map: applies `f` to every item on up to
+/// `jobs` OS threads and returns results in input order. `jobs == 1`
+/// (or a single item) degenerates to a plain sequential loop with no
+/// thread-spawn overhead. Workers claim indices from a shared counter,
+/// so an expensive item never serialises the cheap ones behind it.
+pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    assert!(jobs >= 1);
+    if jobs == 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    // Results are deposited through the mutex (coarse, but each work
+    // item dwarfs the lock).
+    let slots = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(items.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                slots.lock().unwrap()[i] = Some(r);
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("every item was claimed by a worker")).collect()
+}
+
 /// Measures every grid point, using up to `threads` OS threads, and
-/// returns results in input order. `threads == 1` degenerates to a
-/// sequential loop (no thread spawn overhead).
+/// returns results in input order.
 pub fn run_grid(
     points: &[GridPoint],
     warmup: u64,
     cycles: u64,
     threads: usize,
 ) -> Vec<Measurement> {
-    assert!(threads >= 1);
-    if threads == 1 || points.len() <= 1 {
-        return points.iter().map(|(cfg, wl)| measure(cfg, *wl, warmup, cycles)).collect();
-    }
-    let mut results: Vec<Option<Measurement>> = vec![None; points.len()];
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    // Workers claim indices from the shared counter and deposit results
-    // through the mutex (coarse, but each simulation dwarfs the lock).
-    let slots = std::sync::Mutex::new(&mut results);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(points.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= points.len() {
-                    break;
-                }
-                let (cfg, wl) = &points[i];
-                let m = measure(cfg, *wl, warmup, cycles);
-                slots.lock().unwrap()[i] = Some(m);
-            });
-        }
-    });
-    results.into_iter().map(|m| m.expect("every grid point was claimed by a worker")).collect()
+    par_map(points, threads, |(cfg, wl)| measure(cfg, *wl, warmup, cycles))
 }
 
 /// A reasonable thread count for sweeps on this machine.
@@ -86,6 +130,27 @@ mod tests {
         assert!(par[1].total_gbps() > 100.0);
         // Point 2 is read-only: no write bytes.
         assert_eq!(par[2].gen.bytes_written, 0);
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_uneven_work() {
+        let items: Vec<u64> = (0..64).collect();
+        // Odd items spin longer, so claim order ≠ completion order.
+        let out = par_map(&items, 4, |&i| {
+            if i % 2 == 1 {
+                std::hint::black_box((0..10_000u64).sum::<u64>());
+            }
+            i * 3
+        });
+        assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_jobs_override_wins() {
+        set_sweep_jobs(3);
+        assert_eq!(sweep_jobs(), 3);
+        set_sweep_jobs(0);
+        assert!(sweep_jobs() >= 1);
     }
 
     #[test]

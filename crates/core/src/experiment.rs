@@ -31,6 +31,14 @@ impl Fidelity {
     fn run(&self, cfg: &SystemConfig, wl: Workload) -> Measurement {
         measure(cfg, wl, self.warmup, self.cycles)
     }
+
+    /// Measures every point of a sweep, farmed out over
+    /// [`crate::batch::sweep_jobs`] worker threads. Results come back
+    /// in input order, and every simulation is deterministic, so the
+    /// fan-out is invisible in the output.
+    fn run_all(&self, points: &[(SystemConfig, Workload)]) -> Vec<Measurement> {
+        crate::batch::run_grid(points, self.warmup, self.cycles, crate::batch::sweep_jobs())
+    }
 }
 
 // ---------------------------------------------------------------- Fig. 2
@@ -64,17 +72,18 @@ pub fn fig2_rw_ratio(fid: Fidelity) -> Vec<Fig2Row> {
         RwRatio { reads: 1, writes: 4 },
         RwRatio { reads: 0, writes: 1 },
     ];
+    let points: Vec<_> = ratios
+        .iter()
+        .map(|&ratio| (SystemConfig::xilinx(), Workload { rw: ratio, ..Workload::scs() }))
+        .collect();
     ratios
         .iter()
-        .map(|&ratio| {
-            let wl = Workload { rw: ratio, ..Workload::scs() };
-            let m = fid.run(&SystemConfig::xilinx(), wl);
-            Fig2Row {
-                ratio,
-                read_gbps: m.read_gbps(),
-                write_gbps: m.write_gbps(),
-                total_gbps: m.total_gbps(),
-            }
+        .zip(fid.run_all(&points))
+        .map(|(&ratio, m)| Fig2Row {
+            ratio,
+            read_gbps: m.read_gbps(),
+            write_gbps: m.write_gbps(),
+            total_gbps: m.total_gbps(),
         })
         .collect()
 }
@@ -99,34 +108,44 @@ pub struct Fig3Row {
 /// Fig. 3: burst-length sensitivity of the four basic patterns on the
 /// stock Xilinx fabric.
 pub fn fig3_burst_length(fid: Fidelity) -> Vec<Fig3Row> {
-    let mut rows = Vec::new();
+    let mut cases = Vec::new();
     for pattern in [Pattern::Scs, Pattern::Ccs, Pattern::Scra, Pattern::Ccra] {
         for bl in [1u8, 2, 4, 8, 16] {
+            cases.push((pattern, bl));
+        }
+    }
+    // Three measurements (RD / WR / 2:1) per case, flattened into one
+    // work-list so the thread pool sees all 60 points at once.
+    let points: Vec<_> = cases
+        .iter()
+        .flat_map(|&(pattern, bl)| {
             let base = match pattern {
                 Pattern::Scs => Workload::scs(),
                 Pattern::Ccs => Workload::ccs(),
                 Pattern::Scra => Workload::scra(),
                 Pattern::Ccra => Workload::ccra(),
             };
-            let mk = |rw| Workload {
+            let mk = move |rw| Workload {
                 burst: BurstLen::of(bl),
                 stride: BurstLen::of(bl).bytes(),
                 rw,
                 ..base
             };
-            let rd = fid.run(&SystemConfig::xilinx(), mk(RwRatio::READ_ONLY));
-            let wr = fid.run(&SystemConfig::xilinx(), mk(RwRatio::WRITE_ONLY));
-            let both = fid.run(&SystemConfig::xilinx(), mk(RwRatio::TWO_TO_ONE));
-            rows.push(Fig3Row {
-                pattern,
-                burst: bl,
-                rd_gbps: rd.total_gbps(),
-                wr_gbps: wr.total_gbps(),
-                both_gbps: both.total_gbps(),
-            });
-        }
-    }
-    rows
+            [RwRatio::READ_ONLY, RwRatio::WRITE_ONLY, RwRatio::TWO_TO_ONE]
+                .map(|rw| (SystemConfig::xilinx(), mk(rw)))
+        })
+        .collect();
+    cases
+        .iter()
+        .zip(fid.run_all(&points).chunks(3))
+        .map(|(&(pattern, burst), m)| Fig3Row {
+            pattern,
+            burst,
+            rd_gbps: m[0].total_gbps(),
+            wr_gbps: m[1].total_gbps(),
+            both_gbps: m[2].total_gbps(),
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------- Fig. 4
@@ -150,26 +169,35 @@ pub struct Fig4Row {
 /// Fig. 4: effect of the rotation offset on throughput through the
 /// Xilinx switch fabric, for BL 16 and BL 2.
 pub fn fig4_rotation(fid: Fidelity) -> Vec<Fig4Row> {
-    let mut rows = Vec::new();
+    let mut cases = Vec::new();
     for burst in [16u8, 2] {
         for rotation in [0usize, 1, 2, 3, 4, 6, 8] {
+            cases.push((burst, rotation));
+        }
+    }
+    let points: Vec<_> = cases
+        .iter()
+        .map(|&(burst, rotation)| {
             let wl = Workload {
                 rotation,
                 burst: BurstLen::of(burst),
                 stride: BurstLen::of(burst).bytes(),
                 ..Workload::scs()
             };
-            let m = fid.run(&SystemConfig::xilinx(), wl);
-            rows.push(Fig4Row {
-                rotation,
-                burst,
-                total_gbps: m.total_gbps(),
-                pct: m.pct_of_device(),
-                max_lateral_util: m.fabric.max_lateral_beats() as f64 / m.cycles as f64,
-            });
-        }
-    }
-    rows
+            (SystemConfig::xilinx(), wl)
+        })
+        .collect();
+    cases
+        .iter()
+        .zip(fid.run_all(&points))
+        .map(|(&(burst, rotation), m)| Fig4Row {
+            rotation,
+            burst,
+            total_gbps: m.total_gbps(),
+            pct: m.pct_of_device(),
+            max_lateral_util: m.fabric.max_lateral_beats() as f64 / m.cycles as f64,
+        })
+        .collect()
 }
 
 // -------------------------------------------------------------- Table II
@@ -204,7 +232,8 @@ pub struct Table2Row {
 /// Table II: HBM latency comparison between the Xilinx fabric and the
 /// MAO under light ("Single") and heavy ("Burst") traffic.
 pub fn table2_latency(fid: Fidelity) -> Vec<Table2Row> {
-    let mut rows = Vec::new();
+    let mut meta = Vec::new();
+    let mut points = Vec::new();
     for (traffic, outstanding, bl) in [("Single", 1usize, 1u8), ("Burst", 32, 16)] {
         for (fabric, cfg) in [("XLNX", SystemConfig::xilinx()), ("MAO", SystemConfig::mao())] {
             for pattern in [Pattern::Ccs, Pattern::Ccra] {
@@ -216,24 +245,27 @@ pub fn table2_latency(fid: Fidelity) -> Vec<Table2Row> {
                     num_ids: if traffic == "Single" { 1 } else { 16 },
                     ..base
                 };
-                let m = fid.run(&cfg, wl);
-                rows.push(Table2Row {
-                    traffic,
-                    fabric,
-                    pattern,
-                    rd_mean: m.read_latency_mean().unwrap_or(f64::NAN),
-                    rd_std: m.read_latency_std().unwrap_or(f64::NAN),
-                    rd_p50: m.gen.read_lat.p50().unwrap_or(0),
-                    rd_p99: m.gen.read_lat.p99().unwrap_or(0),
-                    wr_mean: m.write_latency_mean().unwrap_or(f64::NAN),
-                    wr_std: m.write_latency_std().unwrap_or(f64::NAN),
-                    wr_p50: m.gen.write_lat.p50().unwrap_or(0),
-                    wr_p99: m.gen.write_lat.p99().unwrap_or(0),
-                });
+                meta.push((traffic, fabric, pattern));
+                points.push((cfg.clone(), wl));
             }
         }
     }
-    rows
+    meta.iter()
+        .zip(fid.run_all(&points))
+        .map(|(&(traffic, fabric, pattern), m)| Table2Row {
+            traffic,
+            fabric,
+            pattern,
+            rd_mean: m.read_latency_mean().unwrap_or(f64::NAN),
+            rd_std: m.read_latency_std().unwrap_or(f64::NAN),
+            rd_p50: m.gen.read_lat.p50().unwrap_or(0),
+            rd_p99: m.gen.read_lat.p99().unwrap_or(0),
+            wr_mean: m.write_latency_mean().unwrap_or(f64::NAN),
+            wr_std: m.write_latency_std().unwrap_or(f64::NAN),
+            wr_p50: m.gen.write_lat.p50().unwrap_or(0),
+            wr_p99: m.gen.write_lat.p99().unwrap_or(0),
+        })
+        .collect()
 }
 
 // -------------------------------------------------------------- Table IV
@@ -262,24 +294,28 @@ impl Table4Row {
 /// Table IV: CCS/CCRA throughput, Xilinx fabric vs. MAO, for reads only,
 /// writes only, and the 2:1 mix (BL 16).
 pub fn table4_throughput(fid: Fidelity) -> Vec<Table4Row> {
-    let mut rows = Vec::new();
+    let mut meta = Vec::new();
+    let mut points = Vec::new();
     for pattern in [Pattern::Ccs, Pattern::Ccra] {
         let base = if pattern == Pattern::Ccs { Workload::ccs() } else { Workload::ccra() };
         for (direction, rw) in
             [("RD", RwRatio::READ_ONLY), ("WR", RwRatio::WRITE_ONLY), ("Both", RwRatio::TWO_TO_ONE)]
         {
             let wl = Workload { rw, ..base };
-            let x = fid.run(&SystemConfig::xilinx(), wl);
-            let o = fid.run(&SystemConfig::mao(), wl);
-            rows.push(Table4Row {
-                pattern,
-                direction,
-                xlnx_gbps: x.total_gbps(),
-                mao_gbps: o.total_gbps(),
-            });
+            meta.push((pattern, direction));
+            points.push((SystemConfig::xilinx(), wl));
+            points.push((SystemConfig::mao(), wl));
         }
     }
-    rows
+    meta.iter()
+        .zip(fid.run_all(&points).chunks(2))
+        .map(|(&(pattern, direction), m)| Table4Row {
+            pattern,
+            direction,
+            xlnx_gbps: m[0].total_gbps(),
+            mao_gbps: m[1].total_gbps(),
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------- Fig. 5
@@ -299,7 +335,7 @@ pub struct Fig5Row {
 pub fn fig5_stride(fid: Fidelity) -> Vec<Fig5Row> {
     let strides =
         [64u64, 128, 256, 512, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20];
-    strides
+    let points: Vec<_> = strides
         .iter()
         .map(|&stride| {
             let wl = Workload {
@@ -308,9 +344,13 @@ pub fn fig5_stride(fid: Fidelity) -> Vec<Fig5Row> {
                 working_set: 4 << 30,
                 ..Workload::ccs()
             };
-            let m = fid.run(&SystemConfig::mao(), wl);
-            Fig5Row { stride, total_gbps: m.total_gbps() }
+            (SystemConfig::mao(), wl)
         })
+        .collect();
+    strides
+        .iter()
+        .zip(fid.run_all(&points))
+        .map(|(&stride, m)| Fig5Row { stride, total_gbps: m.total_gbps() })
         .collect()
 }
 
@@ -328,15 +368,20 @@ pub struct Fig6Row {
 /// Fig. 6: effect of transaction reordering (independent AXI IDs) on
 /// CCRA throughput with the MAO.
 pub fn fig6_reorder(fid: Fidelity) -> Vec<Fig6Row> {
-    [1usize, 2, 4, 8, 16, 32]
+    let depths = [1usize, 2, 4, 8, 16, 32];
+    let points: Vec<_> = depths
         .iter()
         .map(|&depth| {
             let mao = MaoConfig { reorder_depth: depth.max(2), ..MaoConfig::default() };
             let cfg = SystemConfig { fabric: FabricKind::Mao(mao), ..SystemConfig::mao() };
             let wl = Workload { num_ids: depth, outstanding: depth, ..Workload::ccra() };
-            let m = fid.run(&cfg, wl);
-            Fig6Row { depth, total_gbps: m.total_gbps() }
+            (cfg, wl)
         })
+        .collect();
+    depths
+        .iter()
+        .zip(fid.run_all(&points))
+        .map(|(&depth, m)| Fig6Row { depth, total_gbps: m.total_gbps() })
         .collect()
 }
 

@@ -308,7 +308,7 @@ mod tests {
     #[test]
     fn export_validates_and_component_sums_match() {
         let (sys, clock) = traced_run();
-        let tracer = sys.tracer().unwrap().borrow();
+        let tracer = sys.tracer().unwrap().snapshot();
         let json = chrome_trace_json(&tracer, sys.probe(), clock);
         let check = validate_chrome_trace(&json).expect("exported trace must validate");
         assert_eq!(check.txns as u64, tracer.delivered_count());

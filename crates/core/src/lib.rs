@@ -51,11 +51,11 @@ pub mod trace;
 /// Commonly used items in one import.
 pub mod prelude {
     pub use crate::measure::{measure, Measurement};
-    pub use crate::system::{FabricKind, HbmSystem, SystemConfig};
+    pub use crate::system::{FabricKind, HbmSystem, RunPolicy, SystemConfig};
     pub use hbm_axi::{BurstLen, ClockDomain, Dir, MasterId, PortId};
     pub use hbm_traffic::{Pattern, RwRatio, Workload};
 }
 
 pub use measure::{measure, Measurement};
 pub use probe::{Probe, ProbeConfig, Snapshot};
-pub use system::{FabricKind, HbmSystem, SystemConfig};
+pub use system::{FabricKind, HbmSystem, RunPolicy, SystemConfig};

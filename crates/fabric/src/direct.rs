@@ -63,7 +63,7 @@ impl Interconnect for DirectFabric {
         }
         let cost = txn.fwd_link_cycles();
         if let Some(tr) = &self.tracer {
-            tr.borrow_mut().ingress_accept(now, &txn);
+            tr.ingress_accept(now, &txn);
         }
         link.send(now, 0, cost, Flit::Req(txn));
         Ok(())
@@ -174,6 +174,25 @@ mod tests {
         assert_eq!(c.txn.master, MasterId(2));
         assert_eq!(cycle, 8, "two 4-cycle link traversals");
         assert!(f.drained());
+    }
+
+    #[test]
+    fn occupancy_tracks_flits_in_flight() {
+        let mut f = direct();
+        assert_eq!(f.occupancy(), 0);
+        let mut b = TxnBuilder::new(MasterId(1));
+        let t = b.issue(AxiId(0), 256u64 << 20, BurstLen::of(1), Dir::Read, 0).unwrap();
+        assert!(f.offer_request(0, t).is_ok());
+        assert_eq!(f.occupancy(), 1, "one request in flight");
+        for now in 0..100 {
+            f.tick(now);
+            if f.pop_request(now, PortId(1)).is_some() {
+                assert_eq!(f.occupancy(), 0, "popped request leaves the fabric");
+                return;
+            }
+            assert_eq!(f.occupancy(), 1);
+        }
+        panic!("request never arrived");
     }
 
     #[test]

@@ -92,7 +92,7 @@ impl Interconnect for FullCrossbarFabric {
         let cost = txn.fwd_link_cycles();
         let (dir, id) = (txn.dir, txn.id.0);
         if let Some(tr) = &self.tracer {
-            tr.borrow_mut().ingress_accept(now, &txn);
+            tr.ingress_accept(now, &txn);
         }
         self.ingress[m].send(now, 0, cost, Flit::Req(txn));
         self.id_track.issue(m, dir, id, port);
@@ -297,6 +297,32 @@ mod tests {
         for addr in [0u64, 1 << 20, 63 << 20] {
             assert_eq!(f.port_of(addr), PortId(0));
         }
+    }
+
+    #[test]
+    fn occupancy_follows_the_round_trip() {
+        let mut f = xbar();
+        assert_eq!(f.occupancy(), 0);
+        let mut b = TxnBuilder::new(MasterId(5));
+        let t = b.issue(AxiId(0), 20 * (256u64 << 20), BurstLen::of(1), Dir::Read, 0).unwrap();
+        assert!(f.offer_request(0, t).is_ok());
+        assert_eq!(f.occupancy(), 1, "request queued at ingress");
+        for now in 0..200 {
+            f.tick(now);
+            if let Some(t) = f.pop_request(now, PortId(20)) {
+                assert_eq!(f.occupancy(), 0, "request left, completion not yet offered");
+                let c = Completion { txn: t, produced_at: now };
+                f.offer_completion(now, PortId(20), c).unwrap();
+                assert_eq!(f.occupancy(), 1, "completion in flight");
+            }
+            if f.pop_completion(now, MasterId(5)).is_some() {
+                assert_eq!(f.occupancy(), 0, "drained after delivery");
+                assert!(f.drained());
+                return;
+            }
+            assert_eq!(f.occupancy(), 1, "exactly one flit in flight throughout");
+        }
+        panic!("round trip never completed");
     }
 
     #[test]

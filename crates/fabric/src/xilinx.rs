@@ -21,14 +21,19 @@
 //! destinations (responses could not be merged in order otherwise): such
 //! requests stall at ingress. The MAO removes this stall with reorder
 //! buffers — a large part of its random-access win (paper Fig. 6).
+//!
+//! Structurally, the fabric is a chain of [`SwitchShard`] execution
+//! domains (see [`crate::shard`]): each mini switch owns all of its local
+//! state and talks to its neighbours only through cycle-stamped lateral
+//! ports, which is what lets the simulation core advance switches
+//! independently — and in parallel — between synchronisation horizons.
 
 use hbm_axi::{Addr, ClockDomain, Completion, Cycle, MasterId, PortId, SharedTracer, Transaction};
 
 use crate::addressmap::{AddressMap, ContiguousMap};
-use crate::idtrack::IdTracker;
-use crate::link::{self, Flit, SerialLink};
+use crate::shard::SwitchShard;
 use crate::stats::{FabricStats, LinkStats};
-use crate::Interconnect;
+use crate::{Interconnect, ShardLayout, ShardedFabric};
 
 /// Geometry and timing of the segmented switch network.
 #[derive(Debug, Clone, Copy)]
@@ -113,197 +118,32 @@ impl FabricConfig {
     }
 }
 
-/// Link-index layout: all links live in one arena so arbitration can move
-/// flits between arbitrary links without borrow gymnastics.
-#[derive(Debug, Clone, Copy)]
-struct Layout {
-    m: usize,  // masters
-    p: usize,  // ports
-    s: usize,  // switches
-    b: usize,  // buses per direction
-    nb: usize, // boundaries = s - 1
-}
-
-impl Layout {
-    fn master_in(&self, i: usize) -> usize {
-        i
-    }
-    fn mc_in(&self, i: usize) -> usize {
-        self.m + i
-    }
-    fn mc_out(&self, i: usize) -> usize {
-        self.m + self.p + i
-    }
-    fn master_out(&self, i: usize) -> usize {
-        self.m + 2 * self.p + i
-    }
-    fn lateral_base(&self) -> usize {
-        2 * self.m + 2 * self.p
-    }
-    /// Right-bus request channel crossing boundary `nb` (switch nb → nb+1).
-    fn right_fwd(&self, nb: usize, bus: usize) -> usize {
-        self.lateral_base() + nb * self.b + bus
-    }
-    /// Right-bus response channel (switch nb+1 → nb).
-    fn right_ret(&self, nb: usize, bus: usize) -> usize {
-        self.lateral_base() + (self.nb + nb) * self.b + bus
-    }
-    /// Left-bus request channel (switch nb+1 → nb).
-    fn left_fwd(&self, nb: usize, bus: usize) -> usize {
-        self.lateral_base() + (2 * self.nb + nb) * self.b + bus
-    }
-    /// Left-bus response channel (switch nb → nb+1).
-    fn left_ret(&self, nb: usize, bus: usize) -> usize {
-        self.lateral_base() + (3 * self.nb + nb) * self.b + bus
-    }
-    fn total(&self) -> usize {
-        2 * self.m + 2 * self.p + 4 * self.nb * self.b
-    }
-}
-
-/// The segmented switch network.
+/// The segmented switch network: a chain of per-switch execution domains
+/// ([`SwitchShard`]) joined by explicit lateral ports.
+///
+/// Each shard owns its four masters' ingress/egress links, its four
+/// pseudo-channel links, and the local crossbar's arbitration state;
+/// shards exchange flits only through cycle-stamped
+/// [`LateralTx`](crate::shard::LateralTx)/[`LateralRx`](crate::shard::LateralRx)
+/// channel pairs whose data *and* queue credits are delayed by
+/// `hop_latency`. Stepped sequentially, [`tick`](Interconnect::tick)
+/// advances every shard and then [reconciles](ShardedFabric::reconcile)
+/// all boundaries; the parallel conductor in `hbm-core` instead advances
+/// shards independently between lateral-synchronisation horizons and
+/// reconciles at each barrier — bit-identically, because no same-cycle
+/// information ever crosses a boundary (DESIGN.md §3.3).
 pub struct XilinxFabric {
     cfg: FabricConfig,
-    lay: Layout,
     map: ContiguousMap,
-    links: Vec<SerialLink<Flit>>,
-    /// Per switch: input link indices (order = arbitration priority ring).
-    inputs: Vec<Vec<usize>>,
-    /// Per switch: output link indices.
-    outputs: Vec<Vec<usize>>,
-    /// Round-robin pointer per (switch, output slot).
-    rr: Vec<Vec<usize>>,
-    /// Cycle at which each input link last had a flit popped (one pop per
-    /// input per cycle).
-    popped_at: Vec<Cycle>,
-    /// Outstanding (master, dir, id) → (destination port, count).
-    id_track: IdTracker,
-    id_stall_cycles: u64,
-    /// Per-tick routing scratch: `(output link, input position)` of every
-    /// ready input head of the switch under arbitration. Reused across
-    /// ticks to keep the hot loop allocation-free.
-    scratch: Vec<(usize, usize)>,
-    /// Optional lifecycle tracer (ingress-accept + lateral-hop stamps).
-    tracer: Option<SharedTracer>,
+    shards: Vec<SwitchShard>,
 }
 
 impl XilinxFabric {
     /// Builds the fabric for a configuration.
     pub fn new(cfg: FabricConfig) -> XilinxFabric {
         cfg.validate();
-        let lay = Layout {
-            m: cfg.num_masters(),
-            p: cfg.num_ports(),
-            s: cfg.num_switches,
-            b: cfg.lateral_buses,
-            nb: cfg.num_switches.saturating_sub(1),
-        };
-        let mut links = Vec::with_capacity(lay.total());
-        // Master ingress: single-source, no dead cycles.
-        for _ in 0..lay.m {
-            links.push(SerialLink::new(
-                cfg.port_rate,
-                0.0,
-                cfg.ingress_capacity,
-                cfg.ingress_latency,
-            ));
-        }
-        // MC ingress (completions from controllers): single-source.
-        for _ in 0..lay.p {
-            links.push(SerialLink::new(cfg.port_rate, 0.0, cfg.out_capacity, cfg.mc_link_latency));
-        }
-        // MC egress (requests to controllers): arbitrated.
-        for _ in 0..lay.p {
-            links.push(SerialLink::new(
-                cfg.port_rate,
-                cfg.dead_beats,
-                cfg.out_capacity,
-                cfg.mc_link_latency,
-            ));
-        }
-        // Master egress (completions to masters): arbitrated.
-        for _ in 0..lay.m {
-            links.push(SerialLink::new(
-                cfg.port_rate,
-                cfg.dead_beats,
-                cfg.out_capacity,
-                cfg.egress_latency,
-            ));
-        }
-        // Lateral channels: 4 groups of nb × b links.
-        for _ in 0..(4 * lay.nb * lay.b) {
-            links.push(SerialLink::new(
-                cfg.lateral_rate,
-                cfg.dead_beats,
-                cfg.lateral_capacity,
-                cfg.hop_latency,
-            ));
-        }
-        debug_assert_eq!(links.len(), lay.total());
-
-        // Topology tables.
-        let mut inputs = Vec::with_capacity(lay.s);
-        let mut outputs = Vec::with_capacity(lay.s);
-        for s in 0..lay.s {
-            let mps = cfg.masters_per_switch;
-            let pps = cfg.ports_per_switch;
-            let mut ins = Vec::new();
-            let mut outs = Vec::new();
-            for k in 0..mps {
-                ins.push(lay.master_in(s * mps + k));
-            }
-            for k in 0..pps {
-                ins.push(lay.mc_in(s * pps + k));
-            }
-            if s > 0 {
-                for bus in 0..lay.b {
-                    ins.push(lay.right_fwd(s - 1, bus)); // requests from the left
-                    ins.push(lay.left_ret(s - 1, bus)); // responses from the left
-                }
-            }
-            if s + 1 < lay.s {
-                for bus in 0..lay.b {
-                    ins.push(lay.left_fwd(s, bus)); // requests from the right
-                    ins.push(lay.right_ret(s, bus)); // responses from the right
-                }
-            }
-            for k in 0..pps {
-                outs.push(lay.mc_out(s * pps + k));
-            }
-            for k in 0..mps {
-                outs.push(lay.master_out(s * mps + k));
-            }
-            if s + 1 < lay.s {
-                for bus in 0..lay.b {
-                    outs.push(lay.right_fwd(s, bus));
-                    outs.push(lay.left_ret(s, bus));
-                }
-            }
-            if s > 0 {
-                for bus in 0..lay.b {
-                    outs.push(lay.left_fwd(s - 1, bus));
-                    outs.push(lay.right_ret(s - 1, bus));
-                }
-            }
-            inputs.push(ins);
-            outputs.push(outs);
-        }
-        let rr = outputs.iter().map(|o| vec![0usize; o.len()]).collect();
-
-        XilinxFabric {
-            map: ContiguousMap::new(lay.p, cfg.port_capacity),
-            popped_at: vec![Cycle::MAX; lay.total()],
-            id_track: IdTracker::new(lay.m),
-            id_stall_cycles: 0,
-            scratch: Vec::with_capacity(16),
-            tracer: None,
-            links,
-            inputs,
-            outputs,
-            rr,
-            cfg,
-            lay,
-        }
+        let shards = (0..cfg.num_switches).map(|s| SwitchShard::new(&cfg, s)).collect();
+        XilinxFabric { map: ContiguousMap::new(cfg.num_ports(), cfg.port_capacity), shards, cfg }
     }
 
     /// The configuration this fabric was built with.
@@ -311,82 +151,54 @@ impl XilinxFabric {
         &self.cfg
     }
 
-    /// Routes a flit sitting at switch `s`, having arrived on input link
-    /// `input`, to its output link index.
-    fn route(&self, s: usize, input: usize, flit: &Flit) -> usize {
-        let lay = self.lay;
-        let (dest_switch, local, is_req) = match flit {
-            Flit::Req(t) => {
-                let p = self.map.port_of(t.addr).idx();
-                (p / self.cfg.ports_per_switch, p % self.cfg.ports_per_switch, true)
-            }
-            Flit::Resp(c) => {
-                let m = c.txn.master.idx();
-                (m / self.cfg.masters_per_switch, m % self.cfg.masters_per_switch, false)
-            }
-        };
-        if dest_switch == s {
-            return if is_req {
-                lay.mc_out(s * self.cfg.ports_per_switch + local)
-            } else {
-                lay.master_out(s * self.cfg.masters_per_switch + local)
-            };
-        }
-        let bus = self.bus_of(s, input);
-        if is_req {
-            if dest_switch > s {
-                lay.right_fwd(s, bus)
-            } else {
-                lay.left_fwd(s - 1, bus)
-            }
-        } else {
-            // Responses use the matching response channel of the bus pair:
-            // a flow that went right returns on right_ret, one that went
-            // left returns on left_ret.
-            if dest_switch > s {
-                lay.left_ret(s, bus)
-            } else {
-                lay.right_ret(s - 1, bus)
-            }
-        }
+    #[inline]
+    fn master_shard(&self, m: usize) -> (usize, usize) {
+        (m / self.cfg.masters_per_switch, m % self.cfg.masters_per_switch)
     }
 
-    /// Static lateral-bus assignment: locally injected traffic is mapped
-    /// proportionally from its local port index onto the available buses
-    /// (with the stock 2 buses per 4 ports, ports 0–1 share bus 0 and
-    /// ports 2–3 share bus 1 — the assignment behind the paper's
-    /// rotation-2 contention); pass-through traffic stays on its bus.
-    fn bus_of(&self, s: usize, input: usize) -> usize {
-        let lay = self.lay;
-        if input < lay.m {
-            let local = input - s * self.cfg.masters_per_switch;
-            return (local * lay.b / self.cfg.masters_per_switch).min(lay.b - 1);
-        }
-        if input < lay.m + lay.p {
-            let local = input - lay.m - s * self.cfg.ports_per_switch;
-            return (local * lay.b / self.cfg.ports_per_switch).min(lay.b - 1);
-        }
-        // Lateral input: recover the bus index from the layout.
-        let rel = input - lay.lateral_base();
-        rel % lay.b
+    #[inline]
+    fn port_shard(&self, p: usize) -> (usize, usize) {
+        (p / self.cfg.ports_per_switch, p % self.cfg.ports_per_switch)
     }
 
-    fn stats_of(&self, idxs: impl Iterator<Item = usize>) -> LinkStats {
+    fn merged_stats<'a>(stats: impl Iterator<Item = LinkStats> + 'a) -> LinkStats {
         let mut total = LinkStats::default();
-        for i in idxs {
-            total.merge(self.links[i].stats());
+        for s in stats {
+            total.merge(&s);
         }
         total
     }
 }
 
+impl ShardedFabric for XilinxFabric {
+    fn layout(&self) -> ShardLayout {
+        ShardLayout {
+            shards: self.cfg.num_switches,
+            masters_per_shard: self.cfg.masters_per_switch,
+            ports_per_shard: self.cfg.ports_per_switch,
+            sync_lag: self.cfg.hop_latency,
+        }
+    }
+
+    fn shards_mut(&mut self) -> &mut [SwitchShard] {
+        &mut self.shards
+    }
+
+    fn reconcile(&mut self) {
+        for nb in 0..self.shards.len() - 1 {
+            let (a, b) = self.shards.split_at_mut(nb + 1);
+            SwitchShard::reconcile_boundary(&mut a[nb], &mut b[0]);
+        }
+    }
+}
+
 impl Interconnect for XilinxFabric {
     fn num_masters(&self) -> usize {
-        self.lay.m
+        self.cfg.num_masters()
     }
 
     fn num_ports(&self) -> usize {
-        self.lay.p
+        self.cfg.num_ports()
     }
 
     fn port_of(&self, addr: Addr) -> PortId {
@@ -394,41 +206,18 @@ impl Interconnect for XilinxFabric {
     }
 
     fn offer_request(&mut self, now: Cycle, txn: Transaction) -> Result<(), Transaction> {
-        let m = txn.master.idx();
-        let port = self.map.port_of(txn.addr);
-        if self.id_track.conflicts(m, txn.dir, txn.id.0, port) {
-            // AXI same-ID ordering across destinations: stall.
-            self.id_stall_cycles += 1;
-            return Err(txn);
-        }
-        let link = &mut self.links[self.lay.master_in(m)];
-        if !link.can_send(now) {
-            return Err(txn);
-        }
-        let cost = txn.fwd_link_cycles();
-        let (dir, id) = (txn.dir, txn.id.0);
-        if let Some(tr) = &self.tracer {
-            tr.borrow_mut().ingress_accept(now, &txn);
-        }
-        link.send(now, 0, cost, Flit::Req(txn));
-        self.id_track.issue(m, dir, id, port);
-        Ok(())
+        let (s, _) = self.master_shard(txn.master.idx());
+        self.shards[s].offer_request(now, txn)
     }
 
     fn peek_request(&self, now: Cycle, port: PortId) -> Option<&Transaction> {
-        match self.links[self.lay.mc_out(port.idx())].peek(now) {
-            Some(Flit::Req(t)) => Some(t),
-            Some(Flit::Resp(_)) => unreachable!("response on a request link"),
-            None => None,
-        }
+        let (s, lp) = self.port_shard(port.idx());
+        self.shards[s].peek_request(now, lp)
     }
 
     fn pop_request(&mut self, now: Cycle, port: PortId) -> Option<Transaction> {
-        match self.links[self.lay.mc_out(port.idx())].pop(now) {
-            Some(Flit::Req(t)) => Some(t),
-            Some(Flit::Resp(_)) => unreachable!("response on a request link"),
-            None => None,
-        }
+        let (s, lp) = self.port_shard(port.idx());
+        self.shards[s].pop_request(now, lp)
     }
 
     fn offer_completion(
@@ -437,136 +226,83 @@ impl Interconnect for XilinxFabric {
         port: PortId,
         c: Completion,
     ) -> Result<(), Completion> {
-        let link = &mut self.links[self.lay.mc_in(port.idx())];
-        if !link.can_send(now) {
-            return Err(c);
-        }
-        let cost = c.txn.ret_link_cycles();
-        link.send(now, 0, cost, Flit::Resp(c));
-        Ok(())
+        let (s, lp) = self.port_shard(port.idx());
+        self.shards[s].offer_completion(now, lp, c)
     }
 
     fn pop_completion(&mut self, now: Cycle, master: MasterId) -> Option<Completion> {
-        let m = master.idx();
-        match self.links[self.lay.master_out(m)].pop(now) {
-            Some(Flit::Resp(c)) => {
-                self.id_track.retire(m, c.txn.dir, c.txn.id.0);
-                Some(c)
-            }
-            Some(Flit::Req(_)) => unreachable!("request on a completion link"),
-            None => None,
-        }
+        let (s, lm) = self.master_shard(master.idx());
+        self.shards[s].pop_completion(now, lm)
     }
 
     fn tick(&mut self, now: Cycle) {
-        // Two passes per switch. Pass 1 routes each ready input head
-        // exactly once into a reusable scratch list; pass 2 arbitrates
-        // each output over the pre-routed candidates. This is
-        // cycle-identical to probing every input per output (candidate
-        // heads are fixed for the whole cycle: every link latency is
-        // ≥ 1, so a flit forwarded this cycle can never become a ready
-        // head this cycle, and popped inputs are excluded explicitly)
-        // but routes each head once instead of once per output probe.
-        for s in 0..self.lay.s {
-            self.scratch.clear();
-            let n_in = self.inputs[s].len();
-            for pos in 0..n_in {
-                let in_idx = self.inputs[s][pos];
-                let Some(head) = self.links[in_idx].peek(now) else {
-                    continue;
-                };
-                let out_idx = self.route(s, in_idx, head);
-                self.scratch.push((out_idx, pos));
-            }
-            if self.scratch.is_empty() {
-                continue;
-            }
-            for slot in 0..self.outputs[s].len() {
-                let out_idx = self.outputs[s][slot];
-                if !self.links[out_idx].can_send(now) {
-                    continue;
-                }
-                // Round-robin: the candidate closest after the pointer
-                // wins (one pop per input per cycle).
-                let start = self.rr[s][slot];
-                let mut chosen: Option<(usize, usize)> = None; // (rr distance, pos)
-                for &(o, pos) in &self.scratch {
-                    if o != out_idx || self.popped_at[self.inputs[s][pos]] == now {
-                        continue;
-                    }
-                    let dist = (pos + n_in - start) % n_in;
-                    if chosen.is_none_or(|(d, _)| dist < d) {
-                        chosen = Some((dist, pos));
-                    }
-                }
-                if let Some((_, pos)) = chosen {
-                    let in_idx = self.inputs[s][pos];
-                    let flit = self.links[in_idx].pop(now).expect("peeked head vanished");
-                    self.popped_at[in_idx] = now;
-                    let cost = flit.cost_beats();
-                    if let Some(tr) = &self.tracer {
-                        // Grant onto a lateral bus (either direction):
-                        // stamp the flit's transaction.
-                        if out_idx >= self.lay.lateral_base() {
-                            let (m, seq) = match &flit {
-                                Flit::Req(t) => (t.master.0, t.seq),
-                                Flit::Resp(c) => (c.txn.master.0, c.txn.seq),
-                            };
-                            tr.borrow_mut().lateral_hop(now, m, seq);
-                        }
-                    }
-                    self.links[out_idx].send(now, in_idx as u16, cost, flit);
-                    self.rr[s][slot] = (pos + 1) % n_in;
-                }
-            }
+        for sh in &mut self.shards {
+            sh.tick(now);
         }
+        // Sequential stepping reconciles every boundary each cycle; the
+        // cycle stamps on lateral flits and credits make this equivalent
+        // to the parallel conductor's coarser barriers.
+        ShardedFabric::reconcile(self);
     }
 
     fn drained(&self) -> bool {
-        self.links.iter().all(|l| l.is_empty())
+        self.shards.iter().all(|s| s.drained())
     }
 
     fn attach_tracer(&mut self, tracer: SharedTracer) {
-        self.tracer = Some(tracer);
+        for sh in &mut self.shards {
+            sh.attach_tracer(tracer.clone());
+        }
     }
 
     fn occupancy(&self) -> usize {
-        self.links.iter().map(|l| l.len()).sum()
+        self.shards.iter().map(|s| s.occupancy()).sum()
     }
 
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
-        // The fabric only does work when some link delivers its head:
-        // every tick grant pops a ready head, and every port-side
-        // peek/pop needs one. Output back-pressure (`can_send`) clears
-        // either with time (`busy_until`, checked when the waiting head
-        // is ready) or when a downstream pop frees the queue — both only
-        // matter on cycles where some head is ready anyway.
-        link::horizon(&self.links, now)
+        // The fabric only does work when some link or lateral ring
+        // delivers its head (see the shard-level horizon for the
+        // argument); outboxes are empty between ticks.
+        let mut best: Option<Cycle> = None;
+        for sh in &self.shards {
+            match sh.next_event(now) {
+                Some(t) if t <= now => return Some(now),
+                Some(t) => best = Some(best.map_or(t, |b: Cycle| b.min(t))),
+                None => {}
+            }
+        }
+        best
+    }
+
+    fn shard_layout(&self) -> Option<ShardLayout> {
+        Some(ShardedFabric::layout(self))
+    }
+
+    fn as_sharded_mut(&mut self) -> Option<&mut dyn ShardedFabric> {
+        Some(self)
     }
 
     fn stats(&self) -> FabricStats {
-        let lay = self.lay;
+        let b = self.cfg.lateral_buses;
         let mut st = FabricStats {
-            ingress: self.stats_of((0..lay.m).map(|i| lay.master_in(i))),
-            egress: self.stats_of((0..lay.m).map(|i| lay.master_out(i))),
-            mc_links: {
-                let mut t = self.stats_of((0..lay.p).map(|i| lay.mc_in(i)));
-                t.merge(&self.stats_of((0..lay.p).map(|i| lay.mc_out(i))));
-                t
-            },
-            lateral_right: Vec::with_capacity(lay.nb),
-            lateral_left: Vec::with_capacity(lay.nb),
-            id_stall_cycles: self.id_stall_cycles,
+            ingress: Self::merged_stats(self.shards.iter().map(|s| s.ingress_stats())),
+            egress: Self::merged_stats(self.shards.iter().map(|s| s.egress_stats())),
+            mc_links: Self::merged_stats(self.shards.iter().map(|s| s.mc_link_stats())),
+            lateral_right: Vec::with_capacity(self.shards.len() - 1),
+            lateral_left: Vec::with_capacity(self.shards.len() - 1),
+            id_stall_cycles: self.shards.iter().map(|s| s.id_stall_cycles()).sum(),
         };
-        for nb in 0..lay.nb {
-            // Right-going beats: right bus requests + left bus responses.
+        for nb in 0..self.shards.len() - 1 {
+            // Right-going beats: right bus requests + left bus responses
+            // (both carried by shard nb's eastward senders); left-going
+            // beats symmetrically by shard nb+1's westward senders.
             let mut right = [LinkStats::default(), LinkStats::default()];
             let mut left = [LinkStats::default(), LinkStats::default()];
-            for bus in 0..lay.b.min(2) {
-                right[bus].merge(self.links[lay.right_fwd(nb, bus)].stats());
-                right[bus].merge(self.links[lay.left_ret(nb, bus)].stats());
-                left[bus].merge(self.links[lay.left_fwd(nb, bus)].stats());
-                left[bus].merge(self.links[lay.right_ret(nb, bus)].stats());
+            for bus in 0..b.min(2) {
+                right[bus].merge(self.shards[nb].east_stats(2 * bus).expect("east channel"));
+                right[bus].merge(self.shards[nb].east_stats(2 * bus + 1).expect("east channel"));
+                left[bus].merge(self.shards[nb + 1].west_stats(2 * bus).expect("west channel"));
+                left[bus].merge(self.shards[nb + 1].west_stats(2 * bus + 1).expect("west channel"));
             }
             st.lateral_right.push(right);
             st.lateral_left.push(left);
@@ -575,10 +311,9 @@ impl Interconnect for XilinxFabric {
     }
 
     fn reset_stats(&mut self) {
-        for l in &mut self.links {
-            l.reset_stats();
+        for sh in &mut self.shards {
+            sh.reset_stats();
         }
-        self.id_stall_cycles = 0;
     }
 }
 

@@ -124,7 +124,7 @@ impl Interconnect for MaoFabric {
             // Stamp with the pre-remap transaction so the record keeps
             // the address the master issued; (master, seq) is unchanged
             // by the remap, so downstream stamps still find the record.
-            tr.borrow_mut().ingress_accept(now, &txn);
+            tr.ingress_accept(now, &txn);
         }
         self.ingress[m].send(now, 0, cost, Flit::Req(phys));
         Ok(())

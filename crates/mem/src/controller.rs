@@ -89,7 +89,7 @@ impl MemoryController {
     /// Panics if `can_accept` is false — callers must gate on it.
     pub fn accept(&mut self, now: Cycle, txn: Transaction) {
         if let Some((port, tr)) = &self.tracer {
-            tr.borrow_mut().mc_enqueue(now, &txn, *port);
+            tr.mc_enqueue(now, &txn, *port);
         }
         if txn.dir == Dir::Write {
             // Posted write: acknowledge on acceptance.
@@ -132,7 +132,7 @@ impl MemoryController {
                 Dir::Read => self.clock.ns_to_cycles(timing.finish_ns + self.cfg.mc.phy_read_ns),
                 Dir::Write => self.clock.ns_to_cycles(timing.finish_ns),
             };
-            tr.borrow_mut().dram_issue(&txn, now, data_start.max(now), done.max(now));
+            tr.dram_issue(&txn, now, data_start.max(now), done.max(now));
         }
         if txn.dir == Dir::Read {
             let finish_cycle = self.clock.ns_to_cycles(timing.finish_ns + self.cfg.mc.phy_read_ns);

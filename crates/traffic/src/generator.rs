@@ -87,6 +87,17 @@ impl BmTrafficGen {
         &self.wl
     }
 
+    /// `true` when every transaction this generator will *ever* issue
+    /// stays inside its own pseudo-channel partition — a single-channel
+    /// pattern with no effective rotation offset. A parallel conductor
+    /// uses this hint to widen shard-synchronisation windows (such
+    /// traffic can never cross a lateral bus); it must be conservative,
+    /// so any cross-channel or rotated workload reports `false`.
+    pub fn port_affine(&self) -> bool {
+        matches!(self.wl.pattern, Pattern::Scs | Pattern::Scra)
+            && self.wl.rotation.is_multiple_of(self.num_masters)
+    }
+
     /// Collected statistics.
     pub fn stats(&self) -> &GenStats {
         &self.stats

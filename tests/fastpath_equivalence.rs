@@ -195,7 +195,7 @@ mod tracing_equivalence {
             prop_assert!(ok_on, "workload failed to drain: {:?}", wl);
             prop_assert_eq!(fingerprint(&on), fingerprint(&off));
 
-            let tracer = on.tracer().expect("tracing enabled").borrow();
+            let tracer = on.tracer().expect("tracing enabled").snapshot();
             prop_assert!(tracer.delivered_count() > 0);
             for rec in tracer.records() {
                 let attr = rec.attribution().expect("delivered record attributes");

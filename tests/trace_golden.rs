@@ -25,7 +25,7 @@ fn tiny_trace() -> String {
     sys.enable_tracing(1 << 10);
     sys.attach_probe(ProbeConfig { interval: 64, capacity: 256 });
     assert!(sys.run_until_drained(1_000_000), "tiny scenario did not drain");
-    let tracer = sys.tracer().expect("tracing enabled").borrow();
+    let tracer = sys.tracer().expect("tracing enabled").snapshot();
     chrome_trace_json(&tracer, sys.probe(), sys.clock())
 }
 
