@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! repro [EXPERIMENT ...] [--quick] [--json] [--smoke] [--jobs N]
+//! repro serve [--addr HOST:PORT] [--queue N] [--jobs N]
 //!
 //! EXPERIMENT: fig2 fig3 fig4 fig5 fig6 fig7 table2 table3 table4 table5
 //!             latency ablations simspeed trace all      (default: all)
@@ -12,6 +13,7 @@
 //! --smoke:    (trace only) tiny run + schema validation, the CI gate
 //! --jobs N:   worker threads for sweep farming (default: HBM_JOBS env
 //!             var, else all cores). Results are bit-identical at any N.
+//!             Must be a positive integer; anything else exits non-zero.
 //! ```
 //!
 //! `simspeed` and `trace` are not part of `all`: they inspect the
@@ -21,6 +23,15 @@
 //! diffed; `trace` writes `TRACE_events.json` (Chrome trace-event JSON,
 //! loadable in Perfetto) and `TRACE_probes.jsonl` (windowed time-series
 //! snapshots) and prints the latency-attribution tables.
+//!
+//! `serve` starts the long-running sweep-serving daemon (`hbm-serve`):
+//! it binds `--addr` (default `127.0.0.1:7070`, port 0 for ephemeral),
+//! prints one `{"serving":"HOST:PORT", ...}` ready line on stdout, and
+//! accepts newline-delimited-JSON clients until one sends the
+//! `shutdown` verb. `--queue` bounds the admission queue in grid points
+//! (default 4096); submissions that would overflow it are rejected with
+//! a `retry_after_ms` backpressure hint. See `examples/serve_client.rs`
+//! for a full client.
 
 use hbm_bench::render;
 use hbm_core::experiment::{self, Fidelity};
@@ -78,12 +89,15 @@ fn run_simspeed(quick: bool, json: bool) {
     let rows = simspeed::run_matrix(quick);
     let sweeps = simspeed::run_sweep_matrix(quick);
     let conductor = simspeed::run_conductor_matrix(quick);
+    let serve = simspeed::run_serve_overhead(quick);
     let payload = serde_json::json!({
         "experiment": "simspeed",
         "host_threads": hbm_core::batch::default_threads(),
         "rows": rows,
         "sweeps": sweeps,
         "conductor": conductor,
+        "serve": serve,
+        "serve_overhead_pct": serve.serve_overhead_pct,
     });
     std::fs::write("BENCH_simspeed.json", format!("{payload}\n"))
         .expect("write BENCH_simspeed.json");
@@ -93,8 +107,66 @@ fn run_simspeed(quick: bool, json: bool) {
         println!("{}", simspeed::render(&rows));
         println!("{}", simspeed::render_sweeps(&sweeps));
         println!("{}", simspeed::render_conductor(&conductor));
+        println!("{}", simspeed::render_serve(&serve));
         println!("wrote BENCH_simspeed.json");
     }
+}
+
+/// Runs the sweep-serving daemon until a client sends `shutdown`.
+fn run_serve(args: &[String]) {
+    use hbm_serve::{ServeConfig, Server, WireServer};
+
+    let mut addr = String::from("127.0.0.1:7070");
+    let mut queue_capacity = 4_096usize;
+    let mut skip_next = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        let flag_value = |name: &str| -> Option<String> {
+            if a == name {
+                Some(args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("{name} requires a value");
+                    std::process::exit(2);
+                }))
+            } else {
+                a.strip_prefix(&format!("{name}=")).map(str::to_string)
+            }
+        };
+        if let Some(v) = flag_value("--addr") {
+            skip_next = a == "--addr";
+            addr = v;
+        } else if let Some(v) = flag_value("--queue") {
+            skip_next = a == "--queue";
+            queue_capacity = v.parse().unwrap_or_else(|_| {
+                eprintln!("--queue: invalid point count {v:?}");
+                std::process::exit(2);
+            });
+        }
+    }
+
+    let workers = hbm_core::batch::sweep_jobs();
+    let server = Server::spawn(ServeConfig { workers, queue_capacity, ..ServeConfig::default() });
+    let wire = WireServer::bind(&addr, server.handle()).unwrap_or_else(|e| {
+        eprintln!("serve: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    // One machine-readable ready line; the smoke script and clients key
+    // off it. Flush explicitly — stdout is block-buffered under a pipe.
+    println!(
+        "{}",
+        serde_json::json!({
+            "serving": wire.local_addr().to_string(),
+            "workers": workers,
+            "queue_capacity": queue_capacity,
+        })
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    wire.run_until_shutdown();
+    server.shutdown();
+    println!("serve: shut down");
 }
 
 /// Runs the traced scenario, writes `TRACE_events.json` and
@@ -109,6 +181,16 @@ fn run_trace(smoke: bool, quick: bool, json: bool) {
         println!("{}", out.report);
         println!("wrote TRACE_events.json + TRACE_probes.jsonl");
     }
+}
+
+/// Parses a `--jobs` value through the one shared validator, exiting
+/// loudly (and non-zero) on anything that is not a positive integer.
+fn parse_jobs_or_die(v: &str) -> usize {
+    hbm_core::batch::parse_jobs(v).unwrap_or_else(|e| {
+        eprintln!("--jobs: {e}");
+        eprintln!("usage: --jobs N (N a positive integer)");
+        std::process::exit(2);
+    })
 }
 
 fn main() {
@@ -128,24 +210,23 @@ fn main() {
         if a == "--jobs" {
             let v = args.get(i + 1).unwrap_or_else(|| {
                 eprintln!("--jobs requires a thread count");
+                eprintln!("usage: --jobs N (N a positive integer)");
                 std::process::exit(2);
             });
-            jobs_value = Some(v.parse().unwrap_or_else(|_| {
-                eprintln!("--jobs: invalid thread count {v:?}");
-                std::process::exit(2);
-            }));
+            jobs_value = Some(parse_jobs_or_die(v));
             skip_next = true;
         } else if let Some(v) = a.strip_prefix("--jobs=") {
-            jobs_value = Some(v.parse().unwrap_or_else(|_| {
-                eprintln!("--jobs: invalid thread count {v:?}");
-                std::process::exit(2);
-            }));
+            jobs_value = Some(parse_jobs_or_die(v));
         } else if !a.starts_with("--") {
             positional.push(a.as_str());
         }
     }
     if let Some(jobs) = jobs_value {
         hbm_core::batch::set_sweep_jobs(jobs);
+    }
+    if positional.first() == Some(&"serve") {
+        run_serve(&args);
+        return;
     }
     let mut wanted: Vec<&str> = positional;
     if wanted.is_empty() {

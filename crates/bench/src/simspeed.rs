@@ -282,6 +282,91 @@ pub fn run_conductor_matrix(quick: bool) -> Vec<ConductorRow> {
     rows
 }
 
+/// The serving-layer overhead measurement: the same fig4 grid timed
+/// through the direct `run_grid` path and through a full serve round
+/// trip (submit over loopback TCP, stream the rows back, reassemble by
+/// index).
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeOverheadRow {
+    /// Grid points in the job (the Fig. 4 rotation grid).
+    pub points: usize,
+    /// Worker threads on both paths.
+    pub jobs: usize,
+    /// Wall time of the direct `hbm_core::batch::run_grid` call, in
+    /// seconds.
+    pub direct_wall_s: f64,
+    /// Wall time submit → last streamed row over loopback TCP, in
+    /// seconds.
+    pub served_wall_s: f64,
+    /// Serving overhead: `served_wall_s / direct_wall_s − 1`, in
+    /// percent. The scheduler + wire cost, since both paths run the
+    /// same measurements on the same worker count.
+    pub serve_overhead_pct: f64,
+}
+
+/// Times the Fig. 4 grid direct vs served and verifies along the way
+/// that the streamed measurements are byte-identical to the direct ones
+/// (the serving layer's core guarantee — a benchmark that silently
+/// measured diverging work would be meaningless).
+pub fn run_serve_overhead(quick: bool) -> ServeOverheadRow {
+    use hbm_serve::{Client, JobSpec, RowStatus, ServeConfig, Server, WireServer};
+
+    let fid = if quick {
+        hbm_core::experiment::Fidelity { warmup: 500, cycles: 1_500 }
+    } else {
+        hbm_core::experiment::Fidelity { warmup: 2_000, cycles: 8_000 }
+    };
+    let grid = hbm_core::experiment::fig4_grid();
+    let jobs = hbm_core::batch::sweep_jobs();
+
+    let t0 = Instant::now();
+    let direct = hbm_core::batch::run_grid(&grid, fid.warmup, fid.cycles, jobs);
+    let direct_wall_s = t0.elapsed().as_secs_f64();
+
+    let server = Server::spawn(ServeConfig { workers: jobs, ..ServeConfig::default() });
+    let wire = WireServer::bind("127.0.0.1:0", server.handle()).expect("bind loopback");
+    let mut client = Client::connect(&wire.local_addr().to_string()).expect("connect loopback");
+    let t0 = Instant::now();
+    let job = client
+        .submit(&JobSpec::new("fig4-overhead", fid, grid.clone()))
+        .expect("submit over wire")
+        .expect("grid fits an empty queue");
+    let (rows, _) = client.collect(job).expect("stream rows").expect("known job");
+    let served_wall_s = t0.elapsed().as_secs_f64();
+    wire.stop();
+    server.shutdown();
+
+    assert_eq!(rows.len(), direct.len());
+    for (row, want) in rows.iter().zip(&direct) {
+        assert_eq!(row.status, RowStatus::Done, "served point must succeed");
+        let got = row.measurement.as_ref().expect("Done row carries a measurement");
+        assert_eq!(
+            serde_json::to_string(got).unwrap(),
+            serde_json::to_string(want).unwrap(),
+            "served row {} diverged from the direct path",
+            row.index
+        );
+    }
+
+    ServeOverheadRow {
+        points: grid.len(),
+        jobs,
+        direct_wall_s,
+        served_wall_s,
+        serve_overhead_pct: 100.0 * (served_wall_s / direct_wall_s.max(1e-12) - 1.0),
+    }
+}
+
+/// Renders the serving-overhead section as an aligned text table.
+pub fn render_serve(row: &ServeOverheadRow) -> String {
+    format!(
+        "Serving overhead (fig4 grid: direct run_grid vs full TCP serve round trip)\n\
+         points  jobs    direct_s    served_s  overhead\n\
+         {:>6} {:>5} {:>11.6} {:>11.6} {:>+8.1}%\n",
+        row.points, row.jobs, row.direct_wall_s, row.served_wall_s, row.serve_overhead_pct
+    )
+}
+
 /// Renders the sweep-farming section as an aligned text table.
 pub fn render_sweeps(rows: &[SweepRow]) -> String {
     let mut out = String::from(

@@ -8,7 +8,15 @@
 //! measurement-grid specialisation. The process-wide worker budget is
 //! settable once (e.g. from a `--jobs` flag) via [`set_sweep_jobs`] and
 //! consulted everywhere through [`sweep_jobs`].
+//!
+//! Worker panics are contained: [`try_par_map`] catches the unwind of
+//! each item and returns a per-item `Result`, so one poisoned grid point
+//! cannot abort a thousand-point sweep (the serving layer surfaces such
+//! rows as `Failed`). [`par_map`] keeps its infallible signature by
+//! completing every healthy item first and only then re-raising the
+//! first captured panic.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use hbm_traffic::Workload;
@@ -28,18 +36,38 @@ pub fn set_sweep_jobs(jobs: usize) {
     SWEEP_JOBS.store(jobs, Ordering::Relaxed);
 }
 
+/// Parses a worker-thread count from a `--jobs` flag or the `HBM_JOBS`
+/// environment variable. Rejects everything that is not a positive
+/// integer — including `0`, which used to be silently reinterpreted as
+/// "use the default" and is exactly the kind of typo (`--jobs 0` for
+/// `--jobs 10`) that should fail loudly.
+pub fn parse_jobs(s: &str) -> Result<usize, String> {
+    match s.trim().parse::<usize>() {
+        Ok(0) => Err(format!("invalid jobs value {s:?}: must be a positive integer")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("invalid jobs value {s:?}: must be a positive integer")),
+    }
+}
+
 /// The sweep worker budget: an explicit [`set_sweep_jobs`] value if one
 /// was given, else the `HBM_JOBS` environment variable, else every
 /// available core. Always at least 1.
+///
+/// An `HBM_JOBS` value that is present but not a positive integer is a
+/// configuration error, not a hint: the process exits non-zero with a
+/// usage message rather than silently running on a fallback thread
+/// count (which made typos like `HBM_JOBS=al1` invisible).
 pub fn sweep_jobs() -> usize {
     let set = SWEEP_JOBS.load(Ordering::Relaxed);
     if set >= 1 {
         return set;
     }
     if let Ok(v) = std::env::var("HBM_JOBS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
+        match parse_jobs(&v) {
+            Ok(n) => return n,
+            Err(e) => {
+                eprintln!("HBM_JOBS: {e}\nusage: HBM_JOBS=<positive integer> (worker threads for sweep farming)");
+                std::process::exit(2);
             }
         }
     }
@@ -51,17 +79,64 @@ pub fn sweep_jobs() -> usize {
 /// (or a single item) degenerates to a plain sequential loop with no
 /// thread-spawn overhead. Workers claim indices from a shared counter,
 /// so an expensive item never serialises the cheap ones behind it.
+///
+/// A panicking item does not abort the sweep: every other item still
+/// completes, and the first captured panic is re-raised afterwards.
+/// Callers that want per-item outcomes instead use [`try_par_map`].
 pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    assert!(jobs >= 1);
-    if jobs == 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
+    let mut first_panic = None;
+    let results: Vec<Option<R>> = try_par_map(items, jobs, &f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => Some(v),
+            Err(p) => {
+                first_panic.get_or_insert(p);
+                None
+            }
+        })
+        .collect();
+    if let Some(p) = first_panic {
+        resume_unwind(p);
     }
-    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    results.into_iter().map(|r| r.expect("no panic was recorded")).collect()
+}
+
+/// The payload of a caught worker panic.
+pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// Renders a caught panic payload as the human-readable message most
+/// panics carry (`&str` or `String`), falling back to a fixed tag.
+pub fn panic_message(p: &PanicPayload) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked (non-string payload)".to_string()
+    }
+}
+
+/// [`par_map`] with per-item panic containment: each item's unwind is
+/// caught and returned as `Err(payload)` in that item's slot, while the
+/// remaining items keep running to completion on their workers.
+pub fn try_par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<Result<R, PanicPayload>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    assert!(jobs >= 1);
+    let guarded = |item: &T| catch_unwind(AssertUnwindSafe(|| f(item)));
+    if jobs == 1 || items.len() <= 1 {
+        return items.iter().map(guarded).collect();
+    }
+    let mut results: Vec<Option<Result<R, PanicPayload>>> =
+        (0..items.len()).map(|_| None).collect();
     let next = AtomicUsize::new(0);
     // Results are deposited through the mutex (coarse, but each work
     // item dwarfs the lock).
@@ -73,7 +148,7 @@ where
                 if i >= items.len() {
                     break;
                 }
-                let r = f(&items[i]);
+                let r = guarded(&items[i]);
                 slots.lock().unwrap()[i] = Some(r);
             });
         }
@@ -143,6 +218,73 @@ mod tests {
             i * 3
         });
         assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_par_map_contains_panics_to_their_item() {
+        let items: Vec<u64> = (0..16).collect();
+        let out = try_par_map(&items, 4, |&i| {
+            if i % 5 == 2 {
+                panic!("poisoned item {i}");
+            }
+            i + 100
+        });
+        assert_eq!(out.len(), 16);
+        for (i, r) in out.iter().enumerate() {
+            if i % 5 == 2 {
+                let p = r.as_ref().expect_err("poisoned item must fail");
+                assert_eq!(panic_message(p), format!("poisoned item {i}"));
+            } else {
+                assert_eq!(*r.as_ref().expect("healthy item must succeed"), i as u64 + 100);
+            }
+        }
+    }
+
+    #[test]
+    fn try_par_map_contains_panics_sequentially_too() {
+        let items = vec![1u64, 2, 3];
+        let out = try_par_map(&items, 1, |&i| {
+            if i == 2 {
+                panic!("boom");
+            }
+            i
+        });
+        assert!(out[0].is_ok() && out[2].is_ok());
+        assert!(out[1].is_err());
+    }
+
+    #[test]
+    fn par_map_reraises_after_completing_healthy_items() {
+        let done = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..8).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            par_map(&items, 2, |&i| {
+                if i == 3 {
+                    panic!("item 3 exploded");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+        }));
+        let p = caught.expect_err("panic must propagate");
+        assert_eq!(panic_message(&p), "item 3 exploded");
+        // Every healthy item still ran despite the mid-sweep panic.
+        assert_eq!(done.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn parse_jobs_accepts_positive_integers() {
+        assert_eq!(parse_jobs("1"), Ok(1));
+        assert_eq!(parse_jobs(" 8 "), Ok(8));
+    }
+
+    #[test]
+    fn parse_jobs_rejects_zero_and_garbage() {
+        assert!(parse_jobs("0").is_err());
+        assert!(parse_jobs("").is_err());
+        assert!(parse_jobs("al1").is_err());
+        assert!(parse_jobs("-2").is_err());
+        assert!(parse_jobs("2.5").is_err());
     }
 
     #[test]

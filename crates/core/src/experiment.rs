@@ -166,16 +166,23 @@ pub struct Fig4Row {
     pub max_lateral_util: f64,
 }
 
-/// Fig. 4: effect of the rotation offset on throughput through the
-/// Xilinx switch fabric, for BL 16 and BL 2.
-pub fn fig4_rotation(fid: Fidelity) -> Vec<Fig4Row> {
+/// The (burst, rotation) case list of Fig. 4, in row order.
+pub fn fig4_cases() -> Vec<(u8, usize)> {
     let mut cases = Vec::new();
     for burst in [16u8, 2] {
         for rotation in [0usize, 1, 2, 3, 4, 6, 8] {
             cases.push((burst, rotation));
         }
     }
-    let points: Vec<_> = cases
+    cases
+}
+
+/// The Fig. 4 measurement grid — one [`crate::batch::GridPoint`] per
+/// case of [`fig4_cases`]. Shared between the direct `repro fig4` path
+/// and clients submitting the same grid through the serving layer, so
+/// both measure literally the same points.
+pub fn fig4_grid() -> Vec<crate::batch::GridPoint> {
+    fig4_cases()
         .iter()
         .map(|&(burst, rotation)| {
             let wl = Workload {
@@ -186,10 +193,17 @@ pub fn fig4_rotation(fid: Fidelity) -> Vec<Fig4Row> {
             };
             (SystemConfig::xilinx(), wl)
         })
-        .collect();
-    cases
+        .collect()
+}
+
+/// Folds measurements (in [`fig4_grid`] order) into Fig. 4 rows. The
+/// serve client calls this on streamed measurements; the output is
+/// byte-identical to the direct path because every field derives from
+/// exactly round-tripped counters.
+pub fn fig4_rows(measurements: &[Measurement]) -> Vec<Fig4Row> {
+    fig4_cases()
         .iter()
-        .zip(fid.run_all(&points))
+        .zip(measurements)
         .map(|(&(burst, rotation), m)| Fig4Row {
             rotation,
             burst,
@@ -198,6 +212,12 @@ pub fn fig4_rotation(fid: Fidelity) -> Vec<Fig4Row> {
             max_lateral_util: m.fabric.max_lateral_beats() as f64 / m.cycles as f64,
         })
         .collect()
+}
+
+/// Fig. 4: effect of the rotation offset on throughput through the
+/// Xilinx switch fabric, for BL 16 and BL 2.
+pub fn fig4_rotation(fid: Fidelity) -> Vec<Fig4Row> {
+    fig4_rows(&fid.run_all(&fig4_grid()))
 }
 
 // -------------------------------------------------------------- Table II

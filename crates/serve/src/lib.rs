@@ -1,0 +1,64 @@
+//! `hbm-serve` — a long-running, multi-client sweep-serving subsystem.
+//!
+//! PR 3 turned the simulator into a sweep farm (`hbm_core::batch`); this
+//! crate turns the farm into a *service*. Clients submit [`JobSpec`]s —
+//! named grids of `(SystemConfig, Workload)` points at a chosen
+//! [`hbm_core::experiment::Fidelity`] — and stream back one
+//! [`RowResult`] per point as it completes, over either:
+//!
+//! * the in-process [`ServeHandle`] API ([`Server::spawn`]), or
+//! * newline-delimited JSON over TCP ([`WireServer`] / [`Client`]),
+//!   speaking the exact same serde types.
+//!
+//! The scheduler provides what a shared sweep box actually needs:
+//!
+//! * **Admission control / backpressure** — a bounded queue of pending
+//!   points; overflowing submissions are rejected immediately with a
+//!   [`Rejection`] carrying `retry_after_ms`.
+//! * **Fair-share interleaving** — round-robin *per point* across jobs
+//!   of equal priority, strict priority between levels, so a huge grid
+//!   never head-of-line-blocks a small one.
+//! * **Per-job priorities, cancellation, per-point timeouts** — undone
+//!   points of a cancelled job come back as [`RowStatus::Cancelled`]
+//!   rows; a point past its budget comes back [`RowStatus::TimedOut`];
+//!   a panicking point comes back [`RowStatus::Failed`] without taking
+//!   the worker down.
+//! * **Observability** — queue-wait / run / stream latency histograms
+//!   (reusing `hbm_axi::instrument::Hist`), worker utilisation, and
+//!   depth gauges, exported as a JSON [`StatsSnapshot`].
+//!
+//! Everything is plain `std` — OS threads, mutex + condvar, blocking
+//! TCP. No async runtime exists in the vendored dependency set, and
+//! none is needed at this scale.
+//!
+//! Because every grid point is an independent deterministic simulation,
+//! a served job's rows (reassembled by index) are **byte-identical** to
+//! a direct [`hbm_core::batch::run_grid`] call, regardless of worker
+//! count, competing clients, priorities, or cancellations of other jobs
+//! — the `serve_determinism` proptest and the CI smoke leg both enforce
+//! this.
+//!
+//! ```no_run
+//! use hbm_core::experiment::Fidelity;
+//! use hbm_serve::{JobSpec, Server, ServeConfig};
+//!
+//! let server = Server::spawn(ServeConfig::default());
+//! let handle = server.handle();
+//! let job = handle.submit(JobSpec::fig4(Fidelity::QUICK)).expect("admitted");
+//! let events = handle.subscribe(job).expect("known job");
+//! for event in events {
+//!     // Row(..) per completed point, then End { .. }.
+//!     let _ = event;
+//! }
+//! server.shutdown();
+//! ```
+
+pub mod job;
+pub mod scheduler;
+pub mod stats;
+pub mod wire;
+
+pub use job::{Event, JobId, JobSpec, JobState, JobStatus, Rejection, RowResult, RowStatus};
+pub use scheduler::{ServeConfig, ServeHandle, Server};
+pub use stats::{DepthGauges, HistSummary, ServeStats, StatsSnapshot};
+pub use wire::{Client, WireServer};

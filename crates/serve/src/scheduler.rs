@@ -1,0 +1,804 @@
+//! The serving scheduler: a bounded admission queue feeding a shared
+//! worker pool, with fair-share interleaving across jobs.
+//!
+//! ## Scheduling discipline
+//!
+//! Work is dispatched **point by point**, never job by job: the ready
+//! set is a round-robin queue of jobs per priority level, and a worker
+//! claims exactly one grid point from the front job before that job goes
+//! to the back of its level. A 1 000-point grid therefore cannot
+//! head-of-line-block a 3-point grid submitted a moment later — at equal
+//! priority they alternate points; at different priorities the higher
+//! level drains first (strict priority between levels, round-robin
+//! within one).
+//!
+//! ## Admission control and backpressure
+//!
+//! The queue of undispatched points is bounded
+//! ([`ServeConfig::queue_capacity`]). A submission that would overflow
+//! it is rejected *immediately* with a [`Rejection`] carrying
+//! `retry_after_ms` — the client backs off and retries; nothing blocks
+//! and nothing is silently dropped.
+//!
+//! ## Determinism
+//!
+//! Every grid point is an independent, deterministic simulation (the
+//! property PR 3's sweep farm rests on), so *which worker runs a point
+//! when* cannot change its measurement. Rows stream in completion order
+//! tagged with their grid index; a client that reassembles by index gets
+//! byte-identical results to a direct [`hbm_core::batch::run_grid`] call
+//! — regardless of worker count, of competing clients, of priorities,
+//! and of cancellations of other jobs (enforced by the
+//! `serve_determinism` proptest).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use hbm_core::batch::{self, panic_message, GridPoint};
+use hbm_core::experiment::Fidelity;
+use hbm_core::measure::measure;
+use hbm_core::Measurement;
+
+use crate::job::{Event, JobId, JobSpec, JobState, JobStatus, Rejection, RowResult, RowStatus};
+use crate::stats::{DepthGauges, ServeStats, StatsSnapshot};
+
+/// Serving-pool parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads measuring grid points.
+    pub workers: usize,
+    /// Maximum undispatched points across all admitted jobs; submissions
+    /// that would exceed it are rejected with a retry-after.
+    pub queue_capacity: usize,
+    /// Back-off hint attached to rejections, in milliseconds.
+    pub retry_after_ms: u64,
+    /// Default per-point timeout for jobs that don't set their own.
+    pub default_timeout_ms: Option<u64>,
+    /// Start with dispatch paused (tests use this to stage a precise
+    /// queue picture before any worker claims a point).
+    pub paused: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: batch::sweep_jobs(),
+            queue_capacity: 4_096,
+            retry_after_ms: 50,
+            default_timeout_ms: None,
+            paused: false,
+        }
+    }
+}
+
+/// Per-job scheduler bookkeeping.
+struct JobEntry {
+    spec: JobSpec,
+    state: JobState,
+    /// Next undispatched point index (== `spec.points.len()` when fully
+    /// dispatched or cancelled).
+    next_point: usize,
+    /// Points currently on a worker.
+    running: usize,
+    done: usize,
+    failed: usize,
+    timed_out: usize,
+    cancelled_points: usize,
+    /// Completed rows in completion order, with their completion
+    /// instant, kept for late-subscriber replay.
+    log: Vec<(RowResult, Instant)>,
+    subscribers: Vec<Sender<Event>>,
+    submitted_at: Instant,
+    first_dispatch: Option<Instant>,
+    finished_at: Option<Instant>,
+}
+
+impl JobEntry {
+    fn total(&self) -> usize {
+        self.spec.points.len()
+    }
+
+    fn rows(&self) -> usize {
+        self.done + self.failed + self.timed_out + self.cancelled_points
+    }
+
+    /// Terminal means every point is accounted for and none is in
+    /// flight; only then is the `End` event emitted.
+    fn is_finished(&self) -> bool {
+        self.rows() == self.total() && self.running == 0
+    }
+
+    fn status(&self, id: u64, now: Instant) -> JobStatus {
+        let queue_wait = match self.first_dispatch {
+            Some(t) => t - self.submitted_at,
+            None if self.state == JobState::Queued => now - self.submitted_at,
+            None => self.finished_at.map_or(Duration::ZERO, |t| t - self.submitted_at),
+        };
+        let run = match self.first_dispatch {
+            Some(t) => self.finished_at.unwrap_or(now) - t,
+            None => Duration::ZERO,
+        };
+        JobStatus {
+            job: JobId(id),
+            name: self.spec.name.clone(),
+            state: self.state,
+            priority: self.spec.priority,
+            total: self.total(),
+            rows: self.rows(),
+            done: self.done,
+            failed: self.failed,
+            timed_out: self.timed_out,
+            cancelled_points: self.cancelled_points,
+            queue_wait_ms: queue_wait.as_secs_f64() * 1e3,
+            run_ms: run.as_secs_f64() * 1e3,
+        }
+    }
+
+    /// Delivers `ev` to every live subscriber, dropping closed ones.
+    fn broadcast(&mut self, ev: &Event) {
+        self.subscribers.retain(|tx| tx.send(ev.clone()).is_ok());
+    }
+}
+
+/// Scheduler state under the one mutex.
+struct State {
+    next_job: u64,
+    jobs: BTreeMap<u64, JobEntry>,
+    /// Ready jobs per priority level: round-robin within a level,
+    /// highest level drained first.
+    ready: BTreeMap<u8, VecDeque<u64>>,
+    queued_points: usize,
+    running_points: usize,
+    paused: bool,
+    shutdown: bool,
+    stats: ServeStats,
+}
+
+impl State {
+    /// Claims the next point under the fairness discipline. Returns the
+    /// work description; the caller runs it outside the lock.
+    fn claim(&mut self) -> Option<Claimed> {
+        loop {
+            let (&prio, queue) = self.ready.iter_mut().next_back()?;
+            let Some(id) = queue.pop_front() else {
+                self.ready.remove(&prio);
+                continue;
+            };
+            let entry = self.jobs.get_mut(&id).expect("ready job must exist");
+            if entry.state == JobState::Cancelled || entry.next_point >= entry.total() {
+                // Stale queue entry (job was cancelled); drop it.
+                if queue.is_empty() {
+                    self.ready.remove(&prio);
+                }
+                continue;
+            }
+            let index = entry.next_point;
+            entry.next_point += 1;
+            entry.running += 1;
+            entry.state = JobState::Running;
+            let now = Instant::now();
+            let first = *entry.first_dispatch.get_or_insert(now);
+            let _ = first;
+            let wait_us = (now - entry.submitted_at).as_micros() as u64;
+            let point = entry.spec.points[index].clone();
+            let fidelity = entry.spec.fidelity;
+            let timeout_ms = entry.spec.timeout_ms;
+            let more = entry.next_point < entry.total();
+            if more {
+                queue.push_back(id);
+            } else if queue.is_empty() {
+                self.ready.remove(&prio);
+            }
+            self.queued_points -= 1;
+            self.running_points += 1;
+            self.stats.queue_wait_us.record(wait_us);
+            self.stats.log_dispatch(id, index);
+            return Some(Claimed { job: id, index, point, fidelity, timeout_ms });
+        }
+    }
+
+    fn depth(&self) -> DepthGauges {
+        DepthGauges {
+            queued_points: self.queued_points,
+            running_points: self.running_points,
+            active_jobs: self.jobs.values().filter(|j| !j.state.is_terminal()).count(),
+        }
+    }
+
+    /// Emits `Cancelled` rows for every undispatched point of `entry`
+    /// and removes them from the admission queue level.
+    fn cancel_pending(&mut self, id: u64) {
+        let entry = self.jobs.get_mut(&id).expect("cancelling a known job");
+        let pending = entry.total() - entry.next_point;
+        self.queued_points -= pending;
+        let now = Instant::now();
+        for index in entry.next_point..entry.total() {
+            let row = RowResult {
+                job: JobId(id),
+                index,
+                status: RowStatus::Cancelled,
+                measurement: None,
+            };
+            entry.broadcast(&Event::Row(Box::new(row.clone())));
+            entry.log.push((row, now));
+            entry.cancelled_points += 1;
+            self.stats.rows_cancelled += 1;
+        }
+        entry.next_point = entry.total();
+        entry.state = JobState::Cancelled;
+        if entry.is_finished() {
+            entry.finished_at = Some(now);
+            entry.broadcast(&Event::End { job: JobId(id), state: JobState::Cancelled });
+        }
+        if let Some(queue) = self.ready.get_mut(&entry.spec.priority) {
+            queue.retain(|&q| q != id);
+            if queue.is_empty() {
+                let prio = entry.spec.priority;
+                self.ready.remove(&prio);
+            }
+        }
+    }
+}
+
+/// One claimed work item, run outside the lock.
+struct Claimed {
+    job: u64,
+    index: usize,
+    point: GridPoint,
+    fidelity: Fidelity,
+    timeout_ms: Option<u64>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for claimable points.
+    work: Condvar,
+    /// Waiters (status polls, `wait`) park here for any progress.
+    progress: Condvar,
+    workers: usize,
+}
+
+/// Cloneable in-process handle to a serving pool: the API the wire layer
+/// wraps and tests drive directly.
+#[derive(Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+    retry_after_ms: u64,
+    queue_capacity: usize,
+    default_timeout_ms: Option<u64>,
+}
+
+/// A running serving pool: worker threads plus the [`ServeHandle`] to
+/// reach them. Shut down explicitly with [`Server::shutdown`]; dropping
+/// without it leaves workers parked until process exit.
+pub struct Server {
+    handle: ServeHandle,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts `cfg.workers` worker threads over a fresh scheduler.
+    pub fn spawn(cfg: ServeConfig) -> Server {
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                next_job: 0,
+                jobs: BTreeMap::new(),
+                ready: BTreeMap::new(),
+                queued_points: 0,
+                running_points: 0,
+                paused: cfg.paused,
+                shutdown: false,
+                stats: ServeStats::new(),
+            }),
+            work: Condvar::new(),
+            progress: Condvar::new(),
+            workers,
+        });
+        let handle = ServeHandle {
+            shared: shared.clone(),
+            retry_after_ms: cfg.retry_after_ms,
+            queue_capacity: cfg.queue_capacity,
+            default_timeout_ms: cfg.default_timeout_ms,
+        };
+        let threads = (0..workers)
+            .map(|w| {
+                let shared = shared.clone();
+                let default_timeout = cfg.default_timeout_ms;
+                std::thread::Builder::new()
+                    .name(format!("hbm-serve-{w}"))
+                    .spawn(move || worker_loop(&shared, default_timeout))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Server { handle, threads }
+    }
+
+    /// A handle to submit against this pool.
+    pub fn handle(&self) -> ServeHandle {
+        self.handle.clone()
+    }
+
+    /// Stops accepting work, cancels every unfinished job, and joins the
+    /// workers (each finishes its in-flight point first).
+    pub fn shutdown(self) {
+        self.handle.shutdown();
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl ServeHandle {
+    /// Admits `spec` or rejects it with a retry-after when the pending
+    /// queue cannot take the grid. An admitted job's points enter the
+    /// fair-share rotation immediately.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, Rejection> {
+        let mut st = self.shared.state.lock().unwrap();
+        if st.shutdown || st.queued_points + spec.points.len() > self.queue_capacity {
+            st.stats.jobs_rejected += 1;
+            return Err(Rejection { retry_after_ms: self.retry_after_ms });
+        }
+        st.next_job += 1;
+        let id = st.next_job;
+        let mut entry = JobEntry {
+            spec,
+            state: JobState::Queued,
+            next_point: 0,
+            running: 0,
+            done: 0,
+            failed: 0,
+            timed_out: 0,
+            cancelled_points: 0,
+            log: Vec::new(),
+            subscribers: Vec::new(),
+            submitted_at: Instant::now(),
+            first_dispatch: None,
+            finished_at: None,
+        };
+        if entry.spec.timeout_ms.is_none() {
+            entry.spec.timeout_ms = self.default_timeout_ms;
+        }
+        let n = entry.total();
+        st.stats.jobs_submitted += 1;
+        if n == 0 {
+            // An empty grid is legal and terminates immediately.
+            entry.state = JobState::Done;
+            entry.finished_at = Some(entry.submitted_at);
+            st.stats.jobs_completed += 1;
+            st.jobs.insert(id, entry);
+        } else {
+            let prio = entry.spec.priority;
+            st.queued_points += n;
+            st.jobs.insert(id, entry);
+            st.ready.entry(prio).or_default().push_back(id);
+        }
+        drop(st);
+        self.shared.work.notify_all();
+        self.shared.progress.notify_all();
+        Ok(JobId(id))
+    }
+
+    /// Subscribes to a job's event stream. Rows already produced are
+    /// replayed first (in their original completion order); live rows
+    /// follow; a terminal [`Event::End`] closes the stream. Returns
+    /// `None` for an unknown job.
+    pub fn subscribe(&self, job: JobId) -> Option<Receiver<Event>> {
+        let mut st = self.shared.state.lock().unwrap();
+        let entry = st.jobs.get_mut(&job.0)?;
+        let (tx, rx) = std::sync::mpsc::channel();
+        let now = Instant::now();
+        let mut replay_us = Vec::new();
+        for (row, completed_at) in &entry.log {
+            let _ = tx.send(Event::Row(Box::new(row.clone())));
+            replay_us.push((now - *completed_at).as_micros() as u64);
+        }
+        if entry.is_finished() {
+            let _ = tx.send(Event::End { job, state: entry.state });
+        } else {
+            entry.subscribers.push(tx);
+        }
+        for us in replay_us {
+            st.stats.stream_us.record(us);
+        }
+        Some(rx)
+    }
+
+    /// A point-in-time status for `job`.
+    pub fn status(&self, job: JobId) -> Option<JobStatus> {
+        let st = self.shared.state.lock().unwrap();
+        st.jobs.get(&job.0).map(|e| e.status(job.0, Instant::now()))
+    }
+
+    /// Cancels `job`: undispatched points become [`RowStatus::Cancelled`]
+    /// rows at once (freeing their admission-queue slots); in-flight
+    /// points finish and stream normally. Returns `false` for unknown or
+    /// already-terminal jobs.
+    pub fn cancel(&self, job: JobId) -> bool {
+        let mut st = self.shared.state.lock().unwrap();
+        match st.jobs.get(&job.0) {
+            Some(e) if !e.state.is_terminal() => {}
+            _ => return false,
+        }
+        st.cancel_pending(job.0);
+        st.stats.jobs_cancelled += 1;
+        drop(st);
+        self.shared.progress.notify_all();
+        true
+    }
+
+    /// The observability snapshot the `stats` verb exports.
+    pub fn stats(&self) -> StatsSnapshot {
+        let st = self.shared.state.lock().unwrap();
+        let depth = st.depth();
+        st.stats.snapshot(self.shared.workers, depth)
+    }
+
+    /// Recent `(job, point)` dispatches, oldest first — the fairness
+    /// audit trail (bounded; see [`crate::stats::DISPATCH_LOG_CAP`]).
+    pub fn dispatch_log(&self) -> Vec<(u64, usize)> {
+        self.shared.state.lock().unwrap().stats.dispatch_log.clone()
+    }
+
+    /// Pauses dispatch: running points finish, queued points stay put.
+    pub fn pause(&self) {
+        self.shared.state.lock().unwrap().paused = true;
+    }
+
+    /// Resumes dispatch after [`ServeHandle::pause`].
+    pub fn resume(&self) {
+        self.shared.state.lock().unwrap().paused = false;
+        self.shared.work.notify_all();
+    }
+
+    /// Blocks until `job` reaches a terminal state (or `timeout`
+    /// elapses). Returns the terminal state, `None` on timeout or for
+    /// unknown jobs.
+    pub fn wait(&self, job: JobId, timeout: Duration) -> Option<JobState> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            match st.jobs.get(&job.0) {
+                None => return None,
+                Some(e) if e.is_finished() => return Some(e.state),
+                Some(_) => {}
+            }
+            let left = deadline.checked_duration_since(Instant::now())?;
+            let (guard, res) = self.shared.progress.wait_timeout(st, left).unwrap();
+            st = guard;
+            if res.timed_out() {
+                return None;
+            }
+        }
+    }
+
+    /// Stops the pool: rejects future submissions, cancels every
+    /// unfinished job (their subscribers get `Cancelled` rows and an
+    /// `End`), and releases the workers once their in-flight points
+    /// finish.
+    pub fn shutdown(&self) {
+        let mut st = self.shared.state.lock().unwrap();
+        if st.shutdown {
+            return;
+        }
+        st.shutdown = true;
+        let open: Vec<u64> =
+            st.jobs.iter().filter(|(_, e)| !e.state.is_terminal()).map(|(&id, _)| id).collect();
+        for id in open {
+            st.cancel_pending(id);
+            st.stats.jobs_cancelled += 1;
+        }
+        drop(st);
+        self.shared.work.notify_all();
+        self.shared.progress.notify_all();
+    }
+
+    /// `true` once [`ServeHandle::shutdown`] ran.
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.state.lock().unwrap().shutdown
+    }
+}
+
+fn worker_loop(shared: &Shared, _default_timeout: Option<u64>) {
+    loop {
+        let claimed = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if !st.paused {
+                    if let Some(c) = st.claim() {
+                        break c;
+                    }
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        let t0 = Instant::now();
+        let (status, measurement) = run_point(&claimed);
+        let run = t0.elapsed();
+
+        let mut st = shared.state.lock().unwrap();
+        st.running_points -= 1;
+        st.stats.run_us.record(run.as_micros() as u64);
+        st.stats.busy_ns += run.as_nanos() as u64;
+        match status {
+            RowStatus::Done => st.stats.rows_done += 1,
+            RowStatus::Failed { .. } => st.stats.rows_failed += 1,
+            RowStatus::TimedOut => st.stats.rows_timed_out += 1,
+            RowStatus::Cancelled => st.stats.rows_cancelled += 1,
+        }
+        let entry = st.jobs.get_mut(&claimed.job).expect("job of a running point exists");
+        entry.running -= 1;
+        match status {
+            RowStatus::Done => entry.done += 1,
+            RowStatus::Failed { .. } => entry.failed += 1,
+            RowStatus::TimedOut => entry.timed_out += 1,
+            RowStatus::Cancelled => entry.cancelled_points += 1,
+        }
+        let row = RowResult { job: JobId(claimed.job), index: claimed.index, status, measurement };
+        let now = Instant::now();
+        entry.broadcast(&Event::Row(Box::new(row.clone())));
+        entry.log.push((row, now));
+        let mut completed_job = false;
+        if entry.is_finished() {
+            if entry.state != JobState::Cancelled {
+                entry.state = JobState::Done;
+                completed_job = true;
+            }
+            let state = entry.state;
+            entry.finished_at = Some(now);
+            entry.broadcast(&Event::End { job: JobId(claimed.job), state });
+        }
+        // Live deliveries happen at completion time: ~0 stream latency.
+        let live_subs = entry.subscribers.len() as u64;
+        if completed_job {
+            st.stats.jobs_completed += 1;
+        }
+        for _ in 0..live_subs {
+            st.stats.stream_us.record(0);
+        }
+        drop(st);
+        shared.progress.notify_all();
+    }
+}
+
+/// Measures one claimed point, containing panics and enforcing the
+/// wall-clock budget. Timeout enforcement runs the measurement on a
+/// helper thread and abandons it past the deadline (the helper finishes
+/// in the background and its result is dropped — a simulation cannot be
+/// interrupted midway).
+fn run_point(c: &Claimed) -> (RowStatus, Option<Measurement>) {
+    let (cfg, wl) = c.point.clone();
+    let fid = c.fidelity;
+    match c.timeout_ms {
+        None => {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                measure(&cfg, wl, fid.warmup, fid.cycles)
+            }));
+            match r {
+                Ok(m) => (RowStatus::Done, Some(m)),
+                Err(p) => (RowStatus::Failed { error: panic_message(&p) }, None),
+            }
+        }
+        Some(ms) => {
+            let (tx, rx) = std::sync::mpsc::channel();
+            let spawned =
+                std::thread::Builder::new().name("hbm-serve-timeout".into()).spawn(move || {
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        measure(&cfg, wl, fid.warmup, fid.cycles)
+                    }));
+                    let _ = tx.send(r);
+                });
+            if spawned.is_err() {
+                return (
+                    RowStatus::Failed { error: "could not spawn timeout helper".into() },
+                    None,
+                );
+            }
+            match rx.recv_timeout(Duration::from_millis(ms)) {
+                Ok(Ok(m)) => (RowStatus::Done, Some(m)),
+                Ok(Err(p)) => (RowStatus::Failed { error: panic_message(&p) }, None),
+                Err(_) => (RowStatus::TimedOut, None),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbm_core::batch::run_grid;
+    use hbm_core::SystemConfig;
+    use hbm_traffic::Workload;
+
+    const FID: Fidelity = Fidelity { warmup: 200, cycles: 600 };
+    const WAIT: Duration = Duration::from_secs(120);
+
+    fn tiny_points(n: usize) -> Vec<GridPoint> {
+        (0..n)
+            .map(|i| (SystemConfig::xilinx(), Workload { rotation: i % 4, ..Workload::scs() }))
+            .collect()
+    }
+
+    fn spec(name: &str, n: usize) -> JobSpec {
+        JobSpec::new(name, FID, tiny_points(n))
+    }
+
+    /// Collects a subscription into (rows sorted by index, end state).
+    fn collect(rx: Receiver<Event>) -> (Vec<RowResult>, JobState) {
+        let mut rows = Vec::new();
+        let mut state = None;
+        for ev in rx {
+            match ev {
+                Event::Row(r) => rows.push(*r),
+                Event::End { state: s, .. } => {
+                    state = Some(s);
+                    break;
+                }
+            }
+        }
+        rows.sort_by_key(|r| r.index);
+        (rows, state.expect("stream must end"))
+    }
+
+    #[test]
+    fn served_rows_match_direct_run() {
+        let server = Server::spawn(ServeConfig { workers: 3, ..ServeConfig::default() });
+        let h = server.handle();
+        let id = h.submit(spec("grid", 5)).unwrap();
+        let rx = h.subscribe(id).unwrap();
+        let (rows, state) = collect(rx);
+        assert_eq!(state, JobState::Done);
+        assert_eq!(rows.len(), 5);
+        let direct = run_grid(&tiny_points(5), FID.warmup, FID.cycles, 2);
+        for (row, want) in rows.iter().zip(&direct) {
+            assert_eq!(row.status, RowStatus::Done);
+            let got = row.measurement.as_ref().unwrap();
+            assert_eq!(serde_json::to_string(got).unwrap(), serde_json::to_string(want).unwrap());
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn equal_priority_jobs_interleave_point_by_point() {
+        let server =
+            Server::spawn(ServeConfig { workers: 1, paused: true, ..ServeConfig::default() });
+        let h = server.handle();
+        let a = h.submit(spec("a", 3)).unwrap();
+        let b = h.submit(spec("b", 3)).unwrap();
+        h.resume();
+        assert_eq!(h.wait(a, WAIT), Some(JobState::Done));
+        assert_eq!(h.wait(b, WAIT), Some(JobState::Done));
+        let log = h.dispatch_log();
+        let jobs: Vec<u64> = log.iter().map(|&(j, _)| j).collect();
+        assert_eq!(jobs, vec![a.0, b.0, a.0, b.0, a.0, b.0], "round-robin per point");
+        server.shutdown();
+    }
+
+    #[test]
+    fn higher_priority_job_drains_first() {
+        let server =
+            Server::spawn(ServeConfig { workers: 1, paused: true, ..ServeConfig::default() });
+        let h = server.handle();
+        let low = h.submit(spec("low", 2)).unwrap();
+        let high = h.submit(spec("high", 2).with_priority(9)).unwrap();
+        h.resume();
+        assert_eq!(h.wait(low, WAIT), Some(JobState::Done));
+        let log = h.dispatch_log();
+        let jobs: Vec<u64> = log.iter().map(|&(j, _)| j).collect();
+        assert_eq!(jobs, vec![high.0, high.0, low.0, low.0], "strict priority between levels");
+        server.shutdown();
+    }
+
+    #[test]
+    fn queue_full_submission_is_rejected_with_retry_after() {
+        let server = Server::spawn(ServeConfig {
+            workers: 1,
+            queue_capacity: 4,
+            retry_after_ms: 77,
+            paused: true,
+            ..ServeConfig::default()
+        });
+        let h = server.handle();
+        h.submit(spec("fits", 4)).unwrap();
+        let rej = h.submit(spec("overflow", 1)).unwrap_err();
+        assert_eq!(rej, Rejection { retry_after_ms: 77 });
+        assert_eq!(h.stats().jobs_rejected, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn cancellation_reports_pending_points_and_ends_stream() {
+        let server =
+            Server::spawn(ServeConfig { workers: 1, paused: true, ..ServeConfig::default() });
+        let h = server.handle();
+        let id = h.submit(spec("doomed", 4)).unwrap();
+        let rx = h.subscribe(id).unwrap();
+        assert!(h.cancel(id));
+        assert!(!h.cancel(id), "second cancel is a no-op");
+        let (rows, state) = collect(rx);
+        assert_eq!(state, JobState::Cancelled);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.status == RowStatus::Cancelled));
+        let status = h.status(id).unwrap();
+        assert_eq!(status.cancelled_points, 4);
+        // The queue slots were freed for admission control.
+        assert_eq!(h.stats().depth.queued_points, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn late_subscriber_replays_the_full_stream() {
+        let server = Server::spawn(ServeConfig { workers: 2, ..ServeConfig::default() });
+        let h = server.handle();
+        let id = h.submit(spec("replay", 3)).unwrap();
+        assert_eq!(h.wait(id, WAIT), Some(JobState::Done));
+        let (rows, state) = collect(h.subscribe(id).unwrap());
+        assert_eq!(state, JobState::Done);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.status == RowStatus::Done));
+        server.shutdown();
+    }
+
+    #[test]
+    fn empty_grid_completes_immediately() {
+        let server = Server::spawn(ServeConfig { workers: 1, ..ServeConfig::default() });
+        let h = server.handle();
+        let id = h.submit(JobSpec::new("empty", FID, Vec::new())).unwrap();
+        assert_eq!(h.wait(id, WAIT), Some(JobState::Done));
+        let (rows, state) = collect(h.subscribe(id).unwrap());
+        assert!(rows.is_empty());
+        assert_eq!(state, JobState::Done);
+        server.shutdown();
+    }
+
+    #[test]
+    fn timed_out_point_reports_timeout_and_rest_completes() {
+        // 0 ms budget: the point cannot possibly finish in time.
+        let server = Server::spawn(ServeConfig { workers: 1, ..ServeConfig::default() });
+        let h = server.handle();
+        let id = h.submit(spec("deadline", 2).with_timeout_ms(0)).unwrap();
+        assert_eq!(h.wait(id, WAIT), Some(JobState::Done));
+        let (rows, _) = collect(h.subscribe(id).unwrap());
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.status == RowStatus::TimedOut));
+        assert_eq!(h.stats().rows_timed_out, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_cancels_open_jobs_and_rejects_new_ones() {
+        let server =
+            Server::spawn(ServeConfig { workers: 1, paused: true, ..ServeConfig::default() });
+        let h = server.handle();
+        let id = h.submit(spec("orphan", 2)).unwrap();
+        let rx = h.subscribe(id).unwrap();
+        server.shutdown();
+        let (rows, state) = collect(rx);
+        assert_eq!(state, JobState::Cancelled);
+        assert_eq!(rows.len(), 2);
+        assert!(h.submit(spec("late", 1)).is_err(), "post-shutdown submissions are rejected");
+    }
+
+    #[test]
+    fn stats_cover_latency_and_utilisation() {
+        let server = Server::spawn(ServeConfig { workers: 2, ..ServeConfig::default() });
+        let h = server.handle();
+        let id = h.submit(spec("observed", 4)).unwrap();
+        assert_eq!(h.wait(id, WAIT), Some(JobState::Done));
+        let snap = h.stats();
+        assert_eq!(snap.rows_done, 4);
+        assert_eq!(snap.jobs_completed, 1);
+        assert_eq!(snap.queue_wait_us.count, 4);
+        assert_eq!(snap.run_us.count, 4);
+        assert!(snap.run_us.mean_us > 0.0);
+        assert!(snap.worker_utilisation > 0.0);
+        assert_eq!(snap.depth.queued_points, 0);
+        assert_eq!(snap.depth.running_points, 0);
+        server.shutdown();
+    }
+}

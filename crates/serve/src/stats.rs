@@ -1,0 +1,234 @@
+//! Serving-path observability: latency histograms, depth gauges, and
+//! counters, exported as a JSON snapshot by the `stats` verb.
+//!
+//! Latencies reuse [`hbm_axi::instrument::Hist`] — the same
+//! power-of-two-bucket histogram the simulator's latency-attribution
+//! layer uses — recorded in microseconds: queue-wait (admission →
+//! dispatch, per point), run (dispatch → row, per point), and stream
+//! (row completion → delivery to a subscriber; ≈0 for live streams,
+//! larger for late subscribers replaying the backlog).
+
+use std::time::Instant;
+
+use hbm_axi::instrument::Hist;
+use serde::{Deserialize, Serialize};
+
+/// How many `(job, point)` dispatches the scheduler remembers for
+/// fairness inspection (a bounded debugging aid, not a durable log).
+pub const DISPATCH_LOG_CAP: usize = 4_096;
+
+/// Internal mutable counters, owned by the scheduler state.
+#[derive(Debug)]
+pub struct ServeStats {
+    /// Server start, the origin for utilisation and uptime.
+    started: Instant,
+    /// Admission → dispatch, per point, in µs.
+    pub queue_wait_us: Hist,
+    /// Dispatch → deposited row, per point, in µs.
+    pub run_us: Hist,
+    /// Row completion → delivery to one subscriber, in µs.
+    pub stream_us: Hist,
+    /// Total wall time workers spent measuring points, in ns.
+    pub busy_ns: u64,
+    /// Jobs admitted.
+    pub jobs_submitted: u64,
+    /// Jobs rejected by admission control (queue full).
+    pub jobs_rejected: u64,
+    /// Jobs that ran every point to a row.
+    pub jobs_completed: u64,
+    /// Jobs cancelled before completion.
+    pub jobs_cancelled: u64,
+    /// Rows measured successfully.
+    pub rows_done: u64,
+    /// Rows failed (worker panic).
+    pub rows_failed: u64,
+    /// Rows past their timeout budget.
+    pub rows_timed_out: u64,
+    /// Points cancelled before dispatch.
+    pub rows_cancelled: u64,
+    /// Recent dispatches as `(job, point-index)`, oldest first, capped
+    /// at [`DISPATCH_LOG_CAP`].
+    pub dispatch_log: Vec<(u64, usize)>,
+}
+
+impl ServeStats {
+    /// Fresh counters anchored at "now".
+    pub fn new() -> ServeStats {
+        ServeStats {
+            started: Instant::now(),
+            queue_wait_us: Hist::default(),
+            run_us: Hist::default(),
+            stream_us: Hist::default(),
+            busy_ns: 0,
+            jobs_submitted: 0,
+            jobs_rejected: 0,
+            jobs_completed: 0,
+            jobs_cancelled: 0,
+            rows_done: 0,
+            rows_failed: 0,
+            rows_timed_out: 0,
+            rows_cancelled: 0,
+            dispatch_log: Vec::new(),
+        }
+    }
+
+    /// Records one dispatch in the bounded log.
+    pub fn log_dispatch(&mut self, job: u64, index: usize) {
+        if self.dispatch_log.len() == DISPATCH_LOG_CAP {
+            self.dispatch_log.remove(0);
+        }
+        self.dispatch_log.push((job, index));
+    }
+
+    /// Folds the counters into an exportable snapshot. `workers` scales
+    /// the utilisation denominator; the depth gauges come from the
+    /// scheduler state that owns these counters.
+    pub fn snapshot(&self, workers: usize, depth: DepthGauges) -> StatsSnapshot {
+        let uptime = self.started.elapsed();
+        let capacity_ns = (workers as u64).max(1).saturating_mul(uptime.as_nanos() as u64).max(1);
+        StatsSnapshot {
+            uptime_ms: uptime.as_secs_f64() * 1e3,
+            workers,
+            worker_utilisation: self.busy_ns as f64 / capacity_ns as f64,
+            depth,
+            queue_wait_us: HistSummary::of(&self.queue_wait_us),
+            run_us: HistSummary::of(&self.run_us),
+            stream_us: HistSummary::of(&self.stream_us),
+            jobs_submitted: self.jobs_submitted,
+            jobs_rejected: self.jobs_rejected,
+            jobs_completed: self.jobs_completed,
+            jobs_cancelled: self.jobs_cancelled,
+            rows_done: self.rows_done,
+            rows_failed: self.rows_failed,
+            rows_timed_out: self.rows_timed_out,
+            rows_cancelled: self.rows_cancelled,
+        }
+    }
+}
+
+impl Default for ServeStats {
+    fn default() -> ServeStats {
+        ServeStats::new()
+    }
+}
+
+/// Instantaneous scheduler depths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DepthGauges {
+    /// Admitted points not yet dispatched (the admission queue level the
+    /// backpressure threshold applies to).
+    pub queued_points: usize,
+    /// Points currently measuring on a worker.
+    pub running_points: usize,
+    /// Jobs in a non-terminal state.
+    pub active_jobs: usize,
+}
+
+/// Percentile summary of one [`Hist`] (µs samples).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistSummary {
+    /// Sample count.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+    /// Median (bucket upper edge).
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Largest sample.
+    pub max_us: u64,
+}
+
+impl HistSummary {
+    /// Summarises `h`; zeros when empty.
+    pub fn of(h: &Hist) -> HistSummary {
+        HistSummary {
+            count: h.count(),
+            mean_us: h.mean(),
+            p50_us: h.p50().unwrap_or(0),
+            p95_us: h.p95().unwrap_or(0),
+            p99_us: h.p99().unwrap_or(0),
+            max_us: h.max,
+        }
+    }
+}
+
+/// The JSON snapshot the `stats` verb returns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Wall time since the server started, in milliseconds.
+    pub uptime_ms: f64,
+    /// Worker-thread count.
+    pub workers: usize,
+    /// Fraction of `workers × uptime` spent measuring points.
+    pub worker_utilisation: f64,
+    /// Instantaneous depths.
+    pub depth: DepthGauges,
+    /// Admission → dispatch latency.
+    pub queue_wait_us: HistSummary,
+    /// Dispatch → row latency.
+    pub run_us: HistSummary,
+    /// Completion → subscriber-delivery latency.
+    pub stream_us: HistSummary,
+    /// Jobs admitted.
+    pub jobs_submitted: u64,
+    /// Jobs rejected with a retry-after.
+    pub jobs_rejected: u64,
+    /// Jobs run to completion.
+    pub jobs_completed: u64,
+    /// Jobs cancelled.
+    pub jobs_cancelled: u64,
+    /// Successful rows.
+    pub rows_done: u64,
+    /// Failed rows.
+    pub rows_failed: u64,
+    /// Timed-out rows.
+    pub rows_timed_out: u64,
+    /// Cancelled points.
+    pub rows_cancelled: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let mut s = ServeStats::new();
+        s.queue_wait_us.record(100);
+        s.queue_wait_us.record(300);
+        s.run_us.record(5_000);
+        s.rows_done = 2;
+        s.jobs_submitted = 1;
+        let snap =
+            s.snapshot(4, DepthGauges { queued_points: 7, running_points: 2, active_jobs: 1 });
+        assert_eq!(snap.queue_wait_us.count, 2);
+        assert_eq!(snap.queue_wait_us.mean_us, 200.0);
+        assert_eq!(snap.run_us.count, 1);
+        assert_eq!(snap.depth.queued_points, 7);
+        assert_eq!(snap.rows_done, 2);
+        assert!(snap.uptime_ms >= 0.0);
+        assert!(snap.worker_utilisation >= 0.0);
+    }
+
+    #[test]
+    fn dispatch_log_is_bounded() {
+        let mut s = ServeStats::new();
+        for i in 0..(DISPATCH_LOG_CAP + 10) {
+            s.log_dispatch(1, i);
+        }
+        assert_eq!(s.dispatch_log.len(), DISPATCH_LOG_CAP);
+        assert_eq!(s.dispatch_log[0], (1, 10));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let snap = ServeStats::new()
+            .snapshot(2, DepthGauges { queued_points: 0, running_points: 0, active_jobs: 0 });
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,509 @@
+//! Newline-delimited-JSON wire protocol over TCP.
+//!
+//! One JSON object per line in each direction, over
+//! `std::net::TcpStream` — no async runtime, no framing beyond `\n`.
+//! A connection is a sequential conversation: the client writes a
+//! request line, the server answers with exactly one response line,
+//! except `subscribe`, whose single `ok` response is followed by a
+//! stream of `event` lines ending in an `end` event (after which the
+//! connection accepts requests again).
+//!
+//! ## Requests
+//!
+//! | verb        | extra fields          | response                                     |
+//! |-------------|-----------------------|----------------------------------------------|
+//! | `submit`    | `spec`: [`JobSpec`]   | `{"ok":true,"job":N}` or queue-full rejection with `retry_after_ms` |
+//! | `status`    | `job`: N              | `{"ok":true,"status":{...}}`                 |
+//! | `subscribe` | `job`: N              | `{"ok":true}` then row/end event lines       |
+//! | `cancel`    | `job`: N              | `{"ok":true,"cancelled":bool}`               |
+//! | `stats`     | —                     | `{"ok":true,"stats":{...}}`                  |
+//! | `shutdown`  | —                     | `{"ok":true}`; the server then stops         |
+//!
+//! Errors are `{"ok":false,"error":"..."}`; a queue-full rejection
+//! additionally carries `retry_after_ms`, the explicit backpressure
+//! signal ([`crate::Rejection`]).
+//!
+//! ## Events
+//!
+//! `{"event":"row","row":{...}}` per finished point (completion order,
+//! indexed), then `{"event":"end","job":N,"state":"Done"|"Cancelled"}`.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use serde::value::{from_value, Value};
+use serde_json::json;
+
+use crate::job::{Event, JobId, JobSpec, JobState, JobStatus, Rejection, RowResult};
+use crate::scheduler::ServeHandle;
+use crate::stats::StatsSnapshot;
+
+/// Serializes `v` and appends the protocol's line terminator.
+fn write_line(stream: &mut (impl Write + ?Sized), v: &Value) -> io::Result<()> {
+    let mut line = v.to_string();
+    line.push('\n');
+    stream.write_all(line.as_bytes())
+}
+
+fn err_line(msg: &str) -> Value {
+    json!({ "ok": false, "error": msg })
+}
+
+fn u64_field(req: &Value, key: &str) -> Option<u64> {
+    match req.get(key) {
+        Some(Value::U64(n)) => Some(*n),
+        Some(Value::I64(n)) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+/// The TCP front-end: an accept loop fanning out one handler thread per
+/// connection, all of them sharing one [`ServeHandle`].
+pub struct WireServer {
+    addr: std::net::SocketAddr,
+    handle: ServeHandle,
+    accept_thread: std::thread::JoinHandle<()>,
+}
+
+impl WireServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections against `handle`.
+    pub fn bind(addr: &str, handle: ServeHandle) -> io::Result<WireServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let accept_handle = handle.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("hbm-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_handle))?;
+        Ok(WireServer { addr: local, handle, accept_thread })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Shuts the scheduler down (cancelling open jobs) and joins the
+    /// accept loop. In-flight connection handlers finish on their own.
+    pub fn stop(self) {
+        self.handle.shutdown();
+        // Unblock the accept loop; it re-checks the shutdown flag per
+        // connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.accept_thread.join();
+    }
+
+    /// Blocks until the scheduler is shut down (by a client's `shutdown`
+    /// verb), then joins the accept loop. Used by `repro serve`.
+    pub fn run_until_shutdown(self) {
+        while !self.handle.is_shutdown() {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let _ = self.accept_thread.join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, handle: &ServeHandle) {
+    for conn in listener.incoming() {
+        if handle.is_shutdown() {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        let handle = handle.clone();
+        let _ = std::thread::Builder::new()
+            .name("hbm-serve-conn".into())
+            .spawn(move || handle_connection(stream, &handle));
+    }
+}
+
+/// Runs one connection's request/response conversation to EOF.
+fn handle_connection(stream: TcpStream, handle: &ServeHandle) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut writer = stream;
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply_ok = match serde_json::from_str::<Value>(&line) {
+            Ok(req) => handle_request(&req, handle, &mut writer),
+            Err(e) => write_line(&mut writer, &err_line(&format!("bad request: {e}"))).is_ok(),
+        };
+        if !reply_ok {
+            return;
+        }
+    }
+}
+
+/// Dispatches one request line; returns `false` once the connection is
+/// unusable (write failure) or the server is shutting down.
+fn handle_request(req: &Value, handle: &ServeHandle, writer: &mut TcpStream) -> bool {
+    let verb = match req.get("verb") {
+        Some(Value::Str(v)) => v.as_str(),
+        _ => {
+            return write_line(writer, &err_line("missing verb")).is_ok();
+        }
+    };
+    match verb {
+        "submit" => {
+            let spec = match req.get("spec").cloned().map(from_value::<JobSpec>) {
+                Some(Ok(spec)) => spec,
+                Some(Err(e)) => {
+                    return write_line(writer, &err_line(&format!("bad spec: {e}"))).is_ok();
+                }
+                None => return write_line(writer, &err_line("missing spec")).is_ok(),
+            };
+            let reply = match handle.submit(spec) {
+                Ok(job) => json!({ "ok": true, "job": job.0 }),
+                Err(rej) => json!({
+                    "ok": false,
+                    "error": "queue full",
+                    "retry_after_ms": rej.retry_after_ms,
+                }),
+            };
+            write_line(writer, &reply).is_ok()
+        }
+        "status" => {
+            let reply = match u64_field(req, "job").and_then(|id| handle.status(JobId(id))) {
+                Some(status) => json!({ "ok": true, "status": status }),
+                None => err_line("unknown job"),
+            };
+            write_line(writer, &reply).is_ok()
+        }
+        "cancel" => {
+            let reply = match u64_field(req, "job") {
+                Some(id) => json!({ "ok": true, "cancelled": handle.cancel(JobId(id)) }),
+                None => err_line("missing job"),
+            };
+            write_line(writer, &reply).is_ok()
+        }
+        "subscribe" => {
+            let rx = match u64_field(req, "job").and_then(|id| handle.subscribe(JobId(id))) {
+                Some(rx) => rx,
+                None => return write_line(writer, &err_line("unknown job")).is_ok(),
+            };
+            if write_line(writer, &json!({ "ok": true })).is_err() {
+                return false;
+            }
+            for ev in rx {
+                let line = match ev {
+                    Event::Row(row) => json!({ "event": "row", "row": *row }),
+                    Event::End { job, state } => {
+                        let end = json!({ "event": "end", "job": job.0, "state": state });
+                        if write_line(writer, &end).is_err() {
+                            return false;
+                        }
+                        return true;
+                    }
+                };
+                if write_line(writer, &line).is_err() {
+                    return false;
+                }
+            }
+            // Stream closed without an End: the server is going away.
+            false
+        }
+        "stats" => write_line(writer, &json!({ "ok": true, "stats": handle.stats() })).is_ok(),
+        "shutdown" => {
+            let ok = write_line(writer, &json!({ "ok": true })).is_ok();
+            handle.shutdown();
+            // Self-connect so the accept loop wakes up and observes the
+            // shutdown flag.
+            if let Ok(addr) = writer.local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+            let _ = ok;
+            false
+        }
+        other => write_line(writer, &err_line(&format!("unknown verb `{other}`"))).is_ok(),
+    }
+}
+
+/// Blocking client for the wire protocol — what the `serve-client`
+/// example, the golden test, and the CI smoke leg drive.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a serving endpoint, e.g. `"127.0.0.1:7070"`.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let read_half = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(read_half), writer: stream })
+    }
+
+    /// One request/response exchange.
+    fn call(&mut self, req: &Value) -> io::Result<Value> {
+        write_line(&mut self.writer, req)?;
+        self.read_reply()
+    }
+
+    fn read_reply(&mut self) -> io::Result<Value> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection"));
+        }
+        serde_json::from_str(&line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Submits `spec`; `Err(Rejection)` inside the `Ok` is the server's
+    /// backpressure signal (queue full, retry later).
+    pub fn submit(&mut self, spec: &JobSpec) -> io::Result<Result<JobId, Rejection>> {
+        let reply = self.call(&json!({ "verb": "submit", "spec": spec.clone() }))?;
+        match reply.get("ok") {
+            Some(Value::Bool(true)) => match u64_field(&reply, "job") {
+                Some(id) => Ok(Ok(JobId(id))),
+                None => Err(bad_reply("submit reply without job id")),
+            },
+            _ => match u64_field(&reply, "retry_after_ms") {
+                Some(ms) => Ok(Err(Rejection { retry_after_ms: ms })),
+                None => Err(bad_reply("submit rejected without retry_after_ms")),
+            },
+        }
+    }
+
+    /// Submits with bounded retry, honouring the server's
+    /// `retry_after_ms` back-off between attempts.
+    pub fn submit_with_retry(
+        &mut self,
+        spec: &JobSpec,
+        max_attempts: usize,
+    ) -> io::Result<Result<JobId, Rejection>> {
+        let mut last = Rejection { retry_after_ms: 0 };
+        for attempt in 0..max_attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(Duration::from_millis(last.retry_after_ms));
+            }
+            match self.submit(spec)? {
+                Ok(id) => return Ok(Ok(id)),
+                Err(rej) => last = rej,
+            }
+        }
+        Ok(Err(last))
+    }
+
+    /// The server-side view of `job`.
+    pub fn status(&mut self, job: JobId) -> io::Result<Option<JobStatus>> {
+        let reply = self.call(&json!({ "verb": "status", "job": job.0 }))?;
+        match (reply.get("ok"), reply.get("status")) {
+            (Some(Value::Bool(true)), Some(status)) => from_value(status.clone())
+                .map(Some)
+                .map_err(|e| bad_reply(&format!("bad status payload: {e}"))),
+            _ => Ok(None),
+        }
+    }
+
+    /// Requests cancellation; `true` if the job was still cancellable.
+    pub fn cancel(&mut self, job: JobId) -> io::Result<bool> {
+        let reply = self.call(&json!({ "verb": "cancel", "job": job.0 }))?;
+        Ok(matches!(reply.get("cancelled"), Some(Value::Bool(true))))
+    }
+
+    /// The server's observability snapshot.
+    pub fn stats(&mut self) -> io::Result<StatsSnapshot> {
+        let reply = self.call(&json!({ "verb": "stats" }))?;
+        match reply.get("stats") {
+            Some(stats) => {
+                from_value(stats.clone()).map_err(|e| bad_reply(&format!("bad stats payload: {e}")))
+            }
+            None => Err(bad_reply("stats reply without payload")),
+        }
+    }
+
+    /// Subscribes to `job` and drains its stream, invoking `on_event` per
+    /// event, returning the terminal state. Returns `Ok(None)` for an
+    /// unknown job.
+    pub fn subscribe_each(
+        &mut self,
+        job: JobId,
+        mut on_event: impl FnMut(&Event),
+    ) -> io::Result<Option<JobState>> {
+        let reply = self.call(&json!({ "verb": "subscribe", "job": job.0 }))?;
+        if !matches!(reply.get("ok"), Some(Value::Bool(true))) {
+            return Ok(None);
+        }
+        loop {
+            let ev = self.read_reply()?;
+            match ev.get("event") {
+                Some(Value::Str(kind)) if kind == "row" => {
+                    let row: RowResult = match ev.get("row").cloned().map(from_value) {
+                        Some(Ok(row)) => row,
+                        _ => return Err(bad_reply("bad row event")),
+                    };
+                    on_event(&Event::Row(Box::new(row)));
+                }
+                Some(Value::Str(kind)) if kind == "end" => {
+                    let state: JobState = match ev.get("state").cloned().map(from_value) {
+                        Some(Ok(state)) => state,
+                        _ => return Err(bad_reply("bad end event")),
+                    };
+                    let job = JobId(u64_field(&ev, "job").unwrap_or(job.0));
+                    on_event(&Event::End { job, state });
+                    return Ok(Some(state));
+                }
+                _ => return Err(bad_reply("unexpected stream line")),
+            }
+        }
+    }
+
+    /// Subscribes and collects the whole stream: rows sorted by grid
+    /// index plus the terminal state. `None` for an unknown job.
+    pub fn collect(&mut self, job: JobId) -> io::Result<Option<(Vec<RowResult>, JobState)>> {
+        let mut rows = Vec::new();
+        let state = self.subscribe_each(job, |ev| {
+            if let Event::Row(row) = ev {
+                rows.push(row.as_ref().clone());
+            }
+        })?;
+        rows.sort_by_key(|r| r.index);
+        Ok(state.map(|s| (rows, s)))
+    }
+
+    /// Asks the server to shut down (cancelling open jobs).
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.call(&json!({ "verb": "shutdown" })).map(|_| ())
+    }
+
+    /// Raw single-line exchange, for protocol-level tests.
+    pub fn call_raw(&mut self, request_line: &str) -> io::Result<String> {
+        let mut line = request_line.trim_end().to_string();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection"));
+        }
+        Ok(reply.trim_end().to_string())
+    }
+
+    /// Reads one raw line from the stream (after a raw `subscribe`).
+    pub fn read_raw_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection"));
+        }
+        Ok(line.trim_end().to_string())
+    }
+}
+
+fn bad_reply(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::RowStatus;
+    use crate::scheduler::{ServeConfig, Server};
+    use hbm_core::experiment::Fidelity;
+    use hbm_core::SystemConfig;
+    use hbm_traffic::Workload;
+
+    const FID: Fidelity = Fidelity { warmup: 200, cycles: 600 };
+
+    fn spec(name: &str, n: usize) -> JobSpec {
+        let points = (0..n)
+            .map(|i| (SystemConfig::xilinx(), Workload { rotation: i % 4, ..Workload::scs() }))
+            .collect();
+        JobSpec::new(name, FID, points)
+    }
+
+    fn start() -> (Server, WireServer, String) {
+        let server = Server::spawn(ServeConfig { workers: 2, ..ServeConfig::default() });
+        let wire = WireServer::bind("127.0.0.1:0", server.handle()).unwrap();
+        let addr = wire.local_addr().to_string();
+        (server, wire, addr)
+    }
+
+    #[test]
+    fn submit_subscribe_collect_round_trip() {
+        let (server, wire, addr) = start();
+        let mut client = Client::connect(&addr).unwrap();
+        let id = client.submit(&spec("wire", 3)).unwrap().unwrap();
+        let (rows, state) = client.collect(id).unwrap().unwrap();
+        assert_eq!(state, JobState::Done);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.status == RowStatus::Done));
+        let status = client.status(id).unwrap().unwrap();
+        assert_eq!(status.done, 3);
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.rows_done, 3);
+        wire.stop();
+        server.shutdown();
+    }
+
+    #[test]
+    fn queue_full_rejection_reaches_the_client() {
+        let server = Server::spawn(ServeConfig {
+            workers: 1,
+            queue_capacity: 2,
+            retry_after_ms: 33,
+            paused: true,
+            ..ServeConfig::default()
+        });
+        let wire = WireServer::bind("127.0.0.1:0", server.handle()).unwrap();
+        let mut client = Client::connect(&wire.local_addr().to_string()).unwrap();
+        client.submit(&spec("fits", 2)).unwrap().unwrap();
+        let rej = client.submit(&spec("overflow", 1)).unwrap().unwrap_err();
+        assert_eq!(rej, Rejection { retry_after_ms: 33 });
+        wire.stop();
+        server.shutdown();
+    }
+
+    #[test]
+    fn cancel_over_the_wire_ends_the_stream() {
+        let server =
+            Server::spawn(ServeConfig { workers: 1, paused: true, ..ServeConfig::default() });
+        let wire = WireServer::bind("127.0.0.1:0", server.handle()).unwrap();
+        let addr = wire.local_addr().to_string();
+        let mut submitter = Client::connect(&addr).unwrap();
+        let id = submitter.submit(&spec("doomed", 3)).unwrap().unwrap();
+        assert!(submitter.cancel(id).unwrap());
+        let (rows, state) = submitter.collect(id).unwrap().unwrap();
+        assert_eq!(state, JobState::Cancelled);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.status == RowStatus::Cancelled));
+        wire.stop();
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_lines_get_an_error_not_a_hangup() {
+        let (server, wire, addr) = start();
+        let mut client = Client::connect(&addr).unwrap();
+        let reply = client.call_raw("this is not json").unwrap();
+        assert!(reply.contains("\"ok\":false"), "reply: {reply}");
+        let reply = client.call_raw(r#"{"verb":"warp"}"#).unwrap();
+        assert!(reply.contains("unknown verb"), "reply: {reply}");
+        let reply = client.call_raw(r#"{"verb":"status","job":999}"#).unwrap();
+        assert!(reply.contains("unknown job"), "reply: {reply}");
+        // The connection is still healthy.
+        let id = client.submit(&spec("after-errors", 1)).unwrap().unwrap();
+        let (rows, _) = client.collect(id).unwrap().unwrap();
+        assert_eq!(rows.len(), 1);
+        wire.stop();
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_verb_stops_the_server() {
+        let (server, wire, addr) = start();
+        let mut client = Client::connect(&addr).unwrap();
+        client.shutdown().unwrap();
+        wire.run_until_shutdown();
+        server.shutdown();
+        // New connections may still be accepted by the OS backlog, but
+        // submissions are refused.
+        if let Ok(mut late) = Client::connect(&addr) {
+            // An io::Err (connection refused/closed) is equally fine.
+            if let Ok(result) = late.submit(&spec("late", 1)) {
+                assert!(result.is_err(), "post-shutdown submit must not be admitted");
+            }
+        }
+    }
+}

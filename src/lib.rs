@@ -10,6 +10,7 @@ pub use hbm_fabric as fabric;
 pub use hbm_mao as mao;
 pub use hbm_mem as mem;
 pub use hbm_roofline as roofline;
+pub use hbm_serve as serve;
 pub use hbm_traffic as traffic;
 
 /// Convenience prelude pulling in the most commonly used items.
