@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! repro [EXPERIMENT ...] [--quick] [--json] [--smoke] [--jobs N]
-//! repro serve [--addr HOST:PORT] [--queue N] [--jobs N]
+//!       [--cache-dir DIR] [--no-cache]
+//! repro serve [--addr HOST:PORT] [--queue N] [--jobs N] [--no-cache]
 //!
 //! EXPERIMENT: fig2 fig3 fig4 fig5 fig6 fig7 table2 table3 table4 table5
 //!             latency ablations simspeed trace all      (default: all)
@@ -14,6 +15,14 @@
 //! --jobs N:   worker threads for sweep farming (default: HBM_JOBS env
 //!             var, else all cores). Results are bit-identical at any N.
 //!             Must be a positive integer; anything else exits non-zero.
+//! --cache-dir DIR: enable the content-addressed result cache with a
+//!             disk tier under DIR (same as setting HBM_CACHE_DIR).
+//!             Cached rows are byte-identical to fresh runs, so stdout
+//!             diffs clean between a cold and a warm invocation; the
+//!             hit/miss summary goes to stderr.
+//! --no-cache: force the result cache off, overriding --cache-dir and
+//!             HBM_CACHE_DIR. For `serve`, disables the memory-tier
+//!             cache the daemon otherwise enables by default.
 //! ```
 //!
 //! `simspeed` and `trace` are not part of `all`: they inspect the
@@ -90,6 +99,7 @@ fn run_simspeed(quick: bool, json: bool) {
     let sweeps = simspeed::run_sweep_matrix(quick);
     let conductor = simspeed::run_conductor_matrix(quick);
     let serve = simspeed::run_serve_overhead(quick);
+    let cache = simspeed::run_cache_matrix(quick);
     let payload = serde_json::json!({
         "experiment": "simspeed",
         "host_threads": hbm_core::batch::default_threads(),
@@ -98,6 +108,9 @@ fn run_simspeed(quick: bool, json: bool) {
         "conductor": conductor,
         "serve": serve,
         "serve_overhead_pct": serve.serve_overhead_pct,
+        "cache": cache,
+        "cache_cold_wall_s": cache.cold_wall_s,
+        "cache_warm_wall_s": cache.warm_wall_s,
     });
     std::fs::write("BENCH_simspeed.json", format!("{payload}\n"))
         .expect("write BENCH_simspeed.json");
@@ -108,6 +121,7 @@ fn run_simspeed(quick: bool, json: bool) {
         println!("{}", simspeed::render_sweeps(&sweeps));
         println!("{}", simspeed::render_conductor(&conductor));
         println!("{}", simspeed::render_serve(&serve));
+        println!("{}", simspeed::render_cache(&cache));
         println!("wrote BENCH_simspeed.json");
     }
 }
@@ -166,6 +180,7 @@ fn run_serve(args: &[String]) {
     let _ = std::io::stdout().flush();
     wire.run_until_shutdown();
     server.shutdown();
+    report_cache();
     println!("serve: shut down");
 }
 
@@ -193,13 +208,40 @@ fn parse_jobs_or_die(v: &str) -> usize {
     })
 }
 
+/// Flushes the global result cache and prints a one-line hit/miss
+/// summary — to stderr only, so a cold and a warm invocation produce
+/// byte-identical stdout.
+fn report_cache() {
+    let cache = hbm_core::ResultCache::global();
+    if !cache.is_enabled() {
+        return;
+    }
+    if let Err(e) = cache.flush() {
+        eprintln!("hbm-cache: flush failed: {e}");
+    }
+    let s = cache.snapshot();
+    eprintln!(
+        "hbm-cache: {} hits, {} misses, {} coalesced; {} entries in memory{}",
+        s.hits,
+        s.misses,
+        s.coalesced,
+        s.entries,
+        match &s.disk_dir {
+            Some(d) => format!(", disk tier at {d}"),
+            None => String::new(),
+        }
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
     let smoke = args.iter().any(|a| a == "--smoke");
+    let no_cache = args.iter().any(|a| a == "--no-cache");
     let fid = if quick { Fidelity::QUICK } else { Fidelity::FULL };
     let mut jobs_value: Option<usize> = None;
+    let mut cache_dir: Option<String> = None;
     let mut skip_next = false;
     let mut positional: Vec<&str> = Vec::new();
     for (i, a) in args.iter().enumerate() {
@@ -217,6 +259,15 @@ fn main() {
             skip_next = true;
         } else if let Some(v) = a.strip_prefix("--jobs=") {
             jobs_value = Some(parse_jobs_or_die(v));
+        } else if a == "--cache-dir" {
+            let v = args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("--cache-dir requires a directory");
+                std::process::exit(2);
+            });
+            cache_dir = Some(v.clone());
+            skip_next = true;
+        } else if let Some(v) = a.strip_prefix("--cache-dir=") {
+            cache_dir = Some(v.to_string());
         } else if !a.starts_with("--") {
             positional.push(a.as_str());
         }
@@ -224,7 +275,22 @@ fn main() {
     if let Some(jobs) = jobs_value {
         hbm_core::batch::set_sweep_jobs(jobs);
     }
+    // Cache policy: --no-cache wins over everything; --cache-dir enables
+    // the global cache with a disk tier (HBM_CACHE_DIR already did the
+    // same at first use if it was set).
+    let cache = hbm_core::ResultCache::global();
+    if no_cache {
+        cache.disable();
+    } else if let Some(dir) = cache_dir {
+        cache.set_dir(dir);
+        cache.enable();
+    }
     if positional.first() == Some(&"serve") {
+        // The daemon defaults the memory-tier cache on: repeated or
+        // overlapping client grids are exactly what it exists to absorb.
+        if !no_cache {
+            cache.enable();
+        }
         run_serve(&args);
         return;
     }
@@ -240,18 +306,21 @@ fn main() {
     if wanted.contains(&"simspeed") {
         run_simspeed(quick, json);
         if wanted.len() == 1 {
+            report_cache();
             return;
         }
     }
     if wanted.contains(&"trace") {
         run_trace(smoke, quick, json);
         if wanted.len() == 1 {
+            report_cache();
             return;
         }
     }
 
     if json {
         run_json(fid, want);
+        report_cache();
         return;
     }
 
@@ -297,4 +366,5 @@ fn main() {
         println!("{}", render::render_ablations(fid));
         println!("{}", render::render_mixed(fid));
     }
+    report_cache();
 }

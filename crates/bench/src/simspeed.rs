@@ -308,8 +308,21 @@ pub struct ServeOverheadRow {
 /// that the streamed measurements are byte-identical to the direct ones
 /// (the serving layer's core guarantee — a benchmark that silently
 /// measured diverging work would be meaningless).
+///
+/// Both paths get one untimed warm-up pass (thread-pool spin-up, first
+/// TCP accept, allocator growth), and the timed passes interleave the
+/// two sides in ABBA order — direct-then-served one round,
+/// served-then-direct the next — with best-of-N on each side. Warm-up
+/// removes the cold-process penalty from whichever side runs first;
+/// the alternation cancels monotonic clock-speed drift across the
+/// measurement window. Together they make the reported overhead an
+/// honest scheduler + wire cost rather than an artefact of run order
+/// (a negative overhead is an impossibility — both sides simulate the
+/// exact same points). The result cache is pinned *off* on both sides
+/// — a warm cache on either would turn the comparison into a cache
+/// benchmark.
 pub fn run_serve_overhead(quick: bool) -> ServeOverheadRow {
-    use hbm_serve::{Client, JobSpec, RowStatus, ServeConfig, Server, WireServer};
+    use hbm_serve::{Client, JobSpec, ResultCache, RowStatus, ServeConfig, Server, WireServer};
 
     let fid = if quick {
         hbm_core::experiment::Fidelity { warmup: 500, cycles: 1_500 }
@@ -318,21 +331,58 @@ pub fn run_serve_overhead(quick: bool) -> ServeOverheadRow {
     };
     let grid = hbm_core::experiment::fig4_grid();
     let jobs = hbm_core::batch::sweep_jobs();
+    let rounds = if quick { 2 } else { 4 };
+    let no_cache = ResultCache::disabled();
 
-    let t0 = Instant::now();
-    let direct = hbm_core::batch::run_grid(&grid, fid.warmup, fid.cycles, jobs);
-    let direct_wall_s = t0.elapsed().as_secs_f64();
-
-    let server = Server::spawn(ServeConfig { workers: jobs, ..ServeConfig::default() });
+    let server = Server::spawn(ServeConfig {
+        workers: jobs,
+        cache: Some(ResultCache::disabled()),
+        ..ServeConfig::default()
+    });
     let wire = WireServer::bind("127.0.0.1:0", server.handle()).expect("bind loopback");
     let mut client = Client::connect(&wire.local_addr().to_string()).expect("connect loopback");
-    let t0 = Instant::now();
-    let job = client
-        .submit(&JobSpec::new("fig4-overhead", fid, grid.clone()))
-        .expect("submit over wire")
-        .expect("grid fits an empty queue");
-    let (rows, _) = client.collect(job).expect("stream rows").expect("known job");
-    let served_wall_s = t0.elapsed().as_secs_f64();
+
+    let run_direct =
+        || hbm_core::batch::run_grid_with_cache(&grid, fid.warmup, fid.cycles, jobs, &no_cache);
+    let mut round_no = 0usize;
+    let mut run_served = |client: &mut Client| {
+        round_no += 1;
+        let job = client
+            .submit(&JobSpec::new(format!("fig4-overhead-{round_no}"), fid, grid.clone()))
+            .expect("submit over wire")
+            .expect("grid fits an empty queue");
+        let (rows, _) = client.collect(job).expect("stream rows").expect("known job");
+        rows
+    };
+
+    // Untimed warm-up of both paths; the direct pass doubles as the
+    // byte-identity reference.
+    let direct = run_direct();
+    let _ = run_served(&mut client);
+
+    let mut direct_wall_s = f64::INFINITY;
+    let mut served_wall_s = f64::INFINITY;
+    let mut rows = Vec::new();
+    for round in 0..rounds {
+        let time_direct = |direct_wall_s: &mut f64| {
+            let t0 = Instant::now();
+            let d = run_direct();
+            *direct_wall_s = direct_wall_s.min(t0.elapsed().as_secs_f64());
+            debug_assert_eq!(d.len(), direct.len());
+        };
+        let mut time_served = |served_wall_s: &mut f64, rows: &mut Vec<_>| {
+            let t0 = Instant::now();
+            *rows = run_served(&mut client);
+            *served_wall_s = served_wall_s.min(t0.elapsed().as_secs_f64());
+        };
+        if round % 2 == 0 {
+            time_direct(&mut direct_wall_s);
+            time_served(&mut served_wall_s, &mut rows);
+        } else {
+            time_served(&mut served_wall_s, &mut rows);
+            time_direct(&mut direct_wall_s);
+        }
+    }
     wire.stop();
     server.shutdown();
 
@@ -355,6 +405,82 @@ pub fn run_serve_overhead(quick: bool) -> ServeOverheadRow {
         served_wall_s,
         serve_overhead_pct: 100.0 * (served_wall_s / direct_wall_s.max(1e-12) - 1.0),
     }
+}
+
+/// One cold/warm pair through the result cache: the fig4 grid run twice
+/// against the same (memory-tier) [`hbm_core::ResultCache`].
+#[derive(Debug, Clone, Serialize)]
+pub struct CacheRow {
+    /// Grid points in the sweep (the Fig. 4 rotation grid).
+    pub points: usize,
+    /// Worker threads on both runs.
+    pub jobs: usize,
+    /// Wall time of the first (all-miss) run, in seconds.
+    pub cold_wall_s: f64,
+    /// Wall time of the second (all-hit) run, in seconds.
+    pub warm_wall_s: f64,
+    /// `cold_wall_s / warm_wall_s` — how much the cache buys on an
+    /// exact rerun.
+    pub speedup: f64,
+    /// Cache hits observed on the warm run (must equal `points`).
+    pub warm_hits: u64,
+    /// Whether the warm rows serialised byte-identical to the cold ones
+    /// (asserted — recorded here so the JSON artefact carries the
+    /// proof).
+    pub byte_identical: bool,
+}
+
+/// Runs the fig4 grid cold then warm through a private result cache and
+/// proves the warm rows byte-identical to the cold ones. Uses a local
+/// cache instance, so the benchmark neither reads nor pollutes whatever
+/// `HBM_CACHE_DIR` the process was started with.
+pub fn run_cache_matrix(quick: bool) -> CacheRow {
+    use hbm_core::ResultCache;
+
+    let (warmup, cycles) = if quick { (500, 1_500) } else { (2_000, 8_000) };
+    let grid = hbm_core::experiment::fig4_grid();
+    let jobs = hbm_core::batch::sweep_jobs();
+    let cache = ResultCache::new();
+
+    let t0 = Instant::now();
+    let cold = hbm_core::batch::run_grid_with_cache(&grid, warmup, cycles, jobs, &cache);
+    let cold_wall_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let warm = hbm_core::batch::run_grid_with_cache(&grid, warmup, cycles, jobs, &cache);
+    let warm_wall_s = t0.elapsed().as_secs_f64();
+
+    assert_eq!(warm.len(), cold.len());
+    for (i, (w, c)) in warm.iter().zip(&cold).enumerate() {
+        assert_eq!(
+            serde_json::to_string(w).unwrap(),
+            serde_json::to_string(c).unwrap(),
+            "warm row {i} diverged from the cold run"
+        );
+    }
+    let snap = cache.snapshot();
+    assert_eq!(snap.hits, grid.len() as u64, "warm run must hit on every point");
+
+    CacheRow {
+        points: grid.len(),
+        jobs,
+        cold_wall_s,
+        warm_wall_s,
+        speedup: cold_wall_s / warm_wall_s.max(1e-12),
+        warm_hits: snap.hits,
+        byte_identical: true,
+    }
+}
+
+/// Renders the cache cold/warm section as an aligned text table.
+pub fn render_cache(row: &CacheRow) -> String {
+    format!(
+        "Result cache (fig4 grid, cold run vs exact warm rerun; warm rows\n\
+         proven byte-identical to cold)\n\
+         points  jobs      cold_s      warm_s   speedup  warm_hits\n\
+         {:>6} {:>5} {:>11.6} {:>11.6} {:>8.1}x {:>10}\n",
+        row.points, row.jobs, row.cold_wall_s, row.warm_wall_s, row.speedup, row.warm_hits
+    )
 }
 
 /// Renders the serving-overhead section as an aligned text table.

@@ -21,6 +21,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use hbm_traffic::Workload;
 
+use crate::cache::ResultCache;
+use crate::experiment::Fidelity;
 use crate::measure::{measure, Measurement};
 use crate::system::SystemConfig;
 
@@ -157,14 +159,39 @@ where
 }
 
 /// Measures every grid point, using up to `threads` OS threads, and
-/// returns results in input order.
+/// returns results in input order. Consults the process-wide
+/// [`ResultCache::global`] — disabled by default, so this is a plain
+/// re-simulation unless `--cache-dir`/`HBM_CACHE_DIR` turned caching on.
 pub fn run_grid(
     points: &[GridPoint],
     warmup: u64,
     cycles: u64,
     threads: usize,
 ) -> Vec<Measurement> {
-    par_map(points, threads, |(cfg, wl)| measure(cfg, *wl, warmup, cycles))
+    run_grid_with_cache(points, warmup, cycles, threads, ResultCache::global())
+}
+
+/// [`run_grid`] against an explicit cache: each point is answered from
+/// the cache when possible, computed (and inserted) otherwise, with
+/// identical concurrent points single-flighted. Any buffered disk-tier
+/// writes are flushed once at the end of the grid, so a completed sweep
+/// is durable as one crash-safe segment.
+pub fn run_grid_with_cache(
+    points: &[GridPoint],
+    warmup: u64,
+    cycles: u64,
+    threads: usize,
+    cache: &ResultCache,
+) -> Vec<Measurement> {
+    if !cache.is_enabled() {
+        return par_map(points, threads, |(cfg, wl)| measure(cfg, *wl, warmup, cycles));
+    }
+    let fid = Fidelity { warmup, cycles };
+    let out = par_map(points, threads, |(cfg, wl)| cache.measure_cached(cfg, wl, fid));
+    if let Err(e) = cache.flush() {
+        eprintln!("hbm-cache: flush failed: {e}");
+    }
+    out
 }
 
 /// A reasonable thread count for sweeps on this machine.

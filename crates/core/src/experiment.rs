@@ -10,7 +10,7 @@ use hbm_mao::{InterleaveMode, MaoConfig};
 use hbm_traffic::{Pattern, RwRatio, Workload};
 use serde::{Deserialize, Serialize};
 
-use crate::measure::{measure, Measurement};
+use crate::measure::Measurement;
 use crate::system::{FabricKind, SystemConfig};
 
 /// Simulation fidelity: cycles of warm-up and measurement.
@@ -29,7 +29,9 @@ impl Fidelity {
     pub const FULL: Fidelity = Fidelity { warmup: 4_000, cycles: 24_000 };
 
     fn run(&self, cfg: &SystemConfig, wl: Workload) -> Measurement {
-        measure(cfg, wl, self.warmup, self.cycles)
+        // Routes through the process-wide result cache; a no-op
+        // passthrough to [`measure`] unless caching was enabled.
+        crate::cache::ResultCache::global().measure_cached(cfg, &wl, *self)
     }
 
     /// Measures every point of a sweep, farmed out over

@@ -14,6 +14,8 @@
 //! * [`experiment`] — one function per figure/table of the paper,
 //!   returning structured rows (the `repro` binary and the benches print
 //!   them);
+//! * [`cache`] — content-addressed memoisation of sweep-point
+//!   measurements (memory + optional disk tier, single-flight dedup);
 //! * [`report`] — plain-text table and JSON rendering;
 //! * [`probe`] — windowed time-series sampling of a running system;
 //! * [`export`] — Chrome trace-event JSON and probe JSONL emission (see
@@ -39,6 +41,7 @@
 //! ```
 
 pub mod batch;
+pub mod cache;
 pub mod estimate;
 pub mod experiment;
 pub mod export;
@@ -56,6 +59,7 @@ pub mod prelude {
     pub use hbm_traffic::{Pattern, RwRatio, Workload};
 }
 
+pub use cache::{fingerprint, CacheSnapshot, Fingerprint, ResultCache, SIM_KERNEL_VERSION};
 pub use measure::{measure, Measurement};
 pub use probe::{Probe, ProbeConfig, Snapshot};
 pub use system::{FabricKind, HbmSystem, RunPolicy, SystemConfig};

@@ -58,7 +58,8 @@ pub mod scheduler;
 pub mod stats;
 pub mod wire;
 
+pub use hbm_core::cache::{CacheSnapshot, ResultCache};
 pub use job::{Event, JobId, JobSpec, JobState, JobStatus, Rejection, RowResult, RowStatus};
 pub use scheduler::{ServeConfig, ServeHandle, Server};
 pub use stats::{DepthGauges, HistSummary, ServeStats, StatsSnapshot};
-pub use wire::{Client, WireServer};
+pub use wire::{Client, WireServer, RETRY_CAP_MS, RETRY_FLOOR_MS};

@@ -30,13 +30,35 @@
 //! — regardless of worker count, of competing clients, of priorities,
 //! and of cancellations of other jobs (enforced by the
 //! `serve_determinism` proptest).
+//!
+//! ## Result cache and single-flight coalescing
+//!
+//! When a [`hbm_core::cache::ResultCache`] is attached
+//! ([`ServeConfig::cache`], defaulting to the process-wide cache — which
+//! is disabled unless `--cache-dir`/`HBM_CACHE_DIR` turned it on), the
+//! scheduler consults it at *claim* time:
+//!
+//! * **hit** — the row is deposited inline (no dispatch, no worker);
+//! * **in-flight elsewhere** — the point attaches as a *waiter* to the
+//!   identical point already running (same fingerprint **and** same
+//!   effective timeout budget) and receives a mirror of its row on
+//!   completion — one simulation serves every concurrent requester;
+//! * **miss** — the point dispatches normally and registers the flight.
+//!
+//! Determinism makes this invisible in the output: a cache hit or a
+//! coalesced row is byte-identical to a fresh run. Fair-share accounting
+//! is preserved because claims still rotate jobs point by point; only
+//! the *work* is deduplicated. The dispatch log records real dispatches
+//! only, which is what lets tests prove a point was never simulated
+//! twice.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use hbm_core::batch::{self, panic_message, GridPoint};
+use hbm_core::cache::{fingerprint, Fingerprint, ResultCache};
 use hbm_core::experiment::Fidelity;
 use hbm_core::measure::measure;
 use hbm_core::Measurement;
@@ -59,6 +81,11 @@ pub struct ServeConfig {
     /// Start with dispatch paused (tests use this to stage a precise
     /// queue picture before any worker claims a point).
     pub paused: bool,
+    /// Result cache consulted at claim time; `None` uses the
+    /// process-wide [`ResultCache::global`] (disabled by default, so the
+    /// scheduler re-simulates every point unless caching was turned on).
+    /// Tests attach local instances to avoid cross-test state.
+    pub cache: Option<ResultCache>,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +96,7 @@ impl Default for ServeConfig {
             retry_after_ms: 50,
             default_timeout_ms: None,
             paused: false,
+            cache: None,
         }
     }
 }
@@ -142,6 +170,12 @@ impl JobEntry {
     }
 }
 
+/// Key of one in-flight computation waiters can coalesce onto: the
+/// point's content fingerprint plus its effective timeout budget (a
+/// waiter must not inherit an outcome measured under a different
+/// wall-clock budget).
+type FlightKey = (u128, Option<u64>);
+
 /// Scheduler state under the one mutex.
 struct State {
     next_job: u64,
@@ -149,6 +183,9 @@ struct State {
     /// Ready jobs per priority level: round-robin within a level,
     /// highest level drained first.
     ready: BTreeMap<u8, VecDeque<u64>>,
+    /// Claimed-but-identical points waiting on a dispatched flight:
+    /// `(job, index)` pairs that receive a mirror of the flight's row.
+    inflight: HashMap<FlightKey, Vec<(u64, usize)>>,
     queued_points: usize,
     running_points: usize,
     paused: bool,
@@ -157,45 +194,140 @@ struct State {
 }
 
 impl State {
-    /// Claims the next point under the fairness discipline. Returns the
-    /// work description; the caller runs it outside the lock.
-    fn claim(&mut self) -> Option<Claimed> {
+    /// Pops the next ready job id under the fairness discipline
+    /// (highest priority level first, round-robin within a level).
+    fn pick_ready(&mut self) -> Option<(u8, u64)> {
         loop {
             let (&prio, queue) = self.ready.iter_mut().next_back()?;
-            let Some(id) = queue.pop_front() else {
-                self.ready.remove(&prio);
-                continue;
+            match queue.pop_front() {
+                Some(id) => {
+                    if queue.is_empty() {
+                        self.ready.remove(&prio);
+                    }
+                    return Some((prio, id));
+                }
+                None => {
+                    self.ready.remove(&prio);
+                }
+            }
+        }
+    }
+
+    /// Claims the next point that actually needs a worker. Cache hits
+    /// are deposited inline and identical in-flight points attach as
+    /// waiters — both without leaving the lock — and claiming continues
+    /// until real work (or nothing) is found. Returns the work
+    /// description plus whether any rows were deposited inline (the
+    /// caller then wakes progress waiters).
+    fn claim(&mut self, cache: &ResultCache) -> (Option<Claimed>, bool) {
+        let mut deposited = false;
+        loop {
+            let Some((prio, id)) = self.pick_ready() else {
+                return (None, deposited);
             };
             let entry = self.jobs.get_mut(&id).expect("ready job must exist");
             if entry.state == JobState::Cancelled || entry.next_point >= entry.total() {
                 // Stale queue entry (job was cancelled); drop it.
-                if queue.is_empty() {
-                    self.ready.remove(&prio);
-                }
                 continue;
             }
             let index = entry.next_point;
             entry.next_point += 1;
-            entry.running += 1;
             entry.state = JobState::Running;
             let now = Instant::now();
-            let first = *entry.first_dispatch.get_or_insert(now);
-            let _ = first;
+            entry.first_dispatch.get_or_insert(now);
             let wait_us = (now - entry.submitted_at).as_micros() as u64;
             let point = entry.spec.points[index].clone();
             let fidelity = entry.spec.fidelity;
             let timeout_ms = entry.spec.timeout_ms;
-            let more = entry.next_point < entry.total();
-            if more {
-                queue.push_back(id);
-            } else if queue.is_empty() {
-                self.ready.remove(&prio);
+            if entry.next_point < entry.total() {
+                self.ready.entry(prio).or_default().push_back(id);
             }
             self.queued_points -= 1;
-            self.running_points += 1;
             self.stats.queue_wait_us.record(wait_us);
+
+            let flight = if cache.is_enabled() {
+                let fp = fingerprint(&point.0, &point.1, fidelity);
+                if let Some(m) = cache.get(fp) {
+                    // Answered from the cache: the row is deposited
+                    // here and now; no worker ever sees the point.
+                    self.stats.cache_hits += 1;
+                    self.deposit_row(id, index, RowStatus::Done, Some((*m).clone()), now);
+                    deposited = true;
+                    continue;
+                }
+                let key: FlightKey = (fp.0, timeout_ms);
+                if let Some(waiters) = self.inflight.get_mut(&key) {
+                    // Identical point already on a worker: wait for its
+                    // row instead of simulating twice.
+                    waiters.push((id, index));
+                    self.stats.cache_coalesced += 1;
+                    let entry = self.jobs.get_mut(&id).expect("claimed job exists");
+                    entry.running += 1;
+                    continue;
+                }
+                self.inflight.insert(key, Vec::new());
+                self.stats.cache_misses += 1;
+                Some(key)
+            } else {
+                None
+            };
+
+            let entry = self.jobs.get_mut(&id).expect("claimed job exists");
+            entry.running += 1;
+            self.running_points += 1;
             self.stats.log_dispatch(id, index);
-            return Some(Claimed { job: id, index, point, fidelity, timeout_ms });
+            return (
+                Some(Claimed { job: id, index, point, fidelity, timeout_ms, flight }),
+                deposited,
+            );
+        }
+    }
+
+    /// Deposits one completed row into its job: counters, broadcast,
+    /// replay log, and — when this was the last outstanding point — the
+    /// job's terminal transition and `End` event. The caller has already
+    /// adjusted `running` bookkeeping.
+    fn deposit_row(
+        &mut self,
+        id: u64,
+        index: usize,
+        status: RowStatus,
+        measurement: Option<Measurement>,
+        now: Instant,
+    ) {
+        match status {
+            RowStatus::Done => self.stats.rows_done += 1,
+            RowStatus::Failed { .. } => self.stats.rows_failed += 1,
+            RowStatus::TimedOut => self.stats.rows_timed_out += 1,
+            RowStatus::Cancelled => self.stats.rows_cancelled += 1,
+        }
+        let entry = self.jobs.get_mut(&id).expect("depositing into a known job");
+        match status {
+            RowStatus::Done => entry.done += 1,
+            RowStatus::Failed { .. } => entry.failed += 1,
+            RowStatus::TimedOut => entry.timed_out += 1,
+            RowStatus::Cancelled => entry.cancelled_points += 1,
+        }
+        let row = RowResult { job: JobId(id), index, status, measurement };
+        entry.broadcast(&Event::Row(Box::new(row.clone())));
+        entry.log.push((row, now));
+        let mut completed_job = false;
+        if entry.is_finished() {
+            if entry.state != JobState::Cancelled {
+                entry.state = JobState::Done;
+                completed_job = true;
+            }
+            let state = entry.state;
+            entry.finished_at = Some(now);
+            entry.broadcast(&Event::End { job: JobId(id), state });
+        }
+        // Live deliveries happen at completion time: ~0 stream latency.
+        let live_subs = entry.subscribers.len() as u64;
+        if completed_job {
+            self.stats.jobs_completed += 1;
+        }
+        for _ in 0..live_subs {
+            self.stats.stream_us.record(0);
         }
     }
 
@@ -249,6 +381,10 @@ struct Claimed {
     point: GridPoint,
     fidelity: Fidelity,
     timeout_ms: Option<u64>,
+    /// The registered flight key when the result cache is active; the
+    /// completion path deposits mirrors to the flight's waiters and
+    /// inserts a `Done` measurement into the cache.
+    flight: Option<FlightKey>,
 }
 
 struct Shared {
@@ -258,6 +394,8 @@ struct Shared {
     /// Waiters (status polls, `wait`) park here for any progress.
     progress: Condvar,
     workers: usize,
+    /// The result cache claims consult (possibly disabled).
+    cache: ResultCache,
 }
 
 /// Cloneable in-process handle to a serving pool: the API the wire layer
@@ -282,11 +420,13 @@ impl Server {
     /// Starts `cfg.workers` worker threads over a fresh scheduler.
     pub fn spawn(cfg: ServeConfig) -> Server {
         let workers = cfg.workers.max(1);
+        let cache = cfg.cache.clone().unwrap_or_else(|| ResultCache::global().clone());
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 next_job: 0,
                 jobs: BTreeMap::new(),
                 ready: BTreeMap::new(),
+                inflight: HashMap::new(),
                 queued_points: 0,
                 running_points: 0,
                 paused: cfg.paused,
@@ -296,6 +436,7 @@ impl Server {
             work: Condvar::new(),
             progress: Condvar::new(),
             workers,
+            cache,
         });
         let handle = ServeHandle {
             shared: shared.clone(),
@@ -431,9 +572,16 @@ impl ServeHandle {
 
     /// The observability snapshot the `stats` verb exports.
     pub fn stats(&self) -> StatsSnapshot {
+        let cache = self.shared.cache.snapshot();
         let st = self.shared.state.lock().unwrap();
         let depth = st.depth();
-        st.stats.snapshot(self.shared.workers, depth)
+        st.stats.snapshot(self.shared.workers, depth, cache)
+    }
+
+    /// The result cache this pool consults (possibly disabled) — what
+    /// the `cache` wire verb inspects and clears.
+    pub fn cache(&self) -> &ResultCache {
+        &self.shared.cache
     }
 
     /// Recent `(job, point)` dispatches, oldest first — the fairness
@@ -510,7 +658,13 @@ fn worker_loop(shared: &Shared, _default_timeout: Option<u64>) {
                     return;
                 }
                 if !st.paused {
-                    if let Some(c) = st.claim() {
+                    let (c, deposited) = st.claim(&shared.cache);
+                    if deposited {
+                        // Inline cache hits completed rows (possibly
+                        // whole jobs) without a worker: wake `wait`ers.
+                        shared.progress.notify_all();
+                    }
+                    if let Some(c) = c {
                         break c;
                     }
                 }
@@ -521,45 +675,30 @@ fn worker_loop(shared: &Shared, _default_timeout: Option<u64>) {
         let (status, measurement) = run_point(&claimed);
         let run = t0.elapsed();
 
+        // Publish a successful flight's measurement before depositing,
+        // so any claim that raced past the (removed) flight still hits.
+        if let (Some(_), RowStatus::Done, Some(m)) = (&claimed.flight, &status, &measurement) {
+            let fp = Fingerprint(claimed.flight.expect("just matched").0);
+            shared.cache.insert(fp, Arc::new(m.clone()));
+        }
+
         let mut st = shared.state.lock().unwrap();
         st.running_points -= 1;
         st.stats.run_us.record(run.as_micros() as u64);
         st.stats.busy_ns += run.as_nanos() as u64;
-        match status {
-            RowStatus::Done => st.stats.rows_done += 1,
-            RowStatus::Failed { .. } => st.stats.rows_failed += 1,
-            RowStatus::TimedOut => st.stats.rows_timed_out += 1,
-            RowStatus::Cancelled => st.stats.rows_cancelled += 1,
-        }
-        let entry = st.jobs.get_mut(&claimed.job).expect("job of a running point exists");
-        entry.running -= 1;
-        match status {
-            RowStatus::Done => entry.done += 1,
-            RowStatus::Failed { .. } => entry.failed += 1,
-            RowStatus::TimedOut => entry.timed_out += 1,
-            RowStatus::Cancelled => entry.cancelled_points += 1,
-        }
-        let row = RowResult { job: JobId(claimed.job), index: claimed.index, status, measurement };
+        let waiters = match claimed.flight {
+            Some(key) => st.inflight.remove(&key).unwrap_or_default(),
+            None => Vec::new(),
+        };
         let now = Instant::now();
-        entry.broadcast(&Event::Row(Box::new(row.clone())));
-        entry.log.push((row, now));
-        let mut completed_job = false;
-        if entry.is_finished() {
-            if entry.state != JobState::Cancelled {
-                entry.state = JobState::Done;
-                completed_job = true;
-            }
-            let state = entry.state;
-            entry.finished_at = Some(now);
-            entry.broadcast(&Event::End { job: JobId(claimed.job), state });
-        }
-        // Live deliveries happen at completion time: ~0 stream latency.
-        let live_subs = entry.subscribers.len() as u64;
-        if completed_job {
-            st.stats.jobs_completed += 1;
-        }
-        for _ in 0..live_subs {
-            st.stats.stream_us.record(0);
+        st.jobs.get_mut(&claimed.job).expect("job of a running point exists").running -= 1;
+        st.deposit_row(claimed.job, claimed.index, status.clone(), measurement.clone(), now);
+        // Every coalesced waiter receives a mirror of the flight's row —
+        // determinism makes it byte-identical to running the point
+        // itself.
+        for (job, index) in waiters {
+            st.jobs.get_mut(&job).expect("waiting job exists").running -= 1;
+            st.deposit_row(job, index, status.clone(), measurement.clone(), now);
         }
         drop(st);
         shared.progress.notify_all();
@@ -782,6 +921,106 @@ mod tests {
         assert_eq!(state, JobState::Cancelled);
         assert_eq!(rows.len(), 2);
         assert!(h.submit(spec("late", 1)).is_err(), "post-shutdown submissions are rejected");
+    }
+
+    #[test]
+    fn identical_concurrent_jobs_never_double_simulate_a_point() {
+        let cache = ResultCache::new();
+        let server = Server::spawn(ServeConfig {
+            workers: 2,
+            paused: true,
+            cache: Some(cache.clone()),
+            ..ServeConfig::default()
+        });
+        let h = server.handle();
+        // Two rival jobs over the *same* grid, queued before any worker
+        // runs: every point exists twice in the queue.
+        let a = h.submit(spec("a", 4)).unwrap();
+        let b = h.submit(spec("b", 4)).unwrap();
+        h.resume();
+        assert_eq!(h.wait(a, WAIT), Some(JobState::Done));
+        assert_eq!(h.wait(b, WAIT), Some(JobState::Done));
+
+        // The dispatch log proves single-flight: each of the 4 unique
+        // points was simulated exactly once, despite 8 queued rows.
+        let log = h.dispatch_log();
+        assert_eq!(log.len(), 4, "4 unique points → 4 dispatches, log: {log:?}");
+        let mut indices: Vec<usize> = log.iter().map(|&(_, i)| i).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 1, 2, 3], "every unique point ran once: {log:?}");
+
+        let snap = h.stats();
+        assert_eq!(snap.rows_done, 8, "all 8 rows streamed");
+        assert_eq!(snap.cache_misses, 4);
+        assert_eq!(
+            snap.cache_hits + snap.cache_coalesced,
+            4,
+            "the duplicate rows were answered without dispatch: {snap:?}"
+        );
+
+        // Both jobs' rows carry real measurements, identical to direct.
+        let direct = run_grid(&tiny_points(4), FID.warmup, FID.cycles, 1);
+        for job in [a, b] {
+            let (rows, state) = collect(h.subscribe(job).unwrap());
+            assert_eq!(state, JobState::Done);
+            for (row, want) in rows.iter().zip(&direct) {
+                assert_eq!(row.status, RowStatus::Done);
+                let got = row.measurement.as_ref().unwrap();
+                assert_eq!(
+                    serde_json::to_string(got).unwrap(),
+                    serde_json::to_string(want).unwrap()
+                );
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn resubmitted_job_is_answered_entirely_from_cache() {
+        let cache = ResultCache::new();
+        let server = Server::spawn(ServeConfig {
+            workers: 2,
+            cache: Some(cache.clone()),
+            ..ServeConfig::default()
+        });
+        let h = server.handle();
+        let first = h.submit(spec("first", 3)).unwrap();
+        assert_eq!(h.wait(first, WAIT), Some(JobState::Done));
+        let dispatched = h.dispatch_log().len();
+        assert_eq!(dispatched, 3);
+
+        let again = h.submit(spec("again", 3)).unwrap();
+        assert_eq!(h.wait(again, WAIT), Some(JobState::Done));
+        assert_eq!(h.dispatch_log().len(), dispatched, "rerun dispatched nothing");
+        let snap = h.stats();
+        assert_eq!(snap.cache_hits, 3);
+        assert_eq!(snap.rows_done, 6);
+        let (rows, _) = collect(h.subscribe(again).unwrap());
+        assert!(rows.iter().all(|r| r.measurement.is_some()), "hits carry measurements");
+        server.shutdown();
+    }
+
+    #[test]
+    fn cached_jobs_preserve_fidelity_and_timeout_isolation() {
+        // Same points at a different fidelity or timeout budget must
+        // not share results or flights.
+        let cache = ResultCache::new();
+        let server = Server::spawn(ServeConfig {
+            workers: 1,
+            cache: Some(cache.clone()),
+            ..ServeConfig::default()
+        });
+        let h = server.handle();
+        let quick = h.submit(spec("quick", 2)).unwrap();
+        assert_eq!(h.wait(quick, WAIT), Some(JobState::Done));
+        let other_fid = Fidelity { warmup: FID.warmup, cycles: FID.cycles + 100 };
+        let slow = h.submit(JobSpec::new("slow", other_fid, tiny_points(2))).unwrap();
+        assert_eq!(h.wait(slow, WAIT), Some(JobState::Done));
+        let snap = h.stats();
+        assert_eq!(snap.cache_hits, 0, "different fidelity cannot hit");
+        assert_eq!(snap.cache_misses, 4);
+        assert_eq!(h.dispatch_log().len(), 4);
+        server.shutdown();
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use std::time::Instant;
 
 use hbm_axi::instrument::Hist;
+use hbm_core::cache::CacheSnapshot;
 use serde::{Deserialize, Serialize};
 
 /// How many `(job, point)` dispatches the scheduler remembers for
@@ -46,6 +47,13 @@ pub struct ServeStats {
     pub rows_timed_out: u64,
     /// Points cancelled before dispatch.
     pub rows_cancelled: u64,
+    /// Points answered from the result cache at claim time (no
+    /// dispatch).
+    pub cache_hits: u64,
+    /// Points dispatched because the cache had no answer.
+    pub cache_misses: u64,
+    /// Points coalesced onto an identical in-flight computation.
+    pub cache_coalesced: u64,
     /// Recent dispatches as `(job, point-index)`, oldest first, capped
     /// at [`DISPATCH_LOG_CAP`].
     pub dispatch_log: Vec<(u64, usize)>,
@@ -68,6 +76,9 @@ impl ServeStats {
             rows_failed: 0,
             rows_timed_out: 0,
             rows_cancelled: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_coalesced: 0,
             dispatch_log: Vec::new(),
         }
     }
@@ -81,9 +92,14 @@ impl ServeStats {
     }
 
     /// Folds the counters into an exportable snapshot. `workers` scales
-    /// the utilisation denominator; the depth gauges come from the
-    /// scheduler state that owns these counters.
-    pub fn snapshot(&self, workers: usize, depth: DepthGauges) -> StatsSnapshot {
+    /// the utilisation denominator; the depth gauges and cache snapshot
+    /// come from the scheduler that owns these counters.
+    pub fn snapshot(
+        &self,
+        workers: usize,
+        depth: DepthGauges,
+        cache: CacheSnapshot,
+    ) -> StatsSnapshot {
         let uptime = self.started.elapsed();
         let capacity_ns = (workers as u64).max(1).saturating_mul(uptime.as_nanos() as u64).max(1);
         StatsSnapshot {
@@ -102,6 +118,10 @@ impl ServeStats {
             rows_failed: self.rows_failed,
             rows_timed_out: self.rows_timed_out,
             rows_cancelled: self.rows_cancelled,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            cache_coalesced: self.cache_coalesced,
+            cache,
         }
     }
 }
@@ -188,6 +208,14 @@ pub struct StatsSnapshot {
     pub rows_timed_out: u64,
     /// Cancelled points.
     pub rows_cancelled: u64,
+    /// Points answered from the result cache at claim time.
+    pub cache_hits: u64,
+    /// Points dispatched because the cache had no answer.
+    pub cache_misses: u64,
+    /// Points coalesced onto an identical in-flight computation.
+    pub cache_coalesced: u64,
+    /// Gauges and counters of the attached result cache itself.
+    pub cache: CacheSnapshot,
 }
 
 #[cfg(test)]
@@ -202,8 +230,11 @@ mod tests {
         s.run_us.record(5_000);
         s.rows_done = 2;
         s.jobs_submitted = 1;
-        let snap =
-            s.snapshot(4, DepthGauges { queued_points: 7, running_points: 2, active_jobs: 1 });
+        let snap = s.snapshot(
+            4,
+            DepthGauges { queued_points: 7, running_points: 2, active_jobs: 1 },
+            hbm_core::cache::ResultCache::disabled().snapshot(),
+        );
         assert_eq!(snap.queue_wait_us.count, 2);
         assert_eq!(snap.queue_wait_us.mean_us, 200.0);
         assert_eq!(snap.run_us.count, 1);
@@ -225,8 +256,11 @@ mod tests {
 
     #[test]
     fn snapshot_round_trips_through_json() {
-        let snap = ServeStats::new()
-            .snapshot(2, DepthGauges { queued_points: 0, running_points: 0, active_jobs: 0 });
+        let snap = ServeStats::new().snapshot(
+            2,
+            DepthGauges { queued_points: 0, running_points: 0, active_jobs: 0 },
+            hbm_core::cache::ResultCache::disabled().snapshot(),
+        );
         let json = serde_json::to_string(&snap).unwrap();
         let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);

@@ -17,6 +17,7 @@
 //! | `subscribe` | `job`: N              | `{"ok":true}` then row/end event lines       |
 //! | `cancel`    | `job`: N              | `{"ok":true,"cancelled":bool}`               |
 //! | `stats`     | —                     | `{"ok":true,"stats":{...}}`                  |
+//! | `cache`     | `clear`: bool (opt.)  | `{"ok":true,"cache":{...}}` (snapshot after an optional memory-tier clear) |
 //! | `shutdown`  | —                     | `{"ok":true}`; the server then stops         |
 //!
 //! Errors are `{"ok":false,"error":"..."}`; a queue-full rejection
@@ -32,6 +33,7 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::time::Duration;
 
+use hbm_core::cache::CacheSnapshot;
 use serde::value::{from_value, Value};
 use serde_json::json;
 
@@ -41,9 +43,23 @@ use crate::stats::StatsSnapshot;
 
 /// Serializes `v` and appends the protocol's line terminator.
 fn write_line(stream: &mut (impl Write + ?Sized), v: &Value) -> io::Result<()> {
-    let mut line = v.to_string();
-    line.push('\n');
-    stream.write_all(line.as_bytes())
+    let mut line = String::new();
+    write_line_buf(stream, &mut line, v)
+}
+
+/// [`write_line`] into a caller-owned buffer, so per-row streaming
+/// reuses one allocation per connection instead of a fresh `String` per
+/// NDJSON line.
+fn write_line_buf(
+    stream: &mut (impl Write + ?Sized),
+    buf: &mut String,
+    v: &Value,
+) -> io::Result<()> {
+    use std::fmt::Write as _;
+    buf.clear();
+    write!(buf, "{v}").expect("String formatting is infallible");
+    buf.push('\n');
+    stream.write_all(buf.as_bytes())
 }
 
 fn err_line(msg: &str) -> Value {
@@ -122,13 +138,16 @@ fn handle_connection(stream: TcpStream, handle: &ServeHandle) {
     let Ok(read_half) = stream.try_clone() else { return };
     let mut writer = stream;
     let reader = BufReader::new(read_half);
+    // One serialization buffer for the connection's lifetime: row
+    // streaming reuses it instead of allocating per NDJSON line.
+    let mut buf = String::new();
     for line in reader.lines() {
         let Ok(line) = line else { return };
         if line.trim().is_empty() {
             continue;
         }
         let reply_ok = match serde_json::from_str::<Value>(&line) {
-            Ok(req) => handle_request(&req, handle, &mut writer),
+            Ok(req) => handle_request(&req, handle, &mut writer, &mut buf),
             Err(e) => write_line(&mut writer, &err_line(&format!("bad request: {e}"))).is_ok(),
         };
         if !reply_ok {
@@ -139,7 +158,12 @@ fn handle_connection(stream: TcpStream, handle: &ServeHandle) {
 
 /// Dispatches one request line; returns `false` once the connection is
 /// unusable (write failure) or the server is shutting down.
-fn handle_request(req: &Value, handle: &ServeHandle, writer: &mut TcpStream) -> bool {
+fn handle_request(
+    req: &Value,
+    handle: &ServeHandle,
+    writer: &mut TcpStream,
+    buf: &mut String,
+) -> bool {
     let verb = match req.get("verb") {
         Some(Value::Str(v)) => v.as_str(),
         _ => {
@@ -192,13 +216,13 @@ fn handle_request(req: &Value, handle: &ServeHandle, writer: &mut TcpStream) -> 
                     Event::Row(row) => json!({ "event": "row", "row": *row }),
                     Event::End { job, state } => {
                         let end = json!({ "event": "end", "job": job.0, "state": state });
-                        if write_line(writer, &end).is_err() {
+                        if write_line_buf(writer, buf, &end).is_err() {
                             return false;
                         }
                         return true;
                     }
                 };
-                if write_line(writer, &line).is_err() {
+                if write_line_buf(writer, buf, &line).is_err() {
                     return false;
                 }
             }
@@ -206,6 +230,12 @@ fn handle_request(req: &Value, handle: &ServeHandle, writer: &mut TcpStream) -> 
             false
         }
         "stats" => write_line(writer, &json!({ "ok": true, "stats": handle.stats() })).is_ok(),
+        "cache" => {
+            if matches!(req.get("clear"), Some(Value::Bool(true))) {
+                handle.cache().clear();
+            }
+            write_line(writer, &json!({ "ok": true, "cache": handle.cache().snapshot() })).is_ok()
+        }
         "shutdown" => {
             let ok = write_line(writer, &json!({ "ok": true })).is_ok();
             handle.shutdown();
@@ -267,21 +297,28 @@ impl Client {
         }
     }
 
-    /// Submits with bounded retry, honouring the server's
-    /// `retry_after_ms` back-off between attempts.
+    /// Submits with bounded retry, backing off between attempts with
+    /// decorrelated jitter seeded by the server's `retry_after_ms` hint.
+    /// A floor ([`RETRY_FLOOR_MS`]) keeps a `retry_after_ms` of 0 from
+    /// degenerating into a busy-spin that hammers the socket, and a cap
+    /// ([`RETRY_CAP_MS`]) bounds the growth.
     pub fn submit_with_retry(
         &mut self,
         spec: &JobSpec,
         max_attempts: usize,
     ) -> io::Result<Result<JobId, Rejection>> {
+        let mut rng = retry_seed();
+        let mut prev = RETRY_FLOOR_MS;
         let mut last = Rejection { retry_after_ms: 0 };
-        for attempt in 0..max_attempts.max(1) {
-            if attempt > 0 {
-                std::thread::sleep(Duration::from_millis(last.retry_after_ms));
-            }
+        let attempts = max_attempts.max(1);
+        for attempt in 0..attempts {
             match self.submit(spec)? {
                 Ok(id) => return Ok(Ok(id)),
                 Err(rej) => last = rej,
+            }
+            if attempt + 1 < attempts {
+                prev = backoff_ms(last.retry_after_ms, prev, &mut rng);
+                std::thread::sleep(Duration::from_millis(prev));
             }
         }
         Ok(Err(last))
@@ -302,6 +339,23 @@ impl Client {
     pub fn cancel(&mut self, job: JobId) -> io::Result<bool> {
         let reply = self.call(&json!({ "verb": "cancel", "job": job.0 }))?;
         Ok(matches!(reply.get("cancelled"), Some(Value::Bool(true))))
+    }
+
+    /// The server's result-cache snapshot; `clear` empties the cache's
+    /// memory tier first.
+    pub fn cache(&mut self, clear: bool) -> io::Result<CacheSnapshot> {
+        let req = if clear {
+            json!({ "verb": "cache", "clear": true })
+        } else {
+            json!({ "verb": "cache" })
+        };
+        let reply = self.call(&req)?;
+        match reply.get("cache") {
+            Some(snap) => {
+                from_value(snap.clone()).map_err(|e| bad_reply(&format!("bad cache payload: {e}")))
+            }
+            None => Err(bad_reply("cache reply without payload")),
+        }
     }
 
     /// The server's observability snapshot.
@@ -395,6 +449,42 @@ fn bad_reply(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
+/// Minimum back-off between submit retries, even when the server hints
+/// `retry_after_ms: 0` — the floor that prevents a busy-spin.
+pub const RETRY_FLOOR_MS: u64 = 10;
+
+/// Upper bound on one back-off interval.
+pub const RETRY_CAP_MS: u64 = 2_000;
+
+/// A per-call seed for the retry jitter (process id ⊕ wall clock, run
+/// through one mixing round — no shared state, no extra deps).
+fn retry_seed() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0);
+    splitmix(&mut (nanos ^ (u64::from(std::process::id()) << 32)))
+}
+
+/// One splitmix64 step: advances `state` and returns a mixed value.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The next back-off interval: decorrelated jitter, uniform in
+/// `[lo, hi]` where `lo` is the server's hint clamped to the floor/cap
+/// and `hi` grows from the previous interval (×3) up to the cap. Pure —
+/// the unit tests drive it with fixed rng states.
+fn backoff_ms(hint_ms: u64, prev_ms: u64, rng: &mut u64) -> u64 {
+    let lo = hint_ms.clamp(RETRY_FLOOR_MS, RETRY_CAP_MS);
+    let hi = prev_ms.saturating_mul(3).clamp(lo, RETRY_CAP_MS);
+    lo + splitmix(rng) % (hi - lo + 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -486,6 +576,63 @@ mod tests {
         let id = client.submit(&spec("after-errors", 1)).unwrap().unwrap();
         let (rows, _) = client.collect(id).unwrap().unwrap();
         assert_eq!(rows.len(), 1);
+        wire.stop();
+        server.shutdown();
+    }
+
+    #[test]
+    fn backoff_enforces_a_floor_against_zero_hints() {
+        let mut rng = 1u64;
+        for _ in 0..200 {
+            let ms = backoff_ms(0, 0, &mut rng);
+            assert!(ms >= RETRY_FLOOR_MS, "zero hint must not busy-spin: {ms}");
+            assert!(ms <= RETRY_CAP_MS);
+        }
+    }
+
+    #[test]
+    fn backoff_caps_growth_and_huge_hints() {
+        let mut rng = 7u64;
+        let mut prev = RETRY_FLOOR_MS;
+        for _ in 0..50 {
+            prev = backoff_ms(50, prev, &mut rng);
+            assert!(prev <= RETRY_CAP_MS, "growth is capped: {prev}");
+            assert!(prev >= 50, "server hint is honoured as the minimum");
+        }
+        // A hint beyond the cap is clamped, not obeyed verbatim.
+        let ms = backoff_ms(60_000, RETRY_FLOOR_MS, &mut rng);
+        assert_eq!(ms, RETRY_CAP_MS);
+    }
+
+    #[test]
+    fn backoff_is_jittered() {
+        let mut rng = 42u64;
+        // Wide window: prev*3 = 1500 vs lo = 100.
+        let samples: Vec<u64> = (0..32).map(|_| backoff_ms(100, 500, &mut rng)).collect();
+        assert!(samples.iter().any(|&s| s != samples[0]), "jitter must vary: {samples:?}");
+        assert!(samples.iter().all(|&s| (100..=1_500).contains(&s)));
+    }
+
+    #[test]
+    fn cache_verb_round_trips_and_clears() {
+        let cache = hbm_core::cache::ResultCache::new();
+        let server = Server::spawn(ServeConfig {
+            workers: 1,
+            cache: Some(cache.clone()),
+            ..ServeConfig::default()
+        });
+        let wire = WireServer::bind("127.0.0.1:0", server.handle()).unwrap();
+        let mut client = Client::connect(&wire.local_addr().to_string()).unwrap();
+        let id = client.submit(&spec("cached", 2)).unwrap().unwrap();
+        let (_, state) = client.collect(id).unwrap().unwrap();
+        assert_eq!(state, JobState::Done);
+        let snap = client.cache(false).unwrap();
+        assert!(snap.enabled);
+        assert_eq!(snap.entries, 2, "both points were inserted");
+        let cleared = client.cache(true).unwrap();
+        assert_eq!(cleared.entries, 0, "clear empties the memory tier");
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.cache_misses, 2);
         wire.stop();
         server.shutdown();
     }

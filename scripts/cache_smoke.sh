@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Result-cache smoke test: the end-to-end contract over a real disk tier.
+#
+#   1. Run `repro fig4 --json --quick --cache-dir D` twice. The second
+#      (warm) run must report cache hits on stderr and its stdout must
+#      diff CLEAN against the first — a cache hit is byte-identical to a
+#      fresh simulation, so caching is invisible in the output.
+#   2. Corrupt a disk segment (truncate mid-line, the crash shape the
+#      write-then-rename protocol defends against) and run again: the
+#      damaged segment is skipped loudly, the grid is recomputed, and
+#      stdout still diffs clean — damage costs time, never correctness.
+#   3. The run after that must be warm again (the recomputation
+#      re-flushed a healthy segment).
+#   4. `--no-cache` must win over `--cache-dir`: no cache summary, same
+#      stdout.
+#
+# Usage: scripts/cache_smoke.sh   (binary must already be built:
+#        cargo build --release -p hbm-bench --bin repro)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPRO=target/release/repro
+WORK=$(mktemp -d)
+CACHE="$WORK/cache"
+trap 'rm -rf "$WORK"' EXIT
+
+[ -x "$REPRO" ] || { echo "missing $REPRO (build it first)"; exit 1; }
+
+# Pulls the N out of "hbm-cache: N hits, M misses, ..." on stderr.
+hits_of() { grep -o 'hbm-cache: [0-9]* hits' "$1" | grep -o '[0-9]*' || echo 0; }
+
+echo "== cold run (fills $CACHE)"
+"$REPRO" fig4 --json --quick --cache-dir "$CACHE" > "$WORK/cold.json" 2> "$WORK/cold.err"
+cat "$WORK/cold.err"
+[ "$(hits_of "$WORK/cold.err")" -eq 0 ] || { echo "cold run cannot hit"; exit 1; }
+ls "$CACHE"/*.jsonl > /dev/null || { echo "cold run wrote no segment"; exit 1; }
+
+echo "== warm run must hit and diff clean"
+"$REPRO" fig4 --json --quick --cache-dir "$CACHE" > "$WORK/warm.json" 2> "$WORK/warm.err"
+cat "$WORK/warm.err"
+HITS=$(hits_of "$WORK/warm.err")
+[ "$HITS" -gt 0 ] || { echo "warm run reported no cache hits"; exit 1; }
+diff -u "$WORK/cold.json" "$WORK/warm.json" || { echo "warm stdout diverged from cold"; exit 1; }
+echo "   $HITS hits, stdout byte-identical"
+
+echo "== corrupted segment: recompute, never corrupt"
+SEG=$(ls "$CACHE"/*.jsonl | head -1)
+SIZE=$(wc -c < "$SEG")
+head -c "$((SIZE / 2))" "$SEG" > "$SEG.tmp" && mv "$SEG.tmp" "$SEG"
+"$REPRO" fig4 --json --quick --cache-dir "$CACHE" > "$WORK/recover.json" 2> "$WORK/recover.err"
+cat "$WORK/recover.err"
+grep -q 'skipping corrupted segment' "$WORK/recover.err" \
+  || { echo "damaged segment was not reported"; exit 1; }
+diff -u "$WORK/cold.json" "$WORK/recover.json" || { echo "recovery stdout diverged"; exit 1; }
+
+echo "== post-recovery run must be warm again"
+"$REPRO" fig4 --json --quick --cache-dir "$CACHE" > "$WORK/rewarm.json" 2> "$WORK/rewarm.err"
+[ "$(hits_of "$WORK/rewarm.err")" -gt 0 ] || { echo "re-flushed segment did not serve hits"; exit 1; }
+diff -u "$WORK/cold.json" "$WORK/rewarm.json" || { echo "re-warm stdout diverged"; exit 1; }
+
+echo "== --no-cache wins over --cache-dir"
+"$REPRO" fig4 --json --quick --cache-dir "$CACHE" --no-cache \
+  > "$WORK/nocache.json" 2> "$WORK/nocache.err"
+if grep -q 'hbm-cache:' "$WORK/nocache.err"; then
+  echo "--no-cache still printed a cache summary"; exit 1
+fi
+diff -u "$WORK/cold.json" "$WORK/nocache.json" || { echo "uncached stdout diverged"; exit 1; }
+
+echo "cache smoke: OK"

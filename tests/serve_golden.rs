@@ -69,11 +69,13 @@ fn normalise_line(line: &str) -> String {
 /// free single worker, driven through every verb and the error paths.
 fn run_session() -> Vec<String> {
     // One worker → points complete in index order → a deterministic
-    // event stream.
+    // event stream. A private enabled cache pins the `cache` verb's
+    // grammar (and the cache section of `stats`) with live counters.
     let server = Server::spawn(ServeConfig {
         workers: 1,
         queue_capacity: 64,
         retry_after_ms: 50,
+        cache: Some(hbm_fpga::serve::ResultCache::new()),
         ..ServeConfig::default()
     });
     let wire = WireServer::bind("127.0.0.1:0", server.handle()).expect("bind loopback");
@@ -118,6 +120,8 @@ fn run_session() -> Vec<String> {
     exchange(&mut transcript, &mut client, r#"{"verb":"warp"}"#.to_string());
     exchange(&mut transcript, &mut client, "this is not json".to_string());
     exchange(&mut transcript, &mut client, r#"{"verb":"stats"}"#.to_string());
+    exchange(&mut transcript, &mut client, r#"{"verb":"cache"}"#.to_string());
+    exchange(&mut transcript, &mut client, r#"{"verb":"cache","clear":true}"#.to_string());
 
     wire.stop();
     server.shutdown();
