@@ -1,0 +1,53 @@
+//! Criterion benches of the lockstep batched engine: sweep points per
+//! wall-second through `measure_batch` at K = 1, 4, 16 lanes versus K
+//! scalar `measure` calls over the same points.
+//!
+//! `repro simspeed` measures the same comparison on the full Fig. 4
+//! grid (via the batch planner) and records it in `BENCH_simspeed.json`
+//! as the `batched` section; this harness isolates the kernel itself on
+//! a fixed lane count, which is the number to watch when touching
+//! `hbm_core::lockstep`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hbm_core::lockstep::measure_batch;
+use hbm_core::measure;
+use hbm_core::prelude::*;
+use std::hint::black_box;
+
+const WARM: u64 = 300;
+const MEAS: u64 = 1_200;
+
+/// K rotation workloads of the Fig. 4 family (all on the stock Xilinx
+/// topology, as the planner would group them).
+fn lanes(k: usize) -> Vec<Workload> {
+    let rotations = [0usize, 1, 2, 3, 4, 6, 8];
+    (0..k)
+        .map(|i| Workload { rotation: rotations[i % rotations.len()], ..Workload::scs() })
+        .collect()
+}
+
+fn bench_batched_vs_scalar(c: &mut Criterion) {
+    let cfg = SystemConfig::xilinx();
+    let mut g = c.benchmark_group("batched_points_per_sec");
+    g.sample_size(10);
+    for k in [1usize, 4, 16] {
+        let wls = lanes(k);
+        g.throughput(Throughput::Elements(k as u64));
+        g.bench_function(BenchmarkId::new("scalar", k), |b| {
+            b.iter(|| {
+                let rows: Vec<_> = wls.iter().map(|wl| measure(&cfg, *wl, WARM, MEAS)).collect();
+                black_box(rows.len())
+            })
+        });
+        g.bench_function(BenchmarkId::new("batched", k), |b| {
+            b.iter(|| {
+                let rows = measure_batch(&cfg, &wls, WARM, MEAS);
+                black_box(rows.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_batched_vs_scalar);
+criterion_main!(benches);

@@ -98,6 +98,7 @@ fn run_simspeed(quick: bool, json: bool) {
     let rows = simspeed::run_matrix(quick);
     let sweeps = simspeed::run_sweep_matrix(quick);
     let conductor = simspeed::run_conductor_matrix(quick);
+    let batched = simspeed::run_batched_matrix(quick);
     let serve = simspeed::run_serve_overhead(quick);
     let cache = simspeed::run_cache_matrix(quick);
     let payload = serde_json::json!({
@@ -106,6 +107,7 @@ fn run_simspeed(quick: bool, json: bool) {
         "rows": rows,
         "sweeps": sweeps,
         "conductor": conductor,
+        "batched": batched,
         "serve": serve,
         "serve_overhead_pct": serve.serve_overhead_pct,
         "cache": cache,
@@ -120,6 +122,7 @@ fn run_simspeed(quick: bool, json: bool) {
         println!("{}", simspeed::render(&rows));
         println!("{}", simspeed::render_sweeps(&sweeps));
         println!("{}", simspeed::render_conductor(&conductor));
+        println!("{}", simspeed::render_batched(&batched));
         println!("{}", simspeed::render_serve(&serve));
         println!("{}", simspeed::render_cache(&cache));
         println!("wrote BENCH_simspeed.json");
@@ -208,6 +211,16 @@ fn parse_jobs_or_die(v: &str) -> usize {
     })
 }
 
+/// Parses a `--batch` value through the shared validator, exiting loudly
+/// on anything that is not a positive lane count, `0`, or `off`.
+fn parse_batch_or_die(v: &str) -> usize {
+    hbm_core::batch::parse_batch(v).unwrap_or_else(|e| {
+        eprintln!("--batch: {e}");
+        eprintln!("usage: --batch N|off (lockstep lanes per batch)");
+        std::process::exit(2);
+    })
+}
+
 /// Flushes the global result cache and prints a one-line hit/miss
 /// summary — to stderr only, so a cold and a warm invocation produce
 /// byte-identical stdout.
@@ -241,6 +254,7 @@ fn main() {
     let no_cache = args.iter().any(|a| a == "--no-cache");
     let fid = if quick { Fidelity::QUICK } else { Fidelity::FULL };
     let mut jobs_value: Option<usize> = None;
+    let mut batch_value: Option<usize> = None;
     let mut cache_dir: Option<String> = None;
     let mut skip_next = false;
     let mut positional: Vec<&str> = Vec::new();
@@ -259,6 +273,16 @@ fn main() {
             skip_next = true;
         } else if let Some(v) = a.strip_prefix("--jobs=") {
             jobs_value = Some(parse_jobs_or_die(v));
+        } else if a == "--batch" {
+            let v = args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("--batch requires a lane count");
+                eprintln!("usage: --batch N|off (lockstep lanes per batch)");
+                std::process::exit(2);
+            });
+            batch_value = Some(parse_batch_or_die(v));
+            skip_next = true;
+        } else if let Some(v) = a.strip_prefix("--batch=") {
+            batch_value = Some(parse_batch_or_die(v));
         } else if a == "--cache-dir" {
             let v = args.get(i + 1).unwrap_or_else(|| {
                 eprintln!("--cache-dir requires a directory");
@@ -274,6 +298,9 @@ fn main() {
     }
     if let Some(jobs) = jobs_value {
         hbm_core::batch::set_sweep_jobs(jobs);
+    }
+    if let Some(lanes) = batch_value {
+        hbm_core::batch::set_batch_lanes(lanes);
     }
     // Cache policy: --no-cache wins over everything; --cache-dir enables
     // the global cache with a disk tier (HBM_CACHE_DIR already did the

@@ -1,0 +1,70 @@
+//! The lockstep batch planner's zero-overhead fallback: grids with
+//! nothing to batch — a single point, or every point on a distinct
+//! topology — must route through the scalar path without constructing
+//! any batched state at all. The witness is the process-wide
+//! [`batches_built`] counter, which every [`BatchedSystem`]
+//! construction increments; a grid that batches nothing must leave it
+//! untouched. Kept as ONE test function so no concurrent test in this
+//! binary can move the counter between observations.
+
+use hbm_core::batch::{plan_batches, run_grid, set_batch_lanes, BatchTask};
+use hbm_core::lockstep::batches_built;
+use hbm_core::prelude::*;
+
+#[test]
+fn fallback_grids_build_no_batches_and_match_scalar() {
+    // Batching explicitly ON (and wide) for the whole test.
+    set_batch_lanes(16);
+
+    let single = vec![(SystemConfig::xilinx(), Workload::scs())];
+    let mixed = vec![
+        (SystemConfig::xilinx(), Workload::scs()),
+        (SystemConfig::mao(), Workload::scs()),
+        (SystemConfig::direct(), Workload::scs()),
+    ];
+
+    // The planner itself refuses both shapes...
+    assert_eq!(plan_batches(&single, 16, 4), None, "single-point grid must not plan batches");
+    assert_eq!(plan_batches(&mixed, 16, 4), None, "all-distinct topologies must not plan batches");
+
+    // ...so running them must not construct a single BatchedSystem.
+    let before = batches_built();
+    let single_rows = run_grid(&single, 300, 800, 1);
+    let mixed_rows = run_grid(&mixed, 300, 800, 2);
+    assert_eq!(batches_built(), before, "fallback grids must pay zero batched setup cost");
+    assert_eq!(single_rows.len(), 1);
+    assert_eq!(mixed_rows.len(), 3);
+
+    // The fallback path is the scalar path: rows equal direct `measure`.
+    let want = hbm_core::measure(&single[0].0, single[0].1, 300, 800);
+    assert_eq!(
+        serde_json::to_string(&single_rows[0]).unwrap(),
+        serde_json::to_string(&want).unwrap(),
+        "fallback row must be the scalar measurement"
+    );
+
+    // Control: a same-topology multi-point grid DOES build batches and
+    // still matches the scalar rows byte for byte.
+    let grid = vec![
+        (SystemConfig::xilinx(), Workload::scs()),
+        (SystemConfig::xilinx(), Workload { rotation: 4, ..Workload::scs() }),
+        (SystemConfig::xilinx(), Workload { rotation: 8, ..Workload::scs() }),
+    ];
+    match plan_batches(&grid, 16, 1).as_deref() {
+        Some([BatchTask::Lanes(idxs)]) => assert_eq!(idxs, &[0, 1, 2]),
+        other => panic!("same-topology grid must plan one lane group, got {other:?}"),
+    }
+    let before = batches_built();
+    let batched_rows = run_grid(&grid, 300, 800, 1);
+    assert!(batches_built() > before, "same-topology grid must take the batched path");
+    for (point, got) in grid.iter().zip(&batched_rows) {
+        let want = hbm_core::measure(&point.0, point.1, 300, 800);
+        assert_eq!(
+            serde_json::to_string(got).unwrap(),
+            serde_json::to_string(&want).unwrap(),
+            "batched row diverged for {point:?}"
+        );
+    }
+
+    set_batch_lanes(0);
+}

@@ -16,6 +16,9 @@
 //!   them);
 //! * [`cache`] — content-addressed memoisation of sweep-point
 //!   measurements (memory + optional disk tier, single-flight dedup);
+//! * [`lockstep`] — batched execution engine advancing K sweep points
+//!   of one topology through a single devirtualised instruction stream
+//!   ([`batch::run_grid`] plans grids onto it automatically);
 //! * [`report`] — plain-text table and JSON rendering;
 //! * [`probe`] — windowed time-series sampling of a running system;
 //! * [`export`] — Chrome trace-event JSON and probe JSONL emission (see
@@ -45,6 +48,7 @@ pub mod cache;
 pub mod estimate;
 pub mod experiment;
 pub mod export;
+pub mod lockstep;
 pub mod measure;
 pub mod probe;
 pub mod report;
@@ -59,7 +63,10 @@ pub mod prelude {
     pub use hbm_traffic::{Pattern, RwRatio, Workload};
 }
 
-pub use cache::{fingerprint, CacheSnapshot, Fingerprint, ResultCache, SIM_KERNEL_VERSION};
+pub use cache::{
+    fingerprint, topology_key, CacheSnapshot, Fingerprint, ResultCache, SIM_KERNEL_VERSION,
+};
+pub use lockstep::{batches_built, measure_batch, BatchedSystem};
 pub use measure::{measure, Measurement};
 pub use probe::{Probe, ProbeConfig, Snapshot};
 pub use system::{FabricKind, HbmSystem, RunPolicy, SystemConfig};

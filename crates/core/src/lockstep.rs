@@ -1,0 +1,763 @@
+//! Lockstep batched execution: advance K sweep points per instruction
+//! stream.
+//!
+//! Sweep grids (Fig. 4's rotation × burst matrix, the `sweep` binary's
+//! parameter spaces) are many *independent* simulations sharing one
+//! topology: same fabric, same controllers, same component code — only
+//! the workload parameters differ. The scalar path pays the full cost of
+//! that sharing anyway (each point re-walks the same instruction stream
+//! through `Box<dyn>` dispatch), so a [`BatchedSystem`] packs K such
+//! points into *lanes* of one engine:
+//!
+//! * **SoA layout** — lane state lives in flat lane-major arrays
+//!   (`K × 32` generators, `K × 32` controllers, `K × 32` stuck-slots,
+//!   one concrete fabric per lane) plus per-lane control vectors
+//!   (`now`), so a batch is one allocation-dense working set rather
+//!   than K scattered heaps.
+//! * **One instruction stream** — the cycle kernel is monomorphised per
+//!   fabric type (an enum over the four concrete fabrics, matched once
+//!   per batch call, never per cycle), and the lockstep driver replays
+//!   the *same* specialised advance loop across all lanes within each
+//!   epoch, keeping I-cache and branch predictors hot.
+//! * **Min-horizon lockstep** — lanes advance in epochs to a common
+//!   target cycle; each lane skips its own idle gaps with the PR 1
+//!   event-horizon machinery, and between epochs the driver takes the
+//!   *minimum* horizon across lanes: when every lane is provably idle
+//!   until `T`, simulated time jumps to `T` for the whole batch in one
+//!   move.
+//!
+//! ## Byte-identity
+//!
+//! Lanes never interact — there is no cross-lane state, only a shared
+//! driver — so each lane replays the exact component call schedule of
+//! [`HbmSystem::step`](crate::system::HbmSystem), and any conservative
+//! skipping schedule is safe under the one-sided `next_event` contract
+//! (DESIGN.md §3). Every lane's [`Measurement`] is therefore
+//! byte-identical to the scalar [`measure`](crate::measure::measure) of
+//! the same point, enforced by the `lockstep_equivalence` proptests
+//! across all four fabrics.
+//!
+//! On sharded fabrics each lane additionally uses the per-domain
+//! advance of DESIGN.md §3.3 (the `RunPolicy::Parallel { jobs: 1 }`
+//! schedule, inline): domains skip their *own* idle cycles between
+//! lateral barriers, which is finer-grained than the monolithic horizon
+//! and measurably faster on rotation workloads — and bit-identical by
+//! the same lateral-lag argument the parallel conductor rests on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use hbm_axi::{Completion, Cycle, MasterId, PortId};
+use hbm_fabric::{
+    DirectFabric, FullCrossbarFabric, Interconnect, ShardLayout, SwitchShard, XilinxFabric,
+};
+use hbm_mao::MaoFabric;
+use hbm_mem::MemoryController;
+use hbm_traffic::{BmTrafficGen, GenStats, Workload};
+
+use crate::measure::Measurement;
+use crate::system::{FabricKind, Pacer, SystemConfig};
+
+/// Epoch length of the lockstep driver, in cycles. Within an epoch each
+/// lane runs its specialised kernel back-to-back (D-cache friendly);
+/// across epochs the lanes re-align so the min-horizon rule can skip
+/// shared idle time. The value trades lane-switch overhead against how
+/// long a finished lane waits before its quiescence is noticed; at 1024
+/// both costs are far below 1 % of a saturated lane's work.
+const EPOCH: Cycle = 1024;
+
+/// Batches constructed process-wide (including inside `measure_batch`).
+/// The planner-fallback tests use this to prove single-point and
+/// mixed-topology grids never pay any batched setup cost.
+static BATCHES_BUILT: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of [`BatchedSystem`]s constructed by this process so far.
+pub fn batches_built() -> usize {
+    BATCHES_BUILT.load(Ordering::Relaxed)
+}
+
+// --------------------------------------------------------------- lane set
+
+/// The SoA lane state for one concrete fabric type `F`: all per-master
+/// and per-port component state of the K lanes, flat and lane-major.
+struct Lanes<F: Interconnect> {
+    cfg: SystemConfig,
+    /// Masters (= ports) per lane.
+    n: usize,
+    /// Lanes in the batch.
+    k: usize,
+    /// `k × n` traffic generators, lane-major.
+    gens: Vec<BmTrafficGen>,
+    /// `k × n` memory controllers, lane-major.
+    mcs: Vec<MemoryController>,
+    /// `k × n` stuck-completion slots, lane-major.
+    stuck: Vec<Option<Completion>>,
+    /// One concrete fabric per lane.
+    fabrics: Vec<F>,
+    /// Per-lane current cycle. Equal across lanes at every epoch
+    /// boundary of [`run`](Lanes::run); free-running under
+    /// [`run_until_drained`](Lanes::run_until_drained).
+    now: Vec<Cycle>,
+}
+
+/// A mutable view of one lane: the slice of every SoA array it owns.
+/// All simulation semantics live on this view; the batch driver only
+/// schedules which lane advances when.
+struct LaneView<'a, F: Interconnect> {
+    gens: &'a mut [BmTrafficGen],
+    fabric: &'a mut F,
+    mcs: &'a mut [MemoryController],
+    stuck: &'a mut [Option<Completion>],
+    now: &'a mut Cycle,
+}
+
+impl<F: Interconnect> Lanes<F> {
+    fn new(cfg: &SystemConfig, specs: &[(Workload, Option<u64>)], build: impl Fn() -> F) -> Self {
+        cfg.hbm.validate().expect("invalid HBM configuration");
+        let n = cfg.hbm.num_pch;
+        let k = specs.len();
+        assert!(k >= 1, "a batch needs at least one lane");
+        let mut gens = Vec::with_capacity(k * n);
+        let mut mcs = Vec::with_capacity(k * n);
+        for &(wl, max_txns) in specs {
+            for m in 0..n {
+                gens.push(BmTrafficGen::new(
+                    MasterId(m as u16),
+                    n,
+                    cfg.hbm.pch_capacity,
+                    wl,
+                    max_txns,
+                ));
+            }
+            for p in 0..n {
+                mcs.push(MemoryController::new(&cfg.hbm, cfg.clock, cfg.hbm.refresh_phase(p)));
+            }
+        }
+        Lanes {
+            cfg: cfg.clone(),
+            n,
+            k,
+            gens,
+            mcs,
+            stuck: vec![None; k * n],
+            fabrics: (0..k).map(|_| build()).collect(),
+            now: vec![0; k],
+        }
+    }
+
+    /// Iterates the per-lane views, in lane order.
+    fn views(&mut self) -> impl Iterator<Item = LaneView<'_, F>> {
+        let n = self.n;
+        self.fabrics
+            .iter_mut()
+            .zip(self.gens.chunks_mut(n))
+            .zip(self.mcs.chunks_mut(n))
+            .zip(self.stuck.chunks_mut(n))
+            .zip(self.now.iter_mut())
+            .map(|((((fabric, gens), mcs), stuck), now)| LaneView { gens, fabric, mcs, stuck, now })
+    }
+
+    /// The lockstep run loop: advances every lane by `cycles` cycles in
+    /// shared epochs, taking the min horizon across lanes between them.
+    fn run(&mut self, cycles: Cycle) {
+        let start = self.now[0];
+        debug_assert!(
+            self.now.iter().all(|&t| t == start),
+            "lanes must be aligned when entering run()"
+        );
+        let deadline = start.saturating_add(cycles);
+        let mut t = start;
+        while t < deadline {
+            let target = deadline.min(t.saturating_add(EPOCH));
+            // Advance each lane to the epoch target with its own
+            // specialised kernel, collecting each lane's horizon bound.
+            let mut min_next: Option<Cycle> = None;
+            let mut quiescent = true;
+            for mut lane in self.views() {
+                if let Some(h) = lane.advance_to(target) {
+                    quiescent = false;
+                    min_next = Some(min_next.map_or(h, |m: Cycle| m.min(h)));
+                }
+            }
+            t = target;
+            // Min-horizon rule: nothing in any lane can happen before
+            // `min_next`, so the whole batch jumps there in one move
+            // (`quiescent` = every lane is done forever: jump to the
+            // deadline).
+            let skip_to = if quiescent { deadline } else { min_next.unwrap_or(t).min(deadline) };
+            if skip_to > t {
+                t = skip_to;
+                for now in &mut self.now {
+                    *now = t;
+                }
+            }
+        }
+    }
+
+    /// Drains every lane independently (sequential reference schedule),
+    /// each within `max_cycles`; returns per-lane drain success. Lanes
+    /// may end at different cycles — exactly like running K scalar
+    /// systems — so this is *not* followed by lockstep `run` calls.
+    fn run_until_drained(&mut self, max_cycles: Cycle) -> Vec<bool> {
+        self.views().map(|mut lane| lane.drain_to(max_cycles)).collect()
+    }
+
+    fn reset_stats(&mut self) {
+        for g in &mut self.gens {
+            g.reset_stats();
+        }
+        for m in &mut self.mcs {
+            m.reset_stats();
+        }
+        for f in &mut self.fabrics {
+            f.reset_stats();
+        }
+    }
+
+    /// Per-lane measurements, replicating `measure::snapshot` field by
+    /// field (merge orders included) so rows are byte-identical to the
+    /// scalar path.
+    fn snapshot(&self, cycles: Cycle) -> Vec<Measurement> {
+        (0..self.k)
+            .map(|l| {
+                let lane = l * self.n..(l + 1) * self.n;
+                let per_master: Vec<GenStats> =
+                    self.gens[lane.clone()].iter().map(|g| *g.stats()).collect();
+                let mut gen = GenStats::default();
+                for g in &per_master {
+                    gen.merge(g);
+                }
+                let mut mem = hbm_mem::MemStats::default();
+                for mc in &self.mcs[lane] {
+                    mem.merge(mc.stats());
+                }
+                Measurement {
+                    cycles,
+                    clock: self.cfg.clock,
+                    gen,
+                    per_master,
+                    mem,
+                    fabric: self.fabrics[l].stats(),
+                    device_gbps: self.cfg.hbm.theoretical_bw_gbps(),
+                }
+            })
+            .collect()
+    }
+}
+
+// --------------------------------------------------------------- lane view
+
+impl<F: Interconnect> LaneView<'_, F> {
+    /// Replays the four-phase cycle of `HbmSystem::step` on this lane,
+    /// with concrete (devirtualised) component types.
+    fn step(&mut self) {
+        let now = *self.now;
+        for gen in self.gens.iter_mut() {
+            if let Some(txn) = gen.poll(now) {
+                if self.fabric.offer_request(now, txn).is_ok() {
+                    gen.accepted();
+                }
+            }
+        }
+        self.fabric.tick(now);
+        for (p, mc) in self.mcs.iter_mut().enumerate() {
+            let port = PortId(p as u16);
+            if let Some(head) = self.fabric.peek_request(now, port) {
+                if mc.can_accept(head.dir) {
+                    let txn = self.fabric.pop_request(now, port).expect("peeked head");
+                    mc.accept(now, txn);
+                }
+            }
+            mc.tick(now);
+            if let Some(c) = self.stuck[p].take() {
+                if let Err(c) = self.fabric.offer_completion(now, port, c) {
+                    self.stuck[p] = Some(c);
+                }
+            }
+            if self.stuck[p].is_none() {
+                if let Some(c) = mc.pop_completion(now) {
+                    if let Err(c) = self.fabric.offer_completion(now, port, c) {
+                        self.stuck[p] = Some(c);
+                    }
+                }
+            }
+        }
+        for (m, gen) in self.gens.iter_mut().enumerate() {
+            while let Some(c) = self.fabric.pop_completion(now, MasterId(m as u16)) {
+                gen.completed(now, &c.txn).expect("AXI ordering violated — simulator bug");
+            }
+        }
+        *self.now += 1;
+    }
+
+    /// Mirrors `HbmSystem::next_event` on this lane.
+    fn next_event(&self) -> Option<Cycle> {
+        let now = *self.now;
+        if self.stuck.iter().any(|s| s.is_some()) {
+            return Some(now);
+        }
+        let mut best: Option<Cycle> = None;
+        let mut merge = |t: Option<Cycle>| -> bool {
+            match t {
+                Some(t) if t <= now => true,
+                Some(t) => {
+                    if best.is_none_or(|b| t < b) {
+                        best = Some(t);
+                    }
+                    false
+                }
+                None => false,
+            }
+        };
+        for g in self.gens.iter() {
+            if merge(g.next_event(now)) {
+                return Some(now);
+            }
+        }
+        if merge(self.fabric.next_event(now)) {
+            return Some(now);
+        }
+        for mc in self.mcs.iter() {
+            if merge(mc.next_event(now)) {
+                return Some(now);
+            }
+        }
+        best
+    }
+
+    /// Mirrors `HbmSystem::drained` on this lane.
+    fn drained(&self) -> bool {
+        self.gens.iter().all(|g| g.drained())
+            && self.fabric.drained()
+            && self.mcs.iter().all(|m| m.drained())
+            && self.stuck.iter().all(|s| s.is_none())
+    }
+
+    /// Advances the lane to exactly `target`, skipping provably idle
+    /// cycles. Returns the lane's horizon on exit: `Some(h)` means
+    /// nothing in this lane can happen before `h ≥ target` (with
+    /// `h == target` the conservative "maybe active immediately"),
+    /// `None` means the lane is quiescent forever. The driver folds
+    /// these into the cross-lane min horizon.
+    fn advance_to(&mut self, target: Cycle) -> Option<Cycle> {
+        match self.fabric.shard_layout() {
+            Some(layout) => self.advance_to_sharded(target, layout),
+            None => self.advance_to_monolithic(target),
+        }
+    }
+
+    /// The monolithic kernel: `HbmSystem::run_span` with concrete types.
+    fn advance_to_monolithic(&mut self, target: Cycle) -> Option<Cycle> {
+        let mut pacer = Pacer::default();
+        while *self.now < target {
+            if pacer.take_credit() {
+                self.step();
+                continue;
+            }
+            match self.next_event() {
+                Some(t) if t <= *self.now => {
+                    self.step();
+                    pacer.stepped();
+                }
+                Some(t) if t >= target => {
+                    *self.now = target;
+                    return Some(t);
+                }
+                Some(t) => {
+                    *self.now = t;
+                    pacer.skipped();
+                }
+                None => {
+                    *self.now = target;
+                    return None;
+                }
+            }
+        }
+        Some(target)
+    }
+
+    /// The sharded kernel: the conductor's superstep schedule
+    /// (`HbmSystem::conduct` at `jobs = 1`), inline. Each window picks a
+    /// barrier no farther than the lateral lag past the earliest
+    /// component horizon, advances every execution domain independently
+    /// over it, and reconciles the boundaries — bit-identical to
+    /// sequential stepping by the lateral-port contract (DESIGN.md
+    /// §3.3), and faster because each domain skips its *own* idle
+    /// cycles.
+    fn advance_to_sharded(&mut self, target: Cycle, layout: ShardLayout) -> Option<Cycle> {
+        let lag = layout.sync_lag.max(1);
+        let lateral_free = layout.masters_per_shard == layout.ports_per_shard
+            && self.gens.iter().all(|g| g.port_affine());
+        while *self.now < target {
+            let barrier = match self.next_event() {
+                None => {
+                    *self.now = target;
+                    return None;
+                }
+                Some(t) if t >= target => {
+                    *self.now = target;
+                    return Some(t);
+                }
+                Some(_) if lateral_free => target,
+                Some(t) => t.max(*self.now).saturating_add(lag).min(target),
+            };
+            let from = *self.now;
+            let sharded =
+                self.fabric.as_sharded_mut().expect("shard_layout() promised a sharded view");
+            for (((shard, gens), mcs), stuck) in sharded
+                .shards_mut()
+                .iter_mut()
+                .zip(self.gens.chunks_mut(layout.masters_per_shard))
+                .zip(self.mcs.chunks_mut(layout.ports_per_shard))
+                .zip(self.stuck.chunks_mut(layout.ports_per_shard))
+            {
+                advance_domain(shard, gens, mcs, stuck, from, barrier);
+            }
+            if sharded.pending_reconcile() {
+                sharded.reconcile();
+            }
+            *self.now = barrier;
+        }
+        Some(target)
+    }
+
+    /// Drains this lane alone: `HbmSystem::drain_span` with concrete
+    /// types (the sequential reference schedule, so drain-mode rows are
+    /// byte-identical to the scalar path too).
+    fn drain_to(&mut self, max_cycles: Cycle) -> bool {
+        let deadline = self.now.saturating_add(max_cycles);
+        let mut pacer = Pacer::default();
+        loop {
+            if self.drained() {
+                return true;
+            }
+            if *self.now >= deadline {
+                return false;
+            }
+            if pacer.take_credit() {
+                self.step();
+                continue;
+            }
+            match self.next_event() {
+                Some(t) if t <= *self.now => {
+                    self.step();
+                    pacer.stepped();
+                }
+                Some(t) => {
+                    *self.now = t.min(deadline);
+                    pacer.skipped();
+                }
+                None => {
+                    *self.now = deadline;
+                    pacer.skipped();
+                }
+            }
+        }
+    }
+}
+
+/// One execution domain of a sharded lane, advanced over `[from, to)`
+/// with its own event horizon — the inline mirror of the conductor's
+/// `Domain::advance`, minus the tracer (the batched path carries none)
+/// and the drain bookkeeping (batch drains use the sequential kernel).
+fn advance_domain(
+    shard: &mut SwitchShard,
+    gens: &mut [BmTrafficGen],
+    mcs: &mut [MemoryController],
+    stuck: &mut [Option<Completion>],
+    from: Cycle,
+    to: Cycle,
+) {
+    let domain_drained = |gens: &[BmTrafficGen],
+                          shard: &SwitchShard,
+                          mcs: &[MemoryController],
+                          stuck: &[Option<Completion>]| {
+        gens.iter().all(|g| g.drained())
+            && shard.drained()
+            && mcs.iter().all(|m| m.drained())
+            && stuck.iter().all(|s| s.is_none())
+    };
+    let next_event = |now: Cycle,
+                      gens: &[BmTrafficGen],
+                      shard: &SwitchShard,
+                      mcs: &[MemoryController],
+                      stuck: &[Option<Completion>]|
+     -> Option<Cycle> {
+        if stuck.iter().any(|s| s.is_some()) {
+            return Some(now);
+        }
+        let mut best: Option<Cycle> = None;
+        let mut merge = |t: Option<Cycle>| -> bool {
+            match t {
+                Some(t) if t <= now => true,
+                Some(t) => {
+                    if best.is_none_or(|b| t < b) {
+                        best = Some(t);
+                    }
+                    false
+                }
+                None => false,
+            }
+        };
+        for g in gens {
+            if merge(g.next_event(now)) {
+                return Some(now);
+            }
+        }
+        if merge(shard.next_event(now)) {
+            return Some(now);
+        }
+        for mc in mcs {
+            if merge(mc.next_event(now)) {
+                return Some(now);
+            }
+        }
+        best
+    };
+
+    let mut now = from;
+    while now < to {
+        if domain_drained(gens, shard, mcs, stuck) {
+            return;
+        }
+        match next_event(now, gens, shard, mcs, stuck) {
+            Some(t) if t <= now => {
+                // The four phases of `HbmSystem::step`, on the domain's
+                // slice with shard-local indices.
+                for gen in gens.iter_mut() {
+                    if let Some(txn) = gen.poll(now) {
+                        if shard.offer_request(now, txn).is_ok() {
+                            gen.accepted();
+                        }
+                    }
+                }
+                shard.tick(now);
+                for (lp, mc) in mcs.iter_mut().enumerate() {
+                    if let Some(head) = shard.peek_request(now, lp) {
+                        if mc.can_accept(head.dir) {
+                            let txn = shard.pop_request(now, lp).expect("peeked head");
+                            mc.accept(now, txn);
+                        }
+                    }
+                    mc.tick(now);
+                    if let Some(c) = stuck[lp].take() {
+                        if let Err(c) = shard.offer_completion(now, lp, c) {
+                            stuck[lp] = Some(c);
+                        }
+                    }
+                    if stuck[lp].is_none() {
+                        if let Some(c) = mc.pop_completion(now) {
+                            if let Err(c) = shard.offer_completion(now, lp, c) {
+                                stuck[lp] = Some(c);
+                            }
+                        }
+                    }
+                }
+                for (lm, gen) in gens.iter_mut().enumerate() {
+                    while let Some(c) = shard.pop_completion(now, lm) {
+                        gen.completed(now, &c.txn).expect("AXI ordering violated — simulator bug");
+                    }
+                }
+                now += 1;
+            }
+            Some(t) => now = t.min(to),
+            None => return,
+        }
+    }
+}
+
+// ----------------------------------------------------------- batched system
+
+/// The monomorphised lane sets: one variant per concrete fabric, so the
+/// cycle kernel inside each is free of virtual dispatch. The match
+/// happens once per batch call, never per cycle.
+enum LaneSet {
+    Xilinx(Lanes<XilinxFabric>),
+    Mao(Lanes<MaoFabric>),
+    FullCrossbar(Lanes<FullCrossbarFabric>),
+    Direct(Lanes<DirectFabric>),
+}
+
+macro_rules! each_laneset {
+    ($self:expr, $l:ident => $e:expr) => {
+        match $self {
+            LaneSet::Xilinx($l) => $e,
+            LaneSet::Mao($l) => $e,
+            LaneSet::FullCrossbar($l) => $e,
+            LaneSet::Direct($l) => $e,
+        }
+    };
+}
+
+/// K independent sweep points of one topology, advanced in lockstep
+/// through one specialised instruction stream (see the module docs).
+pub struct BatchedSystem {
+    lanes: LaneSet,
+}
+
+impl BatchedSystem {
+    /// Builds a batch with one lane per workload, all sharing `cfg`'s
+    /// topology and clock, each lane unbounded (the measurement shape).
+    pub fn new(cfg: &SystemConfig, workloads: &[Workload]) -> BatchedSystem {
+        let bounds = vec![None; workloads.len()];
+        BatchedSystem::with_bounds(cfg, workloads, &bounds)
+    }
+
+    /// [`new`](BatchedSystem::new) with a per-lane transaction bound
+    /// (`None` = unbounded) — the drain/divergence testing shape.
+    pub fn with_bounds(
+        cfg: &SystemConfig,
+        workloads: &[Workload],
+        max_txns: &[Option<u64>],
+    ) -> BatchedSystem {
+        assert_eq!(workloads.len(), max_txns.len(), "one bound per lane");
+        BATCHES_BUILT.fetch_add(1, Ordering::Relaxed);
+        let specs: Vec<(Workload, Option<u64>)> =
+            workloads.iter().copied().zip(max_txns.iter().copied()).collect();
+        let lanes = match &cfg.fabric {
+            FabricKind::Xilinx | FabricKind::XilinxTweaked(_) => {
+                LaneSet::Xilinx(Lanes::new(cfg, &specs, || cfg.build_xilinx()))
+            }
+            FabricKind::Mao(_) => LaneSet::Mao(Lanes::new(cfg, &specs, || cfg.build_mao())),
+            FabricKind::FullCrossbar => {
+                LaneSet::FullCrossbar(Lanes::new(cfg, &specs, || cfg.build_fullxbar()))
+            }
+            FabricKind::Direct => LaneSet::Direct(Lanes::new(cfg, &specs, || cfg.build_direct())),
+        };
+        BatchedSystem { lanes }
+    }
+
+    /// Lanes in this batch.
+    pub fn lanes(&self) -> usize {
+        each_laneset!(&self.lanes, l => l.k)
+    }
+
+    /// Per-lane current cycles.
+    pub fn now(&self) -> Vec<Cycle> {
+        each_laneset!(&self.lanes, l => l.now.clone())
+    }
+
+    /// Advances every lane by `cycles` cycles in lockstep epochs. Lanes
+    /// must be aligned (as after construction or a previous `run`).
+    pub fn run(&mut self, cycles: Cycle) {
+        each_laneset!(&mut self.lanes, l => l.run(cycles))
+    }
+
+    /// Drains every lane (each within `max_cycles`); returns per-lane
+    /// success flags. Uses the sequential reference kernel per lane.
+    pub fn run_until_drained(&mut self, max_cycles: Cycle) -> Vec<bool> {
+        each_laneset!(&mut self.lanes, l => l.run_until_drained(max_cycles))
+    }
+
+    /// Clears all statistics on every lane (end of warm-up).
+    pub fn reset_stats(&mut self) {
+        each_laneset!(&mut self.lanes, l => l.reset_stats())
+    }
+
+    /// Per-lane measurements after `cycles` measured cycles, in lane
+    /// order, byte-identical to the scalar `measure` of each point.
+    pub fn snapshot(&self, cycles: Cycle) -> Vec<Measurement> {
+        each_laneset!(&self.lanes, l => l.snapshot(cycles))
+    }
+}
+
+/// The batched analogue of [`measure`](crate::measure::measure): runs
+/// all `workloads` on `cfg` for `warmup` cycles, clears statistics, then
+/// measures for `cycles` cycles — all lanes in lockstep — and returns
+/// one [`Measurement`] per workload, in input order.
+pub fn measure_batch(
+    cfg: &SystemConfig,
+    workloads: &[Workload],
+    warmup: Cycle,
+    cycles: Cycle,
+) -> Vec<Measurement> {
+    let mut sys = BatchedSystem::new(cfg, workloads);
+    sys.run(warmup);
+    sys.reset_stats();
+    sys.run(cycles);
+    sys.snapshot(cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::measure;
+    use hbm_axi::BurstLen;
+    use hbm_traffic::RwRatio;
+
+    const WARM: Cycle = 800;
+    const MEAS: Cycle = 2_500;
+
+    fn row_json(m: &Measurement) -> String {
+        serde_json::to_string(m).expect("measurement serialises")
+    }
+
+    #[test]
+    fn batched_rows_match_scalar_on_xilinx_rotations() {
+        let cfg = SystemConfig::xilinx();
+        let wls: Vec<Workload> = [0usize, 1, 4]
+            .iter()
+            .map(|&rotation| Workload { rotation, ..Workload::scs() })
+            .collect();
+        let batched = measure_batch(&cfg, &wls, WARM, MEAS);
+        for (wl, got) in wls.iter().zip(&batched) {
+            let want = measure(&cfg, *wl, WARM, MEAS);
+            assert_eq!(row_json(got), row_json(&want), "lane diverged at rotation {}", wl.rotation);
+        }
+    }
+
+    #[test]
+    fn batched_rows_match_scalar_on_all_fabrics() {
+        for cfg in [
+            SystemConfig::xilinx(),
+            SystemConfig::mao(),
+            SystemConfig { fabric: FabricKind::FullCrossbar, ..SystemConfig::xilinx() },
+            SystemConfig::direct(),
+        ] {
+            let wls = [
+                Workload::scs(),
+                Workload { burst: BurstLen::of(2), stride: 64, ..Workload::scs() },
+            ];
+            let batched = measure_batch(&cfg, &wls, WARM, MEAS);
+            for (wl, got) in wls.iter().zip(&batched) {
+                let want = measure(&cfg, *wl, WARM, MEAS);
+                assert_eq!(row_json(got), row_json(&want), "diverged on {:?}", cfg.fabric);
+            }
+        }
+    }
+
+    #[test]
+    fn single_lane_batch_matches_scalar() {
+        let cfg = SystemConfig::mao();
+        let wl = Workload { rw: RwRatio::READ_ONLY, ..Workload::ccs() };
+        let got = measure_batch(&cfg, &[wl], WARM, MEAS);
+        assert_eq!(row_json(&got[0]), row_json(&measure(&cfg, wl, WARM, MEAS)));
+    }
+
+    #[test]
+    fn bounded_lanes_drain_like_scalar_systems() {
+        let cfg = SystemConfig::xilinx();
+        let wls = [Workload::scs(), Workload { rotation: 2, ..Workload::scs() }];
+        let mut batch = BatchedSystem::with_bounds(&cfg, &wls, &[Some(8), Some(8)]);
+        let ok = batch.run_until_drained(100_000);
+        assert_eq!(ok, vec![true, true]);
+        let rows = batch.snapshot(1);
+        for (wl, row) in wls.iter().zip(&rows) {
+            let mut sys = crate::system::HbmSystem::new(&cfg, *wl, Some(8));
+            assert!(sys.run_until_drained(100_000));
+            assert_eq!(row.gen.completed, 32 * 8);
+            assert_eq!(
+                row.gen.total_bytes(),
+                sys.gen_stats().iter().map(|g| g.total_bytes()).sum::<u64>()
+            );
+        }
+    }
+
+    #[test]
+    fn construction_counter_increments() {
+        // Other tests in this binary may build batches concurrently, so
+        // assert monotonic growth rather than an exact delta.
+        let before = batches_built();
+        let _ = BatchedSystem::new(&SystemConfig::direct(), &[Workload::scs()]);
+        assert!(batches_built() > before);
+    }
+}

@@ -103,29 +103,54 @@ impl SystemConfig {
         fc
     }
 
-    fn build_fabric(&self) -> Box<dyn Interconnect> {
+    /// Concrete Xilinx fabric for this configuration. Panics unless
+    /// [`fabric`](SystemConfig::fabric) is a Xilinx variant. The batched
+    /// engine (`lockstep`) builds lanes from these monomorphic
+    /// constructors so its cycle kernel carries no virtual dispatch;
+    /// [`build_fabric`](SystemConfig::build_fabric) delegates here so
+    /// both paths assemble byte-identical fabrics.
+    pub(crate) fn build_xilinx(&self) -> XilinxFabric {
+        let mut fc = self.xilinx_fabric_config();
         match &self.fabric {
-            FabricKind::Xilinx => Box::new(XilinxFabric::new(self.xilinx_fabric_config())),
+            FabricKind::Xilinx => {}
             FabricKind::XilinxTweaked(t) => {
-                let mut fc = self.xilinx_fabric_config();
                 fc.lateral_buses = t.lateral_buses;
                 fc.lateral_rate = t.lateral_rate;
                 fc.dead_beats = t.dead_beats;
-                Box::new(XilinxFabric::new(fc))
             }
-            FabricKind::Mao(mc) => {
-                let mut mc = *mc;
-                mc.num_ports = self.hbm.num_pch;
-                mc.num_masters = self.hbm.num_pch;
-                mc.port_capacity = self.hbm.pch_capacity;
-                Box::new(MaoFabric::new(mc))
-            }
-            FabricKind::FullCrossbar => {
-                Box::new(FullCrossbarFabric::new(self.hbm.num_pch, self.hbm.pch_capacity, 6, 8))
-            }
-            FabricKind::Direct => {
-                Box::new(DirectFabric::new(self.hbm.num_pch, self.hbm.pch_capacity, 4, 8))
-            }
+            other => panic!("not a Xilinx fabric configuration: {other:?}"),
+        }
+        XilinxFabric::new(fc)
+    }
+
+    /// Concrete MAO fabric for this configuration (panics otherwise).
+    pub(crate) fn build_mao(&self) -> MaoFabric {
+        let FabricKind::Mao(mc) = &self.fabric else {
+            panic!("not a MAO fabric configuration: {:?}", self.fabric)
+        };
+        let mut mc = *mc;
+        mc.num_ports = self.hbm.num_pch;
+        mc.num_masters = self.hbm.num_pch;
+        mc.port_capacity = self.hbm.pch_capacity;
+        MaoFabric::new(mc)
+    }
+
+    /// Concrete monolithic-crossbar fabric for this configuration.
+    pub(crate) fn build_fullxbar(&self) -> FullCrossbarFabric {
+        FullCrossbarFabric::new(self.hbm.num_pch, self.hbm.pch_capacity, 6, 8)
+    }
+
+    /// Concrete direct 1:1 fabric for this configuration.
+    pub(crate) fn build_direct(&self) -> DirectFabric {
+        DirectFabric::new(self.hbm.num_pch, self.hbm.pch_capacity, 4, 8)
+    }
+
+    fn build_fabric(&self) -> Box<dyn Interconnect> {
+        match &self.fabric {
+            FabricKind::Xilinx | FabricKind::XilinxTweaked(_) => Box::new(self.build_xilinx()),
+            FabricKind::Mao(_) => Box::new(self.build_mao()),
+            FabricKind::FullCrossbar => Box::new(self.build_fullxbar()),
+            FabricKind::Direct => Box::new(self.build_direct()),
         }
     }
 }
@@ -269,7 +294,7 @@ pub enum RunPolicy {
 /// worst it executes up to [`Pacer::MAX_CREDIT`] no-op cycles of an idle
 /// gap before the next horizon check skips the rest.
 #[derive(Default)]
-struct Pacer {
+pub(crate) struct Pacer {
     credit: u32,
     burst: u32,
 }
@@ -278,7 +303,7 @@ impl Pacer {
     const MAX_CREDIT: u32 = 64;
 
     /// Consumes one blind-step credit if available.
-    fn take_credit(&mut self) -> bool {
+    pub(crate) fn take_credit(&mut self) -> bool {
         if self.credit > 0 {
             self.credit -= 1;
             true
@@ -288,13 +313,13 @@ impl Pacer {
     }
 
     /// The horizon confirmed an immediate event: grow the blind burst.
-    fn stepped(&mut self) {
+    pub(crate) fn stepped(&mut self) {
         self.burst = (self.burst * 2).clamp(1, Self::MAX_CREDIT);
         self.credit = self.burst;
     }
 
     /// The horizon skipped ahead: traffic is sparse, re-check every step.
-    fn skipped(&mut self) {
+    pub(crate) fn skipped(&mut self) {
         self.burst = 0;
         self.credit = 0;
     }
@@ -367,10 +392,7 @@ impl HbmSystem {
         assert_eq!(sources.len(), n, "need exactly one traffic source per master port");
         let fabric = cfg.build_fabric();
         let mcs = (0..n)
-            .map(|p| {
-                let phase = p as f64 / n as f64 * cfg.hbm.timings.t_refi;
-                MemoryController::new(&cfg.hbm, cfg.clock, phase)
-            })
+            .map(|p| MemoryController::new(&cfg.hbm, cfg.clock, cfg.hbm.refresh_phase(p)))
             .collect();
         HbmSystem {
             stuck: vec![None; n],

@@ -104,6 +104,16 @@ pub trait ShardedFabric {
     /// Delivers every boundary's pending flits and credits. Must be
     /// called at each synchronisation barrier after all shards reach it.
     fn reconcile(&mut self);
+
+    /// `true` when the next [`reconcile`](ShardedFabric::reconcile)
+    /// would actually move state — any sender outbox non-empty or any
+    /// receiver pop awaiting credit return. When `false`, reconciling is
+    /// a provable no-op and a conductor may skip the barrier walk. The
+    /// default is the conservative `true` (always reconcile), which is
+    /// always correct.
+    fn pending_reconcile(&self) -> bool {
+        true
+    }
 }
 
 /// A routable interconnect between bus masters and pseudo-channel ports.

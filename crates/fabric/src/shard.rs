@@ -614,6 +614,17 @@ impl SwitchShard {
             && self.east_tx.iter().chain(&self.west_tx).all(|t| t.outbox.is_empty())
     }
 
+    /// `true` when this shard's lateral boundaries carry nothing for the
+    /// next reconcile: every sender outbox is empty and no receiver pop
+    /// is awaiting credit return. Reconciling an idle boundary is a
+    /// provable no-op, so a conductor may skip the barrier walk entirely
+    /// when every shard reports idle (see
+    /// [`ShardedFabric::pending_reconcile`](crate::ShardedFabric::pending_reconcile)).
+    pub fn boundary_idle(&self) -> bool {
+        self.east_tx.iter().chain(&self.west_tx).all(|t| t.outbox.is_empty())
+            && self.west_rx.iter().chain(&self.east_rx).all(|r| r.pops.is_empty())
+    }
+
     /// Flits in flight inside this shard (local queues, receiver rings,
     /// and unreconciled outboxes).
     pub fn occupancy(&self) -> usize {

@@ -190,6 +190,10 @@ impl ShardedFabric for XilinxFabric {
             SwitchShard::reconcile_boundary(&mut a[nb], &mut b[0]);
         }
     }
+
+    fn pending_reconcile(&self) -> bool {
+        self.shards.iter().any(|s| !s.boundary_idle())
+    }
 }
 
 impl Interconnect for XilinxFabric {

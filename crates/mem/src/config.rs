@@ -256,6 +256,15 @@ impl HbmConfig {
         self.pch_capacity / (self.row_bytes * self.banks_per_pch as u64)
     }
 
+    /// The refresh-phase offset (in nanoseconds) of pseudo-channel
+    /// `port`: refresh windows are staggered evenly across the device so
+    /// all channels never pause simultaneously. Every system assembly —
+    /// scalar or batched — must derive controller phases from this one
+    /// formula, or their measurements diverge.
+    pub fn refresh_phase(&self, port: usize) -> f64 {
+        port as f64 / self.num_pch as f64 * self.timings.t_refi
+    }
+
     /// Validates internal consistency; returns a description of the first
     /// problem found.
     pub fn validate(&self) -> Result<(), String> {
