@@ -4,14 +4,15 @@
 //!
 //! ```text
 //! repro [EXPERIMENT ...] [--quick] [--json] [--smoke] [--jobs N]
-//!       [--cache-dir DIR] [--no-cache]
+//!       [--cache-dir DIR] [--no-cache] [--metrics]
 //! repro serve [--addr HOST:PORT] [--queue N] [--jobs N] [--no-cache]
+//!             [--metrics-addr HOST:PORT] [--span-log FILE]
 //!
 //! EXPERIMENT: fig2 fig3 fig4 fig5 fig6 fig7 table2 table3 table4 table5
-//!             latency ablations simspeed trace all      (default: all)
+//!             latency ablations simspeed trace profile all  (default: all)
 //! --quick:    short simulation windows (CI-friendly)
 //! --json:     machine-readable output (one JSON object per experiment)
-//! --smoke:    (trace only) tiny run + schema validation, the CI gate
+//! --smoke:    (trace/profile only) tiny run + validation, the CI gate
 //! --jobs N:   worker threads for sweep farming (default: HBM_JOBS env
 //!             var, else all cores). Results are bit-identical at any N.
 //!             Must be a positive integer; anything else exits non-zero.
@@ -23,15 +24,24 @@
 //! --no-cache: force the result cache off, overriding --cache-dir and
 //!             HBM_CACHE_DIR. For `serve`, disables the memory-tier
 //!             cache the daemon otherwise enables by default.
+//! --metrics:  enable the workspace metric registry for this run (same
+//!             as HBM_METRICS=1); counters/histograms accumulate but are
+//!             only visible through the serve `metrics` verb or
+//!             `--metrics-addr` — for one-shot runs this mainly matters
+//!             for overhead testing.
 //! ```
 //!
-//! `simspeed` and `trace` are not part of `all`: they inspect the
-//! *simulator* rather than reproducing the paper. `simspeed` writes its
-//! rows to `BENCH_simspeed.json` in the current directory (in addition
-//! to the normal stdout report) so runs on the same machine can be
-//! diffed; `trace` writes `TRACE_events.json` (Chrome trace-event JSON,
-//! loadable in Perfetto) and `TRACE_probes.jsonl` (windowed time-series
-//! snapshots) and prints the latency-attribution tables.
+//! `simspeed`, `trace`, and `profile` are not part of `all`: they
+//! inspect the *simulator* rather than reproducing the paper. `simspeed`
+//! writes its rows to `BENCH_simspeed.json` in the current directory (in
+//! addition to the normal stdout report) so runs on the same machine can
+//! be diffed; `trace` writes `TRACE_events.json` (Chrome trace-event
+//! JSON, loadable in Perfetto) and `TRACE_probes.jsonl` (windowed
+//! time-series snapshots) and prints the latency-attribution tables;
+//! `profile` prints the kernel phase-attribution tables (scalar and
+//! lockstep) with observer and metrics overhead — `--smoke` asserts the
+//! telescoping self-consistency invariant and the <5 % metrics-overhead
+//! budget.
 //!
 //! `serve` starts the long-running sweep-serving daemon (`hbm-serve`):
 //! it binds `--addr` (default `127.0.0.1:7070`, port 0 for ephemeral),
@@ -39,8 +49,12 @@
 //! accepts newline-delimited-JSON clients until one sends the
 //! `shutdown` verb. `--queue` bounds the admission queue in grid points
 //! (default 4096); submissions that would overflow it are rejected with
-//! a `retry_after_ms` backpressure hint. See `examples/serve_client.rs`
-//! for a full client.
+//! a `retry_after_ms` backpressure hint. The daemon always enables the
+//! metric registry; `--metrics-addr` additionally serves Prometheus
+//! text exposition over plain HTTP (the ready line then carries a
+//! `"metrics"` field with the bound address), and `--span-log FILE`
+//! appends one JSONL job-lifecycle span per finished job. See
+//! `examples/serve_client.rs` for a full client.
 
 use hbm_bench::render;
 use hbm_core::experiment::{self, Fidelity};
@@ -94,13 +108,14 @@ fn run_json(fid: Fidelity, want: impl Fn(&str) -> bool) {
 
 /// Benchmarks the simulator itself and writes `BENCH_simspeed.json`.
 fn run_simspeed(quick: bool, json: bool) {
-    use hbm_bench::simspeed;
+    use hbm_bench::{profilecmd, simspeed};
     let rows = simspeed::run_matrix(quick);
     let sweeps = simspeed::run_sweep_matrix(quick);
     let conductor = simspeed::run_conductor_matrix(quick);
     let batched = simspeed::run_batched_matrix(quick);
     let serve = simspeed::run_serve_overhead(quick);
     let cache = simspeed::run_cache_matrix(quick);
+    let profile = profilecmd::run_profile(quick);
     let payload = serde_json::json!({
         "experiment": "simspeed",
         "host_threads": hbm_core::batch::default_threads(),
@@ -113,6 +128,8 @@ fn run_simspeed(quick: bool, json: bool) {
         "cache": cache,
         "cache_cold_wall_s": cache.cold_wall_s,
         "cache_warm_wall_s": cache.warm_wall_s,
+        "profile": profilecmd::to_json(&profile),
+        "metrics_overhead_pct": profile.metrics.overhead_pct,
     });
     std::fs::write("BENCH_simspeed.json", format!("{payload}\n"))
         .expect("write BENCH_simspeed.json");
@@ -125,16 +142,53 @@ fn run_simspeed(quick: bool, json: bool) {
         println!("{}", simspeed::render_batched(&batched));
         println!("{}", simspeed::render_serve(&serve));
         println!("{}", simspeed::render_cache(&cache));
+        println!("{}", profilecmd::render(&profile));
         println!("wrote BENCH_simspeed.json");
+    }
+}
+
+/// Profiles both kernels and prints the phase-attribution report.
+/// `--smoke` is the CI gate: it asserts the telescoping self-consistency
+/// invariant (phase sums ≡ measured loop time) for both kernels and the
+/// metrics-registry overhead budget.
+fn run_profile(quick: bool, json: bool, smoke: bool) {
+    use hbm_bench::profilecmd;
+    // Smoke always runs quick-sized windows — it gates CI, not numbers.
+    let out = profilecmd::run_profile(quick || smoke);
+    if smoke {
+        assert!(
+            out.scalar.report.consistent() && out.lockstep.report.consistent(),
+            "phase attribution must telescope to the measured loop time"
+        );
+        assert!(out.scalar.report.laps > 0, "scalar kernel recorded no laps");
+        assert!(out.lockstep.report.laps > 0, "lockstep kernel recorded no laps");
+        assert!(
+            out.metrics.overhead_pct < 5.0,
+            "metrics registry overhead {:.2}% breaches the 5% budget",
+            out.metrics.overhead_pct
+        );
+    }
+    if json {
+        println!(
+            "{}",
+            serde_json::json!({ "experiment": "profile", "profile": profilecmd::to_json(&out) })
+        );
+    } else {
+        println!("{}", profilecmd::render(&out));
+        if smoke {
+            println!("profile smoke: OK (both kernels consistent, metrics overhead in budget)");
+        }
     }
 }
 
 /// Runs the sweep-serving daemon until a client sends `shutdown`.
 fn run_serve(args: &[String]) {
-    use hbm_serve::{ServeConfig, Server, WireServer};
+    use hbm_serve::{MetricsExposer, ServeConfig, Server, WireServer};
 
     let mut addr = String::from("127.0.0.1:7070");
     let mut queue_capacity = 4_096usize;
+    let mut metrics_addr: Option<String> = None;
+    let mut span_log: Option<std::path::PathBuf> = None;
     let mut skip_next = false;
     for (i, a) in args.iter().enumerate() {
         if skip_next {
@@ -160,28 +214,45 @@ fn run_serve(args: &[String]) {
                 eprintln!("--queue: invalid point count {v:?}");
                 std::process::exit(2);
             });
+        } else if let Some(v) = flag_value("--metrics-addr") {
+            skip_next = a == "--metrics-addr";
+            metrics_addr = Some(v);
+        } else if let Some(v) = flag_value("--span-log") {
+            skip_next = a == "--span-log";
+            span_log = Some(std::path::PathBuf::from(v));
         }
     }
 
     let workers = hbm_core::batch::sweep_jobs();
-    let server = Server::spawn(ServeConfig { workers, queue_capacity, ..ServeConfig::default() });
+    let server =
+        Server::spawn(ServeConfig { workers, queue_capacity, span_log, ..ServeConfig::default() });
     let wire = WireServer::bind(&addr, server.handle()).unwrap_or_else(|e| {
         eprintln!("serve: cannot bind {addr}: {e}");
         std::process::exit(1);
     });
+    let exposer = metrics_addr.map(|a| {
+        MetricsExposer::bind(&a).unwrap_or_else(|e| {
+            eprintln!("serve: cannot bind metrics listener {a}: {e}");
+            std::process::exit(1);
+        })
+    });
     // One machine-readable ready line; the smoke script and clients key
     // off it. Flush explicitly — stdout is block-buffered under a pipe.
-    println!(
-        "{}",
-        serde_json::json!({
-            "serving": wire.local_addr().to_string(),
-            "workers": workers,
-            "queue_capacity": queue_capacity,
-        })
-    );
+    let mut ready = serde_json::json!({
+        "serving": wire.local_addr().to_string(),
+        "workers": workers,
+        "queue_capacity": queue_capacity,
+    });
+    if let (serde_json::Value::Map(fields), Some(e)) = (&mut ready, &exposer) {
+        fields.push(("metrics".to_string(), serde_json::Value::Str(e.local_addr().to_string())));
+    }
+    println!("{ready}");
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     wire.run_until_shutdown();
+    if let Some(e) = exposer {
+        e.stop();
+    }
     server.shutdown();
     report_cache();
     println!("serve: shut down");
@@ -252,6 +323,9 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let smoke = args.iter().any(|a| a == "--smoke");
     let no_cache = args.iter().any(|a| a == "--no-cache");
+    if args.iter().any(|a| a == "--metrics") {
+        hbm_core::metrics::set_enabled(true);
+    }
     let fid = if quick { Fidelity::QUICK } else { Fidelity::FULL };
     let mut jobs_value: Option<usize> = None;
     let mut batch_value: Option<usize> = None;
@@ -328,8 +402,8 @@ fn main() {
     let all = wanted.contains(&"all");
     let want = |name: &str| all || wanted.contains(&name);
 
-    // Simulator benchmarking and tracing are opt-in only (not part of
-    // `all`).
+    // Simulator benchmarking, tracing, and profiling are opt-in only
+    // (not part of `all`).
     if wanted.contains(&"simspeed") {
         run_simspeed(quick, json);
         if wanted.len() == 1 {
@@ -339,6 +413,13 @@ fn main() {
     }
     if wanted.contains(&"trace") {
         run_trace(smoke, quick, json);
+        if wanted.len() == 1 {
+            report_cache();
+            return;
+        }
+    }
+    if wanted.contains(&"profile") {
+        run_profile(quick, json, smoke);
         if wanted.len() == 1 {
             report_cache();
             return;

@@ -9,6 +9,7 @@
 
 pub mod fig7;
 pub mod paper;
+pub mod profilecmd;
 pub mod render;
 pub mod simspeed;
 pub mod tracecmd;

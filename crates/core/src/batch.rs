@@ -34,7 +34,7 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use hbm_traffic::Workload;
 
@@ -42,6 +42,7 @@ use crate::cache::{fingerprint, topology_key, ResultCache};
 use crate::experiment::Fidelity;
 use crate::lockstep::measure_batch;
 use crate::measure::{measure, Measurement};
+use crate::metrics::{self, Counter, Registry};
 use crate::system::SystemConfig;
 
 /// One grid point: a system configuration and a workload.
@@ -161,6 +162,64 @@ pub enum BatchTask {
     Scalar(usize),
     /// Advance these points as lanes of one [`crate::lockstep::BatchedSystem`].
     Lanes(Vec<usize>),
+}
+
+/// Planner-decision counters, published through the workspace metric
+/// registry: how many grids took each route, how many tasks of each
+/// kind the planner emitted, and how many points each execution path
+/// carried. Recorded per [`run_grid_with_cache`] call when metrics are
+/// enabled.
+struct PlannerMetrics {
+    grids_batched: Arc<Counter>,
+    grids_scalar: Arc<Counter>,
+    tasks_scalar: Arc<Counter>,
+    tasks_lanes: Arc<Counter>,
+    points_scalar: Arc<Counter>,
+    points_lanes: Arc<Counter>,
+}
+
+fn build_planner_metrics(reg: &Registry) -> PlannerMetrics {
+    let grids = "Grids routed by the batch planner, by chosen route";
+    let tasks = "Batch tasks emitted by the planner, by kind";
+    let points = "Grid points routed to an execution path";
+    PlannerMetrics {
+        grids_batched: reg.counter("hbm_batch_grids_total", grids, &[("route", "batched")]),
+        grids_scalar: reg.counter("hbm_batch_grids_total", grids, &[("route", "scalar")]),
+        tasks_scalar: reg.counter("hbm_batch_tasks_total", tasks, &[("kind", "scalar")]),
+        tasks_lanes: reg.counter("hbm_batch_tasks_total", tasks, &[("kind", "lanes")]),
+        points_scalar: reg.counter("hbm_batch_points_total", points, &[("path", "scalar")]),
+        points_lanes: reg.counter("hbm_batch_points_total", points, &[("path", "lanes")]),
+    }
+}
+
+fn planner_metrics() -> &'static PlannerMetrics {
+    static M: OnceLock<PlannerMetrics> = OnceLock::new();
+    M.get_or_init(|| build_planner_metrics(Registry::global()))
+}
+
+/// Pre-registers the planner series (all zero) so expositions are
+/// complete before the first planned grid. Called by the registry's
+/// built-in installer.
+pub(crate) fn install_planner_series(reg: &Registry) {
+    build_planner_metrics(reg);
+}
+
+/// Records one planned grid's routing decision.
+fn record_plan(tasks: &[BatchTask]) {
+    let m = planner_metrics();
+    m.grids_batched.inc();
+    for t in tasks {
+        match t {
+            BatchTask::Scalar(_) => {
+                m.tasks_scalar.inc();
+                m.points_scalar.inc();
+            }
+            BatchTask::Lanes(idxs) => {
+                m.tasks_lanes.inc();
+                m.points_lanes.add(idxs.len() as u64);
+            }
+        }
+    }
 }
 
 /// Groups grid points by topology fingerprint into lockstep batch tasks.
@@ -320,11 +379,22 @@ pub fn run_grid_with_cache(
     threads: usize,
     cache: &ResultCache,
 ) -> Vec<Measurement> {
+    let before = cache.is_enabled().then(|| cache.snapshot());
     let lanes = batch_lanes();
     if lanes > 1 {
         if let Some(tasks) = plan_batches(points, lanes, threads) {
-            return run_grid_batched(points, &tasks, warmup, cycles, threads, cache);
+            if metrics::enabled() {
+                record_plan(&tasks);
+            }
+            let out = run_grid_batched(points, &tasks, warmup, cycles, threads, cache);
+            grid_cache_summary(cache, before.as_ref(), points.len());
+            return out;
         }
+    }
+    if metrics::enabled() {
+        let m = planner_metrics();
+        m.grids_scalar.inc();
+        m.points_scalar.add(points.len() as u64);
     }
     if !cache.is_enabled() {
         return par_map(points, threads, |(cfg, wl)| measure(cfg, *wl, warmup, cycles));
@@ -334,7 +404,25 @@ pub fn run_grid_with_cache(
     if let Err(e) = cache.flush() {
         eprintln!("hbm-cache: flush failed: {e}");
     }
+    grid_cache_summary(cache, before.as_ref(), points.len());
     out
+}
+
+/// Per-grid cache effectiveness summary on stderr (stdout stays clean
+/// for machine-readable output). Deltas are computed from the global
+/// cache counters, so concurrent grids in other threads can bleed into
+/// each other's numbers — this is a debugging aid, not an accounting
+/// source (the registry's cache collectors are).
+fn grid_cache_summary(cache: &ResultCache, before: Option<&crate::cache::CacheSnapshot>, n: usize) {
+    let Some(before) = before else { return };
+    let after = cache.snapshot();
+    eprintln!(
+        "hbm-cache: grid of {n} points: {} hits, {} misses, {} coalesced ({} entries held)",
+        after.hits.saturating_sub(before.hits),
+        after.misses.saturating_sub(before.misses),
+        after.coalesced.saturating_sub(before.coalesced),
+        after.entries,
+    );
 }
 
 /// Executes a planned grid: batch tasks are farmed over `threads`

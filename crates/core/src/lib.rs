@@ -19,6 +19,11 @@
 //! * [`lockstep`] — batched execution engine advancing K sweep points
 //!   of one topology through a single devirtualised instruction stream
 //!   ([`batch::run_grid`] plans grids onto it automatically);
+//! * [`metrics`] — workspace-wide metric registry (atomic counters,
+//!   gauges, power-of-two histograms) with Prometheus text exposition;
+//! * [`profile`] — sampled kernel phase profiler attributing cycle-loop
+//!   wall time to gens/fabric/MC/horizon/queue/reconcile phases (see
+//!   `repro profile`);
 //! * [`report`] — plain-text table and JSON rendering;
 //! * [`probe`] — windowed time-series sampling of a running system;
 //! * [`export`] — Chrome trace-event JSON and probe JSONL emission (see
@@ -50,7 +55,9 @@ pub mod experiment;
 pub mod export;
 pub mod lockstep;
 pub mod measure;
+pub mod metrics;
 pub mod probe;
+pub mod profile;
 pub mod report;
 pub mod system;
 pub mod trace;
@@ -68,5 +75,7 @@ pub use cache::{
 };
 pub use lockstep::{batches_built, measure_batch, BatchedSystem};
 pub use measure::{measure, Measurement};
+pub use metrics::Registry;
 pub use probe::{Probe, ProbeConfig, Snapshot};
+pub use profile::{PhaseReport, NUM_PHASES, PHASES};
 pub use system::{FabricKind, HbmSystem, RunPolicy, SystemConfig};

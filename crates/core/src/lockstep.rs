@@ -55,6 +55,7 @@ use hbm_mem::MemoryController;
 use hbm_traffic::{BmTrafficGen, GenStats, Workload};
 
 use crate::measure::Measurement;
+use crate::profile;
 use crate::system::{FabricKind, Pacer, SystemConfig};
 
 /// Epoch length of the lockstep driver, in cycles. Within an epoch each
@@ -164,6 +165,7 @@ impl<F: Interconnect> Lanes<F> {
             self.now.iter().all(|&t| t == start),
             "lanes must be aligned when entering run()"
         );
+        let prof = profile::active();
         let deadline = start.saturating_add(cycles);
         let mut t = start;
         while t < deadline {
@@ -189,6 +191,9 @@ impl<F: Interconnect> Lanes<F> {
                 for now in &mut self.now {
                     *now = t;
                 }
+            }
+            if prof {
+                profile::lap(profile::Phase::LockstepReconcile);
             }
         }
     }
@@ -248,8 +253,10 @@ impl<F: Interconnect> Lanes<F> {
 
 impl<F: Interconnect> LaneView<'_, F> {
     /// Replays the four-phase cycle of `HbmSystem::step` on this lane,
-    /// with concrete (devirtualised) component types.
-    fn step(&mut self) {
+    /// with concrete (devirtualised) component types. `prof` is the
+    /// hoisted phase-profiler activity bit (`profile::active()` read
+    /// once per span, not per cycle); stamps are observation-only.
+    fn step(&mut self, prof: bool) {
         let now = *self.now;
         for gen in self.gens.iter_mut() {
             if let Some(txn) = gen.poll(now) {
@@ -258,7 +265,13 @@ impl<F: Interconnect> LaneView<'_, F> {
                 }
             }
         }
+        if prof {
+            profile::lap(profile::Phase::GensTick);
+        }
         self.fabric.tick(now);
+        if prof {
+            profile::lap(profile::Phase::FabricTick);
+        }
         for (p, mc) in self.mcs.iter_mut().enumerate() {
             let port = PortId(p as u16);
             if let Some(head) = self.fabric.peek_request(now, port) {
@@ -267,7 +280,13 @@ impl<F: Interconnect> LaneView<'_, F> {
                     mc.accept(now, txn);
                 }
             }
+            if prof {
+                profile::lap(profile::Phase::QueueOps);
+            }
             mc.tick(now);
+            if prof {
+                profile::lap(profile::Phase::McTick);
+            }
             if let Some(c) = self.stuck[p].take() {
                 if let Err(c) = self.fabric.offer_completion(now, port, c) {
                     self.stuck[p] = Some(c);
@@ -285,6 +304,9 @@ impl<F: Interconnect> LaneView<'_, F> {
             while let Some(c) = self.fabric.pop_completion(now, MasterId(m as u16)) {
                 gen.completed(now, &c.txn).expect("AXI ordering violated — simulator bug");
             }
+        }
+        if prof {
+            profile::lap(profile::Phase::QueueOps);
         }
         *self.now += 1;
     }
@@ -347,15 +369,20 @@ impl<F: Interconnect> LaneView<'_, F> {
 
     /// The monolithic kernel: `HbmSystem::run_span` with concrete types.
     fn advance_to_monolithic(&mut self, target: Cycle) -> Option<Cycle> {
+        let prof = profile::active();
         let mut pacer = Pacer::default();
         while *self.now < target {
             if pacer.take_credit() {
-                self.step();
+                self.step(prof);
                 continue;
             }
-            match self.next_event() {
+            let ev = self.next_event();
+            if prof {
+                profile::lap(profile::Phase::HorizonCompute);
+            }
+            match ev {
                 Some(t) if t <= *self.now => {
-                    self.step();
+                    self.step(prof);
                     pacer.stepped();
                 }
                 Some(t) if t >= target => {
@@ -384,11 +411,16 @@ impl<F: Interconnect> LaneView<'_, F> {
     /// §3.3), and faster because each domain skips its *own* idle
     /// cycles.
     fn advance_to_sharded(&mut self, target: Cycle, layout: ShardLayout) -> Option<Cycle> {
+        let prof = profile::active();
         let lag = layout.sync_lag.max(1);
         let lateral_free = layout.masters_per_shard == layout.ports_per_shard
             && self.gens.iter().all(|g| g.port_affine());
         while *self.now < target {
-            let barrier = match self.next_event() {
+            let ev = self.next_event();
+            if prof {
+                profile::lap(profile::Phase::HorizonCompute);
+            }
+            let barrier = match ev {
                 None => {
                     *self.now = target;
                     return None;
@@ -410,10 +442,13 @@ impl<F: Interconnect> LaneView<'_, F> {
                 .zip(self.mcs.chunks_mut(layout.ports_per_shard))
                 .zip(self.stuck.chunks_mut(layout.ports_per_shard))
             {
-                advance_domain(shard, gens, mcs, stuck, from, barrier);
+                advance_domain(shard, gens, mcs, stuck, from, barrier, prof);
             }
             if sharded.pending_reconcile() {
                 sharded.reconcile();
+            }
+            if prof {
+                profile::lap(profile::Phase::LockstepReconcile);
             }
             *self.now = barrier;
         }
@@ -424,6 +459,7 @@ impl<F: Interconnect> LaneView<'_, F> {
     /// types (the sequential reference schedule, so drain-mode rows are
     /// byte-identical to the scalar path too).
     fn drain_to(&mut self, max_cycles: Cycle) -> bool {
+        let prof = profile::active();
         let deadline = self.now.saturating_add(max_cycles);
         let mut pacer = Pacer::default();
         loop {
@@ -434,12 +470,16 @@ impl<F: Interconnect> LaneView<'_, F> {
                 return false;
             }
             if pacer.take_credit() {
-                self.step();
+                self.step(prof);
                 continue;
             }
-            match self.next_event() {
+            let ev = self.next_event();
+            if prof {
+                profile::lap(profile::Phase::HorizonCompute);
+            }
+            match ev {
                 Some(t) if t <= *self.now => {
-                    self.step();
+                    self.step(prof);
                     pacer.stepped();
                 }
                 Some(t) => {
@@ -466,6 +506,7 @@ fn advance_domain(
     stuck: &mut [Option<Completion>],
     from: Cycle,
     to: Cycle,
+    prof: bool,
 ) {
     let domain_drained = |gens: &[BmTrafficGen],
                           shard: &SwitchShard,
@@ -519,7 +560,11 @@ fn advance_domain(
         if domain_drained(gens, shard, mcs, stuck) {
             return;
         }
-        match next_event(now, gens, shard, mcs, stuck) {
+        let ev = next_event(now, gens, shard, mcs, stuck);
+        if prof {
+            profile::lap(profile::Phase::HorizonCompute);
+        }
+        match ev {
             Some(t) if t <= now => {
                 // The four phases of `HbmSystem::step`, on the domain's
                 // slice with shard-local indices.
@@ -530,7 +575,13 @@ fn advance_domain(
                         }
                     }
                 }
+                if prof {
+                    profile::lap(profile::Phase::GensTick);
+                }
                 shard.tick(now);
+                if prof {
+                    profile::lap(profile::Phase::FabricTick);
+                }
                 for (lp, mc) in mcs.iter_mut().enumerate() {
                     if let Some(head) = shard.peek_request(now, lp) {
                         if mc.can_accept(head.dir) {
@@ -538,7 +589,13 @@ fn advance_domain(
                             mc.accept(now, txn);
                         }
                     }
+                    if prof {
+                        profile::lap(profile::Phase::QueueOps);
+                    }
                     mc.tick(now);
+                    if prof {
+                        profile::lap(profile::Phase::McTick);
+                    }
                     if let Some(c) = stuck[lp].take() {
                         if let Err(c) = shard.offer_completion(now, lp, c) {
                             stuck[lp] = Some(c);
@@ -556,6 +613,9 @@ fn advance_domain(
                     while let Some(c) = shard.pop_completion(now, lm) {
                         gen.completed(now, &c.txn).expect("AXI ordering violated — simulator bug");
                     }
+                }
+                if prof {
+                    profile::lap(profile::Phase::QueueOps);
                 }
                 now += 1;
             }
@@ -674,7 +734,11 @@ pub fn measure_batch(
     sys.run(warmup);
     sys.reset_stats();
     sys.run(cycles);
-    sys.snapshot(cycles)
+    let out = sys.snapshot(cycles);
+    for m in &out {
+        crate::measure::record_run_metrics(m, cfg.hbm.num_pch);
+    }
+    out
 }
 
 #[cfg(test)]

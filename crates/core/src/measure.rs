@@ -1,11 +1,14 @@
 //! Warm-up + fixed-horizon measurement harness.
 
+use std::sync::{Arc, OnceLock};
+
 use hbm_axi::{ClockDomain, Cycle};
 use hbm_fabric::FabricStats;
 use hbm_mem::MemStats;
 use hbm_traffic::{GenStats, Workload};
 use serde::{Deserialize, Serialize};
 
+use crate::metrics::{self, Counter, Histo, Registry};
 use crate::system::{HbmSystem, SystemConfig};
 
 /// The result of one measured run.
@@ -88,6 +91,90 @@ impl Measurement {
     }
 }
 
+/// Occupancy histograms fed once per completed measurement: how loaded
+/// the lateral ring and the memory controllers were over the measured
+/// window. Values are integer percent (0–100), so the registry's
+/// power-of-two buckets resolve idle / light / half / saturated cleanly.
+struct RunMetrics {
+    measurements: Arc<Counter>,
+    lateral_pct: Arc<Histo>,
+    mc_busy_pct: Arc<Histo>,
+    mc_stall_pct: Arc<Histo>,
+    row_hit_pct: Arc<Histo>,
+}
+
+fn build_run_metrics(reg: &Registry) -> RunMetrics {
+    RunMetrics {
+        measurements: reg.counter(
+            "hbm_run_measurements_total",
+            "Completed measurement windows published to the registry",
+            &[],
+        ),
+        lateral_pct: reg.histogram(
+            "hbm_run_lateral_occupancy_pct",
+            "Busiest lateral bus occupancy per measurement (percent of cycles moving a beat)",
+            &[],
+        ),
+        mc_busy_pct: reg.histogram(
+            "hbm_run_mc_busy_pct",
+            "Mean per-PCH data-bus busy time per measurement (percent of the window)",
+            &[],
+        ),
+        mc_stall_pct: reg.histogram(
+            "hbm_run_mc_stall_pct",
+            "Mean per-PCH data-bus bank-timing stall per measurement (percent of the window)",
+            &[],
+        ),
+        row_hit_pct: reg.histogram(
+            "hbm_run_row_hit_pct",
+            "Row-buffer hit rate per measurement (percent of classified accesses)",
+            &[],
+        ),
+    }
+}
+
+fn run_metrics() -> &'static RunMetrics {
+    static M: OnceLock<RunMetrics> = OnceLock::new();
+    M.get_or_init(|| build_run_metrics(Registry::global()))
+}
+
+/// Pre-registers the run-occupancy series so expositions list them (at
+/// zero) before the first measurement. Called by the registry's
+/// built-in installer.
+pub(crate) fn install_run_series(reg: &Registry) {
+    build_run_metrics(reg);
+}
+
+fn as_pct(fraction: f64) -> u64 {
+    (fraction * 100.0).round().clamp(0.0, 100.0) as u64
+}
+
+/// Publishes a completed measurement's occupancy figures to the global
+/// registry. `num_pch` normalises the aggregate (summed over pseudo-
+/// channels) DRAM bus-time counters back to a per-PCH percentage. No-op
+/// unless metrics are enabled — the simulation itself never pays for
+/// this, it runs once per measurement window.
+pub(crate) fn record_run_metrics(m: &Measurement, num_pch: usize) {
+    if !metrics::enabled() {
+        return;
+    }
+    let r = run_metrics();
+    r.measurements.inc();
+    if let Some(f) = m.fabric.lateral_occupancy(m.cycles) {
+        r.lateral_pct.record(as_pct(f));
+    }
+    let window_ns = m.clock.cycles_to_ns(m.cycles) * num_pch.max(1) as f64;
+    if let Some(f) = m.mem.busy_fraction(window_ns) {
+        r.mc_busy_pct.record(as_pct(f));
+    }
+    if let Some(f) = m.mem.stall_fraction(window_ns) {
+        r.mc_stall_pct.record(as_pct(f));
+    }
+    if let Some(f) = m.mem.hit_rate() {
+        r.row_hit_pct.record(as_pct(f));
+    }
+}
+
 /// Runs `workload` on `cfg` for `warmup` cycles, clears statistics, then
 /// measures for `cycles` cycles.
 pub fn measure(
@@ -100,7 +187,9 @@ pub fn measure(
     sys.run(warmup);
     sys.reset_stats();
     sys.run(cycles);
-    snapshot(&sys, cycles)
+    let m = snapshot(&sys, cycles);
+    record_run_metrics(&m, cfg.hbm.num_pch);
+    m
 }
 
 /// Extracts a [`Measurement`] from a system after `cycles` measured

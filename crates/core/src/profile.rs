@@ -1,0 +1,372 @@
+//! Sampled kernel phase profiler: wall-time attribution of the cycle
+//! loop.
+//!
+//! The roadmap's "lockstep batching is queue-op-bound" diagnosis was
+//! made with out-of-tree profiling; this module makes it a reproducible
+//! in-tree artifact. A profiled run attributes *every* nanosecond of the
+//! kernel loop to one of six phases:
+//!
+//! | phase | what it covers |
+//! |---|---|
+//! | `gens_tick` | master poll/offer (step phase 1) |
+//! | `fabric_tick` | interconnect flit movement (step phase 2) |
+//! | `mc_tick` | controller+DRAM timing advance (step phase 3, tick half) |
+//! | `queue_ops` | port peek/pop/accept, stuck-completion retry, master completion drain (step phases 3+4, queue half) |
+//! | `horizon_compute` | `next_event` scans, pacer bookkeeping, and loop control |
+//! | `lockstep_reconcile` | cross-lane min-horizon folds, lane realignment, shard boundary reconcile |
+//!
+//! ## Mechanism: telescoping laps
+//!
+//! The profiler is a thread-local clock. [`begin`] stamps `t₀`; each
+//! instrumented boundary in the kernel calls [`lap`]`(phase)`, which
+//! adds `now − last` to that phase's accumulator and advances `last`;
+//! [`end`] takes the final lap. Because every delta between consecutive
+//! stamps is assigned to exactly one phase, the per-phase sums
+//! *telescope*: their total equals `t_end − t₀` **exactly** (integer
+//! nanoseconds, asserted by [`PhaseReport::consistent`] and the
+//! `telemetry_equivalence` tests). There is no unattributed residue —
+//! driver slack between two phase boundaries lands in the phase that
+//! owns loop control (`horizon_compute`).
+//!
+//! ## Cost contract
+//!
+//! The kernel checks [`active`] **once per `step`/span entry** (one
+//! thread-local read) and passes the result down as a register bool, so
+//! an unprofiled run pays a handful of never-taken branches per cycle —
+//! the same budget as the PR 2 tracer's `Option` checks — and a profiled
+//! run pays ~2 `Instant::now()` calls per port per cycle. That observer
+//! overhead is real (reported as `observer_overhead_pct` by
+//! `repro profile`, budget in DESIGN.md §3.7); attribution *fractions*
+//! remain honest because stamp cost is spread across adjacent phases.
+//! Profiling is observation-only: it cannot feed back into the
+//! simulation, so profiled runs are byte-identical to unprofiled ones
+//! (enforced by `tests/telemetry_equivalence.rs`).
+//!
+//! Profiling is per-thread: [`begin`]/[`end`] must bracket a run on the
+//! *same* thread (`measure` and `measure_batch` run on the caller's
+//! thread, so `repro profile` just wraps them).
+
+use std::cell::{Cell, RefCell};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{Counter, Registry};
+use std::sync::Arc;
+
+/// The six attribution phases, in table order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Master poll/offer (step phase 1).
+    GensTick,
+    /// Interconnect flit movement (step phase 2).
+    FabricTick,
+    /// Controller + DRAM timing advance (step phase 3, tick half).
+    McTick,
+    /// `next_event` scans, pacer bookkeeping, loop control.
+    HorizonCompute,
+    /// Port peek/pop/accept, stuck retries, completion drains.
+    QueueOps,
+    /// Cross-lane min-horizon folds, realignment, boundary reconcile.
+    LockstepReconcile,
+}
+
+/// Number of phases.
+pub const NUM_PHASES: usize = 6;
+
+/// All phases, in display order.
+pub const PHASES: [Phase; NUM_PHASES] = [
+    Phase::GensTick,
+    Phase::FabricTick,
+    Phase::McTick,
+    Phase::HorizonCompute,
+    Phase::QueueOps,
+    Phase::LockstepReconcile,
+];
+
+impl Phase {
+    /// The snake_case phase name used in tables, JSON, and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::GensTick => "gens_tick",
+            Phase::FabricTick => "fabric_tick",
+            Phase::McTick => "mc_tick",
+            Phase::HorizonCompute => "horizon_compute",
+            Phase::QueueOps => "queue_ops",
+            Phase::LockstepReconcile => "lockstep_reconcile",
+        }
+    }
+}
+
+/// Which kernel a profiled run exercised (a metric label and report
+/// field; the phases are shared).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// The monolithic scalar kernel (`HbmSystem::step`/`run_span`).
+    Scalar,
+    /// The lockstep batched kernel (`hbm_core::lockstep`).
+    Lockstep,
+}
+
+impl Kernel {
+    /// Label value: `"scalar"` or `"lockstep"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Lockstep => "lockstep",
+        }
+    }
+}
+
+// ----------------------------------------------------------- thread state
+
+struct ProfState {
+    kernel: Kernel,
+    t0: Instant,
+    last: Instant,
+    phase_ns: [u64; NUM_PHASES],
+    laps: u64,
+}
+
+thread_local! {
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static STATE: RefCell<Option<ProfState>> = const { RefCell::new(None) };
+}
+
+/// Whether this thread is inside a [`begin`]/[`end`] window. The kernel
+/// reads this once per step/span entry and branches on the cached bool.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.with(|a| a.get())
+}
+
+/// Attributes the time since the previous stamp to `phase` and advances
+/// the stamp. Call sites are guarded by [`active`]; calling while
+/// inactive is a harmless no-op.
+#[inline]
+pub fn lap(phase: Phase) {
+    STATE.with(|s| {
+        if let Some(st) = s.borrow_mut().as_mut() {
+            let now = Instant::now();
+            st.phase_ns[phase as usize] += (now - st.last).as_nanos() as u64;
+            st.last = now;
+            st.laps += 1;
+        }
+    });
+}
+
+/// Starts a profiling window on this thread for `kernel`. Any previous
+/// unfinished window is discarded.
+pub fn begin(kernel: Kernel) {
+    let now = Instant::now();
+    STATE.with(|s| {
+        *s.borrow_mut() =
+            Some(ProfState { kernel, t0: now, last: now, phase_ns: [0; NUM_PHASES], laps: 0 });
+    });
+    ACTIVE.with(|a| a.set(true));
+}
+
+/// Ends the window and returns the attribution. The tail between the
+/// last kernel stamp and this call is a final `horizon_compute` lap
+/// (loop-control ownership), which is what makes
+/// `sum(phase_ns) == total_ns` hold exactly. Returns an empty report if
+/// no window was open.
+pub fn end() -> PhaseReport {
+    ACTIVE.with(|a| a.set(false));
+    let st = STATE.with(|s| s.borrow_mut().take());
+    let Some(mut st) = st else {
+        return PhaseReport::empty(Kernel::Scalar);
+    };
+    let now = Instant::now();
+    st.phase_ns[Phase::HorizonCompute as usize] += (now - st.last).as_nanos() as u64;
+    let total_ns = (now - st.t0).as_nanos() as u64;
+    let report = PhaseReport { kernel: st.kernel, phase_ns: st.phase_ns, total_ns, laps: st.laps };
+    report.publish();
+    report
+}
+
+// --------------------------------------------------------------- reports
+
+/// One profiled window's attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseReport {
+    /// Which kernel ran.
+    pub kernel: Kernel,
+    /// Nanoseconds attributed to each phase, indexed by [`Phase`] in
+    /// [`PHASES`] order.
+    pub phase_ns: [u64; NUM_PHASES],
+    /// `t_end − t₀` of the window, measured independently of the laps.
+    pub total_ns: u64,
+    /// Stamp count (a sanity gauge on observer overhead).
+    pub laps: u64,
+}
+
+impl PhaseReport {
+    fn empty(kernel: Kernel) -> PhaseReport {
+        PhaseReport { kernel, phase_ns: [0; NUM_PHASES], total_ns: 0, laps: 0 }
+    }
+
+    /// Nanoseconds attributed to `phase`.
+    pub fn ns(&self, phase: Phase) -> u64 {
+        self.phase_ns[phase as usize]
+    }
+
+    /// Sum of all phase attributions.
+    pub fn attributed_ns(&self) -> u64 {
+        self.phase_ns.iter().sum()
+    }
+
+    /// The self-consistency invariant: the telescoping laps cover the
+    /// window exactly, so attributed time equals measured loop time to
+    /// the nanosecond.
+    pub fn consistent(&self) -> bool {
+        self.attributed_ns() == self.total_ns
+    }
+
+    /// `phase`'s share of the window, `0.0` for an empty window.
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            self.ns(phase) as f64 / self.total_ns as f64
+        }
+    }
+
+    /// JSON value with named phases (for `repro profile --json` and the
+    /// `BENCH_simspeed.json` fold-in).
+    pub fn to_json(&self) -> serde_json::Value {
+        let phases = serde_json::Value::Map(
+            PHASES
+                .iter()
+                .map(|&p| (p.name().to_string(), serde::value::to_value(&self.ns(p))))
+                .collect(),
+        );
+        serde_json::json!({
+            "kernel": self.kernel.name(),
+            "phase_ns": phases,
+            "total_ns": self.total_ns,
+            "laps": self.laps,
+            "consistent": self.consistent(),
+        })
+    }
+
+    /// Adds this window into the registry's kernel-phase counters (when
+    /// metrics are enabled), so a daemon's exposition accumulates phase
+    /// time across profiled runs.
+    fn publish(&self) {
+        if !crate::metrics::enabled() {
+            return;
+        }
+        let handles = phase_counters();
+        let base = match self.kernel {
+            Kernel::Scalar => 0,
+            Kernel::Lockstep => NUM_PHASES,
+        };
+        for p in PHASES {
+            handles.phase[base + p as usize].add(self.ns(p));
+        }
+        handles.runs[base / NUM_PHASES].inc();
+    }
+}
+
+// ------------------------------------------------------- metric handles
+
+struct PhaseCounters {
+    /// `[scalar × 6, lockstep × 6]` in [`PHASES`] order.
+    phase: Vec<Arc<Counter>>,
+    /// Profiled-run counts, `[scalar, lockstep]`.
+    runs: [Arc<Counter>; 2],
+}
+
+fn phase_counters() -> &'static PhaseCounters {
+    static HANDLES: OnceLock<PhaseCounters> = OnceLock::new();
+    HANDLES.get_or_init(|| build_phase_counters(Registry::global()))
+}
+
+fn build_phase_counters(reg: &Registry) -> PhaseCounters {
+    let mut phase = Vec::with_capacity(2 * NUM_PHASES);
+    for kernel in [Kernel::Scalar, Kernel::Lockstep] {
+        for p in PHASES {
+            phase.push(reg.counter(
+                "hbm_kernel_phase_ns_total",
+                "Profiled kernel wall time attributed per phase, in ns",
+                &[("kernel", kernel.name()), ("phase", p.name())],
+            ));
+        }
+    }
+    let runs = [
+        reg.counter(
+            "hbm_kernel_profile_runs_total",
+            "Completed phase-profiler windows",
+            &[("kernel", "scalar")],
+        ),
+        reg.counter(
+            "hbm_kernel_profile_runs_total",
+            "Completed phase-profiler windows",
+            &[("kernel", "lockstep")],
+        ),
+    ];
+    PhaseCounters { phase, runs }
+}
+
+/// Pre-registers the kernel-phase series (all zero) so an exposition is
+/// complete before any profiled run. Called by the registry's built-in
+/// installer.
+pub(crate) fn install_phase_series(reg: &Registry) {
+    build_phase_counters(reg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telescoping_is_exact() {
+        begin(Kernel::Scalar);
+        lap(Phase::GensTick);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        lap(Phase::FabricTick);
+        lap(Phase::QueueOps);
+        let r = end();
+        assert!(r.consistent(), "sum {} != total {}", r.attributed_ns(), r.total_ns);
+        assert!(r.ns(Phase::FabricTick) >= 2_000_000);
+        assert_eq!(r.laps, 3);
+        assert!(!active());
+    }
+
+    #[test]
+    fn end_without_begin_is_empty() {
+        let r = end();
+        assert_eq!(r.total_ns, 0);
+        assert!(r.consistent());
+    }
+
+    #[test]
+    fn lap_while_inactive_is_noop() {
+        lap(Phase::McTick);
+        assert!(!active());
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        begin(Kernel::Lockstep);
+        lap(Phase::LockstepReconcile);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let r = end();
+        let total: f64 = PHASES.iter().map(|&p| r.fraction(p)).sum();
+        assert!((total - 1.0).abs() < 1e-12, "{total}");
+        assert_eq!(r.kernel, Kernel::Lockstep);
+    }
+
+    #[test]
+    fn json_shape() {
+        begin(Kernel::Scalar);
+        lap(Phase::GensTick);
+        let v = end().to_json();
+        assert!(matches!(v.get("kernel"), Some(serde_json::Value::Str(s)) if s == "scalar"));
+        assert!(matches!(v.get("consistent"), Some(serde_json::Value::Bool(true))));
+        let phases = v.get("phase_ns").expect("phase_ns present");
+        assert!(matches!(phases.get("gens_tick"), Some(serde_json::Value::U64(_))));
+    }
+}

@@ -11,6 +11,7 @@ use hbm_traffic::{BmTrafficGen, GenStats, Workload};
 use serde::{Deserialize, Serialize};
 
 use crate::probe::{Probe, ProbeConfig};
+use crate::profile;
 
 /// Overridable parameters of the Xilinx switch fabric, for what-if
 /// studies (e.g. the lateral-bus-count ablation of DESIGN.md §5).
@@ -513,6 +514,14 @@ impl HbmSystem {
 
     /// Advances the system by one cycle.
     pub fn step(&mut self) {
+        self.step_prof(profile::active());
+    }
+
+    /// [`step`](Self::step) with the phase-profiler activity bit hoisted
+    /// by the caller (the span loops read it once, not per cycle). When
+    /// `prof` is false every stamp is a never-taken branch on a register
+    /// bool — observation only, the simulated schedule is untouched.
+    fn step_prof(&mut self, prof: bool) {
         let now = self.now;
         // 1. Masters offer their head-of-line transaction.
         for gen in &mut self.gens {
@@ -522,8 +531,14 @@ impl HbmSystem {
                 }
             }
         }
+        if prof {
+            profile::lap(profile::Phase::GensTick);
+        }
         // 2. The interconnect moves flits.
         self.fabric.tick(now);
+        if prof {
+            profile::lap(profile::Phase::FabricTick);
+        }
         // 3. Memory side: deliver requests (one per port per cycle, as an
         //    AXI handshake would) and return completions.
         for (p, mc) in self.mcs.iter_mut().enumerate() {
@@ -534,7 +549,13 @@ impl HbmSystem {
                     mc.accept(now, txn);
                 }
             }
+            if prof {
+                profile::lap(profile::Phase::QueueOps);
+            }
             mc.tick(now);
+            if prof {
+                profile::lap(profile::Phase::McTick);
+            }
             if let Some(c) = self.stuck[p].take() {
                 if let Err(c) = self.fabric.offer_completion(now, port, c) {
                     self.stuck[p] = Some(c);
@@ -556,6 +577,9 @@ impl HbmSystem {
                 }
                 gen.completed(now, &c.txn);
             }
+        }
+        if prof {
+            profile::lap(profile::Phase::QueueOps);
         }
         self.now += 1;
     }
@@ -641,16 +665,21 @@ impl HbmSystem {
 
     /// The un-probed span loop behind [`run`](HbmSystem::run).
     fn run_span(&mut self, cycles: Cycle) {
+        let prof = profile::active();
         let deadline = self.now.saturating_add(cycles);
         let mut pacer = Pacer::default();
         while self.now < deadline {
             if pacer.take_credit() {
-                self.step();
+                self.step_prof(prof);
                 continue;
             }
-            match self.next_event() {
+            let ev = self.next_event();
+            if prof {
+                profile::lap(profile::Phase::HorizonCompute);
+            }
+            match ev {
                 Some(t) if t <= self.now => {
-                    self.step();
+                    self.step_prof(prof);
                     pacer.stepped();
                 }
                 Some(t) => {
@@ -704,6 +733,7 @@ impl HbmSystem {
     /// The un-probed drain loop behind
     /// [`run_until_drained`](HbmSystem::run_until_drained).
     fn drain_span(&mut self, max_cycles: Cycle) -> bool {
+        let prof = profile::active();
         let deadline = self.now.saturating_add(max_cycles);
         let mut pacer = Pacer::default();
         loop {
@@ -714,12 +744,16 @@ impl HbmSystem {
                 return false;
             }
             if pacer.take_credit() {
-                self.step();
+                self.step_prof(prof);
                 continue;
             }
-            match self.next_event() {
+            let ev = self.next_event();
+            if prof {
+                profile::lap(profile::Phase::HorizonCompute);
+            }
+            match ev {
                 Some(t) if t <= self.now => {
-                    self.step();
+                    self.step_prof(prof);
                     pacer.stepped();
                 }
                 Some(t) => {

@@ -62,6 +62,14 @@ impl FabricStats {
             .unwrap_or(0)
     }
 
+    /// Occupancy of the busiest lateral bus as a fraction of `cycles`
+    /// (each occupied cycle moves one beat), or `None` for a zero-cycle
+    /// window. The load figure behind the lateral-ring gauges exported
+    /// by `hbm-core`'s metric registry.
+    pub fn lateral_occupancy(&self, cycles: u64) -> Option<f64> {
+        (cycles > 0).then(|| self.max_lateral_beats() as f64 / cycles as f64)
+    }
+
     /// Total grant switches over every counted link.
     pub fn total_grant_switches(&self) -> u64 {
         let lat: u64 = self

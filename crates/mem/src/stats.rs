@@ -39,6 +39,19 @@ impl MemStats {
         (total > 0).then(|| self.page_hits as f64 / total as f64)
     }
 
+    /// Fraction of a window of `elapsed_ns` the data bus spent
+    /// transferring beats, or `None` for a zero-length window.
+    pub fn busy_fraction(&self, elapsed_ns: f64) -> Option<f64> {
+        (elapsed_ns > 0.0).then(|| self.busy_ns / elapsed_ns)
+    }
+
+    /// Fraction of a window of `elapsed_ns` the data bus spent stalled
+    /// on bank timing with work queued, or `None` for a zero-length
+    /// window.
+    pub fn stall_fraction(&self, elapsed_ns: f64) -> Option<f64> {
+        (elapsed_ns > 0.0).then(|| self.stall_ns / elapsed_ns)
+    }
+
     /// Adds another stats block into this one (for device-level totals).
     pub fn merge(&mut self, other: &MemStats) {
         self.bytes_read += other.bytes_read;

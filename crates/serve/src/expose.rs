@@ -1,0 +1,130 @@
+//! Standalone Prometheus exposition endpoint.
+//!
+//! A minimal HTTP/1.0 responder so a stock Prometheus scraper (or
+//! `curl`) can read the registry without speaking the NDJSON wire
+//! protocol: every `GET` — the path is not inspected, `/metrics` by
+//! convention — receives the full [`Registry::render`] output as
+//! `text/plain; version=0.0.4`. Hand-rolled over `std::net::TcpStream`
+//! like the rest of the crate; serving a single static body per
+//! connection needs no HTTP library.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use hbm_core::metrics::Registry;
+
+/// A running exposition listener (`repro serve --metrics-addr`).
+pub struct MetricsExposer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: std::thread::JoinHandle<()>,
+}
+
+impl MetricsExposer {
+    /// Binds `addr` (port 0 for ephemeral) and starts answering scrapes
+    /// from the global registry.
+    pub fn bind(addr: &str) -> io::Result<MetricsExposer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let accept_thread =
+            std::thread::Builder::new().name("hbm-metrics-http".into()).spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    // One scrape is one short request/response: answer it
+                    // inline — a slow scraper cannot block the wire
+                    // protocol, only the next scrape.
+                    let _ = answer_scrape(stream);
+                }
+            })?;
+        Ok(MetricsExposer { addr: local, stop, accept_thread })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener and joins its accept thread.
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Self-connect so the accept loop wakes up and observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.accept_thread.join();
+    }
+}
+
+/// Reads the request head and writes one exposition response.
+fn answer_scrape(stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the header block; HTTP/1.0 close semantics need no body
+    // handling for GET.
+    let mut header = String::new();
+    while reader.read_line(&mut header)? > 0 {
+        if header == "\r\n" || header == "\n" {
+            break;
+        }
+        header.clear();
+    }
+    let mut writer = stream;
+    if !request_line.starts_with("GET ") {
+        writer.write_all(b"HTTP/1.0 405 Method Not Allowed\r\nContent-Length: 0\r\n\r\n")?;
+        return Ok(());
+    }
+    let body = Registry::global().render();
+    let head = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Raw HTTP GET against `addr`, returning (status line, body).
+    fn http_get(addr: &std::net::SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+        let mut reply = String::new();
+        BufReader::new(stream).read_to_string(&mut reply).unwrap();
+        let (head, body) = reply.split_once("\r\n\r\n").expect("header/body split");
+        let status = head.lines().next().unwrap_or_default().to_string();
+        (status, body.to_string())
+    }
+
+    use std::io::Read;
+
+    #[test]
+    fn scrape_returns_exposition() {
+        let exposer = MetricsExposer::bind("127.0.0.1:0").unwrap();
+        let (status, body) = http_get(&exposer.local_addr(), "/metrics");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("# TYPE hbm_cache_hits_total counter"), "{body}");
+        // Serving is stateless per connection: a second scrape works.
+        let (status, _) = http_get(&exposer.local_addr(), "/metrics");
+        assert!(status.contains("200"));
+        exposer.stop();
+    }
+
+    #[test]
+    fn non_get_is_rejected() {
+        let exposer = MetricsExposer::bind("127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(exposer.local_addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut reply = String::new();
+        BufReader::new(stream).read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.0 405"), "{reply}");
+        exposer.stop();
+    }
+}

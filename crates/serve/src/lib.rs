@@ -24,8 +24,14 @@
 //!   a panicking point comes back [`RowStatus::Failed`] without taking
 //!   the worker down.
 //! * **Observability** — queue-wait / run / stream latency histograms
-//!   (reusing `hbm_axi::instrument::Hist`), worker utilisation, and
-//!   depth gauges, exported as a JSON [`StatsSnapshot`].
+//!   (power-of-two buckets, same design as `hbm_axi::instrument::Hist`),
+//!   worker utilisation, and depth gauges, exported as a JSON
+//!   [`StatsSnapshot`] by the `stats` verb. Every counter is a handle
+//!   into the workspace metric registry
+//!   ([`hbm_core::metrics::Registry::global`]), which the `metrics` verb
+//!   renders as Prometheus text exposition and [`MetricsExposer`] serves
+//!   over plain HTTP; finished jobs leave lifecycle [`JobSpan`]s (the
+//!   `spans` verb, or a `--span-log` JSONL file).
 //!
 //! Everything is plain `std` — OS threads, mutex + condvar, blocking
 //! TCP. No async runtime exists in the vendored dependency set, and
@@ -53,13 +59,15 @@
 //! server.shutdown();
 //! ```
 
+pub mod expose;
 pub mod job;
 pub mod scheduler;
 pub mod stats;
 pub mod wire;
 
+pub use expose::MetricsExposer;
 pub use hbm_core::cache::{CacheSnapshot, ResultCache};
 pub use job::{Event, JobId, JobSpec, JobState, JobStatus, Rejection, RowResult, RowStatus};
 pub use scheduler::{ServeConfig, ServeHandle, Server};
-pub use stats::{DepthGauges, HistSummary, ServeStats, StatsSnapshot};
+pub use stats::{DepthGauges, HistSummary, JobSpan, ServeStats, StatsSnapshot};
 pub use wire::{Client, WireServer, RETRY_CAP_MS, RETRY_FLOOR_MS};

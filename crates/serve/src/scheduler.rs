@@ -53,6 +53,8 @@
 //! twice.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::Write;
+use std::path::PathBuf;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -61,10 +63,11 @@ use hbm_core::batch::{self, panic_message, GridPoint};
 use hbm_core::cache::{fingerprint, Fingerprint, ResultCache};
 use hbm_core::experiment::Fidelity;
 use hbm_core::measure::measure;
+use hbm_core::metrics::{self, Registry};
 use hbm_core::Measurement;
 
 use crate::job::{Event, JobId, JobSpec, JobState, JobStatus, Rejection, RowResult, RowStatus};
-use crate::stats::{DepthGauges, ServeStats, StatsSnapshot};
+use crate::stats::{DepthGauges, JobSpan, ServeStats, StatsSnapshot, SPAN_LOG_CAP};
 
 /// Serving-pool parameters.
 #[derive(Debug, Clone)]
@@ -86,6 +89,10 @@ pub struct ServeConfig {
     /// scheduler re-simulates every point unless caching was turned on).
     /// Tests attach local instances to avoid cross-test state.
     pub cache: Option<ResultCache>,
+    /// Append one JSONL [`JobSpan`] line per finished job to this file
+    /// (the durable counterpart of the bounded in-memory span ring the
+    /// `spans` verb reads).
+    pub span_log: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +104,7 @@ impl Default for ServeConfig {
             default_timeout_ms: None,
             paused: false,
             cache: None,
+            span_log: None,
         }
     }
 }
@@ -191,6 +199,11 @@ struct State {
     paused: bool,
     shutdown: bool,
     stats: ServeStats,
+    /// Finished-job lifecycle spans, oldest first, capped at
+    /// [`SPAN_LOG_CAP`].
+    spans: VecDeque<JobSpan>,
+    /// Optional JSONL sink receiving every span (unbounded, durable).
+    span_sink: Option<Arc<Mutex<std::fs::File>>>,
 }
 
 impl State {
@@ -250,7 +263,7 @@ impl State {
                 if let Some(m) = cache.get(fp) {
                     // Answered from the cache: the row is deposited
                     // here and now; no worker ever sees the point.
-                    self.stats.cache_hits += 1;
+                    self.stats.cache_hits.inc();
                     self.deposit_row(id, index, RowStatus::Done, Some((*m).clone()), now);
                     deposited = true;
                     continue;
@@ -260,13 +273,13 @@ impl State {
                     // Identical point already on a worker: wait for its
                     // row instead of simulating twice.
                     waiters.push((id, index));
-                    self.stats.cache_coalesced += 1;
+                    self.stats.cache_coalesced.inc();
                     let entry = self.jobs.get_mut(&id).expect("claimed job exists");
                     entry.running += 1;
                     continue;
                 }
                 self.inflight.insert(key, Vec::new());
-                self.stats.cache_misses += 1;
+                self.stats.cache_misses.inc();
                 Some(key)
             } else {
                 None
@@ -296,10 +309,10 @@ impl State {
         now: Instant,
     ) {
         match status {
-            RowStatus::Done => self.stats.rows_done += 1,
-            RowStatus::Failed { .. } => self.stats.rows_failed += 1,
-            RowStatus::TimedOut => self.stats.rows_timed_out += 1,
-            RowStatus::Cancelled => self.stats.rows_cancelled += 1,
+            RowStatus::Done => self.stats.rows_done.inc(),
+            RowStatus::Failed { .. } => self.stats.rows_failed.inc(),
+            RowStatus::TimedOut => self.stats.rows_timed_out.inc(),
+            RowStatus::Cancelled => self.stats.rows_cancelled.inc(),
         }
         let entry = self.jobs.get_mut(&id).expect("depositing into a known job");
         match status {
@@ -312,6 +325,7 @@ impl State {
         entry.broadcast(&Event::Row(Box::new(row.clone())));
         entry.log.push((row, now));
         let mut completed_job = false;
+        let mut finished_job = false;
         if entry.is_finished() {
             if entry.state != JobState::Cancelled {
                 entry.state = JobState::Done;
@@ -319,16 +333,59 @@ impl State {
             }
             let state = entry.state;
             entry.finished_at = Some(now);
+            finished_job = true;
             entry.broadcast(&Event::End { job: JobId(id), state });
         }
         // Live deliveries happen at completion time: ~0 stream latency.
         let live_subs = entry.subscribers.len() as u64;
         if completed_job {
-            self.stats.jobs_completed += 1;
+            self.stats.jobs_completed.inc();
         }
         for _ in 0..live_subs {
             self.stats.stream_us.record(0);
         }
+        if finished_job {
+            self.record_span(id);
+        }
+    }
+
+    /// Captures `id`'s lifecycle span into the bounded ring (and the
+    /// JSONL sink, when configured). Called exactly once per job, at its
+    /// terminal transition (`finished_at` just set).
+    fn record_span(&mut self, id: u64) {
+        let started = self.stats.started();
+        let entry = self.jobs.get(&id).expect("span of a known job");
+        let finished = entry.finished_at.expect("span recorded at terminal transition");
+        let queued_end = entry.first_dispatch.unwrap_or(finished);
+        let span = JobSpan {
+            job: id,
+            name: entry.spec.name.clone(),
+            priority: entry.spec.priority,
+            points: entry.total(),
+            state: format!("{:?}", entry.state),
+            submitted_ms: (entry.submitted_at - started).as_secs_f64() * 1e3,
+            queued_ms: (queued_end - entry.submitted_at).as_secs_f64() * 1e3,
+            run_ms: entry.first_dispatch.map_or(0.0, |t| (finished - t).as_secs_f64() * 1e3),
+            rows_done: entry.done,
+            rows_failed: entry.failed,
+            rows_timed_out: entry.timed_out,
+            rows_cancelled: entry.cancelled_points,
+        };
+        if let Some(sink) = &self.span_sink {
+            match serde_json::to_string(&span) {
+                Ok(line) => {
+                    let mut f = sink.lock().unwrap();
+                    if let Err(e) = writeln!(f, "{line}") {
+                        eprintln!("hbm-serve: span log write failed: {e}");
+                    }
+                }
+                Err(e) => eprintln!("hbm-serve: span serialise failed: {e}"),
+            }
+        }
+        if self.spans.len() == SPAN_LOG_CAP {
+            self.spans.pop_front();
+        }
+        self.spans.push_back(span);
     }
 
     fn depth(&self) -> DepthGauges {
@@ -356,11 +413,12 @@ impl State {
             entry.broadcast(&Event::Row(Box::new(row.clone())));
             entry.log.push((row, now));
             entry.cancelled_points += 1;
-            self.stats.rows_cancelled += 1;
+            self.stats.rows_cancelled.inc();
         }
         entry.next_point = entry.total();
         entry.state = JobState::Cancelled;
-        if entry.is_finished() {
+        let finished = entry.is_finished();
+        if finished {
             entry.finished_at = Some(now);
             entry.broadcast(&Event::End { job: JobId(id), state: JobState::Cancelled });
         }
@@ -370,6 +428,9 @@ impl State {
                 let prio = entry.spec.priority;
                 self.ready.remove(&prio);
             }
+        }
+        if finished {
+            self.record_span(id);
         }
     }
 }
@@ -418,9 +479,25 @@ pub struct Server {
 
 impl Server {
     /// Starts `cfg.workers` worker threads over a fresh scheduler.
+    ///
+    /// Spawning a pool turns process-wide telemetry on
+    /// ([`metrics::set_enabled`]) — a daemon is the one consumer whose
+    /// whole point is being observable — and registers the scheduler's
+    /// depth gauges on the global registry (weakly: a render after this
+    /// pool is gone reads 0, not a dangling scheduler).
     pub fn spawn(cfg: ServeConfig) -> Server {
+        metrics::set_enabled(true);
         let workers = cfg.workers.max(1);
         let cache = cfg.cache.clone().unwrap_or_else(|| ResultCache::global().clone());
+        let span_sink = cfg.span_log.as_ref().and_then(|path| {
+            match std::fs::OpenOptions::new().create(true).append(true).open(path) {
+                Ok(f) => Some(Arc::new(Mutex::new(f))),
+                Err(e) => {
+                    eprintln!("hbm-serve: cannot open span log {}: {e}", path.display());
+                    None
+                }
+            }
+        });
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 next_job: 0,
@@ -432,12 +509,15 @@ impl Server {
                 paused: cfg.paused,
                 shutdown: false,
                 stats: ServeStats::new(),
+                spans: VecDeque::new(),
+                span_sink,
             }),
             work: Condvar::new(),
             progress: Condvar::new(),
             workers,
             cache,
         });
+        register_depth_gauges(Registry::global(), &shared);
         let handle = ServeHandle {
             shared: shared.clone(),
             retry_after_ms: cfg.retry_after_ms,
@@ -479,7 +559,7 @@ impl ServeHandle {
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, Rejection> {
         let mut st = self.shared.state.lock().unwrap();
         if st.shutdown || st.queued_points + spec.points.len() > self.queue_capacity {
-            st.stats.jobs_rejected += 1;
+            st.stats.jobs_rejected.inc();
             return Err(Rejection { retry_after_ms: self.retry_after_ms });
         }
         st.next_job += 1;
@@ -503,13 +583,14 @@ impl ServeHandle {
             entry.spec.timeout_ms = self.default_timeout_ms;
         }
         let n = entry.total();
-        st.stats.jobs_submitted += 1;
+        st.stats.jobs_submitted.inc();
         if n == 0 {
             // An empty grid is legal and terminates immediately.
             entry.state = JobState::Done;
             entry.finished_at = Some(entry.submitted_at);
-            st.stats.jobs_completed += 1;
+            st.stats.jobs_completed.inc();
             st.jobs.insert(id, entry);
+            st.record_span(id);
         } else {
             let prio = entry.spec.priority;
             st.queued_points += n;
@@ -564,7 +645,7 @@ impl ServeHandle {
             _ => return false,
         }
         st.cancel_pending(job.0);
-        st.stats.jobs_cancelled += 1;
+        st.stats.jobs_cancelled.inc();
         drop(st);
         self.shared.progress.notify_all();
         true
@@ -588,6 +669,12 @@ impl ServeHandle {
     /// audit trail (bounded; see [`crate::stats::DISPATCH_LOG_CAP`]).
     pub fn dispatch_log(&self) -> Vec<(u64, usize)> {
         self.shared.state.lock().unwrap().stats.dispatch_log.clone()
+    }
+
+    /// Finished-job lifecycle spans, oldest first (bounded; see
+    /// [`crate::stats::SPAN_LOG_CAP`]) — what the `spans` verb returns.
+    pub fn spans(&self) -> Vec<JobSpan> {
+        self.shared.state.lock().unwrap().spans.iter().cloned().collect()
     }
 
     /// Pauses dispatch: running points finish, queued points stay put.
@@ -636,7 +723,7 @@ impl ServeHandle {
             st.jobs.iter().filter(|(_, e)| !e.state.is_terminal()).map(|(&id, _)| id).collect();
         for id in open {
             st.cancel_pending(id);
-            st.stats.jobs_cancelled += 1;
+            st.stats.jobs_cancelled.inc();
         }
         drop(st);
         self.shared.work.notify_all();
@@ -647,6 +734,38 @@ impl ServeHandle {
     pub fn is_shutdown(&self) -> bool {
         self.shared.state.lock().unwrap().shutdown
     }
+}
+
+/// Registers the scheduler depth gauges as render-time collectors over
+/// a weak reference to the pool — the exposition always reports the
+/// *newest* pool's instantaneous depths (replace semantics, matching
+/// the owned counter series) and degrades to 0 once it is dropped.
+fn register_depth_gauges(reg: &Registry, shared: &Arc<Shared>) {
+    let depth_of = |shared: &std::sync::Weak<Shared>, f: fn(DepthGauges) -> usize| {
+        shared.upgrade().map_or(0, |s| f(s.state.lock().unwrap().depth()) as i64)
+    };
+    let w = Arc::downgrade(shared);
+    reg.gauge_fn(
+        "hbm_serve_queued_points",
+        "Admitted points not yet dispatched (backpressure applies to this level)",
+        &[],
+        move || depth_of(&w, |d| d.queued_points),
+    );
+    let w = Arc::downgrade(shared);
+    reg.gauge_fn(
+        "hbm_serve_running_points",
+        "Points currently measuring on a worker",
+        &[],
+        move || depth_of(&w, |d| d.running_points),
+    );
+    let w = Arc::downgrade(shared);
+    reg.gauge_fn("hbm_serve_active_jobs", "Jobs in a non-terminal state", &[], move || {
+        depth_of(&w, |d| d.active_jobs)
+    });
+    let w = Arc::downgrade(shared);
+    reg.gauge_fn("hbm_serve_workers", "Worker threads in the serving pool", &[], move || {
+        w.upgrade().map_or(0, |s| s.workers as i64)
+    });
 }
 
 fn worker_loop(shared: &Shared, _default_timeout: Option<u64>) {
@@ -685,7 +804,7 @@ fn worker_loop(shared: &Shared, _default_timeout: Option<u64>) {
         let mut st = shared.state.lock().unwrap();
         st.running_points -= 1;
         st.stats.run_us.record(run.as_micros() as u64);
-        st.stats.busy_ns += run.as_nanos() as u64;
+        st.stats.busy_ns.add(run.as_nanos() as u64);
         let waiters = match claimed.flight {
             Some(key) => st.inflight.remove(&key).unwrap_or_default(),
             None => Vec::new(),

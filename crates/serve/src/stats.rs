@@ -1,86 +1,157 @@
 //! Serving-path observability: latency histograms, depth gauges, and
 //! counters, exported as a JSON snapshot by the `stats` verb.
 //!
-//! Latencies reuse [`hbm_axi::instrument::Hist`] — the same
-//! power-of-two-bucket histogram the simulator's latency-attribution
-//! layer uses — recorded in microseconds: queue-wait (admission →
-//! dispatch, per point), run (dispatch → row, per point), and stream
-//! (row completion → delivery to a subscriber; ≈0 for live streams,
-//! larger for late subscribers replaying the backlog).
+//! Latencies reuse the power-of-two-bucket histogram design of
+//! [`hbm_axi::instrument::Hist`] — recorded in microseconds: queue-wait
+//! (admission → dispatch, per point), run (dispatch → row, per point),
+//! and stream (row completion → delivery to a subscriber; ≈0 for live
+//! streams, larger for late subscribers replaying the backlog).
+//!
+//! Every instrument here is a handle into the workspace metric registry
+//! ([`hbm_core::metrics::Registry::global`]), registered with *replace*
+//! semantics: the newest scheduler instance's handles are the ones the
+//! Prometheus exposition reads, so the `stats` verb and the `metrics`
+//! verb are two renderings of the same atomics and can never disagree.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use hbm_axi::instrument::Hist;
 use hbm_core::cache::CacheSnapshot;
+use hbm_core::metrics::{Counter, Histo, Registry};
 use serde::{Deserialize, Serialize};
 
 /// How many `(job, point)` dispatches the scheduler remembers for
 /// fairness inspection (a bounded debugging aid, not a durable log).
 pub const DISPATCH_LOG_CAP: usize = 4_096;
 
-/// Internal mutable counters, owned by the scheduler state.
+/// The scheduler's counters: shared handles into the metric registry
+/// (plus the bounded dispatch log, which is plain data — it is a debug
+/// ring, not a metric).
 #[derive(Debug)]
 pub struct ServeStats {
     /// Server start, the origin for utilisation and uptime.
     started: Instant,
     /// Admission → dispatch, per point, in µs.
-    pub queue_wait_us: Hist,
+    pub queue_wait_us: Arc<Histo>,
     /// Dispatch → deposited row, per point, in µs.
-    pub run_us: Hist,
+    pub run_us: Arc<Histo>,
     /// Row completion → delivery to one subscriber, in µs.
-    pub stream_us: Hist,
+    pub stream_us: Arc<Histo>,
     /// Total wall time workers spent measuring points, in ns.
-    pub busy_ns: u64,
+    pub busy_ns: Arc<Counter>,
     /// Jobs admitted.
-    pub jobs_submitted: u64,
+    pub jobs_submitted: Arc<Counter>,
     /// Jobs rejected by admission control (queue full).
-    pub jobs_rejected: u64,
+    pub jobs_rejected: Arc<Counter>,
     /// Jobs that ran every point to a row.
-    pub jobs_completed: u64,
+    pub jobs_completed: Arc<Counter>,
     /// Jobs cancelled before completion.
-    pub jobs_cancelled: u64,
+    pub jobs_cancelled: Arc<Counter>,
     /// Rows measured successfully.
-    pub rows_done: u64,
+    pub rows_done: Arc<Counter>,
     /// Rows failed (worker panic).
-    pub rows_failed: u64,
+    pub rows_failed: Arc<Counter>,
     /// Rows past their timeout budget.
-    pub rows_timed_out: u64,
+    pub rows_timed_out: Arc<Counter>,
     /// Points cancelled before dispatch.
-    pub rows_cancelled: u64,
+    pub rows_cancelled: Arc<Counter>,
     /// Points answered from the result cache at claim time (no
     /// dispatch).
-    pub cache_hits: u64,
+    pub cache_hits: Arc<Counter>,
     /// Points dispatched because the cache had no answer.
-    pub cache_misses: u64,
+    pub cache_misses: Arc<Counter>,
     /// Points coalesced onto an identical in-flight computation.
-    pub cache_coalesced: u64,
+    pub cache_coalesced: Arc<Counter>,
     /// Recent dispatches as `(job, point-index)`, oldest first, capped
     /// at [`DISPATCH_LOG_CAP`].
     pub dispatch_log: Vec<(u64, usize)>,
 }
 
 impl ServeStats {
-    /// Fresh counters anchored at "now".
+    /// Fresh counters anchored at "now", registered on the global
+    /// registry (replacing any prior scheduler's series).
     pub fn new() -> ServeStats {
+        ServeStats::registered(Registry::global())
+    }
+
+    /// Fresh counters registered on an explicit registry (tests).
+    pub fn registered(reg: &Registry) -> ServeStats {
+        let jobs = "Serve jobs by admission/terminal state";
+        let rows = "Serve rows (points) by outcome";
+        let claims = "Serve point claims by result-cache outcome";
         ServeStats {
             started: Instant::now(),
-            queue_wait_us: Hist::default(),
-            run_us: Hist::default(),
-            stream_us: Hist::default(),
-            busy_ns: 0,
-            jobs_submitted: 0,
-            jobs_rejected: 0,
-            jobs_completed: 0,
-            jobs_cancelled: 0,
-            rows_done: 0,
-            rows_failed: 0,
-            rows_timed_out: 0,
-            rows_cancelled: 0,
-            cache_hits: 0,
-            cache_misses: 0,
-            cache_coalesced: 0,
+            queue_wait_us: reg.histogram_owned(
+                "hbm_serve_queue_wait_us",
+                "Admission to dispatch latency per point, in microseconds",
+                &[],
+            ),
+            run_us: reg.histogram_owned(
+                "hbm_serve_run_us",
+                "Dispatch to deposited row latency per point, in microseconds",
+                &[],
+            ),
+            stream_us: reg.histogram_owned(
+                "hbm_serve_stream_us",
+                "Row completion to subscriber delivery latency, in microseconds",
+                &[],
+            ),
+            busy_ns: reg.counter_owned(
+                "hbm_serve_busy_ns_total",
+                "Wall time workers spent measuring points, in nanoseconds",
+                &[],
+            ),
+            jobs_submitted: reg.counter_owned(
+                "hbm_serve_jobs_total",
+                jobs,
+                &[("state", "submitted")],
+            ),
+            jobs_rejected: reg.counter_owned(
+                "hbm_serve_jobs_total",
+                jobs,
+                &[("state", "rejected")],
+            ),
+            jobs_completed: reg.counter_owned(
+                "hbm_serve_jobs_total",
+                jobs,
+                &[("state", "completed")],
+            ),
+            jobs_cancelled: reg.counter_owned(
+                "hbm_serve_jobs_total",
+                jobs,
+                &[("state", "cancelled")],
+            ),
+            rows_done: reg.counter_owned("hbm_serve_rows_total", rows, &[("outcome", "done")]),
+            rows_failed: reg.counter_owned("hbm_serve_rows_total", rows, &[("outcome", "failed")]),
+            rows_timed_out: reg.counter_owned(
+                "hbm_serve_rows_total",
+                rows,
+                &[("outcome", "timed_out")],
+            ),
+            rows_cancelled: reg.counter_owned(
+                "hbm_serve_rows_total",
+                rows,
+                &[("outcome", "cancelled")],
+            ),
+            cache_hits: reg.counter_owned("hbm_serve_claims_total", claims, &[("result", "hit")]),
+            cache_misses: reg.counter_owned(
+                "hbm_serve_claims_total",
+                claims,
+                &[("result", "miss")],
+            ),
+            cache_coalesced: reg.counter_owned(
+                "hbm_serve_claims_total",
+                claims,
+                &[("result", "coalesced")],
+            ),
             dispatch_log: Vec::new(),
         }
+    }
+
+    /// Server start instant — the origin for span timestamps.
+    pub fn started(&self) -> Instant {
+        self.started
     }
 
     /// Records one dispatch in the bounded log.
@@ -105,22 +176,22 @@ impl ServeStats {
         StatsSnapshot {
             uptime_ms: uptime.as_secs_f64() * 1e3,
             workers,
-            worker_utilisation: self.busy_ns as f64 / capacity_ns as f64,
+            worker_utilisation: self.busy_ns.get() as f64 / capacity_ns as f64,
             depth,
-            queue_wait_us: HistSummary::of(&self.queue_wait_us),
-            run_us: HistSummary::of(&self.run_us),
-            stream_us: HistSummary::of(&self.stream_us),
-            jobs_submitted: self.jobs_submitted,
-            jobs_rejected: self.jobs_rejected,
-            jobs_completed: self.jobs_completed,
-            jobs_cancelled: self.jobs_cancelled,
-            rows_done: self.rows_done,
-            rows_failed: self.rows_failed,
-            rows_timed_out: self.rows_timed_out,
-            rows_cancelled: self.rows_cancelled,
-            cache_hits: self.cache_hits,
-            cache_misses: self.cache_misses,
-            cache_coalesced: self.cache_coalesced,
+            queue_wait_us: HistSummary::of(&self.queue_wait_us.snapshot()),
+            run_us: HistSummary::of(&self.run_us.snapshot()),
+            stream_us: HistSummary::of(&self.stream_us.snapshot()),
+            jobs_submitted: self.jobs_submitted.get(),
+            jobs_rejected: self.jobs_rejected.get(),
+            jobs_completed: self.jobs_completed.get(),
+            jobs_cancelled: self.jobs_cancelled.get(),
+            rows_done: self.rows_done.get(),
+            rows_failed: self.rows_failed.get(),
+            rows_timed_out: self.rows_timed_out.get(),
+            rows_cancelled: self.rows_cancelled.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            cache_coalesced: self.cache_coalesced.get(),
             cache,
         }
     }
@@ -130,6 +201,42 @@ impl Default for ServeStats {
     fn default() -> ServeStats {
         ServeStats::new()
     }
+}
+
+/// How many finished-job spans the scheduler retains for the `spans`
+/// verb (oldest evicted first; the optional JSONL sink keeps them all).
+pub const SPAN_LOG_CAP: usize = 1_024;
+
+/// One job's lifecycle span: submitted → queued → dispatched → finished,
+/// emitted when the job reaches a terminal state. Exported as JSON by
+/// the `spans` verb and appended as one JSONL line per job to the
+/// `--span-log` sink.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpan {
+    /// Job id.
+    pub job: u64,
+    /// Client-chosen job name.
+    pub name: String,
+    /// Priority level the job ran at.
+    pub priority: u8,
+    /// Grid points in the job.
+    pub points: usize,
+    /// Terminal state, `"Done"` or `"Cancelled"`.
+    pub state: String,
+    /// Submission instant, in milliseconds since server start.
+    pub submitted_ms: f64,
+    /// Submission → first dispatch (or terminal, if never dispatched).
+    pub queued_ms: f64,
+    /// First dispatch → terminal; 0 when never dispatched.
+    pub run_ms: f64,
+    /// Successful rows.
+    pub rows_done: usize,
+    /// Failed rows.
+    pub rows_failed: usize,
+    /// Timed-out rows.
+    pub rows_timed_out: usize,
+    /// Cancelled points.
+    pub rows_cancelled: usize,
 }
 
 /// Instantaneous scheduler depths.
@@ -224,12 +331,14 @@ mod tests {
 
     #[test]
     fn snapshot_reflects_counters() {
-        let mut s = ServeStats::new();
+        // A private registry so parallel tests don't share series.
+        let reg = Registry::new();
+        let s = ServeStats::registered(&reg);
         s.queue_wait_us.record(100);
         s.queue_wait_us.record(300);
         s.run_us.record(5_000);
-        s.rows_done = 2;
-        s.jobs_submitted = 1;
+        s.rows_done.add(2);
+        s.jobs_submitted.inc();
         let snap = s.snapshot(
             4,
             DepthGauges { queued_points: 7, running_points: 2, active_jobs: 1 },

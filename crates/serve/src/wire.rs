@@ -17,6 +17,8 @@
 //! | `subscribe` | `job`: N              | `{"ok":true}` then row/end event lines       |
 //! | `cancel`    | `job`: N              | `{"ok":true,"cancelled":bool}`               |
 //! | `stats`     | —                     | `{"ok":true,"stats":{...}}`                  |
+//! | `metrics`   | —                     | `{"ok":true,"metrics":"..."}` — the whole registry in Prometheus text exposition format |
+//! | `spans`     | —                     | `{"ok":true,"spans":[...]}` — finished-job lifecycle spans, oldest first |
 //! | `cache`     | `clear`: bool (opt.)  | `{"ok":true,"cache":{...}}` (snapshot after an optional memory-tier clear) |
 //! | `shutdown`  | —                     | `{"ok":true}`; the server then stops         |
 //!
@@ -39,7 +41,7 @@ use serde_json::json;
 
 use crate::job::{Event, JobId, JobSpec, JobState, JobStatus, Rejection, RowResult};
 use crate::scheduler::ServeHandle;
-use crate::stats::StatsSnapshot;
+use crate::stats::{JobSpan, StatsSnapshot};
 
 /// Serializes `v` and appends the protocol's line terminator.
 fn write_line(stream: &mut (impl Write + ?Sized), v: &Value) -> io::Result<()> {
@@ -230,6 +232,11 @@ fn handle_request(
             false
         }
         "stats" => write_line(writer, &json!({ "ok": true, "stats": handle.stats() })).is_ok(),
+        "metrics" => {
+            let text = hbm_core::metrics::Registry::global().render();
+            write_line(writer, &json!({ "ok": true, "metrics": text })).is_ok()
+        }
+        "spans" => write_line(writer, &json!({ "ok": true, "spans": handle.spans() })).is_ok(),
         "cache" => {
             if matches!(req.get("clear"), Some(Value::Bool(true))) {
                 handle.cache().clear();
@@ -366,6 +373,27 @@ impl Client {
                 from_value(stats.clone()).map_err(|e| bad_reply(&format!("bad stats payload: {e}")))
             }
             None => Err(bad_reply("stats reply without payload")),
+        }
+    }
+
+    /// The server's whole metric registry, rendered as Prometheus text
+    /// exposition format (version 0.0.4).
+    pub fn metrics(&mut self) -> io::Result<String> {
+        let reply = self.call(&json!({ "verb": "metrics" }))?;
+        match reply.get("metrics") {
+            Some(Value::Str(text)) => Ok(text.clone()),
+            _ => Err(bad_reply("metrics reply without payload")),
+        }
+    }
+
+    /// Finished-job lifecycle spans, oldest first.
+    pub fn spans(&mut self) -> io::Result<Vec<JobSpan>> {
+        let reply = self.call(&json!({ "verb": "spans" }))?;
+        match reply.get("spans") {
+            Some(spans) => {
+                from_value(spans.clone()).map_err(|e| bad_reply(&format!("bad spans payload: {e}")))
+            }
+            None => Err(bad_reply("spans reply without payload")),
         }
     }
 

@@ -1,0 +1,228 @@
+//! The telemetry layer's "observation only" contract (DESIGN.md §3.7):
+//! neither the kernel phase profiler nor the workspace metric registry
+//! may perturb the simulation in any observable way. A profiled run with
+//! metrics recording enabled must end bit-identical — final cycle, every
+//! generator/controller/fabric counter — to a bare run, on every fabric.
+//!
+//! The profiler additionally carries a self-consistency invariant: the
+//! telescoping laps cover the window exactly, so the per-phase sums
+//! equal the measured loop time to the nanosecond
+//! ([`PhaseReport::consistent`]) — for both the scalar and the lockstep
+//! kernel.
+
+use hbm_fpga::core::prelude::*;
+use hbm_fpga::core::profile::{self, Kernel, Phase};
+use hbm_fpga::core::{lockstep, measure, metrics};
+use hbm_fpga::fabric::FabricStats;
+use hbm_fpga::mem::MemStats;
+use hbm_fpga::traffic::GenStats;
+
+/// Everything observable about a finished (or paused) system.
+#[derive(Debug, Clone, PartialEq)]
+struct Fingerprint {
+    now: u64,
+    gens: Vec<GenStats>,
+    mcs: Vec<MemStats>,
+    fabric: FabricStats,
+}
+
+fn fingerprint(sys: &hbm_fpga::core::HbmSystem) -> Fingerprint {
+    Fingerprint {
+        now: sys.now(),
+        gens: sys.gen_stats(),
+        mcs: sys.mem_stats_per_pch(),
+        fabric: sys.fabric_stats(),
+    }
+}
+
+fn config_for(fabric_sel: usize) -> SystemConfig {
+    match fabric_sel {
+        0 => SystemConfig::xilinx(),
+        1 => SystemConfig::mao(),
+        2 => SystemConfig { fabric: FabricKind::FullCrossbar, ..SystemConfig::xilinx() },
+        _ => SystemConfig::direct(),
+    }
+}
+
+fn workload_for(fabric_sel: usize, pattern_sel: usize, seed: u64) -> Workload {
+    // The direct fabric only routes master i -> port i; force a local
+    // pattern there.
+    let pattern = if fabric_sel == 3 {
+        if pattern_sel.is_multiple_of(2) {
+            Pattern::Scs
+        } else {
+            Pattern::Scra
+        }
+    } else {
+        match pattern_sel {
+            0 => Pattern::Scs,
+            1 => Pattern::Ccs,
+            2 => Pattern::Scra,
+            _ => Pattern::Ccra,
+        }
+    };
+    Workload { pattern, outstanding: 4, num_ids: 4, seed, ..Workload::scs() }
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Draining with the profiler active and metrics recording on
+        /// matches a bare run bit-identically on every fabric, and the
+        /// window's attribution telescopes exactly.
+        #[test]
+        fn profiled_drained_runs_are_bit_identical(
+            fabric_sel in 0usize..4,
+            pattern_sel in 0usize..4,
+            per_master in 1u64..9,
+            seed in proptest::arbitrary::any::<u64>(),
+        ) {
+            metrics::set_enabled(true);
+            let cfg = config_for(fabric_sel);
+            let wl = workload_for(fabric_sel, pattern_sel, seed);
+
+            let mut on = HbmSystem::new(&cfg, wl, Some(per_master));
+            let mut off = HbmSystem::new(&cfg, wl, Some(per_master));
+
+            profile::begin(Kernel::Scalar);
+            let ok_on = on.run_until_drained(3_000_000);
+            let report = profile::end();
+            let ok_off = off.run_until_drained(3_000_000);
+
+            prop_assert_eq!(ok_on, ok_off);
+            prop_assert!(ok_on, "workload failed to drain: {:?}", wl);
+            prop_assert_eq!(fingerprint(&on), fingerprint(&off));
+            prop_assert!(
+                report.consistent(),
+                "phase sum {} != total {}",
+                report.attributed_ns(),
+                report.total_ns
+            );
+            prop_assert!(report.laps > 0, "profiled drain recorded no laps");
+        }
+
+        /// Windowed `run` under the profiler matches the bare system at
+        /// every window boundary (the profiler must not disturb the
+        /// event-horizon fast path's span structure).
+        #[test]
+        fn profiled_windowed_runs_are_bit_identical(
+            fabric_sel in 0usize..4,
+            pattern_sel in 0usize..4,
+            per_master in 1u64..6,
+            window in proptest::sample::select(vec![1u64, 7, 100, 5_000]),
+            seed in proptest::arbitrary::any::<u64>(),
+        ) {
+            metrics::set_enabled(true);
+            let cfg = config_for(fabric_sel);
+            let wl = workload_for(fabric_sel, pattern_sel, seed);
+
+            let mut on = HbmSystem::new(&cfg, wl, Some(per_master));
+            let mut off = HbmSystem::new(&cfg, wl, Some(per_master));
+
+            profile::begin(Kernel::Scalar);
+            for _ in 0..6 {
+                on.run(window);
+            }
+            let report = profile::end();
+            for _ in 0..6 {
+                off.run(window);
+            }
+            prop_assert_eq!(fingerprint(&on), fingerprint(&off));
+            prop_assert!(report.consistent());
+        }
+
+        /// The lockstep kernel under the profiler produces rows
+        /// byte-identical to the unprofiled batch, and its window
+        /// telescopes exactly.
+        #[test]
+        fn profiled_lockstep_batches_are_byte_identical(
+            fabric_sel in 0usize..4,
+            lanes in 2usize..5,
+            seed in proptest::arbitrary::any::<u64>(),
+        ) {
+            metrics::set_enabled(true);
+            let cfg = config_for(fabric_sel);
+            let wls: Vec<Workload> = (0..lanes)
+                .map(|i| Workload {
+                    rotation: if fabric_sel == 3 { 0 } else { i },
+                    seed: seed.wrapping_add(i as u64),
+                    ..Workload::scs()
+                })
+                .collect();
+
+            profile::begin(Kernel::Lockstep);
+            let on = lockstep::measure_batch(&cfg, &wls, 200, 800);
+            let report = profile::end();
+            let off = lockstep::measure_batch(&cfg, &wls, 200, 800);
+
+            prop_assert_eq!(on.len(), off.len());
+            for (a, b) in on.iter().zip(&off) {
+                prop_assert_eq!(
+                    serde_json::to_string(a).unwrap(),
+                    serde_json::to_string(b).unwrap()
+                );
+            }
+            prop_assert!(
+                report.consistent(),
+                "phase sum {} != total {}",
+                report.attributed_ns(),
+                report.total_ns
+            );
+        }
+    }
+}
+
+/// Metric recording happens at measurement boundaries, never inside the
+/// cycle loop — so a measurement taken with the registry enabled must
+/// serialise byte-identical to one taken with it disabled, on every
+/// fabric.
+#[test]
+fn metrics_do_not_perturb_measurements() {
+    for fabric_sel in 0..4 {
+        let cfg = config_for(fabric_sel);
+        let wl = workload_for(fabric_sel, fabric_sel, 7);
+        metrics::set_enabled(false);
+        let off = measure::measure(&cfg, wl, 300, 1_200);
+        metrics::set_enabled(true);
+        let on = measure::measure(&cfg, wl, 300, 1_200);
+        assert_eq!(
+            serde_json::to_string(&on).unwrap(),
+            serde_json::to_string(&off).unwrap(),
+            "metrics recording perturbed the measurement on fabric {fabric_sel}"
+        );
+    }
+}
+
+/// The acceptance invariant, pinned deterministically for both kernels:
+/// `repro profile`'s phase sums equal the measured loop time exactly,
+/// the scalar kernel never enters the reconcile phase, and the lockstep
+/// kernel does.
+#[test]
+fn phase_sums_equal_measured_loop_time() {
+    let cfg = SystemConfig::xilinx();
+
+    profile::begin(Kernel::Scalar);
+    let _ = measure::measure(&cfg, Workload::scs(), 500, 2_000);
+    let scalar = profile::end();
+    assert!(scalar.consistent(), "scalar: {} != {}", scalar.attributed_ns(), scalar.total_ns);
+    assert!(scalar.laps > 0);
+    assert_eq!(scalar.ns(Phase::LockstepReconcile), 0, "scalar kernel has no reconcile phase");
+
+    let wls: Vec<Workload> =
+        [0usize, 1, 2, 4].iter().map(|&r| Workload { rotation: r, ..Workload::scs() }).collect();
+    profile::begin(Kernel::Lockstep);
+    let _ = lockstep::measure_batch(&cfg, &wls, 500, 2_000);
+    let lockstep_report = profile::end();
+    assert!(
+        lockstep_report.consistent(),
+        "lockstep: {} != {}",
+        lockstep_report.attributed_ns(),
+        lockstep_report.total_ns
+    );
+    assert!(
+        lockstep_report.ns(Phase::LockstepReconcile) > 0,
+        "multi-lane lockstep run must spend time reconciling"
+    );
+}
