@@ -5,16 +5,305 @@
 //! whose entries become visible `latency` cycles after insertion. This
 //! models a pipelined ready/valid AXI link: back-pressure arises naturally
 //! when the queue is full, and wire/pipeline delay from the latency.
+//!
+//! Internally both [`DelayQueue`] and the raw [`StampedRing`] it wraps
+//! are flat power-of-two rings with SoA storage: the `deadlines` live in
+//! one contiguous `Box<[Cycle]>` and the payloads in a parallel slot
+//! array. Horizon scans (`next_ready_at`, `ready_len`) touch only the
+//! deadline array — a dense, branch-predictable walk that never loads a
+//! payload — and the full (rounded) capacity is allocated up front, so a
+//! queue never reallocates mid-simulation (see DESIGN.md §3.8).
 
-use std::collections::VecDeque;
+use std::fmt;
+use std::mem::MaybeUninit;
 
 use crate::types::Cycle;
+
+/// A flat ring of `(deadline, payload)` entries with SoA storage.
+///
+/// The raw primitive under [`DelayQueue`]: deadlines are supplied
+/// explicitly by the caller and must be pushed in non-decreasing order
+/// (checked in debug builds). That monotonicity is what makes the head
+/// deadline the queue's next-event horizon and lets `ready_len` binary
+/// search the deadline array.
+///
+/// Physical storage is `capacity.next_power_of_two()` slots so index
+/// arithmetic is a mask, while the *logical* capacity (back-pressure
+/// threshold) stays exactly what the caller asked for.
+pub struct StampedRing<T> {
+    /// Delivery deadline per occupied slot; parallel to `slots`.
+    deadlines: Box<[Cycle]>,
+    /// Payload storage; slots `head..head+len` (mod mask+1) are live.
+    slots: Box<[MaybeUninit<T>]>,
+    head: usize,
+    len: usize,
+    /// `physical_size - 1`; physical size is a power of two.
+    mask: usize,
+    /// Logical capacity: `push_at` back-pressures at this occupancy.
+    capacity: usize,
+    /// Largest occupancy ever observed (high-water mark).
+    hwm: usize,
+}
+
+impl<T> StampedRing<T> {
+    /// Creates a ring holding at most `capacity` items. Allocates the
+    /// full power-of-two-rounded storage immediately; the ring never
+    /// grows or reallocates afterwards.
+    pub fn new(capacity: usize) -> StampedRing<T> {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        let physical = capacity.next_power_of_two();
+        StampedRing {
+            deadlines: vec![0; physical].into_boxed_slice(),
+            slots: (0..physical).map(|_| MaybeUninit::uninit()).collect(),
+            head: 0,
+            len: 0,
+            mask: physical - 1,
+            capacity,
+            hwm: 0,
+        }
+    }
+
+    /// Physical slot index of logical position `i` (0 = oldest).
+    #[inline(always)]
+    fn phys(&self, i: usize) -> usize {
+        (self.head + i) & self.mask
+    }
+
+    /// `true` if another item can be pushed.
+    #[inline]
+    pub fn can_push(&self) -> bool {
+        self.len < self.capacity
+    }
+
+    /// Pushes an item that becomes poppable at `deadline`. Returns
+    /// `Err(item)` when full so the caller can hold it (back-pressure)
+    /// without cloning. Deadlines must be non-decreasing in push order.
+    #[inline]
+    pub fn push_at(&mut self, deadline: Cycle, item: T) -> Result<(), T> {
+        if self.len >= self.capacity {
+            return Err(item);
+        }
+        debug_assert!(
+            self.len == 0 || deadline >= self.deadlines[self.phys(self.len - 1)],
+            "StampedRing deadlines must be pushed in non-decreasing order"
+        );
+        let idx = self.phys(self.len);
+        self.deadlines[idx] = deadline;
+        self.slots[idx].write(item);
+        self.len += 1;
+        if self.len > self.hwm {
+            self.hwm = self.len;
+        }
+        Ok(())
+    }
+
+    /// `true` if the head item's deadline has elapsed at `now`.
+    #[inline]
+    pub fn head_ready(&self, now: Cycle) -> bool {
+        self.len > 0 && self.deadlines[self.head] <= now
+    }
+
+    /// The head entry's `(deadline, item)` regardless of readiness.
+    #[inline]
+    pub fn front(&self) -> Option<(Cycle, &T)> {
+        if self.len == 0 {
+            return None;
+        }
+        // SAFETY: `len > 0` means the head slot is initialized.
+        Some((self.deadlines[self.head], unsafe { self.slots[self.head].assume_init_ref() }))
+    }
+
+    /// A reference to the head item if it is ready at `now`.
+    #[inline]
+    pub fn peek(&self, now: Cycle) -> Option<&T> {
+        if self.head_ready(now) {
+            // SAFETY: `head_ready` implies `len > 0`, so head is live.
+            Some(unsafe { self.slots[self.head].assume_init_ref() })
+        } else {
+            None
+        }
+    }
+
+    /// Removes and returns the head item unconditionally (caller has
+    /// already checked readiness, or doesn't care — e.g. `clear`).
+    #[inline]
+    fn take_head(&mut self) -> T {
+        debug_assert!(self.len > 0);
+        let idx = self.head;
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+        // SAFETY: the slot was live; advancing `head` marks it dead, so
+        // this is the unique read of the value.
+        unsafe { self.slots[idx].assume_init_read() }
+    }
+
+    /// Pops the head item if it is ready at `now`.
+    #[inline]
+    pub fn pop(&mut self, now: Cycle) -> Option<T> {
+        if self.head_ready(now) {
+            Some(self.take_head())
+        } else {
+            None
+        }
+    }
+
+    /// Pops the head entry regardless of readiness, with its deadline.
+    /// Used when draining one ring into another (e.g. lateral-boundary
+    /// reconciliation) where the stamp must travel with the item.
+    #[inline]
+    pub fn pop_front(&mut self) -> Option<(Cycle, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        let deadline = self.deadlines[self.head];
+        Some((deadline, self.take_head()))
+    }
+
+    /// Number of items currently queued (ready or still in flight).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no items are queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configured (logical) capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Largest occupancy the ring has ever reached. Maintained by two
+    /// ALU ops inside `push_at`; read once per measurement to feed the
+    /// queue-depth gauges (never sampled inside the cycle loop).
+    #[inline]
+    pub fn high_water(&self) -> usize {
+        self.hwm
+    }
+
+    /// Iterates over `(deadline, item)` pairs, oldest first, regardless
+    /// of readiness.
+    pub fn iter(&self) -> impl Iterator<Item = (Cycle, &T)> {
+        (0..self.len).map(move |i| {
+            let p = self.phys(i);
+            // SAFETY: logical positions `0..len` are always live.
+            (self.deadlines[p], unsafe { self.slots[p].assume_init_ref() })
+        })
+    }
+
+    /// Delivery deadline of the oldest queued item, if any. Because
+    /// deadlines are monotone this is the earliest cycle `pop` can
+    /// succeed — the ring's contribution to a next-event horizon.
+    #[inline]
+    pub fn next_ready_at(&self) -> Option<Cycle> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.deadlines[self.head])
+        }
+    }
+
+    /// Number of leading items whose deadline has elapsed at `now`.
+    /// Binary search over the deadline array alone (monotone order).
+    pub fn ready_len(&self, now: Cycle) -> usize {
+        let (mut lo, mut hi) = (0, self.len);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.deadlines[self.phys(mid)] <= now {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// A reference to the `idx`-th queued item (oldest = 0) if it is
+    /// ready at `now`.
+    pub fn peek_at(&self, now: Cycle, idx: usize) -> Option<&T> {
+        if idx < self.len && self.deadlines[self.phys(idx)] <= now {
+            // SAFETY: `idx < len` means the slot is live.
+            Some(unsafe { self.slots[self.phys(idx)].assume_init_ref() })
+        } else {
+            None
+        }
+    }
+
+    /// Removes and returns the `idx`-th queued item (oldest = 0) if it
+    /// is ready at `now`, preserving the order of the rest. The `idx`
+    /// leading entries shift one slot toward the tail — `idx` is bounded
+    /// by the scheduler window (single digits), never the queue depth.
+    pub fn pop_at(&mut self, now: Cycle, idx: usize) -> Option<T> {
+        if idx >= self.len || self.deadlines[self.phys(idx)] > now {
+            return None;
+        }
+        let hole = self.phys(idx);
+        // SAFETY: `idx < len` means the slot is live; it is overwritten
+        // or retired from the live range below, so this is the unique read.
+        let item = unsafe { self.slots[hole].assume_init_read() };
+        for i in (0..idx).rev() {
+            let from = self.phys(i);
+            let to = self.phys(i + 1);
+            self.deadlines[to] = self.deadlines[from];
+            // SAFETY: moving a live value into the hole left by the
+            // previous iteration (or the popped slot); `from` becomes
+            // the new hole.
+            let v = unsafe { self.slots[from].assume_init_read() };
+            self.slots[to].write(v);
+        }
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+        Some(item)
+    }
+
+    /// Drops every queued item. The high-water mark is preserved.
+    pub fn clear(&mut self) {
+        if std::mem::needs_drop::<T>() {
+            while self.len > 0 {
+                drop(self.take_head());
+            }
+        } else {
+            self.len = 0;
+        }
+        self.head = 0;
+    }
+}
+
+impl<T> Drop for StampedRing<T> {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+impl<T: Clone> Clone for StampedRing<T> {
+    fn clone(&self) -> StampedRing<T> {
+        let mut out = StampedRing::new(self.capacity);
+        for (deadline, item) in self.iter() {
+            let pushed = out.push_at(deadline, item.clone());
+            debug_assert!(pushed.is_ok());
+        }
+        out.hwm = self.hwm;
+        out
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for StampedRing<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StampedRing")
+            .field("capacity", &self.capacity)
+            .field("items", &self.iter().collect::<Vec<_>>())
+            .finish()
+    }
+}
 
 /// A fixed-latency, finite-capacity FIFO.
 #[derive(Debug, Clone)]
 pub struct DelayQueue<T> {
-    items: VecDeque<(Cycle, T)>,
-    capacity: usize,
+    ring: StampedRing<T>,
     latency: Cycle,
 }
 
@@ -25,65 +314,56 @@ impl<T> DelayQueue<T> {
     /// `capacity` must be at least 1. A `latency` of 0 makes items
     /// available in the same cycle they were pushed (combinational path).
     pub fn new(capacity: usize, latency: Cycle) -> DelayQueue<T> {
-        assert!(capacity >= 1, "queue capacity must be at least 1");
-        DelayQueue { items: VecDeque::with_capacity(capacity.min(1024)), capacity, latency }
+        DelayQueue { ring: StampedRing::new(capacity), latency }
     }
 
     /// `true` if another item can be pushed this cycle.
     #[inline]
     pub fn can_push(&self) -> bool {
-        self.items.len() < self.capacity
+        self.ring.can_push()
     }
 
     /// Pushes an item at cycle `now`. Returns `Err(item)` when full so the
     /// caller can hold it (back-pressure) without cloning.
+    #[inline]
     pub fn push(&mut self, now: Cycle, item: T) -> Result<(), T> {
-        if !self.can_push() {
-            return Err(item);
-        }
-        self.items.push_back((now + self.latency, item));
-        Ok(())
+        self.ring.push_at(now + self.latency, item)
     }
 
     /// `true` if the head item is ready to pop at cycle `now`.
     #[inline]
     pub fn head_ready(&self, now: Cycle) -> bool {
-        self.items.front().is_some_and(|(t, _)| *t <= now)
+        self.ring.head_ready(now)
     }
 
     /// A reference to the head item if it is ready at `now`.
+    #[inline]
     pub fn peek(&self, now: Cycle) -> Option<&T> {
-        match self.items.front() {
-            Some((t, item)) if *t <= now => Some(item),
-            _ => None,
-        }
+        self.ring.peek(now)
     }
 
     /// Pops the head item if it is ready at `now`.
+    #[inline]
     pub fn pop(&mut self, now: Cycle) -> Option<T> {
-        if self.head_ready(now) {
-            self.items.pop_front().map(|(_, item)| item)
-        } else {
-            None
-        }
+        self.ring.pop(now)
     }
 
     /// Number of items currently queued (ready or still in flight).
     #[inline]
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.ring.len()
     }
 
     /// `true` when no items are queued.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.ring.is_empty()
     }
 
     /// The configured capacity.
     #[inline]
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.ring.capacity()
     }
 
     /// The configured latency in cycles.
@@ -92,10 +372,17 @@ impl<T> DelayQueue<T> {
         self.latency
     }
 
+    /// Largest occupancy the queue has ever reached (see
+    /// [`StampedRing::high_water`]).
+    #[inline]
+    pub fn high_water(&self) -> usize {
+        self.ring.high_water()
+    }
+
     /// Iterates over all queued items, oldest first, regardless of
     /// readiness. Used by schedulers that look ahead into a window.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
-        self.items.iter().map(|(_, item)| item)
+        self.ring.iter().map(|(_, item)| item)
     }
 
     /// Delivery time of the oldest queued item, if any.
@@ -105,39 +392,321 @@ impl<T> DelayQueue<T> {
     /// the queue's contribution to a next-event horizon.
     #[inline]
     pub fn next_ready_at(&self) -> Option<Cycle> {
-        self.items.front().map(|(t, _)| *t)
+        self.ring.next_ready_at()
     }
 
     /// Number of leading items whose delay has elapsed at `now`.
     ///
     /// Because the latency is constant, ready times are monotone in queue
     /// order, so the ready items are exactly the first `ready_len` ones.
+    #[inline]
     pub fn ready_len(&self, now: Cycle) -> usize {
-        self.items.partition_point(|(t, _)| *t <= now)
+        self.ring.ready_len(now)
     }
 
     /// A reference to the `idx`-th queued item (oldest = 0) if it is
     /// ready at `now`.
+    #[inline]
     pub fn peek_at(&self, now: Cycle, idx: usize) -> Option<&T> {
-        match self.items.get(idx) {
-            Some((t, item)) if *t <= now => Some(item),
-            _ => None,
-        }
+        self.ring.peek_at(now, idx)
     }
 
     /// Removes and returns the `idx`-th queued item (oldest = 0) if it is
     /// ready at `now`. Supports out-of-order service within a window
     /// (e.g. FR-FCFS memory scheduling); FIFO order is the `idx == 0` case.
+    #[inline]
     pub fn pop_at(&mut self, now: Cycle, idx: usize) -> Option<T> {
-        match self.items.get(idx) {
-            Some((t, _)) if *t <= now => self.items.remove(idx).map(|(_, item)| item),
-            _ => None,
-        }
+        self.ring.pop_at(now, idx)
     }
 
     /// Drops every queued item.
     pub fn clear(&mut self) {
-        self.items.clear();
+        self.ring.clear()
+    }
+}
+
+/// Many small stamped rings in one lane-major allocation.
+///
+/// A batched (lockstep) kernel owns `lanes` independent queues of the
+/// same small capacity — e.g. one stuck-completion slot per port per
+/// sweep lane. Storing them as separate containers scatters the hot
+/// "does *any* lane hold something, and when does the earliest head
+/// mature?" scans across the heap; [`LaneRings`] instead keeps one
+/// contiguous `head_deadline` array (`Cycle::MAX` = lane empty) so those
+/// cross-lane questions are a single dense pass that never touches a
+/// payload, plus lane-major deadline/payload arrays for the per-lane
+/// ring operations.
+///
+/// Per lane the contract matches [`StampedRing`]: explicit deadlines,
+/// non-decreasing in push order (checked in debug builds), `Err(item)`
+/// back-pressure at the logical capacity. `Cycle::MAX` is reserved as
+/// the empty sentinel and must not be pushed as a deadline.
+pub struct LaneRings<T> {
+    /// Deadline of each lane's head entry, `Cycle::MAX` when the lane is
+    /// empty. The only array cross-lane scans touch.
+    head_deadline: Box<[Cycle]>,
+    /// Per-entry deadlines, lane-major: lane `l`, slot `j` lives at
+    /// `l * phys + j` where `phys = mask + 1`.
+    deadlines: Box<[Cycle]>,
+    slots: Box<[MaybeUninit<T>]>,
+    /// Per-lane ring head index (into the lane's physical window).
+    head: Box<[u32]>,
+    /// Per-lane occupancy.
+    len: Box<[u32]>,
+    lanes: usize,
+    /// Logical per-lane capacity (back-pressure threshold).
+    capacity: usize,
+    /// `physical_per_lane - 1`; physical size is a power of two.
+    mask: usize,
+}
+
+impl<T> LaneRings<T> {
+    /// Creates `lanes` rings of `capacity` items each, fully allocated
+    /// up front.
+    pub fn new(lanes: usize, capacity: usize) -> LaneRings<T> {
+        assert!(lanes >= 1, "need at least one lane");
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        let physical = capacity.next_power_of_two();
+        LaneRings {
+            head_deadline: vec![Cycle::MAX; lanes].into_boxed_slice(),
+            deadlines: vec![0; lanes * physical].into_boxed_slice(),
+            slots: (0..lanes * physical).map(|_| MaybeUninit::uninit()).collect(),
+            head: vec![0; lanes].into_boxed_slice(),
+            len: vec![0; lanes].into_boxed_slice(),
+            lanes,
+            capacity,
+            mask: physical - 1,
+        }
+    }
+
+    /// Number of lanes.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The per-lane logical capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// A mutable view over all lanes.
+    pub fn view_mut(&mut self) -> LaneRingsView<'_, T> {
+        LaneRingsView {
+            head_deadline: &mut self.head_deadline,
+            deadlines: &mut self.deadlines,
+            slots: &mut self.slots,
+            head: &mut self.head,
+            len: &mut self.len,
+            capacity: self.capacity,
+            mask: self.mask,
+        }
+    }
+
+    /// Splits the lanes into disjoint mutable views of `lanes_per_view`
+    /// consecutive lanes each — one per batch lane, so independent lane
+    /// kernels can hold their slice simultaneously. `lanes` must divide
+    /// evenly.
+    pub fn views_mut(
+        &mut self,
+        lanes_per_view: usize,
+    ) -> impl Iterator<Item = LaneRingsView<'_, T>> {
+        assert!(lanes_per_view >= 1 && self.lanes.is_multiple_of(lanes_per_view));
+        let phys = self.mask + 1;
+        let (capacity, mask) = (self.capacity, self.mask);
+        self.head_deadline
+            .chunks_mut(lanes_per_view)
+            .zip(self.deadlines.chunks_mut(lanes_per_view * phys))
+            .zip(self.slots.chunks_mut(lanes_per_view * phys))
+            .zip(self.head.chunks_mut(lanes_per_view))
+            .zip(self.len.chunks_mut(lanes_per_view))
+            .map(move |((((head_deadline, deadlines), slots), head), len)| LaneRingsView {
+                head_deadline,
+                deadlines,
+                slots,
+                head,
+                len,
+                capacity,
+                mask,
+            })
+    }
+
+    /// `true` when any lane holds an item — one pass over the contiguous
+    /// head-deadline array.
+    #[inline]
+    pub fn any_occupied(&self) -> bool {
+        self.head_deadline.iter().any(|&d| d != Cycle::MAX)
+    }
+}
+
+impl<T> Drop for LaneRings<T> {
+    fn drop(&mut self) {
+        if std::mem::needs_drop::<T>() {
+            let mut v = self.view_mut();
+            for lane in 0..v.lanes() {
+                while v.pop_front(lane).is_some() {}
+            }
+        }
+    }
+}
+
+/// A mutable window over consecutive lanes of a [`LaneRings`] (possibly
+/// all of them). Lane indices are view-local.
+pub struct LaneRingsView<'a, T> {
+    head_deadline: &'a mut [Cycle],
+    deadlines: &'a mut [Cycle],
+    slots: &'a mut [MaybeUninit<T>],
+    head: &'a mut [u32],
+    len: &'a mut [u32],
+    capacity: usize,
+    mask: usize,
+}
+
+impl<T> LaneRingsView<'_, T> {
+    /// Lanes in this view.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.head_deadline.len()
+    }
+
+    /// Physical index of `lane`'s logical position `i` (0 = oldest).
+    #[inline(always)]
+    fn phys(&self, lane: usize, i: usize) -> usize {
+        lane * (self.mask + 1) + ((self.head[lane] as usize + i) & self.mask)
+    }
+
+    /// Re-splits this view into disjoint sub-views of `lanes_per_chunk`
+    /// consecutive lanes (for per-shard domains inside a lane kernel).
+    pub fn chunks_mut(
+        &mut self,
+        lanes_per_chunk: usize,
+    ) -> impl Iterator<Item = LaneRingsView<'_, T>> {
+        assert!(lanes_per_chunk >= 1 && self.lanes().is_multiple_of(lanes_per_chunk));
+        let phys = self.mask + 1;
+        let (capacity, mask) = (self.capacity, self.mask);
+        self.head_deadline
+            .chunks_mut(lanes_per_chunk)
+            .zip(self.deadlines.chunks_mut(lanes_per_chunk * phys))
+            .zip(self.slots.chunks_mut(lanes_per_chunk * phys))
+            .zip(self.head.chunks_mut(lanes_per_chunk))
+            .zip(self.len.chunks_mut(lanes_per_chunk))
+            .map(move |((((head_deadline, deadlines), slots), head), len)| LaneRingsView {
+                head_deadline,
+                deadlines,
+                slots,
+                head,
+                len,
+                capacity,
+                mask,
+            })
+    }
+
+    /// Pushes an item onto `lane` that matures at `deadline`. Returns
+    /// `Err(item)` when the lane is at capacity. Deadlines must be
+    /// non-decreasing per lane and below `Cycle::MAX`.
+    pub fn push(&mut self, lane: usize, deadline: Cycle, item: T) -> Result<(), T> {
+        debug_assert!(deadline < Cycle::MAX, "Cycle::MAX is the empty sentinel");
+        let len = self.len[lane] as usize;
+        if len >= self.capacity {
+            return Err(item);
+        }
+        debug_assert!(
+            len == 0 || deadline >= self.deadlines[self.phys(lane, len - 1)],
+            "LaneRings deadlines must be pushed in non-decreasing order"
+        );
+        let idx = self.phys(lane, len);
+        self.deadlines[idx] = deadline;
+        self.slots[idx].write(item);
+        self.len[lane] = (len + 1) as u32;
+        if len == 0 {
+            self.head_deadline[lane] = deadline;
+        }
+        Ok(())
+    }
+
+    /// A reference to `lane`'s head item if it has matured at `now`.
+    #[inline]
+    pub fn peek(&self, lane: usize, now: Cycle) -> Option<&T> {
+        if self.head_deadline[lane] <= now {
+            // SAFETY: a non-MAX head deadline implies the lane is
+            // non-empty, so its head slot is live.
+            Some(unsafe { self.slots[self.phys(lane, 0)].assume_init_ref() })
+        } else {
+            None
+        }
+    }
+
+    /// Pops `lane`'s head item if it has matured at `now`.
+    #[inline]
+    pub fn pop(&mut self, lane: usize, now: Cycle) -> Option<T> {
+        if self.head_deadline[lane] <= now {
+            self.pop_front(lane).map(|(_, item)| item)
+        } else {
+            None
+        }
+    }
+
+    /// Pops `lane`'s head entry regardless of maturity, with its
+    /// deadline.
+    pub fn pop_front(&mut self, lane: usize) -> Option<(Cycle, T)> {
+        let len = self.len[lane] as usize;
+        if len == 0 {
+            return None;
+        }
+        let idx = self.phys(lane, 0);
+        let deadline = self.deadlines[idx];
+        // SAFETY: the slot is live; advancing `head` below marks it
+        // dead, so this is the unique read of the value.
+        let item = unsafe { self.slots[idx].assume_init_read() };
+        self.head[lane] = ((self.head[lane] as usize + 1) & self.mask) as u32;
+        self.len[lane] = (len - 1) as u32;
+        self.head_deadline[lane] =
+            if len == 1 { Cycle::MAX } else { self.deadlines[self.phys(lane, 0)] };
+        Some((deadline, item))
+    }
+
+    /// Items queued in `lane`.
+    #[inline]
+    pub fn len(&self, lane: usize) -> usize {
+        self.len[lane] as usize
+    }
+
+    /// `true` when `lane` holds nothing.
+    #[inline]
+    pub fn is_empty(&self, lane: usize) -> bool {
+        self.len[lane] == 0
+    }
+
+    /// Deadline of `lane`'s head entry, if any.
+    #[inline]
+    pub fn next_ready_at(&self, lane: usize) -> Option<Cycle> {
+        let d = self.head_deadline[lane];
+        if d == Cycle::MAX {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// `true` when any lane in the view holds an item — one pass over
+    /// the contiguous head-deadline array, payloads untouched.
+    #[inline]
+    pub fn any_occupied(&self) -> bool {
+        self.head_deadline.iter().any(|&d| d != Cycle::MAX)
+    }
+
+    /// The earliest head deadline across all lanes in the view (`None`
+    /// when every lane is empty) — the view's contribution to a
+    /// next-event horizon, from the same dense array.
+    #[inline]
+    pub fn min_head_deadline(&self) -> Option<Cycle> {
+        let min = self.head_deadline.iter().copied().min()?;
+        if min == Cycle::MAX {
+            None
+        } else {
+            Some(min)
+        }
     }
 }
 
@@ -229,12 +798,157 @@ mod tests {
     fn zero_capacity_rejected() {
         let _: DelayQueue<u8> = DelayQueue::new(0, 0);
     }
+
+    #[test]
+    fn non_power_of_two_capacity_enforced_exactly() {
+        // Logical capacity 5 back-pressures at 5 even though physical
+        // storage rounds up to 8.
+        let mut q = DelayQueue::new(5, 0);
+        for i in 0..5 {
+            q.push(0, i).unwrap();
+        }
+        assert_eq!(q.push(0, 99), Err(99));
+        assert_eq!(q.capacity(), 5);
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let mut q = DelayQueue::new(3, 2);
+        let mut expect = 0u64;
+        for round in 0..50u64 {
+            let now = round * 10;
+            q.push(now, round * 2).unwrap();
+            q.push(now, round * 2 + 1).unwrap();
+            assert_eq!(q.pop(now + 2), Some(expect));
+            assert_eq!(q.pop(now + 2), Some(expect + 1));
+            expect += 2;
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let mut q = DelayQueue::new(8, 0);
+        assert_eq!(q.high_water(), 0);
+        q.push(0, 1).unwrap();
+        q.push(0, 2).unwrap();
+        q.push(0, 3).unwrap();
+        q.pop(0);
+        q.pop(0);
+        q.push(1, 4).unwrap();
+        assert_eq!(q.high_water(), 3);
+        q.clear();
+        assert_eq!(q.high_water(), 3);
+    }
+
+    #[test]
+    fn clone_preserves_contents_and_drops_cleanly() {
+        let mut q = DelayQueue::new(4, 1);
+        q.push(0, String::from("x")).unwrap();
+        q.push(1, String::from("y")).unwrap();
+        q.pop(2);
+        let mut c = q.clone();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.pop(10), Some(String::from("y")));
+        assert_eq!(q.len(), 1); // original untouched
+        assert_eq!(q.high_water(), 2);
+    }
+
+    #[test]
+    fn stamped_ring_explicit_deadlines() {
+        let mut r: StampedRing<u32> = StampedRing::new(4);
+        r.push_at(7, 1).unwrap();
+        r.push_at(9, 2).unwrap();
+        assert_eq!(r.next_ready_at(), Some(7));
+        assert_eq!(r.front(), Some((7, &1)));
+        assert!(r.pop(6).is_none());
+        assert_eq!(r.pop(7), Some(1));
+        assert_eq!(r.pop(9), Some(2));
+    }
+
+    #[test]
+    fn lane_rings_basic_per_lane_fifo() {
+        let mut lr: LaneRings<u32> = LaneRings::new(4, 2);
+        let mut v = lr.view_mut();
+        v.push(0, 5, 10).unwrap();
+        v.push(0, 7, 11).unwrap();
+        v.push(2, 3, 20).unwrap();
+        // Lane 0 is at capacity.
+        assert_eq!(v.push(0, 9, 12), Err(12));
+        assert_eq!(v.len(0), 2);
+        assert!(v.is_empty(1));
+        // Maturity gates per lane.
+        assert!(v.pop(0, 4).is_none());
+        assert_eq!(v.peek(2, 3), Some(&20));
+        assert_eq!(v.pop(0, 5), Some(10));
+        assert_eq!(v.next_ready_at(0), Some(7));
+        assert_eq!(v.pop_front(2), Some((3, 20)));
+        assert!(v.pop_front(2).is_none());
+        assert_eq!(v.pop(0, 7), Some(11));
+        assert!(!v.any_occupied());
+    }
+
+    #[test]
+    fn lane_rings_cross_lane_scans() {
+        let mut lr: LaneRings<u8> = LaneRings::new(6, 1);
+        assert!(!lr.any_occupied());
+        {
+            let mut v = lr.view_mut();
+            assert_eq!(v.min_head_deadline(), None);
+            v.push(5, 42, 1).unwrap();
+            v.push(1, 17, 2).unwrap();
+            assert!(v.any_occupied());
+            assert_eq!(v.min_head_deadline(), Some(17));
+        }
+        assert!(lr.any_occupied());
+        // Disjoint views see only their own lanes.
+        let mut views: Vec<_> = lr.views_mut(2).collect();
+        assert_eq!(views.len(), 3);
+        assert!(views[0].any_occupied()); // lanes 0-1 hold lane 1's item
+        assert!(!views[1].any_occupied()); // lanes 2-3 empty
+        assert_eq!(views[2].min_head_deadline(), Some(42)); // lanes 4-5
+        assert_eq!(views[0].pop(1, 17), Some(2));
+        assert!(!views[0].any_occupied());
+    }
+
+    #[test]
+    fn lane_rings_view_chunks_split_further() {
+        let mut lr: LaneRings<u16> = LaneRings::new(4, 2);
+        let mut v = lr.view_mut();
+        for lane in 0..4 {
+            v.push(lane, lane as Cycle + 1, lane as u16).unwrap();
+        }
+        let mut chunks: Vec<_> = v.chunks_mut(2).collect();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].pop(0, 1), Some(0));
+        assert_eq!(chunks[1].pop(1, 4), Some(3)); // global lane 3, local 1
+        assert_eq!(chunks[1].min_head_deadline(), Some(3));
+    }
+
+    #[test]
+    fn lane_rings_wraparound_and_drop() {
+        let mut lr: LaneRings<String> = LaneRings::new(2, 3); // phys 4
+        let mut v = lr.view_mut();
+        for round in 0u64..10 {
+            v.push(0, round, format!("a{round}")).unwrap();
+            v.push(1, round, format!("b{round}")).unwrap();
+            assert_eq!(v.pop(0, round), Some(format!("a{round}")));
+            assert_eq!(v.pop(1, round), Some(format!("b{round}")));
+        }
+        // Leave live items behind so Drop has to run them.
+        v.push(0, 100, String::from("tail")).unwrap();
+        v.push(1, 100, String::from("tail")).unwrap();
+        drop(lr);
+    }
 }
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
+    use std::collections::VecDeque;
+
     use proptest::prelude::*;
+
+    use super::*;
 
     proptest! {
         /// Items come out in insertion order and never before
@@ -270,6 +984,255 @@ mod proptests {
                     }
                     _ => now += 1,
                 }
+            }
+        }
+    }
+
+    /// The pre-ring implementation, kept verbatim as the reference
+    /// model: a `VecDeque<(Cycle, T)>` with the same contract.
+    struct OracleQueue<T> {
+        items: VecDeque<(Cycle, T)>,
+        capacity: usize,
+        latency: Cycle,
+    }
+
+    impl<T> OracleQueue<T> {
+        fn new(capacity: usize, latency: Cycle) -> OracleQueue<T> {
+            OracleQueue { items: VecDeque::new(), capacity, latency }
+        }
+        fn push(&mut self, now: Cycle, item: T) -> Result<(), T> {
+            if self.items.len() >= self.capacity {
+                return Err(item);
+            }
+            self.items.push_back((now + self.latency, item));
+            Ok(())
+        }
+        fn peek(&self, now: Cycle) -> Option<&T> {
+            match self.items.front() {
+                Some((t, item)) if *t <= now => Some(item),
+                _ => None,
+            }
+        }
+        fn pop(&mut self, now: Cycle) -> Option<T> {
+            match self.items.front() {
+                Some((t, _)) if *t <= now => self.items.pop_front().map(|(_, i)| i),
+                _ => None,
+            }
+        }
+        fn peek_at(&self, now: Cycle, idx: usize) -> Option<&T> {
+            match self.items.get(idx) {
+                Some((t, item)) if *t <= now => Some(item),
+                _ => None,
+            }
+        }
+        fn pop_at(&mut self, now: Cycle, idx: usize) -> Option<T> {
+            match self.items.get(idx) {
+                Some((t, _)) if *t <= now => self.items.remove(idx).map(|(_, i)| i),
+                _ => None,
+            }
+        }
+        fn ready_len(&self, now: Cycle) -> usize {
+            self.items.partition_point(|(t, _)| *t <= now)
+        }
+        fn next_ready_at(&self) -> Option<Cycle> {
+            self.items.front().map(|(t, _)| *t)
+        }
+    }
+
+    /// One scripted operation against both implementations.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Push,
+        Pop,
+        Peek,
+        PopAt(usize),
+        PeekAt(usize),
+        ReadyLen,
+        Advance(u64),
+        Clear,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        // (op selector, index / advance argument) → Op. Push and pop
+        // dominate; clear is rare so runs build real occupancy.
+        (0u8..17, 0usize..20, 1u64..5).prop_map(|(sel, idx, d)| match sel {
+            0..=4 => Op::Push,
+            5..=8 => Op::Pop,
+            9..=10 => Op::Peek,
+            11..=12 => Op::PopAt(idx),
+            13 => Op::PeekAt(idx),
+            14 => Op::ReadyLen,
+            15 => Op::Advance(d),
+            _ => Op::Clear,
+        })
+    }
+
+    proptest! {
+        /// Ring vs. VecDeque oracle: every observable — push results
+        /// (including the full-queue `Err(item)` back-pressure return),
+        /// pop/peek values, indexed access, ready counts, horizons,
+        /// lengths — agrees on arbitrary operation interleavings. Small
+        /// capacities force many wraparounds; `latency == 0` exercises
+        /// the combinational path.
+        #[test]
+        fn ring_matches_vecdeque_oracle(
+            latency in 0u64..6,
+            capacity in 1usize..12,
+            ops in proptest::collection::vec(op_strategy(), 1..300),
+        ) {
+            let mut ring = DelayQueue::new(capacity, latency);
+            let mut oracle = OracleQueue::new(capacity, latency);
+            let mut now = 0u64;
+            let mut next = 0u64;
+            for op in ops {
+                match op {
+                    Op::Push => {
+                        let (a, b) = (ring.push(now, next), oracle.push(now, next));
+                        prop_assert_eq!(a, b, "push disagreement at {}", now);
+                        next += 1;
+                    }
+                    Op::Pop => {
+                        prop_assert_eq!(ring.pop(now), oracle.pop(now));
+                    }
+                    Op::Peek => {
+                        prop_assert_eq!(ring.peek(now), oracle.peek(now));
+                        prop_assert_eq!(ring.head_ready(now), oracle.peek(now).is_some());
+                    }
+                    Op::PopAt(idx) => {
+                        prop_assert_eq!(ring.pop_at(now, idx), oracle.pop_at(now, idx));
+                    }
+                    Op::PeekAt(idx) => {
+                        prop_assert_eq!(ring.peek_at(now, idx), oracle.peek_at(now, idx));
+                    }
+                    Op::ReadyLen => {
+                        prop_assert_eq!(ring.ready_len(now), oracle.ready_len(now));
+                    }
+                    Op::Advance(d) => now += d,
+                    Op::Clear => {
+                        ring.clear();
+                        oracle.items.clear();
+                    }
+                }
+                prop_assert_eq!(ring.len(), oracle.items.len());
+                prop_assert_eq!(ring.is_empty(), oracle.items.is_empty());
+                prop_assert_eq!(ring.next_ready_at(), oracle.next_ready_at());
+                prop_assert!(ring.iter().eq(oracle.items.iter().map(|(_, i)| i)));
+            }
+        }
+
+        /// Same oracle comparison for the raw [`StampedRing`] with
+        /// explicit (non-decreasing) deadlines — the lateral-channel use
+        /// where the stamp is not `now + constant`.
+        #[test]
+        fn stamped_ring_matches_oracle(
+            capacity in 1usize..10,
+            ops in proptest::collection::vec((0u8..4, 0u64..4), 1..200),
+        ) {
+            let mut ring: StampedRing<u64> = StampedRing::new(capacity);
+            let mut oracle: VecDeque<(u64, u64)> = VecDeque::new();
+            let mut now = 0u64;
+            let mut stamp = 0u64;
+            let mut next = 0u64;
+            for (op, arg) in ops {
+                match op {
+                    0 | 1 => {
+                        stamp += arg; // non-decreasing, decoupled from `now`
+                        let a = ring.push_at(stamp, next);
+                        let b = if oracle.len() >= capacity {
+                            Err(next)
+                        } else {
+                            oracle.push_back((stamp, next));
+                            Ok(())
+                        };
+                        prop_assert_eq!(a, b);
+                        next += 1;
+                    }
+                    2 => {
+                        let expect = match oracle.front() {
+                            Some((t, _)) if *t <= now => oracle.pop_front().map(|(_, i)| i),
+                            _ => None,
+                        };
+                        prop_assert_eq!(ring.pop(now), expect);
+                    }
+                    _ => now += arg,
+                }
+                prop_assert_eq!(ring.len(), oracle.len());
+                prop_assert_eq!(ring.next_ready_at(), oracle.front().map(|(t, _)| *t));
+                prop_assert_eq!(
+                    ring.front().map(|(t, i)| (t, *i)),
+                    oracle.front().map(|(t, i)| (*t, *i))
+                );
+                prop_assert!(ring.iter().map(|(t, i)| (t, *i)).eq(oracle.iter().copied()));
+            }
+        }
+
+        /// [`LaneRings`] against one `VecDeque<(Cycle, T)>` oracle per
+        /// lane: per-lane FIFO order, maturity gating, back-pressure,
+        /// and the cross-lane head-deadline scans.
+        #[test]
+        fn lane_rings_match_per_lane_oracles(
+            lanes in 1usize..6,
+            capacity in 1usize..6,
+            ops in proptest::collection::vec((0u8..5, 0usize..6, 0u64..4), 1..250),
+        ) {
+            let mut lr: LaneRings<u64> = LaneRings::new(lanes, capacity);
+            let mut oracle: Vec<VecDeque<(u64, u64)>> = vec![VecDeque::new(); lanes];
+            let mut stamps = vec![0u64; lanes];
+            let mut now = 0u64;
+            let mut next = 0u64;
+            let mut v = lr.view_mut();
+            for (op, lane, arg) in ops {
+                let lane = lane % lanes;
+                match op {
+                    0 | 1 => {
+                        stamps[lane] += arg; // per-lane non-decreasing
+                        let a = v.push(lane, stamps[lane], next);
+                        let b = if oracle[lane].len() >= capacity {
+                            Err(next)
+                        } else {
+                            oracle[lane].push_back((stamps[lane], next));
+                            Ok(())
+                        };
+                        prop_assert_eq!(a, b);
+                        next += 1;
+                    }
+                    2 => {
+                        let expect = match oracle[lane].front() {
+                            Some((t, _)) if *t <= now => {
+                                oracle[lane].pop_front().map(|(_, i)| i)
+                            }
+                            _ => None,
+                        };
+                        prop_assert_eq!(v.pop(lane, now), expect);
+                    }
+                    3 => {
+                        prop_assert_eq!(
+                            v.pop_front(lane),
+                            oracle[lane].pop_front()
+                        );
+                    }
+                    _ => now += arg,
+                }
+                prop_assert_eq!(v.len(lane), oracle[lane].len());
+                prop_assert_eq!(
+                    v.peek(lane, now),
+                    match oracle[lane].front() {
+                        Some((t, i)) if *t <= now => Some(i),
+                        _ => None,
+                    }
+                );
+                prop_assert_eq!(
+                    v.next_ready_at(lane),
+                    oracle[lane].front().map(|(t, _)| *t)
+                );
+                prop_assert_eq!(
+                    v.any_occupied(),
+                    oracle.iter().any(|o| !o.is_empty())
+                );
+                prop_assert_eq!(
+                    v.min_head_deadline(),
+                    oracle.iter().filter_map(|o| o.front().map(|(t, _)| *t)).min()
+                );
             }
         }
     }

@@ -46,7 +46,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use hbm_axi::{Completion, Cycle, MasterId, PortId};
+use hbm_axi::{Completion, Cycle, LaneRings, LaneRingsView, MasterId, PortId};
 use hbm_fabric::{
     DirectFabric, FullCrossbarFabric, Interconnect, ShardLayout, SwitchShard, XilinxFabric,
 };
@@ -90,14 +90,22 @@ struct Lanes<F: Interconnect> {
     gens: Vec<BmTrafficGen>,
     /// `k × n` memory controllers, lane-major.
     mcs: Vec<MemoryController>,
-    /// `k × n` stuck-completion slots, lane-major.
-    stuck: Vec<Option<Completion>>,
+    /// `k × n` stuck-completion slots as capacity-1 lane rings: the hot
+    /// "any port stuck?" checks scan one contiguous deadline array
+    /// instead of `k × n` `Option<Completion>` structs.
+    stuck: LaneRings<Completion>,
     /// One concrete fabric per lane.
     fabrics: Vec<F>,
     /// Per-lane current cycle. Equal across lanes at every epoch
     /// boundary of [`run`](Lanes::run); free-running under
     /// [`run_until_drained`](Lanes::run_until_drained).
     now: Vec<Cycle>,
+    /// Per-lane: every generator qualifies for the fully specialised
+    /// workload-family kernel (`poll_family::<true, true>`).
+    family: Vec<bool>,
+    /// Per-lane: every generator is port-affine (lateral buses provably
+    /// idle), precomputed so the sharded kernel never re-scans.
+    affine: Vec<bool>,
 }
 
 /// A mutable view of one lane: the slice of every SoA array it owns.
@@ -107,8 +115,12 @@ struct LaneView<'a, F: Interconnect> {
     gens: &'a mut [BmTrafficGen],
     fabric: &'a mut F,
     mcs: &'a mut [MemoryController],
-    stuck: &'a mut [Option<Completion>],
+    stuck: LaneRingsView<'a, Completion>,
     now: &'a mut Cycle,
+    /// Fully specialised workload-family kernel applies to this lane.
+    family: bool,
+    /// All generators port-affine (precomputed for the sharded kernel).
+    affine: bool,
 }
 
 impl<F: Interconnect> Lanes<F> {
@@ -133,15 +145,23 @@ impl<F: Interconnect> Lanes<F> {
                 mcs.push(MemoryController::new(&cfg.hbm, cfg.clock, cfg.hbm.refresh_phase(p)));
             }
         }
+        let family: Vec<bool> = gens
+            .chunks(n)
+            .map(|lane| lane.iter().all(|g| g.unit_burst() && g.zero_rotation()))
+            .collect();
+        let affine: Vec<bool> =
+            gens.chunks(n).map(|lane| lane.iter().all(|g| g.port_affine())).collect();
         Lanes {
             cfg: cfg.clone(),
             n,
             k,
             gens,
             mcs,
-            stuck: vec![None; k * n],
+            stuck: LaneRings::new(k * n, 1),
             fabrics: (0..k).map(|_| build()).collect(),
             now: vec![0; k],
+            family,
+            affine,
         }
     }
 
@@ -152,9 +172,19 @@ impl<F: Interconnect> Lanes<F> {
             .iter_mut()
             .zip(self.gens.chunks_mut(n))
             .zip(self.mcs.chunks_mut(n))
-            .zip(self.stuck.chunks_mut(n))
+            .zip(self.stuck.views_mut(n))
             .zip(self.now.iter_mut())
-            .map(|((((fabric, gens), mcs), stuck), now)| LaneView { gens, fabric, mcs, stuck, now })
+            .zip(self.family.iter().copied())
+            .zip(self.affine.iter().copied())
+            .map(|((((((fabric, gens), mcs), stuck), now), family), affine)| LaneView {
+                gens,
+                fabric,
+                mcs,
+                stuck,
+                now,
+                family,
+                affine,
+            })
     }
 
     /// The lockstep run loop: advances every lane by `cycles` cycles in
@@ -247,19 +277,35 @@ impl<F: Interconnect> Lanes<F> {
             })
             .collect()
     }
+
+    /// Visits every queue high-water mark across all lanes, same labels
+    /// as `HbmSystem::for_each_queue_hwm`.
+    fn for_each_queue_hwm(&self, visit: &mut dyn FnMut(&'static str, usize)) {
+        for f in &self.fabrics {
+            f.for_each_queue_hwm(visit);
+        }
+        for mc in &self.mcs {
+            let [req, resp, ack] = mc.queue_high_waters();
+            visit("mc_req", req);
+            visit("mc_resp", resp);
+            visit("mc_ack", ack);
+        }
+    }
 }
 
 // --------------------------------------------------------------- lane view
 
 impl<F: Interconnect> LaneView<'_, F> {
     /// Replays the four-phase cycle of `HbmSystem::step` on this lane,
-    /// with concrete (devirtualised) component types. `prof` is the
-    /// hoisted phase-profiler activity bit (`profile::active()` read
-    /// once per span, not per cycle); stamps are observation-only.
-    fn step(&mut self, prof: bool) {
+    /// with concrete (devirtualised) component types. `FAM` is the
+    /// lane's workload-family bit (checked at dispatch) const-propagated
+    /// into the generator kernel; `prof` is the hoisted phase-profiler
+    /// activity bit (`profile::active()` read once per span, not per
+    /// cycle); stamps are observation-only.
+    fn step<const FAM: bool>(&mut self, prof: bool) {
         let now = *self.now;
         for gen in self.gens.iter_mut() {
-            if let Some(txn) = gen.poll(now) {
+            if let Some(txn) = gen.poll_family::<FAM, FAM>(now) {
                 if self.fabric.offer_request(now, txn).is_ok() {
                     gen.accepted();
                 }
@@ -287,15 +333,17 @@ impl<F: Interconnect> LaneView<'_, F> {
             if prof {
                 profile::lap(profile::Phase::McTick);
             }
-            if let Some(c) = self.stuck[p].take() {
+            if let Some((_, c)) = self.stuck.pop_front(p) {
                 if let Err(c) = self.fabric.offer_completion(now, port, c) {
-                    self.stuck[p] = Some(c);
+                    let r = self.stuck.push(p, now, c);
+                    debug_assert!(r.is_ok(), "stuck slot was just emptied");
                 }
             }
-            if self.stuck[p].is_none() {
+            if self.stuck.is_empty(p) {
                 if let Some(c) = mc.pop_completion(now) {
                     if let Err(c) = self.fabric.offer_completion(now, port, c) {
-                        self.stuck[p] = Some(c);
+                        let r = self.stuck.push(p, now, c);
+                        debug_assert!(r.is_ok(), "stuck slot was empty");
                     }
                 }
             }
@@ -314,7 +362,7 @@ impl<F: Interconnect> LaneView<'_, F> {
     /// Mirrors `HbmSystem::next_event` on this lane.
     fn next_event(&self) -> Option<Cycle> {
         let now = *self.now;
-        if self.stuck.iter().any(|s| s.is_some()) {
+        if self.stuck.any_occupied() {
             return Some(now);
         }
         let mut best: Option<Cycle> = None;
@@ -351,7 +399,7 @@ impl<F: Interconnect> LaneView<'_, F> {
         self.gens.iter().all(|g| g.drained())
             && self.fabric.drained()
             && self.mcs.iter().all(|m| m.drained())
-            && self.stuck.iter().all(|s| s.is_none())
+            && !self.stuck.any_occupied()
     }
 
     /// Advances the lane to exactly `target`, skipping provably idle
@@ -361,19 +409,29 @@ impl<F: Interconnect> LaneView<'_, F> {
     /// `None` means the lane is quiescent forever. The driver folds
     /// these into the cross-lane min horizon.
     fn advance_to(&mut self, target: Cycle) -> Option<Cycle> {
+        // One runtime check per epoch selects the monomorphised kernel;
+        // inside it the family facts are compile-time constants.
+        if self.family {
+            self.advance_to_kernel::<true>(target)
+        } else {
+            self.advance_to_kernel::<false>(target)
+        }
+    }
+
+    fn advance_to_kernel<const FAM: bool>(&mut self, target: Cycle) -> Option<Cycle> {
         match self.fabric.shard_layout() {
-            Some(layout) => self.advance_to_sharded(target, layout),
-            None => self.advance_to_monolithic(target),
+            Some(layout) => self.advance_to_sharded::<FAM>(target, layout),
+            None => self.advance_to_monolithic::<FAM>(target),
         }
     }
 
     /// The monolithic kernel: `HbmSystem::run_span` with concrete types.
-    fn advance_to_monolithic(&mut self, target: Cycle) -> Option<Cycle> {
+    fn advance_to_monolithic<const FAM: bool>(&mut self, target: Cycle) -> Option<Cycle> {
         let prof = profile::active();
         let mut pacer = Pacer::default();
         while *self.now < target {
             if pacer.take_credit() {
-                self.step(prof);
+                self.step::<FAM>(prof);
                 continue;
             }
             let ev = self.next_event();
@@ -382,7 +440,7 @@ impl<F: Interconnect> LaneView<'_, F> {
             }
             match ev {
                 Some(t) if t <= *self.now => {
-                    self.step(prof);
+                    self.step::<FAM>(prof);
                     pacer.stepped();
                 }
                 Some(t) if t >= target => {
@@ -410,11 +468,14 @@ impl<F: Interconnect> LaneView<'_, F> {
     /// sequential stepping by the lateral-port contract (DESIGN.md
     /// §3.3), and faster because each domain skips its *own* idle
     /// cycles.
-    fn advance_to_sharded(&mut self, target: Cycle, layout: ShardLayout) -> Option<Cycle> {
+    fn advance_to_sharded<const FAM: bool>(
+        &mut self,
+        target: Cycle,
+        layout: ShardLayout,
+    ) -> Option<Cycle> {
         let prof = profile::active();
         let lag = layout.sync_lag.max(1);
-        let lateral_free = layout.masters_per_shard == layout.ports_per_shard
-            && self.gens.iter().all(|g| g.port_affine());
+        let lateral_free = layout.masters_per_shard == layout.ports_per_shard && self.affine;
         while *self.now < target {
             let ev = self.next_event();
             if prof {
@@ -435,14 +496,14 @@ impl<F: Interconnect> LaneView<'_, F> {
             let from = *self.now;
             let sharded =
                 self.fabric.as_sharded_mut().expect("shard_layout() promised a sharded view");
-            for (((shard, gens), mcs), stuck) in sharded
+            for (((shard, gens), mcs), mut stuck) in sharded
                 .shards_mut()
                 .iter_mut()
                 .zip(self.gens.chunks_mut(layout.masters_per_shard))
                 .zip(self.mcs.chunks_mut(layout.ports_per_shard))
                 .zip(self.stuck.chunks_mut(layout.ports_per_shard))
             {
-                advance_domain(shard, gens, mcs, stuck, from, barrier, prof);
+                advance_domain::<FAM>(shard, gens, mcs, &mut stuck, from, barrier, prof);
             }
             if sharded.pending_reconcile() {
                 sharded.reconcile();
@@ -459,6 +520,14 @@ impl<F: Interconnect> LaneView<'_, F> {
     /// types (the sequential reference schedule, so drain-mode rows are
     /// byte-identical to the scalar path too).
     fn drain_to(&mut self, max_cycles: Cycle) -> bool {
+        if self.family {
+            self.drain_to_kernel::<true>(max_cycles)
+        } else {
+            self.drain_to_kernel::<false>(max_cycles)
+        }
+    }
+
+    fn drain_to_kernel<const FAM: bool>(&mut self, max_cycles: Cycle) -> bool {
         let prof = profile::active();
         let deadline = self.now.saturating_add(max_cycles);
         let mut pacer = Pacer::default();
@@ -470,7 +539,7 @@ impl<F: Interconnect> LaneView<'_, F> {
                 return false;
             }
             if pacer.take_credit() {
-                self.step(prof);
+                self.step::<FAM>(prof);
                 continue;
             }
             let ev = self.next_event();
@@ -479,7 +548,7 @@ impl<F: Interconnect> LaneView<'_, F> {
             }
             match ev {
                 Some(t) if t <= *self.now => {
-                    self.step(prof);
+                    self.step::<FAM>(prof);
                     pacer.stepped();
                 }
                 Some(t) => {
@@ -499,11 +568,11 @@ impl<F: Interconnect> LaneView<'_, F> {
 /// with its own event horizon — the inline mirror of the conductor's
 /// `Domain::advance`, minus the tracer (the batched path carries none)
 /// and the drain bookkeeping (batch drains use the sequential kernel).
-fn advance_domain(
+fn advance_domain<const FAM: bool>(
     shard: &mut SwitchShard,
     gens: &mut [BmTrafficGen],
     mcs: &mut [MemoryController],
-    stuck: &mut [Option<Completion>],
+    stuck: &mut LaneRingsView<'_, Completion>,
     from: Cycle,
     to: Cycle,
     prof: bool,
@@ -511,19 +580,19 @@ fn advance_domain(
     let domain_drained = |gens: &[BmTrafficGen],
                           shard: &SwitchShard,
                           mcs: &[MemoryController],
-                          stuck: &[Option<Completion>]| {
+                          stuck: &LaneRingsView<'_, Completion>| {
         gens.iter().all(|g| g.drained())
             && shard.drained()
             && mcs.iter().all(|m| m.drained())
-            && stuck.iter().all(|s| s.is_none())
+            && !stuck.any_occupied()
     };
     let next_event = |now: Cycle,
                       gens: &[BmTrafficGen],
                       shard: &SwitchShard,
                       mcs: &[MemoryController],
-                      stuck: &[Option<Completion>]|
+                      stuck: &LaneRingsView<'_, Completion>|
      -> Option<Cycle> {
-        if stuck.iter().any(|s| s.is_some()) {
+        if stuck.any_occupied() {
             return Some(now);
         }
         let mut best: Option<Cycle> = None;
@@ -569,7 +638,7 @@ fn advance_domain(
                 // The four phases of `HbmSystem::step`, on the domain's
                 // slice with shard-local indices.
                 for gen in gens.iter_mut() {
-                    if let Some(txn) = gen.poll(now) {
+                    if let Some(txn) = gen.poll_family::<FAM, FAM>(now) {
                         if shard.offer_request(now, txn).is_ok() {
                             gen.accepted();
                         }
@@ -596,15 +665,17 @@ fn advance_domain(
                     if prof {
                         profile::lap(profile::Phase::McTick);
                     }
-                    if let Some(c) = stuck[lp].take() {
+                    if let Some((_, c)) = stuck.pop_front(lp) {
                         if let Err(c) = shard.offer_completion(now, lp, c) {
-                            stuck[lp] = Some(c);
+                            let r = stuck.push(lp, now, c);
+                            debug_assert!(r.is_ok(), "stuck slot was just emptied");
                         }
                     }
-                    if stuck[lp].is_none() {
+                    if stuck.is_empty(lp) {
                         if let Some(c) = mc.pop_completion(now) {
                             if let Err(c) = shard.offer_completion(now, lp, c) {
-                                stuck[lp] = Some(c);
+                                let r = stuck.push(lp, now, c);
+                                debug_assert!(r.is_ok(), "stuck slot was empty");
                             }
                         }
                     }
@@ -718,6 +789,13 @@ impl BatchedSystem {
     pub fn snapshot(&self, cycles: Cycle) -> Vec<Measurement> {
         each_laneset!(&self.lanes, l => l.snapshot(cycles))
     }
+
+    /// Visits the peak occupancy of every internal queue across all
+    /// lanes, with the same family labels as
+    /// [`HbmSystem::for_each_queue_hwm`](crate::system::HbmSystem::for_each_queue_hwm).
+    pub fn for_each_queue_hwm(&self, visit: &mut dyn FnMut(&'static str, usize)) {
+        each_laneset!(&self.lanes, l => l.for_each_queue_hwm(visit))
+    }
 }
 
 /// The batched analogue of [`measure`](crate::measure::measure): runs
@@ -738,6 +816,7 @@ pub fn measure_batch(
     for m in &out {
         crate::measure::record_run_metrics(m, cfg.hbm.num_pch);
     }
+    crate::measure::record_queue_hwms_with(|visit| sys.for_each_queue_hwm(visit));
     out
 }
 

@@ -8,7 +8,7 @@ use hbm_mem::MemStats;
 use hbm_traffic::{GenStats, Workload};
 use serde::{Deserialize, Serialize};
 
-use crate::metrics::{self, Counter, Histo, Registry};
+use crate::metrics::{self, Counter, Gauge, Histo, Registry};
 use crate::system::{HbmSystem, SystemConfig};
 
 /// The result of one measured run.
@@ -138,11 +138,67 @@ fn run_metrics() -> &'static RunMetrics {
     M.get_or_init(|| build_run_metrics(Registry::global()))
 }
 
+/// Queue families reported by [`HbmSystem::for_each_queue_hwm`]: the
+/// fabric's link families plus the three controller queues.
+const HWM_FAMILIES: [&str; 7] =
+    ["ingress", "egress", "mc_link", "lateral", "mc_req", "mc_resp", "mc_ack"];
+
+/// One gauge per queue family: the deepest any queue of that family ever
+/// got during the most recent measurement window (warm-up included — the
+/// marks accumulate from system construction).
+struct QueueHwmMetrics {
+    peak: [Arc<Gauge>; 7],
+}
+
+fn build_queue_hwm_metrics(reg: &Registry) -> QueueHwmMetrics {
+    QueueHwmMetrics {
+        peak: HWM_FAMILIES.map(|family| {
+            reg.gauge(
+                "hbm_run_queue_high_water",
+                "Peak occupancy of the deepest queue of each family in the last measured run",
+                &[("family", family)],
+            )
+        }),
+    }
+}
+
+fn queue_hwm_metrics() -> &'static QueueHwmMetrics {
+    static M: OnceLock<QueueHwmMetrics> = OnceLock::new();
+    M.get_or_init(|| build_queue_hwm_metrics(Registry::global()))
+}
+
+/// Publishes a finished system's per-family queue high-water marks as
+/// labeled gauges. Costs one relaxed load when metrics are off; when on,
+/// it walks the queues once — strictly outside the cycle loop.
+pub fn record_queue_hwms(sys: &HbmSystem) {
+    record_queue_hwms_with(|visit| sys.for_each_queue_hwm(visit));
+}
+
+/// [`record_queue_hwms`] over any queue walker — the batched path hands
+/// in its own lane-set visitor.
+pub(crate) fn record_queue_hwms_with(walk: impl FnOnce(&mut dyn FnMut(&'static str, usize))) {
+    if !metrics::enabled() {
+        return;
+    }
+    let mut peaks = [0usize; 7];
+    walk(&mut |family, hwm| {
+        let i = HWM_FAMILIES.iter().position(|f| *f == family);
+        if let Some(i) = i {
+            peaks[i] = peaks[i].max(hwm);
+        }
+    });
+    let g = queue_hwm_metrics();
+    for (gauge, peak) in g.peak.iter().zip(peaks) {
+        gauge.set(peak as i64);
+    }
+}
+
 /// Pre-registers the run-occupancy series so expositions list them (at
 /// zero) before the first measurement. Called by the registry's
 /// built-in installer.
 pub(crate) fn install_run_series(reg: &Registry) {
     build_run_metrics(reg);
+    build_queue_hwm_metrics(reg);
 }
 
 fn as_pct(fraction: f64) -> u64 {
@@ -189,6 +245,7 @@ pub fn measure(
     sys.run(cycles);
     let m = snapshot(&sys, cycles);
     record_run_metrics(&m, cfg.hbm.num_pch);
+    record_queue_hwms(&sys);
     m
 }
 

@@ -928,6 +928,21 @@ impl HbmSystem {
     pub fn fabric_stats(&self) -> FabricStats {
         self.fabric.stats()
     }
+
+    /// Visits the high-water mark of every queue in the system — the
+    /// fabric's internal queues (labeled by family) plus each memory
+    /// controller's request/response/ack queues. Marks are maintained at
+    /// push time by the queues themselves; sampling happens once per
+    /// measurement, never inside the cycle loop.
+    pub fn for_each_queue_hwm(&self, visit: &mut dyn FnMut(&'static str, usize)) {
+        self.fabric.for_each_queue_hwm(visit);
+        for mc in &self.mcs {
+            let [req, resp, ack] = mc.queue_high_waters();
+            visit("mc_req", req);
+            visit("mc_resp", resp);
+            visit("mc_ack", ack);
+        }
+    }
 }
 
 /// One per-switch execution domain: a [`SwitchShard`] plus the traffic

@@ -125,6 +125,15 @@ impl Interconnect for DirectFabric {
         link::horizon(self.fwd.iter().chain(&self.ret), now)
     }
 
+    fn for_each_queue_hwm(&self, visit: &mut dyn FnMut(&'static str, usize)) {
+        for l in &self.fwd {
+            visit("ingress", l.high_water());
+        }
+        for l in &self.ret {
+            visit("egress", l.high_water());
+        }
+    }
+
     fn stats(&self) -> FabricStats {
         let mut st = FabricStats::default();
         for l in &self.fwd {

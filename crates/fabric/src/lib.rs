@@ -217,6 +217,15 @@ pub trait Interconnect {
         None
     }
 
+    /// Visits the peak occupancy (high-water mark) of every internal
+    /// queue since construction, labeled by queue family (`"ingress"`,
+    /// `"egress"`, `"mc_link"`, `"lateral"`, …). The marks are maintained
+    /// by the queues themselves at push time, so visiting them costs
+    /// nothing during simulation — callers sample once per measurement,
+    /// never inside the cycle loop. The default visits nothing, keeping
+    /// custom fabrics correct (just unreported) by omission.
+    fn for_each_queue_hwm(&self, _visit: &mut dyn FnMut(&'static str, usize)) {}
+
     /// Aggregate statistics snapshot.
     fn stats(&self) -> FabricStats;
 

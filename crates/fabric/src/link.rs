@@ -144,6 +144,14 @@ impl<T> SerialLink<T> {
         self.q.is_empty()
     }
 
+    /// Peak queue occupancy since construction (see
+    /// [`DelayQueue::high_water`]). Maintained by the queue itself;
+    /// reading it costs nothing during simulation.
+    #[inline]
+    pub fn high_water(&self) -> usize {
+        self.q.high_water()
+    }
+
     /// Traffic counters for this link.
     #[inline]
     pub fn stats(&self) -> &LinkStats {

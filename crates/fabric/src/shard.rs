@@ -40,15 +40,13 @@
 //! calls it at every synchronisation barrier (each cycle when stepping
 //! sequentially).
 
-use hbm_axi::{Completion, Cycle, SharedTracer, Transaction};
+use hbm_axi::{Completion, Cycle, SharedTracer, StampedRing, Transaction};
 
 use crate::addressmap::{AddressMap, ContiguousMap};
 use crate::idtrack::IdTracker;
 use crate::link::{Flit, SerialLink};
 use crate::stats::LinkStats;
 use crate::xilinx::FabricConfig;
-
-use std::collections::VecDeque;
 
 /// Sender endpoint of a lateral channel: one direction of one lateral bus
 /// crossing one switch boundary (request and response channels are
@@ -63,10 +61,14 @@ pub struct LateralTx {
     latency: Cycle,
     /// Flits sent but not yet credit-returned (channel + receiver ring).
     occupied: usize,
-    /// Credit-return times of receiver pops, ascending.
-    credits: VecDeque<Cycle>,
+    /// Credit-return times of receiver pops, ascending. The credit
+    /// protocol bounds outstanding credits by the channel capacity, so
+    /// the ring is sized to it; the payload is zero-sized — only the
+    /// flat deadline array exists.
+    credits: StampedRing<()>,
     /// Outbox: `(ready_at, flit)` in send order, drained by [`reconcile`].
-    outbox: VecDeque<(Cycle, Flit)>,
+    /// At most `capacity` flits can be in flight, outbox included.
+    outbox: StampedRing<Flit>,
     stats: LinkStats,
 }
 
@@ -82,8 +84,8 @@ impl LateralTx {
             capacity,
             latency,
             occupied: 0,
-            credits: VecDeque::new(),
-            outbox: VecDeque::new(),
+            credits: StampedRing::new(capacity),
+            outbox: StampedRing::new(capacity),
             stats: LinkStats::default(),
         }
     }
@@ -91,8 +93,7 @@ impl LateralTx {
     /// Applies matured credits, freeing channel slots popped at least
     /// `hop_latency` cycles ago.
     fn apply_credits(&mut self, now: Cycle) {
-        while self.credits.front().is_some_and(|&t| t <= now) {
-            self.credits.pop_front();
+        while self.credits.pop(now).is_some() {
             self.occupied -= 1;
         }
     }
@@ -103,7 +104,7 @@ impl LateralTx {
         if (now as f64) < self.busy_until {
             return false;
         }
-        let matured = self.credits.iter().take_while(|&&t| t <= now).count();
+        let matured = self.credits.ready_len(now);
         self.occupied - matured < self.capacity
     }
 
@@ -123,13 +124,20 @@ impl LateralTx {
         self.stats.flits += 1;
         self.stats.beats += cost_beats;
         self.occupied += 1;
-        self.outbox.push_back((now + self.latency, flit));
+        let pushed = self.outbox.push_at(now + self.latency, flit);
+        debug_assert!(pushed.is_ok(), "credit protocol bounds the outbox by capacity");
     }
 
     /// Flits waiting in the outbox (empty at every synchronisation
     /// barrier).
     pub fn outbox_len(&self) -> usize {
         self.outbox.len()
+    }
+
+    /// Peak outbox occupancy since construction — the most flits this
+    /// channel ever held between two reconciles.
+    pub fn high_water(&self) -> usize {
+        self.outbox.high_water()
     }
 
     /// Traffic counters of this channel.
@@ -146,39 +154,40 @@ impl LateralTx {
 /// Receiver endpoint of a lateral channel: a ring of cycle-stamped flits
 /// plus the pop log that turns into sender credits at the next
 /// [`reconcile`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LateralRx {
     /// `(ready_at, flit)` in arrival order; stamps are non-decreasing.
-    ring: VecDeque<(Cycle, Flit)>,
+    /// The credit protocol bounds occupancy by the channel capacity.
+    ring: StampedRing<Flit>,
     /// Cycles at which flits were popped since the last reconcile.
     pops: Vec<Cycle>,
 }
 
 impl LateralRx {
+    /// Builds the receiver side of a channel of `capacity` flits.
+    pub fn new(capacity: usize) -> LateralRx {
+        LateralRx { ring: StampedRing::new(capacity), pops: Vec::new() }
+    }
+
     /// The matured head, if any.
     #[inline]
     pub fn peek(&self, now: Cycle) -> Option<&Flit> {
-        match self.ring.front() {
-            Some((t, f)) if *t <= now => Some(f),
-            _ => None,
-        }
+        self.ring.peek(now)
     }
 
     /// Pops the matured head, logging the pop for credit return.
     pub fn pop(&mut self, now: Cycle) -> Option<Flit> {
-        match self.ring.front() {
-            Some((t, _)) if *t <= now => {
-                self.pops.push(now);
-                self.ring.pop_front().map(|(_, f)| f)
-            }
-            _ => None,
+        let flit = self.ring.pop(now);
+        if flit.is_some() {
+            self.pops.push(now);
         }
+        flit
     }
 
     /// Delivery stamp of the oldest flit in the ring, if any.
     #[inline]
     pub fn next_ready_at(&self) -> Option<Cycle> {
-        self.ring.front().map(|(t, _)| *t)
+        self.ring.next_ready_at()
     }
 
     /// Flits in the ring (matured or still in flight).
@@ -189,6 +198,11 @@ impl LateralRx {
     /// `true` when the ring is empty.
     pub fn is_empty(&self) -> bool {
         self.ring.is_empty()
+    }
+
+    /// Peak ring occupancy since construction.
+    pub fn high_water(&self) -> usize {
+        self.ring.high_water()
     }
 }
 
@@ -201,9 +215,13 @@ impl LateralRx {
 /// the lateral-horizon window: stamps guarantee nothing becomes visible
 /// early, regardless of how often reconciliation runs.
 pub fn reconcile(tx: &mut LateralTx, rx: &mut LateralRx) {
-    rx.ring.append(&mut tx.outbox);
+    while let Some((ready_at, flit)) = tx.outbox.pop_front() {
+        let pushed = rx.ring.push_at(ready_at, flit);
+        assert!(pushed.is_ok(), "credit protocol bounds the receiver ring by capacity");
+    }
     for &popped_at in &rx.pops {
-        tx.credits.push_back(popped_at + tx.latency);
+        let pushed = tx.credits.push_at(popped_at + tx.latency, ());
+        debug_assert!(pushed.is_ok(), "credit protocol bounds outstanding credits");
     }
     rx.pops.clear();
 }
@@ -307,12 +325,12 @@ impl SwitchShard {
             east_tx: if has_east { (0..2 * b).map(|_| mk_lat()).collect() } else { Vec::new() },
             west_tx: if has_west { (0..2 * b).map(|_| mk_lat()).collect() } else { Vec::new() },
             west_rx: if has_west {
-                (0..2 * b).map(|_| LateralRx::default()).collect()
+                (0..2 * b).map(|_| LateralRx::new(cfg.lateral_capacity)).collect()
             } else {
                 Vec::new()
             },
             east_rx: if has_east {
-                (0..2 * b).map(|_| LateralRx::default()).collect()
+                (0..2 * b).map(|_| LateralRx::new(cfg.lateral_capacity)).collect()
             } else {
                 Vec::new()
             },
@@ -681,6 +699,28 @@ impl SwitchShard {
         self.west_tx.get(idx).map(|t| t.stats())
     }
 
+    /// Visits the high-water mark of every queue in this shard, labeled
+    /// by family. Lateral channels report the receiver ring's peak (the
+    /// in-flight flits a boundary ever held); sender outboxes drain at
+    /// every barrier and contribute their own pre-reconcile peak.
+    pub fn for_each_queue_hwm(&self, visit: &mut dyn FnMut(&'static str, usize)) {
+        for l in &self.master_in {
+            visit("ingress", l.high_water());
+        }
+        for l in &self.master_out {
+            visit("egress", l.high_water());
+        }
+        for l in self.mc_in.iter().chain(&self.mc_out) {
+            visit("mc_link", l.high_water());
+        }
+        for r in self.west_rx.iter().chain(&self.east_rx) {
+            visit("lateral", r.high_water());
+        }
+        for t in self.east_tx.iter().chain(&self.west_tx) {
+            visit("lateral", t.high_water());
+        }
+    }
+
     /// Clears all traffic counters and the ID-stall counter.
     pub fn reset_stats(&mut self) {
         for l in self
@@ -742,7 +782,7 @@ mod tests {
     #[test]
     fn lateral_delivery_waits_hop_latency() {
         let mut tx = LateralTx::new(1.0, 0.0, 4, 2);
-        let mut rx = LateralRx::default();
+        let mut rx = LateralRx::new(4);
         tx.send(10, 0, 1, flit(7));
         reconcile(&mut tx, &mut rx);
         assert!(rx.peek(11).is_none());
@@ -753,7 +793,7 @@ mod tests {
     #[test]
     fn credits_return_with_hop_delay() {
         let mut tx = LateralTx::new(1.0, 0.0, 2, 2);
-        let mut rx = LateralRx::default();
+        let mut rx = LateralRx::new(2);
         tx.send(0, 0, 1, flit(0));
         tx.send(1, 0, 1, flit(1));
         assert!(!tx.can_send(2), "capacity 2 exhausted");

@@ -278,6 +278,12 @@ impl Interconnect for XilinxFabric {
         best
     }
 
+    fn for_each_queue_hwm(&self, visit: &mut dyn FnMut(&'static str, usize)) {
+        for sh in &self.shards {
+            sh.for_each_queue_hwm(visit);
+        }
+    }
+
     fn shard_layout(&self) -> Option<ShardLayout> {
         Some(ShardedFabric::layout(self))
     }

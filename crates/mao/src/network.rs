@@ -262,6 +262,18 @@ impl Interconnect for MaoFabric {
         )
     }
 
+    fn for_each_queue_hwm(&self, visit: &mut dyn FnMut(&'static str, usize)) {
+        for l in &self.ingress {
+            visit("ingress", l.high_water());
+        }
+        for l in &self.master_ret {
+            visit("egress", l.high_water());
+        }
+        for l in self.port_out.iter().chain(&self.ret_in) {
+            visit("mc_link", l.high_water());
+        }
+    }
+
     fn stats(&self) -> FabricStats {
         let mut st = FabricStats { id_stall_cycles: self.rob_stall_cycles, ..Default::default() };
         for l in &self.ingress {

@@ -246,6 +246,15 @@ impl MemoryController {
         self.req_q.len()
     }
 
+    /// Peak occupancy of the request, response, and acknowledge queues
+    /// since construction, in that order. Maintained by the rings
+    /// themselves (two ALU ops per push); reading is free, so the
+    /// measurement harness samples it once per window — never inside
+    /// the cycle loop.
+    pub fn queue_high_waters(&self) -> [usize; 3] {
+        [self.req_q.high_water(), self.resp_q.high_water(), self.ack_q.high_water()]
+    }
+
     /// DRAM statistics for this channel.
     pub fn stats(&self) -> &MemStats {
         self.dram.stats()
