@@ -3,14 +3,26 @@
 //! Usage:
 //!
 //! ```text
-//! repro [EXPERIMENT ...] [--quick] [--json] [--smoke] [--jobs N]
-//!       [--cache-dir DIR] [--no-cache] [--metrics]
+//! repro [EXPERIMENT ...] [--quick] [--fidelity TIER] [--adaptive]
+//!       [--json] [--smoke] [--jobs N] [--cache-dir DIR] [--no-cache]
+//!       [--metrics]
 //! repro serve [--addr HOST:PORT] [--queue N] [--jobs N] [--no-cache]
 //!             [--metrics-addr HOST:PORT] [--span-log FILE]
+//! repro xvalidate [--quick] [--json] [--smoke] [--out PATH] [--jobs N]
 //!
 //! EXPERIMENT: fig2 fig3 fig4 fig5 fig6 fig7 table2 table3 table4 table5
-//!             latency ablations simspeed trace profile all  (default: all)
+//!             latency ablations simspeed trace profile xvalidate all
+//!             (default: all)
 //! --quick:    short simulation windows (CI-friendly)
+//! --fidelity TIER: quick | full | analytical — the sweep fidelity.
+//!             `analytical` answers every point from the calibrated
+//!             closed-form model (DESIGN.md §3.9) instead of simulating;
+//!             anything else exits 2 with usage. Overrides --quick.
+//! --adaptive: multi-fidelity sweeps — evaluate each grid analytically
+//!             first and escalate only the interesting regions (knees,
+//!             collapses, envelope-untrusted families) to cycle
+//!             accuracy. Escalated rows are byte-identical to a direct
+//!             cycle run; the per-grid escalation report goes to stderr.
 //! --json:     machine-readable output (one JSON object per experiment)
 //! --smoke:    (trace/profile only) tiny run + validation, the CI gate
 //! --jobs N:   worker threads for sweep farming (default: HBM_JOBS env
@@ -31,8 +43,14 @@
 //!             for overhead testing.
 //! ```
 //!
-//! `simspeed`, `trace`, and `profile` are not part of `all`: they
-//! inspect the *simulator* rather than reproducing the paper. `simspeed`
+//! `simspeed`, `trace`, `profile`, and `xvalidate` are not part of
+//! `all`: they inspect the *simulator* rather than reproducing the
+//! paper. `xvalidate` fits the analytical tier's calibration against
+//! the cycle simulator on the pinned scenario lattice and reports the
+//! per-family error envelopes; `--out PATH` writes the versioned
+//! artifact (activate it with `HBM_CALIBRATION=PATH`), `--smoke` gates
+//! every family's fitted p95 against the shipped envelope (the CI leg),
+//! and it always writes `BENCH_xvalidate.json`. `simspeed`
 //! writes its rows to `BENCH_simspeed.json` in the current directory (in
 //! addition to the normal stdout report) so runs on the same machine can
 //! be diffed; `trace` writes `TRACE_events.json` (Chrome trace-event
@@ -115,6 +133,7 @@ fn run_simspeed(quick: bool, json: bool) {
     let batched = simspeed::run_batched_matrix(quick);
     let serve = simspeed::run_serve_overhead(quick);
     let cache = simspeed::run_cache_matrix(quick);
+    let analytical = simspeed::run_analytical_matrix(quick);
     let profile = profilecmd::run_profile(quick);
     let payload = serde_json::json!({
         "experiment": "simspeed",
@@ -128,6 +147,9 @@ fn run_simspeed(quick: bool, json: bool) {
         "cache": cache,
         "cache_cold_wall_s": cache.cold_wall_s,
         "cache_warm_wall_s": cache.warm_wall_s,
+        "analytical": analytical,
+        "analytical_speedup_vs_quick": analytical.speedup_vs_quick,
+        "adaptive_escalation_fraction": analytical.adaptive_escalation_fraction,
         "profile": profilecmd::to_json(&profile),
         "metrics_overhead_pct": profile.metrics.overhead_pct,
     });
@@ -142,6 +164,7 @@ fn run_simspeed(quick: bool, json: bool) {
         println!("{}", simspeed::render_batched(&batched));
         println!("{}", simspeed::render_serve(&serve));
         println!("{}", simspeed::render_cache(&cache));
+        println!("{}", simspeed::render_analytical(&analytical));
         println!("{}", profilecmd::render(&profile));
         println!("wrote BENCH_simspeed.json");
     }
@@ -292,6 +315,61 @@ fn parse_batch_or_die(v: &str) -> usize {
     })
 }
 
+/// Parses a `--fidelity` value, exiting 2 with usage on anything that is
+/// not one of the three stable tier names.
+fn parse_fidelity_or_die(v: &str) -> Fidelity {
+    match v {
+        "quick" => Fidelity::QUICK,
+        "full" => Fidelity::FULL,
+        "analytical" => Fidelity::ANALYTICAL,
+        other => {
+            eprintln!("--fidelity: unknown tier {other:?}");
+            eprintln!("usage: --fidelity quick|full|analytical");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Fits and cross-validates the analytical tier (`repro xvalidate`).
+fn run_xvalidate(fid: Fidelity, json: bool, smoke: bool, out_path: Option<&str>) {
+    use hbm_bench::xvalidate;
+    // The calibration is fitted against cycle windows; an analytical
+    // fidelity here would fit the model against itself.
+    let fid = if fid.is_analytical() { Fidelity::QUICK } else { fid };
+    let out = xvalidate::run_xvalidate(fid);
+    let payload = xvalidate::to_json(&out);
+    std::fs::write("BENCH_xvalidate.json", format!("{payload}\n"))
+        .expect("write BENCH_xvalidate.json");
+    if let Some(path) = out_path {
+        std::fs::write(path, format!("{}\n", out.calibration.to_json())).unwrap_or_else(|e| {
+            eprintln!("xvalidate: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("xvalidate: wrote calibration artifact to {path}");
+    }
+    if json {
+        println!("{payload}");
+    } else {
+        println!("{}", xvalidate::render(&out));
+        eprintln!("{}", xvalidate::render_builtin_rows(&out.calibration));
+        println!("wrote BENCH_xvalidate.json");
+    }
+    if smoke {
+        let violations = xvalidate::smoke_violations(&out.calibration);
+        if !violations.is_empty() {
+            eprintln!("xvalidate smoke: envelope gate FAILED:");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "xvalidate smoke: OK ({} families within the shipped p95 envelope)",
+            out.calibration.families.len()
+        );
+    }
+}
+
 /// Flushes the global result cache and prints a one-line hit/miss
 /// summary — to stderr only, so a cold and a warm invocation produce
 /// byte-identical stdout.
@@ -326,10 +404,11 @@ fn main() {
     if args.iter().any(|a| a == "--metrics") {
         hbm_core::metrics::set_enabled(true);
     }
-    let fid = if quick { Fidelity::QUICK } else { Fidelity::FULL };
     let mut jobs_value: Option<usize> = None;
     let mut batch_value: Option<usize> = None;
     let mut cache_dir: Option<String> = None;
+    let mut fidelity_value: Option<Fidelity> = None;
+    let mut out_path: Option<String> = None;
     let mut skip_next = false;
     let mut positional: Vec<&str> = Vec::new();
     for (i, a) in args.iter().enumerate() {
@@ -337,7 +416,26 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--jobs" {
+        if a == "--fidelity" {
+            let v = args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("--fidelity requires a tier");
+                eprintln!("usage: --fidelity quick|full|analytical");
+                std::process::exit(2);
+            });
+            fidelity_value = Some(parse_fidelity_or_die(v));
+            skip_next = true;
+        } else if let Some(v) = a.strip_prefix("--fidelity=") {
+            fidelity_value = Some(parse_fidelity_or_die(v));
+        } else if a == "--out" {
+            let v = args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("--out requires a path");
+                std::process::exit(2);
+            });
+            out_path = Some(v.clone());
+            skip_next = true;
+        } else if let Some(v) = a.strip_prefix("--out=") {
+            out_path = Some(v.to_string());
+        } else if a == "--jobs" {
             let v = args.get(i + 1).unwrap_or_else(|| {
                 eprintln!("--jobs requires a thread count");
                 eprintln!("usage: --jobs N (N a positive integer)");
@@ -369,6 +467,12 @@ fn main() {
         } else if !a.starts_with("--") {
             positional.push(a.as_str());
         }
+    }
+    // --fidelity wins over --quick; --adaptive turns every run_all grid
+    // into an analytical-first multi-fidelity sweep.
+    let fid = fidelity_value.unwrap_or(if quick { Fidelity::QUICK } else { Fidelity::FULL });
+    if args.iter().any(|a| a == "--adaptive") {
+        hbm_core::experiment::set_adaptive(true);
     }
     if let Some(jobs) = jobs_value {
         hbm_core::batch::set_sweep_jobs(jobs);
@@ -402,8 +506,15 @@ fn main() {
     let all = wanted.contains(&"all");
     let want = |name: &str| all || wanted.contains(&name);
 
-    // Simulator benchmarking, tracing, and profiling are opt-in only
-    // (not part of `all`).
+    // Simulator benchmarking, tracing, profiling, and calibration
+    // cross-validation are opt-in only (not part of `all`).
+    if wanted.contains(&"xvalidate") {
+        run_xvalidate(fid, json, smoke, out_path.as_deref());
+        if wanted.len() == 1 {
+            report_cache();
+            return;
+        }
+    }
     if wanted.contains(&"simspeed") {
         run_simspeed(quick, json);
         if wanted.len() == 1 {
@@ -435,8 +546,12 @@ fn main() {
     println!(
         "Reproduction of \"Fast HBM Access with FPGAs: Analysis, Architectures,\n\
          and Applications\" (IPDPSW'21) — simulated XCVU37P HBM subsystem\n\
-         fidelity: warmup {} + measure {} cycles @300 MHz\n",
-        fid.warmup, fid.cycles
+         fidelity: {}\n",
+        if fid.is_analytical() {
+            "analytical (calibrated closed-form model, DESIGN.md §3.9)".to_string()
+        } else {
+            format!("warmup {} + measure {} cycles @300 MHz", fid.warmup, fid.cycles)
+        }
     );
 
     if want("fig2") {

@@ -13,5 +13,6 @@ pub mod profilecmd;
 pub mod render;
 pub mod simspeed;
 pub mod tracecmd;
+pub mod xvalidate;
 
 pub use fig7::{accel_bandwidths, AccelBandwidths};

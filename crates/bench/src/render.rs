@@ -389,7 +389,7 @@ pub fn render_ablations(fid: Fidelity) -> String {
 mod tests {
     use super::*;
 
-    const FID: Fidelity = Fidelity { warmup: 500, cycles: 1_500 };
+    const FID: Fidelity = Fidelity::cycle(500, 1_500);
 
     #[test]
     fn table3_renders_with_paper_reference() {

@@ -1,0 +1,161 @@
+//! `repro xvalidate` — calibrates and cross-validates the analytical
+//! tier against the cycle simulator (DESIGN.md §3.9).
+//!
+//! The command runs the pinned [`hbm_core::analytic::scenario_lattice`]
+//! through the cycle-accurate simulator, fits fresh per-family residual
+//! scales with [`hbm_core::analytic::fit_calibration`], and reports the
+//! per-family error envelopes (mean/p95/max relative bandwidth error of
+//! the *calibrated* model). `--out PATH` persists the fitted artifact as
+//! versioned JSON (loadable back through `HBM_CALIBRATION`); `--smoke`
+//! is the CI gate: it asserts every fitted family's p95 stays within the
+//! builtin calibration's shipped envelope plus a drift allowance, so the
+//! numbers baked into [`Calibration::builtin`] cannot rot silently.
+
+use hbm_core::analytic::{self, Calibration, FabricClass, XvalRow};
+use hbm_core::batch;
+use hbm_core::experiment::Fidelity;
+use hbm_traffic::Pattern;
+
+/// Drift allowance for the smoke gate: a family's freshly fitted p95
+/// may exceed the builtin envelope's p95 by this much (absolute, in
+/// relative-error units) before the gate trips. Covers window-length
+/// jitter between the baking run and the CI machine.
+pub const SMOKE_P95_SLACK: f64 = 0.03;
+
+/// Everything one `repro xvalidate` run produced.
+pub struct XvalOutput {
+    /// The freshly fitted artifact.
+    pub calibration: Calibration,
+    /// Per-scenario comparison rows under the fitted scales.
+    pub rows: Vec<XvalRow>,
+    /// Wall time of the cycle-simulated lattice, in seconds.
+    pub cycle_wall_s: f64,
+    /// Wall time of the analytical evaluations (model + fit), in
+    /// seconds.
+    pub model_wall_s: f64,
+}
+
+/// Runs the lattice at `fid` cycle windows and fits a calibration.
+pub fn run_xvalidate(fid: Fidelity) -> XvalOutput {
+    let scenarios = analytic::scenario_lattice();
+    let points: Vec<_> = scenarios.iter().map(|s| s.point.clone()).collect();
+    let threads = batch::sweep_jobs();
+    let t0 = std::time::Instant::now();
+    let cycle_rows = batch::run_grid(&points, fid.warmup, fid.cycles, threads);
+    let cycle_wall_s = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let (calibration, rows) = analytic::fit_calibration(&scenarios, &cycle_rows);
+    let model_wall_s = t1.elapsed().as_secs_f64();
+    XvalOutput { calibration, rows, cycle_wall_s, model_wall_s }
+}
+
+/// The smoke gate: every freshly fitted family's p95 must stay within
+/// the builtin envelope's p95 plus [`SMOKE_P95_SLACK`]. Returns the
+/// violations (empty means the gate passes).
+pub fn smoke_violations(cal: &Calibration) -> Vec<String> {
+    let builtin = Calibration::builtin();
+    let mut violations = Vec::new();
+    for fitted in &cal.families {
+        let shipped = builtin.family(fitted.fabric, fitted.pattern);
+        let budget = shipped.envelope.p95 + SMOKE_P95_SLACK;
+        if fitted.envelope.p95 > budget {
+            violations.push(format!(
+                "{}/{:?}: fitted p95 {:.4} exceeds shipped p95 {:.4} + {:.2} slack",
+                fitted.fabric,
+                fitted.pattern,
+                fitted.envelope.p95,
+                shipped.envelope.p95,
+                SMOKE_P95_SLACK
+            ));
+        }
+    }
+    violations
+}
+
+/// Renders the per-family calibration table plus the worst scenarios.
+pub fn render(out: &XvalOutput) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Cross-validation: analytical tier vs cycle simulator\n\
+         ({} scenarios, cycle lattice {:.2}s, model+fit {:.4}s)\n",
+        out.rows.len(),
+        out.cycle_wall_s,
+        out.model_wall_s
+    );
+    let _ = writeln!(
+        s,
+        "{:<14} {:<6} {:>9} {:>9} {:>8} {:>8} {:>8}",
+        "fabric", "family", "bw-scale", "lat-scale", "mean", "p95", "max"
+    );
+    for f in &out.calibration.families {
+        let _ = writeln!(
+            s,
+            "{:<14} {:<6} {:>9.4} {:>9.4} {:>7.2}% {:>7.2}% {:>7.2}%",
+            f.fabric.to_string(),
+            format!("{:?}", f.pattern),
+            f.bw_scale,
+            f.lat_scale,
+            100.0 * f.envelope.mean,
+            100.0 * f.envelope.p95,
+            100.0 * f.envelope.max,
+        );
+    }
+    let mut worst: Vec<&XvalRow> = out.rows.iter().collect();
+    worst.sort_by(|a, b| b.rel_err.partial_cmp(&a.rel_err).unwrap());
+    let _ = writeln!(s, "\nworst scenarios (calibrated):");
+    for r in worst.iter().take(5) {
+        let _ = writeln!(
+            s,
+            "  {:<14} {:<6} {:<14} cycle {:>7.1} GB/s  model {:>7.1} GB/s  err {:>6.2}%",
+            r.fabric.to_string(),
+            format!("{:?}", r.pattern),
+            r.setting,
+            r.cycle_gbps,
+            r.model_gbps,
+            100.0 * r.rel_err,
+        );
+    }
+    s
+}
+
+/// The machine-readable payload (also written to `BENCH_xvalidate.json`).
+pub fn to_json(out: &XvalOutput) -> serde_json::Value {
+    serde_json::json!({
+        "experiment": "xvalidate",
+        "calibration_version": analytic::CALIBRATION_VERSION,
+        "scenarios": out.rows.len(),
+        "cycle_wall_s": out.cycle_wall_s,
+        "model_wall_s": out.model_wall_s,
+        "families": out.calibration.families,
+        "rows": out.rows,
+    })
+}
+
+/// Source-code lines for re-baking [`Calibration::builtin`] from a
+/// fresh fit — printed so the shipped table can be updated by pasting.
+pub fn render_builtin_rows(cal: &Calibration) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("builtin table (paste into Calibration::builtin):\n");
+    for f in &cal.families {
+        let fabric = match f.fabric {
+            FabricClass::Xilinx => "Xilinx",
+            FabricClass::Mao => "Mao",
+            FabricClass::FullCrossbar => "FullCrossbar",
+            FabricClass::Direct => "Direct",
+        };
+        let pattern = match f.pattern {
+            Pattern::Scs => "Scs",
+            Pattern::Ccs => "Ccs",
+            Pattern::Scra => "Scra",
+            Pattern::Ccra => "Ccra",
+        };
+        let _ = writeln!(
+            s,
+            "f({fabric}, {pattern}, {:.4}, {:.4}, {:.4}, {:.4}, {:.4}),",
+            f.bw_scale, f.lat_scale, f.envelope.mean, f.envelope.p95, f.envelope.max
+        );
+    }
+    s
+}

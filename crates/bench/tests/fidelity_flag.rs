@@ -1,0 +1,58 @@
+//! The `--fidelity` tier selector must fail loudly: values outside the
+//! CLI-stable set `quick|full|analytical` exit 2 with a usage message
+//! instead of silently running at a default fidelity (a typo like
+//! `--fidelity analytic` must never burn hours of cycle simulation).
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+/// Runs repro with `args`, returning (exit code, stderr).
+fn run(args: &[&str]) -> (i32, String) {
+    let out = repro().args(args).output().expect("spawn repro");
+    (out.status.code().unwrap_or(-1), String::from_utf8_lossy(&out.stderr).into_owned())
+}
+
+#[test]
+fn fidelity_flag_rejects_garbage() {
+    for bad in ["garbage", "analytic", "QUICK", "fast", ""] {
+        let arg = format!("--fidelity={bad}");
+        let (code, stderr) = run(&["fig4", "--json", &arg]);
+        assert_eq!(code, 2, "--fidelity={bad:?} must exit 2; stderr: {stderr}");
+        assert!(
+            stderr.contains("quick|full|analytical"),
+            "stderr must list the valid tiers: {stderr}"
+        );
+        assert!(stderr.contains("usage"), "stderr must show usage: {stderr}");
+    }
+}
+
+#[test]
+fn fidelity_flag_rejects_garbage_space_form() {
+    let (code, stderr) = run(&["fig4", "--json", "--fidelity", "garbage"]);
+    assert_eq!(code, 2, "--fidelity garbage must exit 2; stderr: {stderr}");
+    assert!(stderr.contains("quick|full|analytical"), "stderr must list tiers: {stderr}");
+}
+
+#[test]
+fn fidelity_flag_requires_a_value() {
+    let (code, stderr) = run(&["fig4", "--json", "--fidelity"]);
+    assert_eq!(code, 2, "bare --fidelity must exit 2; stderr: {stderr}");
+    assert!(stderr.contains("usage"), "stderr must show usage: {stderr}");
+}
+
+#[test]
+fn fidelity_flag_accepts_analytical() {
+    let out =
+        repro().args(["fig4", "--json", "--fidelity", "analytical"]).output().expect("spawn repro");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "--fidelity analytical must run; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("{"), "fig4 --json must emit JSON rows: {stdout}");
+}

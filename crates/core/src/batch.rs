@@ -399,7 +399,7 @@ pub fn run_grid_with_cache(
     if !cache.is_enabled() {
         return par_map(points, threads, |(cfg, wl)| measure(cfg, *wl, warmup, cycles));
     }
-    let fid = Fidelity { warmup, cycles };
+    let fid = Fidelity::cycle(warmup, cycles);
     let out = par_map(points, threads, |(cfg, wl)| cache.measure_cached(cfg, wl, fid));
     if let Err(e) = cache.flush() {
         eprintln!("hbm-cache: flush failed: {e}");
@@ -443,7 +443,7 @@ fn run_grid_batched(
     threads: usize,
     cache: &ResultCache,
 ) -> Vec<Measurement> {
-    let fid = Fidelity { warmup, cycles };
+    let fid = Fidelity::cycle(warmup, cycles);
     let produced = par_map(tasks, threads, |task| -> Vec<(usize, Measurement)> {
         match task {
             BatchTask::Scalar(i) => {
@@ -487,6 +487,129 @@ fn run_grid_batched(
         }
     }
     out.into_iter().map(|m| m.expect("every planned task deposited its rows")).collect()
+}
+
+/// [`run_grid`] generalised over the fidelity *tier*: cycle fidelities
+/// route through [`run_grid_with_cache`] (lockstep batching and all),
+/// analytical fidelities evaluate the calibrated closed-form model per
+/// point — still content-addressed and single-flighted through the
+/// cache, under calibration-keyed fingerprints.
+pub fn run_grid_fid(points: &[GridPoint], fid: Fidelity, threads: usize) -> Vec<Measurement> {
+    if !fid.is_analytical() {
+        return run_grid(points, fid.warmup, fid.cycles, threads);
+    }
+    let cache = ResultCache::global();
+    let out = par_map(points, threads, |(cfg, wl)| cache.measure_cached(cfg, wl, fid));
+    if cache.is_enabled() {
+        if let Err(e) = cache.flush() {
+            eprintln!("hbm-cache: flush failed: {e}");
+        }
+    }
+    out
+}
+
+/// Outcome counters of one adaptive grid (also published through the
+/// metric registry as `hbm_adaptive_*`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdaptiveReport {
+    /// Points answered by the calibrated analytical model.
+    pub analytical: usize,
+    /// Points escalated to cycle accuracy.
+    pub escalated: usize,
+}
+
+impl AdaptiveReport {
+    /// Fraction of the grid that needed cycle accuracy.
+    pub fn escalation_fraction(&self) -> f64 {
+        let total = self.analytical + self.escalated;
+        if total == 0 {
+            0.0
+        } else {
+            self.escalated as f64 / total as f64
+        }
+    }
+}
+
+/// Adaptive-sweep counters, published through the workspace metric
+/// registry: grids swept adaptively, and per-point routing outcomes.
+struct AdaptiveMetrics {
+    grids: Arc<Counter>,
+    points_analytical: Arc<Counter>,
+    points_escalated: Arc<Counter>,
+}
+
+fn build_adaptive_metrics(reg: &Registry) -> AdaptiveMetrics {
+    let points = "Adaptive-sweep grid points by final route";
+    AdaptiveMetrics {
+        grids: reg.counter(
+            "hbm_adaptive_grids_total",
+            "Grids swept adaptively (analytical first, escalate interesting regions)",
+            &[],
+        ),
+        points_analytical: reg.counter(
+            "hbm_adaptive_points_total",
+            points,
+            &[("route", "analytical")],
+        ),
+        points_escalated: reg.counter("hbm_adaptive_points_total", points, &[("route", "cycle")]),
+    }
+}
+
+fn adaptive_metrics() -> &'static AdaptiveMetrics {
+    static M: OnceLock<AdaptiveMetrics> = OnceLock::new();
+    M.get_or_init(|| build_adaptive_metrics(Registry::global()))
+}
+
+/// Pre-registers the adaptive series (all zero) so expositions are
+/// complete before the first adaptive grid. Called by the registry's
+/// built-in installer.
+pub(crate) fn install_adaptive_series(reg: &Registry) {
+    build_adaptive_metrics(reg);
+}
+
+/// Records one adaptively-swept grid's routing outcome into the metric
+/// registry (no-op while metrics are disabled). Called by
+/// [`run_grid_adaptive`] and by the serve scheduler's adaptive
+/// admission, so both surface escalation fractions through the same
+/// `hbm_adaptive_*` series.
+pub fn record_adaptive_grid(analytical: usize, escalated: usize) {
+    if !metrics::enabled() {
+        return;
+    }
+    let m = adaptive_metrics();
+    m.grids.inc();
+    m.points_analytical.add(analytical as u64);
+    m.points_escalated.add(escalated as u64);
+}
+
+/// Multi-fidelity adaptive sweep (DESIGN.md §3.9): evaluates the whole
+/// grid through the calibrated analytical model first, asks
+/// [`crate::analytic::escalation_mask`] which points deserve cycle
+/// accuracy (knees, bandwidth collapses, envelope-untrusted families),
+/// and re-measures exactly those through the ordinary cycle path of
+/// [`run_grid`] — so an escalated row is **byte-identical** to what a
+/// direct cycle sweep of that point returns (same code path, same cache
+/// fingerprint). `fid` gives the cycle windows escalations run at.
+pub fn run_grid_adaptive(
+    points: &[GridPoint],
+    fid: Fidelity,
+    threads: usize,
+) -> (Vec<Measurement>, AdaptiveReport) {
+    use crate::analytic::{escalation_mask, Calibration, EscalationPolicy};
+    let analytical = Fidelity { tier: crate::experiment::FidelityTier::Analytical, ..fid };
+    let mut rows = run_grid_fid(points, analytical, threads);
+    let cal = Calibration::active();
+    let mask = escalation_mask(points, &rows, cal, &EscalationPolicy::default());
+    let escalate: Vec<usize> = (0..points.len()).filter(|&i| mask[i]).collect();
+    let subgrid: Vec<GridPoint> = escalate.iter().map(|&i| points[i].clone()).collect();
+    let cycle_rows = run_grid(&subgrid, fid.warmup, fid.cycles, threads);
+    for (&i, m) in escalate.iter().zip(cycle_rows) {
+        rows[i] = m;
+    }
+    let report =
+        AdaptiveReport { analytical: points.len() - escalate.len(), escalated: escalate.len() };
+    record_adaptive_grid(report.analytical, report.escalated);
+    (rows, report)
 }
 
 /// A reasonable thread count for sweeps on this machine.

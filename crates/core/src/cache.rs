@@ -54,7 +54,7 @@ use crate::system::SystemConfig;
 /// under. Bump this whenever *any* change can alter a measurement —
 /// kernel scheduling, fabric timing, statistics accounting — and every
 /// previously cached entry silently stops matching.
-pub const SIM_KERNEL_VERSION: u32 = 1;
+pub const SIM_KERNEL_VERSION: u32 = 2;
 
 /// Memory-tier shard count (fingerprints spread by their high bits).
 const SHARDS: usize = 16;
@@ -114,8 +114,17 @@ pub fn fingerprint_versioned(
     fid: Fidelity,
     version: u32,
 ) -> Fingerprint {
+    // Analytical rows additionally key the calibration artifact version:
+    // a re-fitted model re-keys every analytical point, and analytical
+    // rows can never be confused with cycle rows (the tier is part of
+    // the Fidelity JSON).
+    let cal = if fid.is_analytical() {
+        format!("|cal{}", crate::analytic::CALIBRATION_VERSION)
+    } else {
+        String::new()
+    };
     let canon = format!(
-        "v{version}|{}|{}|{}",
+        "v{version}{cal}|{}|{}|{}",
         serde_json::to_string(cfg).expect("SystemConfig serialises"),
         serde_json::to_string(wl).expect("Workload serialises"),
         serde_json::to_string(&fid).expect("Fidelity serialises"),
@@ -532,11 +541,21 @@ impl ResultCache {
     /// Memoised [`measure`]: the one call site `batch` and `experiment`
     /// route every sweep point through.
     pub fn measure_cached(&self, cfg: &SystemConfig, wl: &Workload, fid: Fidelity) -> Measurement {
+        // The fidelity tier dispatches here: analytical points evaluate
+        // the calibrated closed-form model instead of the cycle kernel,
+        // under a calibration-keyed fingerprint (see [`fingerprint`]).
+        let compute = || {
+            if fid.is_analytical() {
+                crate::analytic::predict(cfg, wl, fid, crate::analytic::Calibration::active())
+            } else {
+                measure(cfg, *wl, fid.warmup, fid.cycles)
+            }
+        };
         if !self.is_enabled() {
-            return measure(cfg, *wl, fid.warmup, fid.cycles);
+            return compute();
         }
         let fp = fingerprint(cfg, wl, fid);
-        (*self.get_or_compute(fp, || measure(cfg, *wl, fid.warmup, fid.cycles))).clone()
+        (*self.get_or_compute(fp, compute)).clone()
     }
 
     /// Drops every memory-tier entry (counters and the disk tier are
@@ -744,7 +763,7 @@ mod tests {
     use std::sync::atomic::AtomicUsize;
 
     fn fid() -> Fidelity {
-        Fidelity { warmup: 100, cycles: 300 }
+        Fidelity::cycle(100, 300)
     }
 
     fn point(rotation: usize) -> (SystemConfig, Workload) {
@@ -769,7 +788,7 @@ mod tests {
         assert_eq!(a, b, "same input, same fingerprint");
         let c = fingerprint(&cfg, &Workload { rotation: 2, ..wl }, fid());
         assert_ne!(a, c, "workload change re-keys");
-        let d = fingerprint(&cfg, &wl, Fidelity { warmup: 101, cycles: 300 });
+        let d = fingerprint(&cfg, &wl, Fidelity::cycle(101, 300));
         assert_ne!(a, d, "fidelity change re-keys");
         let e = fingerprint_versioned(&cfg, &wl, fid(), SIM_KERNEL_VERSION + 1);
         assert_ne!(a, e, "kernel version bump re-keys");

@@ -6,26 +6,17 @@
 //! pattern of Accelerator A in a system without MAO … with MAO we expect
 //! an increase to about the maximum HBM throughput of 416 GB/s" — and
 //! §V shows those estimates land within 2–4 % of measurement. This
-//! module encodes the same rules; `tests/estimator.rs` checks them
+//! module is a thin reporting wrapper over [`crate::analytic::ceilings`]
+//! — the single closed-form implementation the analytical fidelity tier
+//! also builds on — so the estimator and the `Fidelity::Analytical`
+//! model can never drift apart. `tests/estimator.rs` checks the rules
 //! against the simulator across the whole pattern grid.
-//!
-//! The rules, in the paper's order:
-//!
-//! 1. **Port clock**: each AXI port moves ≤ `32 B × facc` per direction;
-//!    a read:write mix uses both directions in proportion.
-//! 2. **Effective DRAM rate**: the per-PCH ceiling is the refresh-derated
-//!    raw rate, further derated for short bursts and random access.
-//! 3. **Effective channels** (`N_ch_eff`): the contiguous map confines a
-//!    buffer of `working_set` bytes to `⌈ws / capacity⌉` channels; the
-//!    MAO's interleaving (or single-channel partitioning) uses all of
-//!    them.
-//! 4. **Lateral ceiling** (`N_lat_eff`): cross-channel traffic on the
-//!    segmented fabric is additionally capped by the lateral buses.
 
-use hbm_traffic::{Pattern, Workload};
+use hbm_traffic::Workload;
 use serde::{Deserialize, Serialize};
 
-use crate::system::{FabricKind, SystemConfig};
+use crate::analytic;
+use crate::system::SystemConfig;
 
 /// A bandwidth estimate with its contributing ceilings, for reporting.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -43,81 +34,17 @@ pub struct Estimate {
 }
 
 /// Estimates the achievable bandwidth of `wl` on `cfg` using the paper's
-/// §IV rules — no simulation involved.
+/// §IV rules — no simulation involved. The estimate is exactly
+/// `min(port, dram, lateral)` of [`analytic::ceilings`]; the analytical
+/// fidelity tier layers rotation/demand bounds and calibration on top.
 pub fn estimate_bandwidth(cfg: &SystemConfig, wl: &Workload) -> Estimate {
-    let n = cfg.hbm.num_pch;
-    let port_bw = cfg.clock.port_bw_gbps(); // per port per direction
-    let read_frac = wl.rw.read_fraction();
-
-    // Rule 3: effective channels.
-    let spread = match (&cfg.fabric, wl.pattern) {
-        // Single-channel patterns are spread by construction.
-        (_, Pattern::Scs | Pattern::Scra) => n,
-        // The MAO interleaves everything.
-        (FabricKind::Mao(_), _) => n,
-        // Contiguous map: the buffer determines the channels touched.
-        (_, Pattern::Ccs | Pattern::Ccra) => {
-            (wl.working_set.div_ceil(cfg.hbm.pch_capacity) as usize).clamp(1, n)
-        }
-    };
-
-    // Rule 1: port ceiling. For spread traffic each master's port is the
-    // limit; for hot-spot traffic the *memory-side* port of the few
-    // channels is.
-    let ports = spread.min(n) as f64;
-    let port_ceiling = if read_frac == 0.0 || read_frac == 1.0 {
-        ports * port_bw
-    } else {
-        // Both directions active: each direction is capped at port_bw,
-        // so the mix is limited by its larger component.
-        let dominant = read_frac.max(1.0 - read_frac);
-        ports * (port_bw / dominant)
-    };
-
-    // Rule 2: DRAM ceiling with burst/pattern derating.
-    let t = &cfg.hbm.timings;
-    let dram_eff = t.effective_bw_gbps();
-    let bl_bytes = wl.burst.bytes() as f64;
-    let pattern_eff = match wl.pattern {
-        Pattern::Scs | Pattern::Ccs => {
-            // Streams: short bursts cost scheduling slots, long ones are
-            // free (the paper: BL 2 nearly saturates a stream).
-            if wl.burst.beats() >= 2 {
-                0.97
-            } else {
-                0.6
-            }
-        }
-        Pattern::Scra | Pattern::Ccra => {
-            // Random: every burst opens a row; the overhead that bank
-            // parallelism cannot hide is roughly the unoverlapped
-            // fraction of tRC per burst.
-            let data_ns = bl_bytes / t.raw_bw_gbps();
-            data_ns / (data_ns + 0.35 * (t.t_rp + t.t_rcd))
-        }
-    };
-    // Mixed traffic pays turnarounds.
-    let mix_eff = if read_frac > 0.0 && read_frac < 1.0 { 0.97 } else { 1.0 };
-    let dram_ceiling = spread as f64 * dram_eff * pattern_eff * mix_eff;
-
-    // Rule 4: lateral ceiling on the segmented fabric for cross-channel
-    // traffic (requests/responses funnel over ≤ 2 buses per direction at
-    // each boundary; uniform random traffic crosses ~half the device).
-    let lateral_ceiling = match (&cfg.fabric, wl.pattern) {
-        (FabricKind::Xilinx | FabricKind::XilinxTweaked(_), Pattern::Ccra) => {
-            // 4 boundaries-worth of paired buses, both directions, spread
-            // over the crossing fraction (~1/2).
-            8.0 * port_bw / 0.5 * 0.7 // 0.7: dead cycles + imbalance
-        }
-        _ => f64::INFINITY,
-    };
-
+    let c = analytic::ceilings(cfg, wl);
     Estimate {
-        total_gbps: port_ceiling.min(dram_ceiling).min(lateral_ceiling),
-        port_ceiling,
-        dram_ceiling,
-        lateral_ceiling,
-        n_ch_eff: spread,
+        total_gbps: c.port.min(c.dram).min(c.lateral),
+        port_ceiling: c.port,
+        dram_ceiling: c.dram,
+        lateral_ceiling: c.lateral,
+        n_ch_eff: c.n_ch_eff,
     }
 }
 

@@ -13,34 +13,101 @@ use serde::{Deserialize, Serialize};
 use crate::measure::Measurement;
 use crate::system::{FabricKind, SystemConfig};
 
-/// Simulation fidelity: cycles of warm-up and measurement.
+/// How a sweep point is evaluated: cycle-accurate simulation or the
+/// closed-form analytical model (`hbm_core::analytic`).
+///
+/// The default is [`FidelityTier::Cycle`], and the field is
+/// `#[serde(default)]` on [`Fidelity`], so JSON written before the tier
+/// existed (job specs, disk-cache records) still deserialises — as the
+/// cycle tier it was produced under.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FidelityTier {
+    /// Cycle-accurate simulation of the full system.
+    #[default]
+    Cycle,
+    /// Closed-form throughput/latency model with calibrated residuals
+    /// (microseconds per point instead of milliseconds; see
+    /// [`crate::analytic`] for the error envelope).
+    Analytical,
+}
+
+/// Simulation fidelity: cycles of warm-up and measurement, plus the
+/// evaluation tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Fidelity {
-    /// Warm-up cycles (excluded from statistics).
+    /// Warm-up cycles (excluded from statistics). Ignored by the
+    /// analytical tier.
     pub warmup: Cycle,
-    /// Measured cycles.
+    /// Measured cycles (the analytical tier synthesises its rows over
+    /// the same window so throughputs normalise identically).
     pub cycles: Cycle,
+    /// Evaluation tier; defaults to cycle-accurate.
+    #[serde(default)]
+    pub tier: FidelityTier,
 }
 
 impl Fidelity {
     /// Fast runs for tests.
-    pub const QUICK: Fidelity = Fidelity { warmup: 1_500, cycles: 4_000 };
+    pub const QUICK: Fidelity = Fidelity::cycle(1_500, 4_000);
     /// Full runs for the reproduction harness.
-    pub const FULL: Fidelity = Fidelity { warmup: 4_000, cycles: 24_000 };
+    pub const FULL: Fidelity = Fidelity::cycle(4_000, 24_000);
+    /// The closed-form model: no warm-up, rows synthesised over the
+    /// FULL measurement window.
+    pub const ANALYTICAL: Fidelity =
+        Fidelity { warmup: 0, cycles: 24_000, tier: FidelityTier::Analytical };
+
+    /// A cycle-accurate fidelity with the given windows.
+    pub const fn cycle(warmup: Cycle, cycles: Cycle) -> Fidelity {
+        Fidelity { warmup, cycles, tier: FidelityTier::Cycle }
+    }
+
+    /// Whether this fidelity evaluates through the analytical model.
+    pub fn is_analytical(&self) -> bool {
+        self.tier == FidelityTier::Analytical
+    }
 
     fn run(&self, cfg: &SystemConfig, wl: Workload) -> Measurement {
         // Routes through the process-wide result cache; a no-op
-        // passthrough to [`measure`] unless caching was enabled.
+        // passthrough to [`measure`] (or the analytical model) unless
+        // caching was enabled.
         crate::cache::ResultCache::global().measure_cached(cfg, &wl, *self)
     }
 
     /// Measures every point of a sweep, farmed out over
     /// [`crate::batch::sweep_jobs`] worker threads. Results come back
     /// in input order, and every simulation is deterministic, so the
-    /// fan-out is invisible in the output.
+    /// fan-out is invisible in the output. Honors the process-wide
+    /// adaptive mode ([`set_adaptive`]) for cycle-tier sweeps.
     fn run_all(&self, points: &[(SystemConfig, Workload)]) -> Vec<Measurement> {
-        crate::batch::run_grid(points, self.warmup, self.cycles, crate::batch::sweep_jobs())
+        let jobs = crate::batch::sweep_jobs();
+        if self.tier == FidelityTier::Cycle && adaptive_sweeps() {
+            let (rows, report) = crate::batch::run_grid_adaptive(points, *self, jobs);
+            eprintln!(
+                "hbm-adaptive: {} points: {} analytical, {} escalated to cycle ({:.0}%)",
+                points.len(),
+                report.analytical,
+                report.escalated,
+                100.0 * report.escalation_fraction()
+            );
+            return rows;
+        }
+        crate::batch::run_grid_fid(points, *self, jobs)
     }
+}
+
+/// Process-wide adaptive-sweep switch (`repro --adaptive`): when set,
+/// experiment sweeps at the cycle tier run analytically first and
+/// escalate only interesting regions to cycle accuracy.
+static ADAPTIVE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Turns adaptive multi-fidelity sweeps on or off for experiment grids.
+pub fn set_adaptive(on: bool) {
+    ADAPTIVE.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Whether adaptive multi-fidelity sweeps are enabled.
+pub fn adaptive_sweeps() -> bool {
+    ADAPTIVE.load(std::sync::atomic::Ordering::Relaxed)
 }
 
 // ---------------------------------------------------------------- Fig. 2
@@ -662,9 +729,13 @@ pub fn ablate_lateral(fid: Fidelity) -> Vec<AblationRow> {
 
 /// Future-work study: throughput vs. HBM stack count (the paper's
 /// conclusion expects accelerators to scale with "future FPGAs with more
-/// HBM stacks"). Runs MAO-CCS on 1/2/4-stack devices.
+/// HBM stacks"). Runs MAO-CCS on 1/2/4-stack devices at the requested
+/// fidelity, then extends the curve to 8/16-stack devices through the
+/// *same* closed-form model the analytical tier uses
+/// ([`crate::analytic`]) — one implementation, so the simulated and
+/// extrapolated rows can never drift apart.
 pub fn ablate_stacks(fid: Fidelity) -> Vec<AblationRow> {
-    [1usize, 2, 4]
+    let mut rows: Vec<AblationRow> = [1usize, 2, 4]
         .iter()
         .map(|&stacks| {
             let mut cfg = SystemConfig::mao();
@@ -675,7 +746,20 @@ pub fn ablate_stacks(fid: Fidelity) -> Vec<AblationRow> {
                 total_gbps: m.total_gbps(),
             }
         })
-        .collect()
+        .collect();
+    // Beyond the simulated range: the analytical tier, through the same
+    // cache-routed entry point every sweep point uses.
+    let analytical = Fidelity { tier: FidelityTier::Analytical, ..fid };
+    for stacks in [8usize, 16] {
+        let mut cfg = SystemConfig::mao();
+        cfg.hbm = hbm_mem::HbmConfig::with_stacks(stacks);
+        let m = analytical.run(&cfg, Workload::ccs());
+        rows.push(AblationRow {
+            setting: format!("{stacks} stack(s), {} PCH (analytical)", cfg.hbm.num_pch),
+            total_gbps: m.total_gbps(),
+        });
+    }
+    rows
 }
 
 // --------------------------------------------------- Mixed interference
@@ -733,7 +817,22 @@ pub fn mixed_interference(fid: Fidelity) -> Vec<MixedRow> {
 mod tests {
     use super::*;
 
-    const FID: Fidelity = Fidelity { warmup: 1_000, cycles: 3_000 };
+    const FID: Fidelity = Fidelity::cycle(1_000, 3_000);
+
+    #[test]
+    fn fidelity_json_without_tier_parses_as_cycle() {
+        // Wire stability: Fidelity JSON recorded before the tier field
+        // existed still parses, as cycle-accurate fidelity.
+        let old = "{\"warmup\":1500,\"cycles\":4000}";
+        let fid: Fidelity = serde_json::from_str(old).unwrap();
+        assert_eq!(fid, Fidelity::QUICK);
+        assert_eq!(fid.tier, FidelityTier::Cycle);
+        // The analytical tier round-trips and stays distinct.
+        let json = serde_json::to_string(&Fidelity::ANALYTICAL).unwrap();
+        let back: Fidelity = serde_json::from_str(&json).unwrap();
+        assert!(back.is_analytical());
+        assert_ne!(back, fid);
+    }
 
     #[test]
     fn mixed_interference_mao_wins_for_both_classes() {

@@ -48,6 +48,7 @@
 //! assert!(opt.total_gbps() > 5.0 * m.total_gbps());
 //! ```
 
+pub mod analytic;
 pub mod batch;
 pub mod cache;
 pub mod estimate;

@@ -559,6 +559,7 @@ fn install_builtin(reg: &Registry) {
     );
     crate::profile::install_phase_series(reg);
     crate::batch::install_planner_series(reg);
+    crate::batch::install_adaptive_series(reg);
     crate::measure::install_run_series(reg);
 }
 

@@ -37,6 +37,15 @@ pub struct JobSpec {
     /// point to completion. A point that exceeds the budget is reported
     /// as a [`RowStatus::TimedOut`] row.
     pub timeout_ms: Option<u64>,
+    /// Adaptive multi-fidelity sweep (DESIGN.md §3.9): evaluate the grid
+    /// through the calibrated analytical model at admission, then run
+    /// only the escalated points (knees, collapses, envelope-untrusted
+    /// families) at the job's cycle fidelity; the rest stream back as
+    /// analytical rows. Ignored when `fidelity` is itself analytical.
+    /// Defaults off, so pre-existing clients and recorded jobs are
+    /// unaffected.
+    #[serde(default)]
+    pub adaptive: bool,
     /// The measurement grid, one row streamed back per point.
     pub points: Vec<GridPoint>,
 }
@@ -44,7 +53,14 @@ pub struct JobSpec {
 impl JobSpec {
     /// A default-priority, no-timeout job over `points`.
     pub fn new(name: impl Into<String>, fidelity: Fidelity, points: Vec<GridPoint>) -> JobSpec {
-        JobSpec { name: name.into(), priority: 0, fidelity, timeout_ms: None, points }
+        JobSpec {
+            name: name.into(),
+            priority: 0,
+            fidelity,
+            timeout_ms: None,
+            adaptive: false,
+            points,
+        }
     }
 
     /// The paper's Fig. 4 rotation grid — the reference workload for the
@@ -63,6 +79,12 @@ impl JobSpec {
     /// Sets the per-point timeout.
     pub fn with_timeout_ms(mut self, timeout_ms: u64) -> JobSpec {
         self.timeout_ms = Some(timeout_ms);
+        self
+    }
+
+    /// Turns on the adaptive multi-fidelity sweep for this job.
+    pub fn with_adaptive(mut self) -> JobSpec {
+        self.adaptive = true;
         self
     }
 }
@@ -186,6 +208,22 @@ mod tests {
         assert_eq!(back.points.len(), spec.points.len());
         // The grid itself survives: re-serialization is byte-identical.
         assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn job_spec_without_adaptive_field_defaults_off() {
+        // Wire stability: specs recorded before the adaptive field
+        // existed still parse, as non-adaptive jobs.
+        let spec = JobSpec::fig4(Fidelity::QUICK);
+        let json = serde_json::to_string(&spec).unwrap().replace(",\"adaptive\":false", "");
+        assert!(!json.contains("adaptive"), "{json}");
+        let back: JobSpec = serde_json::from_str(&json).unwrap();
+        assert!(!back.adaptive);
+        // And the builder round-trips.
+        let adaptive = JobSpec::fig4(Fidelity::QUICK).with_adaptive();
+        let j = serde_json::to_string(&adaptive).unwrap();
+        let b: JobSpec = serde_json::from_str(&j).unwrap();
+        assert!(b.adaptive);
     }
 
     #[test]

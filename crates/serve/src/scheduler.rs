@@ -59,9 +59,10 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use hbm_core::analytic;
 use hbm_core::batch::{self, panic_message, GridPoint};
 use hbm_core::cache::{fingerprint, Fingerprint, ResultCache};
-use hbm_core::experiment::Fidelity;
+use hbm_core::experiment::{Fidelity, FidelityTier};
 use hbm_core::measure::measure;
 use hbm_core::metrics::{self, Registry};
 use hbm_core::Measurement;
@@ -122,6 +123,10 @@ struct JobEntry {
     failed: usize,
     timed_out: usize,
     cancelled_points: usize,
+    /// Adaptive jobs only: `prefilled[i]` marks a point whose row was
+    /// deposited analytically at admission — the claim loop skips it and
+    /// cancellation must not emit a second row for it.
+    prefilled: Option<Vec<bool>>,
     /// Completed rows in completion order, with their completion
     /// instant, kept for late-subscriber replay.
     log: Vec<(RowResult, Instant)>,
@@ -144,6 +149,16 @@ impl JobEntry {
     /// flight; only then is the `End` event emitted.
     fn is_finished(&self) -> bool {
         self.rows() == self.total() && self.running == 0
+    }
+
+    /// Advances `next_point` past points whose rows were deposited
+    /// analytically at admission (adaptive jobs; no-op otherwise).
+    fn skip_prefilled(&mut self) {
+        if let Some(pre) = &self.prefilled {
+            while self.next_point < self.total() && pre[self.next_point] {
+                self.next_point += 1;
+            }
+        }
     }
 
     fn status(&self, id: u64, now: Instant) -> JobStatus {
@@ -239,12 +254,14 @@ impl State {
                 return (None, deposited);
             };
             let entry = self.jobs.get_mut(&id).expect("ready job must exist");
+            entry.skip_prefilled();
             if entry.state == JobState::Cancelled || entry.next_point >= entry.total() {
                 // Stale queue entry (job was cancelled); drop it.
                 continue;
             }
             let index = entry.next_point;
             entry.next_point += 1;
+            entry.skip_prefilled();
             entry.state = JobState::Running;
             let now = Instant::now();
             entry.first_dispatch.get_or_insert(now);
@@ -400,10 +417,14 @@ impl State {
     /// and removes them from the admission queue level.
     fn cancel_pending(&mut self, id: u64) {
         let entry = self.jobs.get_mut(&id).expect("cancelling a known job");
-        let pending = entry.total() - entry.next_point;
-        self.queued_points -= pending;
+        // Prefilled points already carry analytical rows (and never
+        // occupied queue slots): only genuinely pending points cancel.
+        let pending: Vec<usize> = (entry.next_point..entry.total())
+            .filter(|&i| entry.prefilled.as_ref().is_none_or(|p| !p[i]))
+            .collect();
+        self.queued_points -= pending.len();
         let now = Instant::now();
-        for index in entry.next_point..entry.total() {
+        for index in pending {
             let row = RowResult {
                 job: JobId(id),
                 index,
@@ -557,8 +578,34 @@ impl ServeHandle {
     /// queue cannot take the grid. An admitted job's points enter the
     /// fair-share rotation immediately.
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, Rejection> {
+        // Adaptive multi-fidelity prep happens before admission: the
+        // whole grid runs through the calibrated analytical model
+        // (microseconds per point), and only the escalated points —
+        // knees, collapses, envelope-untrusted families — consume queue
+        // capacity and workers; the rest deposit their rows the moment
+        // the job is admitted.
+        let adaptive = (spec.adaptive && !spec.fidelity.is_analytical() && !spec.points.is_empty())
+            .then(|| {
+                let fid = Fidelity { tier: FidelityTier::Analytical, ..spec.fidelity };
+                let rows: Vec<Measurement> = spec
+                    .points
+                    .iter()
+                    .map(|(cfg, wl)| self.shared.cache.measure_cached(cfg, wl, fid))
+                    .collect();
+                let mask = analytic::escalation_mask(
+                    &spec.points,
+                    &rows,
+                    analytic::Calibration::active(),
+                    &analytic::EscalationPolicy::default(),
+                );
+                (rows, mask)
+            });
+        let queued_cost = match &adaptive {
+            Some((_, mask)) => mask.iter().filter(|&&escalate| escalate).count(),
+            None => spec.points.len(),
+        };
         let mut st = self.shared.state.lock().unwrap();
-        if st.shutdown || st.queued_points + spec.points.len() > self.queue_capacity {
+        if st.shutdown || st.queued_points + queued_cost > self.queue_capacity {
             st.stats.jobs_rejected.inc();
             return Err(Rejection { retry_after_ms: self.retry_after_ms });
         }
@@ -573,6 +620,9 @@ impl ServeHandle {
             failed: 0,
             timed_out: 0,
             cancelled_points: 0,
+            prefilled: adaptive
+                .as_ref()
+                .map(|(_, mask)| mask.iter().map(|&escalate| !escalate).collect()),
             log: Vec::new(),
             subscribers: Vec::new(),
             submitted_at: Instant::now(),
@@ -593,9 +643,22 @@ impl ServeHandle {
             st.record_span(id);
         } else {
             let prio = entry.spec.priority;
-            st.queued_points += n;
+            st.queued_points += queued_cost;
             st.jobs.insert(id, entry);
-            st.ready.entry(prio).or_default().push_back(id);
+            if let Some((rows, mask)) = adaptive {
+                batch::record_adaptive_grid(n - queued_cost, queued_cost);
+                let now = Instant::now();
+                for (index, (row, &escalate)) in rows.into_iter().zip(&mask).enumerate() {
+                    if !escalate {
+                        st.deposit_row(id, index, RowStatus::Done, Some(row), now);
+                    }
+                }
+            }
+            // A fully-analytical grid is already terminal; anything
+            // else enters the fair-share rotation.
+            if !st.jobs[&id].is_finished() {
+                st.ready.entry(prio).or_default().push_back(id);
+            }
         }
         drop(st);
         self.shared.work.notify_all();
@@ -835,7 +898,7 @@ fn run_point(c: &Claimed) -> (RowStatus, Option<Measurement>) {
     match c.timeout_ms {
         None => {
             let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                measure(&cfg, wl, fid.warmup, fid.cycles)
+                measure_point(&cfg, wl, fid)
             }));
             match r {
                 Ok(m) => (RowStatus::Done, Some(m)),
@@ -847,7 +910,7 @@ fn run_point(c: &Claimed) -> (RowStatus, Option<Measurement>) {
             let spawned =
                 std::thread::Builder::new().name("hbm-serve-timeout".into()).spawn(move || {
                     let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        measure(&cfg, wl, fid.warmup, fid.cycles)
+                        measure_point(&cfg, wl, fid)
                     }));
                     let _ = tx.send(r);
                 });
@@ -866,6 +929,22 @@ fn run_point(c: &Claimed) -> (RowStatus, Option<Measurement>) {
     }
 }
 
+/// The fidelity-tier dispatch of one point: cycle fidelities simulate,
+/// analytical fidelities evaluate the calibrated closed-form model —
+/// same dispatch [`hbm_core::cache::ResultCache::measure_cached`]
+/// performs, minus the cache (the worker loop handles insertion).
+fn measure_point(
+    cfg: &hbm_core::SystemConfig,
+    wl: hbm_traffic::Workload,
+    fid: Fidelity,
+) -> Measurement {
+    if fid.is_analytical() {
+        analytic::predict(cfg, &wl, fid, analytic::Calibration::active())
+    } else {
+        measure(cfg, wl, fid.warmup, fid.cycles)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -873,7 +952,7 @@ mod tests {
     use hbm_core::SystemConfig;
     use hbm_traffic::Workload;
 
-    const FID: Fidelity = Fidelity { warmup: 200, cycles: 600 };
+    const FID: Fidelity = Fidelity::cycle(200, 600);
     const WAIT: Duration = Duration::from_secs(120);
 
     fn tiny_points(n: usize) -> Vec<GridPoint> {
@@ -1132,13 +1211,70 @@ mod tests {
         let h = server.handle();
         let quick = h.submit(spec("quick", 2)).unwrap();
         assert_eq!(h.wait(quick, WAIT), Some(JobState::Done));
-        let other_fid = Fidelity { warmup: FID.warmup, cycles: FID.cycles + 100 };
+        let other_fid = Fidelity::cycle(FID.warmup, FID.cycles + 100);
         let slow = h.submit(JobSpec::new("slow", other_fid, tiny_points(2))).unwrap();
         assert_eq!(h.wait(slow, WAIT), Some(JobState::Done));
         let snap = h.stats();
         assert_eq!(snap.cache_hits, 0, "different fidelity cannot hit");
         assert_eq!(snap.cache_misses, 4);
         assert_eq!(h.dispatch_log().len(), 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn adaptive_job_escalates_exactly_the_masked_points() {
+        let server = Server::spawn(ServeConfig { workers: 2, ..ServeConfig::default() });
+        let h = server.handle();
+        let points = tiny_points(6);
+        let id = h.submit(JobSpec::new("adaptive", FID, points.clone()).with_adaptive()).unwrap();
+        assert_eq!(h.wait(id, WAIT), Some(JobState::Done));
+        let (rows, state) = collect(h.subscribe(id).unwrap());
+        assert_eq!(state, JobState::Done);
+        assert_eq!(rows.len(), 6);
+
+        // Recompute what the scheduler must have decided.
+        let cal = analytic::Calibration::active();
+        let analytical = Fidelity { tier: FidelityTier::Analytical, ..FID };
+        let predicted: Vec<Measurement> =
+            points.iter().map(|(cfg, wl)| analytic::predict(cfg, wl, analytical, cal)).collect();
+        let mask = analytic::escalation_mask(
+            &points,
+            &predicted,
+            cal,
+            &analytic::EscalationPolicy::default(),
+        );
+        let direct = run_grid(&points, FID.warmup, FID.cycles, 1);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.status, RowStatus::Done);
+            let got = serde_json::to_string(row.measurement.as_ref().unwrap()).unwrap();
+            let want = if mask[i] { &direct[i] } else { &predicted[i] };
+            // Escalated rows are byte-identical to a direct cycle run of
+            // the same point; the rest are the analytical predictions.
+            assert_eq!(got, serde_json::to_string(want).unwrap(), "row {i}, mask {mask:?}");
+        }
+        // Only the escalated points ever reached a worker.
+        let escalated = mask.iter().filter(|&&b| b).count();
+        assert_eq!(h.dispatch_log().len(), escalated, "mask {mask:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn analytical_fidelity_job_streams_model_rows() {
+        let server = Server::spawn(ServeConfig { workers: 2, ..ServeConfig::default() });
+        let h = server.handle();
+        let points = tiny_points(3);
+        let fid = Fidelity::ANALYTICAL;
+        let id = h.submit(JobSpec::new("analytical", fid, points.clone())).unwrap();
+        assert_eq!(h.wait(id, WAIT), Some(JobState::Done));
+        let (rows, _) = collect(h.subscribe(id).unwrap());
+        let cal = analytic::Calibration::active();
+        for (row, (cfg, wl)) in rows.iter().zip(&points) {
+            let want = analytic::predict(cfg, wl, fid, cal);
+            assert_eq!(
+                serde_json::to_string(row.measurement.as_ref().unwrap()).unwrap(),
+                serde_json::to_string(&want).unwrap()
+            );
+        }
         server.shutdown();
     }
 

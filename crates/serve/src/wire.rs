@@ -522,7 +522,7 @@ mod tests {
     use hbm_core::SystemConfig;
     use hbm_traffic::Workload;
 
-    const FID: Fidelity = Fidelity { warmup: 200, cycles: 600 };
+    const FID: Fidelity = Fidelity::cycle(200, 600);
 
     fn spec(name: &str, n: usize) -> JobSpec {
         let points = (0..n)

@@ -1,0 +1,109 @@
+//! Adaptive multi-fidelity sweeps must be trustworthy where they spend
+//! cycles: every point `run_grid_adaptive` escalates to cycle accuracy
+//! is byte-identical (as serialised JSON) to running that point through
+//! the plain cycle path at the same fidelity, and the whole adaptive
+//! sweep — mask and rows — is deterministic across repeat runs. See
+//! DESIGN.md §3.9 for the escalation contract these tests enforce.
+
+use hbm_fpga::core::analytic::{escalation_mask, Calibration, EscalationPolicy};
+use hbm_fpga::core::batch::{run_grid, run_grid_adaptive, GridPoint};
+use hbm_fpga::core::experiment::Fidelity;
+use hbm_fpga::core::measure::Measurement;
+use hbm_fpga::core::prelude::*;
+use hbm_fpga::core::FabricKind;
+
+/// Serialises a measurement the same way the wire and the disk tier do;
+/// "byte-identical" means equality of these strings.
+fn bytes(m: &Measurement) -> String {
+    serde_json::to_string(m).expect("measurement serialises")
+}
+
+/// A small grid that provokes all three escalation triggers: a knee
+/// (outstanding 1 → 32 next to each other), a collapse (single-beat
+/// single-outstanding traffic), and healthy interior points that stay
+/// analytical. Spans two fabrics so family lookup is exercised too.
+fn grid() -> Vec<GridPoint> {
+    let mut out = Vec::new();
+    for cfg in [
+        SystemConfig::xilinx(),
+        SystemConfig { fabric: FabricKind::FullCrossbar, ..SystemConfig::xilinx() },
+    ] {
+        for pattern in [Pattern::Scs, Pattern::Ccs] {
+            // A smooth saturated run (deep outstanding, long bursts —
+            // neighbouring bandwidths nearly equal, no knee) followed
+            // by a collapsed corner (single-outstanding short bursts)
+            // that knees against it AND sits below the collapse floor.
+            for (outstanding, beats) in [(4usize, 16u8), (8, 16), (16, 16), (32, 16), (1, 2)] {
+                let burst = BurstLen::of(beats);
+                let wl = Workload {
+                    pattern,
+                    burst,
+                    outstanding,
+                    num_ids: outstanding,
+                    stride: burst.bytes(),
+                    ..Workload::scs()
+                };
+                wl.validate().expect("grid point must validate");
+                out.push((cfg.clone(), wl));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn escalated_rows_are_byte_identical_to_direct_cycle_runs() {
+    let points = grid();
+    let fid = Fidelity::QUICK;
+    let (rows, report) = run_grid_adaptive(&points, fid, 2);
+    assert_eq!(rows.len(), points.len());
+    assert!(report.escalated > 0, "this grid must provoke at least one escalation");
+    assert!(report.analytical > 0, "this grid must keep at least one analytical point");
+
+    // Recompute the mask the way run_grid_adaptive does, so we know
+    // exactly which rows claim cycle accuracy.
+    let analytical = Fidelity { tier: hbm_fpga::core::experiment::FidelityTier::Analytical, ..fid };
+    let model_rows = hbm_fpga::core::batch::run_grid_fid(&points, analytical, 2);
+    let mask =
+        escalation_mask(&points, &model_rows, Calibration::active(), &EscalationPolicy::default());
+    assert_eq!(mask.iter().filter(|&&m| m).count(), report.escalated);
+
+    let cycle_rows = run_grid(&points, fid.warmup, fid.cycles, 2);
+    for (i, escalated) in mask.iter().enumerate() {
+        if *escalated {
+            assert_eq!(
+                bytes(&rows[i]),
+                bytes(&cycle_rows[i]),
+                "escalated row {i} must be byte-identical to the direct cycle run"
+            );
+        } else {
+            assert_eq!(
+                bytes(&rows[i]),
+                bytes(&model_rows[i]),
+                "non-escalated row {i} must be the analytical row"
+            );
+        }
+    }
+}
+
+#[test]
+fn adaptive_sweep_is_deterministic() {
+    let points = grid();
+    let (rows_a, report_a) = run_grid_adaptive(&points, Fidelity::QUICK, 2);
+    let (rows_b, report_b) = run_grid_adaptive(&points, Fidelity::QUICK, 4);
+    assert_eq!(report_a.escalated, report_b.escalated);
+    assert_eq!(report_a.analytical, report_b.analytical);
+    for (i, (a, b)) in rows_a.iter().zip(&rows_b).enumerate() {
+        assert_eq!(bytes(a), bytes(b), "adaptive row {i} diverged between repeat runs");
+    }
+}
+
+#[test]
+fn escalation_fraction_is_observable() {
+    let points = grid();
+    let (_, report) = run_grid_adaptive(&points, Fidelity::QUICK, 2);
+    let f = report.escalation_fraction();
+    assert!(f > 0.0 && f <= 1.0, "escalation fraction {f} out of range");
+    let total = report.analytical + report.escalated;
+    assert_eq!(total, points.len());
+}

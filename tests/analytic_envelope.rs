@@ -1,0 +1,189 @@
+//! The analytical tier's accuracy contract (DESIGN.md §3.9): on the
+//! pinned cross-validation lattice, every calibrated prediction stays
+//! inside its family's shipped error envelope (plus a drift allowance
+//! for window-length jitter between the baking machine and this one),
+//! and the model itself is a pure function — deterministic, finite, and
+//! physically bounded — over arbitrary valid workloads.
+
+use hbm_fpga::core::analytic::{self, Calibration, FabricClass};
+use hbm_fpga::core::batch::run_grid;
+use hbm_fpga::core::experiment::Fidelity;
+use hbm_fpga::core::measure::Measurement;
+use hbm_fpga::core::prelude::*;
+
+/// Per-scenario drift allowance on top of the envelope's recorded max:
+/// the envelope was baked from one QUICK-window run; a different
+/// machine's arbitration interleaving can shift individual scenarios a
+/// few points without the model being wrong.
+const SCENARIO_SLACK: f64 = 0.05;
+
+/// Per-family drift allowance on the p95, mirroring the CI smoke gate.
+const P95_SLACK: f64 = 0.03;
+
+fn bytes(m: &Measurement) -> String {
+    serde_json::to_string(m).expect("measurement serialises")
+}
+
+#[test]
+fn lattice_rows_stay_inside_calibrated_envelopes() {
+    let scenarios = analytic::scenario_lattice();
+    let points: Vec<_> = scenarios.iter().map(|s| s.point.clone()).collect();
+    let fid = Fidelity::QUICK;
+    let cycle_rows = run_grid(&points, fid.warmup, fid.cycles, 4);
+    let cal = Calibration::builtin();
+
+    let mut family_errs: std::collections::BTreeMap<(String, String), Vec<f64>> =
+        std::collections::BTreeMap::new();
+    for (scenario, cycle) in scenarios.iter().zip(&cycle_rows) {
+        let (cfg, wl) = &scenario.point;
+        let model = analytic::predict(cfg, wl, Fidelity::ANALYTICAL, &cal);
+        let rel_err =
+            (model.total_gbps() - cycle.total_gbps()).abs() / cycle.total_gbps().max(1e-9);
+        let fam = cal.family(scenario.fabric, scenario.pattern);
+        assert!(
+            rel_err <= fam.envelope.max + SCENARIO_SLACK,
+            "{}/{:?} {}: rel err {:.4} breaches envelope max {:.4} (+{:.2} slack)",
+            scenario.fabric,
+            scenario.pattern,
+            scenario.setting,
+            rel_err,
+            fam.envelope.max,
+            SCENARIO_SLACK,
+        );
+        family_errs
+            .entry((scenario.fabric.to_string(), format!("{:?}", scenario.pattern)))
+            .or_default()
+            .push(rel_err);
+    }
+
+    // Per-family p95 must stay inside the shipped p95 plus the smoke
+    // slack — same contract `repro xvalidate --smoke` gates in CI.
+    for ((fabric, pattern), mut errs) in family_errs {
+        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((errs.len() as f64 - 1.0) * 0.95).round() as usize;
+        let p95 = errs[idx.min(errs.len() - 1)];
+        let fam = cal
+            .families
+            .iter()
+            .find(|f| f.fabric.to_string() == fabric && format!("{:?}", f.pattern) == pattern)
+            .expect("family present in builtin calibration");
+        assert!(
+            p95 <= fam.envelope.p95 + P95_SLACK,
+            "{fabric}/{pattern}: p95 {p95:.4} breaches shipped {:.4} (+{P95_SLACK:.2} slack)",
+            fam.envelope.p95,
+        );
+    }
+}
+
+#[test]
+fn every_builtin_family_is_trusted_for_adaptive_sweeps() {
+    // All fourteen families must sit under the adaptive trust threshold,
+    // otherwise `--adaptive` silently degenerates into full cycle runs
+    // for whole families.
+    let cal = Calibration::builtin();
+    let policy = analytic::EscalationPolicy::default();
+    assert_eq!(cal.families.len(), 14);
+    for f in &cal.families {
+        assert!(
+            f.envelope.p95 <= policy.trust_p95,
+            "{}/{:?}: shipped p95 {:.4} exceeds the adaptive trust threshold {:.2}",
+            f.fabric,
+            f.pattern,
+            f.envelope.p95,
+            policy.trust_p95,
+        );
+    }
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn config_for(fabric_sel: usize) -> SystemConfig {
+        match fabric_sel {
+            0 => SystemConfig::xilinx(),
+            1 => SystemConfig::mao(),
+            2 => SystemConfig { fabric: FabricKind::FullCrossbar, ..SystemConfig::xilinx() },
+            _ => SystemConfig::direct(),
+        }
+    }
+
+    fn workload_for(
+        fabric_sel: usize,
+        pattern_sel: usize,
+        beats: u8,
+        outstanding: usize,
+    ) -> Workload {
+        // The direct fabric only routes single-channel locality, same
+        // restriction the lattice and the sweep grids apply.
+        let pattern = if fabric_sel == 3 {
+            if pattern_sel.is_multiple_of(2) {
+                Pattern::Scs
+            } else {
+                Pattern::Scra
+            }
+        } else {
+            match pattern_sel {
+                0 => Pattern::Scs,
+                1 => Pattern::Ccs,
+                2 => Pattern::Scra,
+                _ => Pattern::Ccra,
+            }
+        };
+        let burst = BurstLen::of(beats);
+        Workload {
+            pattern,
+            burst,
+            outstanding,
+            num_ids: outstanding.min(16),
+            stride: burst.bytes().max(512),
+            ..Workload::scs()
+        }
+    }
+
+    proptest! {
+        /// The analytical model is a pure function: byte-identical on
+        /// re-evaluation, finite, non-negative, and never above the
+        /// port-side theoretical ceiling — for every fabric × family ×
+        /// burst × depth the sweep grids can produce.
+        #[test]
+        fn predictions_are_deterministic_and_physically_bounded(
+            fabric_sel in 0usize..4,
+            pattern_sel in 0usize..4,
+            beats in proptest::sample::select(vec![1u8, 2, 4, 8, 16]),
+            outstanding in proptest::sample::select(vec![1usize, 2, 4, 8, 16, 32]),
+        ) {
+            let cfg = config_for(fabric_sel);
+            let wl = workload_for(fabric_sel, pattern_sel, beats, outstanding);
+            wl.validate().expect("generated workload must validate");
+            let cal = Calibration::builtin();
+
+            let a = analytic::predict(&cfg, &wl, Fidelity::ANALYTICAL, &cal);
+            let b = analytic::predict(&cfg, &wl, Fidelity::ANALYTICAL, &cal);
+            prop_assert_eq!(bytes(&a), bytes(&b), "predict must be deterministic");
+
+            let gbps = a.total_gbps();
+            prop_assert!(gbps.is_finite() && gbps >= 0.0, "bandwidth {gbps} not physical");
+            // 32 ports × 9.6 GB/s per direction × 2 directions, with
+            // calibration headroom: nothing the model emits may exceed
+            // what the wires can carry.
+            prop_assert!(gbps <= 32.0 * 9.6 * 2.0 * 1.25, "bandwidth {gbps} above wire ceiling");
+        }
+
+        /// Family lookup is total: every fabric × pattern the grids can
+        /// produce resolves to a calibrated family (the identity
+        /// fallback is reserved for foreign artifacts).
+        #[test]
+        fn family_lookup_is_total_over_grid_families(
+            fabric_sel in 0usize..4,
+            pattern_sel in 0usize..4,
+        ) {
+            let cfg = config_for(fabric_sel);
+            let wl = workload_for(fabric_sel, pattern_sel, 16, 32);
+            let cal = Calibration::builtin();
+            let fam = cal.family(FabricClass::of(&cfg.fabric), wl.pattern);
+            prop_assert!(fam.bw_scale > 0.0 && fam.bw_scale.is_finite());
+            prop_assert!(fam.lat_scale > 0.0 && fam.lat_scale.is_finite());
+        }
+    }
+}

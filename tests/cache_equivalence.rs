@@ -81,7 +81,7 @@ mod proptests {
         ) {
             let cfg = config_for(fabric_sel);
             let wl = workload_for(fabric_sel, pattern_sel, seed);
-            let fid = Fidelity { warmup, cycles };
+            let fid = Fidelity::cycle(warmup, cycles);
 
             let fresh = measure(&cfg, wl, warmup, cycles);
 
@@ -109,7 +109,7 @@ mod proptests {
         ) {
             let cfg = config_for(fabric_sel);
             let wl = workload_for(fabric_sel, pattern_sel, seed);
-            let fid = Fidelity { warmup: 100, cycles: 300 };
+            let fid = Fidelity::cycle(100, 300);
             // Unique per proptest case: many cases share one thread.
             let dir = tmp_dir(&format!("disk-{}", fingerprint(&cfg, &wl, fid)));
 
@@ -136,7 +136,7 @@ mod proptests {
 fn kernel_version_bump_invalidates_disk_entries() {
     let cfg = SystemConfig::xilinx();
     let wl = Workload { rotation: 2, ..Workload::scs() };
-    let fid = Fidelity { warmup: 100, cycles: 300 };
+    let fid = Fidelity::cycle(100, 300);
 
     let fp = fingerprint(&cfg, &wl, fid);
     assert_ne!(
@@ -216,7 +216,7 @@ fn truncated_segment_causes_recomputation_not_corruption() {
 fn rival_serve_jobs_never_double_simulate_a_point() {
     use hbm_fpga::serve::{Event, JobSpec, RowStatus, ServeConfig, Server};
 
-    let fid = Fidelity { warmup: 100, cycles: 400 };
+    let fid = Fidelity::cycle(100, 400);
     let grid: Vec<GridPoint> = [0usize, 1, 2, 3, 4, 6]
         .iter()
         .map(|&rotation| (SystemConfig::xilinx(), Workload { rotation, ..Workload::scs() }))

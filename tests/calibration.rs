@@ -8,7 +8,7 @@
 use hbm_fpga::core::experiment::{self, Fidelity};
 use hbm_fpga::core::prelude::*;
 
-const FID: Fidelity = Fidelity { warmup: 2_000, cycles: 6_000 };
+const FID: Fidelity = Fidelity::cycle(2_000, 6_000);
 
 fn run(cfg: &SystemConfig, wl: Workload) -> hbm_fpga::core::Measurement {
     measure(cfg, wl, FID.warmup, FID.cycles)

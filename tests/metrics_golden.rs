@@ -38,7 +38,7 @@ fn scrape_after_session() -> (String, usize) {
     let wire = WireServer::bind("127.0.0.1:0", server.handle()).expect("bind loopback");
     let mut client = Client::connect(&wire.local_addr().to_string()).expect("connect");
 
-    let fid = Fidelity { warmup: 100, cycles: 400 };
+    let fid = Fidelity::cycle(100, 400);
     let spec = JobSpec::new("metrics-golden", fid, vec![(SystemConfig::xilinx(), Workload::scs())]);
     let job = client.submit(&spec).expect("submit").expect("admitted");
     let (rows, _) = client.collect(job).expect("stream").expect("known job");

@@ -14,7 +14,7 @@ use hbm_fpga::traffic::Workload;
 
 /// Tiny but non-trivial fidelity: enough cycles that every point's
 /// measurement has real traffic in it.
-const FID: Fidelity = Fidelity { warmup: 100, cycles: 400 };
+const FID: Fidelity = Fidelity::cycle(100, 400);
 
 /// A small grid whose points differ observably (rotation and burst both
 /// move throughput on the Xilinx fabric).

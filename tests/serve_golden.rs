@@ -81,7 +81,7 @@ fn run_session() -> Vec<String> {
     let wire = WireServer::bind("127.0.0.1:0", server.handle()).expect("bind loopback");
     let mut client = Client::connect(&wire.local_addr().to_string()).expect("connect");
 
-    let fid = Fidelity { warmup: 100, cycles: 400 };
+    let fid = Fidelity::cycle(100, 400);
     let points = vec![
         (SystemConfig::xilinx(), Workload::scs()),
         (

@@ -4,7 +4,10 @@
 //! sibling crate's `serde::value::Value` data model.
 //!
 //! Supported shapes — exactly what this workspace uses:
-//! - named-field structs, including `#[serde(with = "module")]` fields
+//! - named-field structs, including `#[serde(with = "module")]` and
+//!   `#[serde(default)]` fields (a missing map key deserializes to
+//!   `Default::default()` instead of erroring — wire-compat for fields
+//!   added after data was recorded)
 //! - newtype (single-field tuple) structs, serialized transparently
 //! - enums with unit variants (as the variant-name string), newtype
 //!   variants and struct variants (as single-entry maps)
@@ -17,6 +20,7 @@ use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
 struct Field {
     name: String,
     with: Option<String>,
+    default: bool,
 }
 
 enum Shape {
@@ -37,35 +41,43 @@ enum VariantKind {
     Struct(Vec<Field>),
 }
 
-/// Extracts `with = "path"` from a `serde(...)` attribute body, if present.
-fn parse_with_attr(attr: &Group) -> Option<String> {
+/// Extracts `with = "path"` and/or the bare `default` marker from a
+/// `serde(...)` attribute body, if present.
+fn parse_serde_attr(attr: &Group) -> (Option<String>, bool) {
     let mut it = attr.stream().into_iter();
     match it.next() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
-        _ => return None,
+        _ => return (None, false),
     }
     let inner = match it.next() {
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
-        _ => return None,
+        _ => return (None, false),
     };
     let toks: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut with = None;
+    let mut default = false;
     let mut i = 0;
     while i < toks.len() {
         if let TokenTree::Ident(id) = &toks[i] {
-            if id.to_string() == "with" {
+            let id = id.to_string();
+            if id == "with" {
                 if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
                     (toks.get(i + 1), toks.get(i + 2))
                 {
                     if eq.as_char() == '=' {
                         let s = lit.to_string();
-                        return Some(s.trim_matches('"').to_string());
+                        with = Some(s.trim_matches('"').to_string());
                     }
                 }
+            } else if id == "default"
+                && !matches!(toks.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=')
+            {
+                default = true;
             }
         }
         i += 1;
     }
-    None
+    (with, default)
 }
 
 /// Counts top-level fields in a tuple-struct/variant parenthesis group.
@@ -105,11 +117,14 @@ fn parse_named_fields(g: &Group) -> Vec<Field> {
     let mut i = 0;
     while i < toks.len() {
         let mut with = None;
+        let mut default = false;
         while matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '#') {
             if let Some(TokenTree::Group(attr)) = toks.get(i + 1) {
-                if let Some(w) = parse_with_attr(attr) {
+                let (w, d) = parse_serde_attr(attr);
+                if let Some(w) = w {
                     with = Some(w);
                 }
+                default |= d;
             }
             i += 2;
         }
@@ -139,7 +154,7 @@ fn parse_named_fields(g: &Group) -> Vec<Field> {
             }
             i += 1;
         }
-        fields.push(Field { name, with });
+        fields.push(Field { name, with, default });
     }
     fields
 }
@@ -312,10 +327,22 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Emits `fieldname: <rebuild from __get("fieldname")>,` initializers.
+/// `#[serde(default)]` fields look the key up directly in `__entries`
+/// and fall back to `Default::default()` when it is absent.
 fn named_field_inits(fields: &[Field]) -> String {
     let mut s = String::new();
     for f in fields {
         let fname = &f.name;
+        if f.default {
+            s.push_str(&format!(
+                "{fname}: match __entries.iter().find(|(__ek, _)| __ek == \"{fname}\") {{\n\
+                 ::core::option::Option::Some((_, __ev)) => \
+                 ::serde::value::from_value(__ev.clone()).map_err(|__e| {CUSTOM}(__e))?,\n\
+                 ::core::option::Option::None => ::core::default::Default::default(),\n\
+                 }},\n"
+            ));
+            continue;
+        }
         match &f.with {
             None => s.push_str(&format!(
                 "{fname}: ::serde::value::from_value(__get(\"{fname}\")?)\
@@ -352,7 +379,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             );
             if fields.is_empty() {
                 s.push_str("let _ = __entries;\n");
-            } else {
+            } else if fields.iter().any(|f| !f.default) {
                 s.push_str(&getter(&name));
             }
             s.push_str(&format!(
@@ -395,7 +422,11 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                              {}\
                              ::core::result::Result::Ok({name}::{vname} {{\n{}}})\n\
                              }},\n",
-                            getter(&ctx),
+                            if fields.iter().any(|f| !f.default) {
+                                getter(&ctx)
+                            } else {
+                                String::new()
+                            },
                             named_field_inits(fields)
                         ));
                     }
