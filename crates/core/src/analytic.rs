@@ -17,9 +17,11 @@
 //! simulator is absorbed by a versioned [`Calibration`] artifact fitted
 //! per *scenario family* (fabric class × pattern) by the `repro
 //! xvalidate` harness, which also reports the per-family error envelope
-//! (mean/p95/max relative error). The calibration version is keyed into
-//! the result-cache fingerprint, so analytical rows produced under
-//! different calibrations — or cycle rows — can never be confused.
+//! (mean/p95/max relative error). The calibration version *and a
+//! content digest of the active artifact* are keyed into the
+//! result-cache fingerprint, so analytical rows produced under
+//! different calibrations — builtin vs a user-fitted `HBM_CALIBRATION`
+//! artifact at the same version — or cycle rows can never be confused.
 //!
 //! Accuracy contract: the *calibrated* bandwidth prediction stays inside
 //! the per-family envelope on the pinned scenario lattice
@@ -208,6 +210,29 @@ impl Calibration {
     /// Serialises the artifact as canonical JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("calibration serialises")
+    }
+
+    /// Stable 64-bit content digest of the artifact (FNV-1a over the
+    /// canonical JSON). The cache keys analytical fingerprints by this,
+    /// not just [`CALIBRATION_VERSION`]: a user-fitted artifact loaded
+    /// via `HBM_CALIBRATION` carries the same version as the builtin,
+    /// and rows produced under different calibration *content* must
+    /// never be served for one another.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in self.to_json().as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// [`digest`](Calibration::digest) of [`Calibration::active`],
+    /// computed once (the active calibration is pinned for the process
+    /// lifetime).
+    pub fn active_digest() -> u64 {
+        static DIGEST: OnceLock<u64> = OnceLock::new();
+        *DIGEST.get_or_init(|| Calibration::active().digest())
     }
 
     /// Parses an artifact, rejecting stale versions loudly: a
@@ -671,6 +696,16 @@ impl Default for EscalationPolicy {
 /// accuracy: knees, collapses, and envelope-untrusted families. Shared
 /// by [`crate::batch::run_grid_adaptive`] and the serve scheduler so
 /// both escalate identically.
+///
+/// The knee detector compares adjacent points, so it only fires within
+/// a contiguous stripe of one scenario family — same fabric class, same
+/// pattern. A throughput step where the grid switches fabric or pattern
+/// (the multi-fabric grids of `analytical_grid` and the experiment
+/// sweeps) is a discontinuity between unrelated curves, not a knee, and
+/// is never escalated for it. Within a stripe the comparison assumes
+/// axis order: callers interleaving unrelated axes in one stripe get
+/// conservative (extra) escalations, never missed collapses — the
+/// collapse and envelope rules are per-point and order-independent.
 pub fn escalation_mask(
     points: &[GridPoint],
     rows: &[Measurement],
@@ -680,7 +715,8 @@ pub fn escalation_mask(
     assert_eq!(points.len(), rows.len());
     let mut mask = vec![false; points.len()];
     for (i, ((cfg, wl), row)) in points.iter().zip(rows).enumerate() {
-        let fam = cal.family(FabricClass::of(&cfg.fabric), wl.pattern);
+        let family = (FabricClass::of(&cfg.fabric), wl.pattern);
+        let fam = cal.family(family.0, family.1);
         if fam.envelope.p95 > policy.trust_p95 {
             mask[i] = true;
         }
@@ -688,10 +724,12 @@ pub fn escalation_mask(
             mask[i] = true;
         }
         if i > 0 {
+            let (prev_cfg, prev_wl) = &points[i - 1];
+            let same_stripe = (FabricClass::of(&prev_cfg.fabric), prev_wl.pattern) == family;
             let a = rows[i - 1].total_gbps();
             let b = row.total_gbps();
             let base = a.abs().max(b.abs()).max(1e-9);
-            if (a - b).abs() / base > policy.knee_rel {
+            if same_stripe && (a - b).abs() / base > policy.knee_rel {
                 mask[i - 1] = true;
                 mask[i] = true;
             }
@@ -900,6 +938,19 @@ mod tests {
     }
 
     #[test]
+    fn calibration_digest_tracks_content() {
+        let builtin = Calibration::builtin();
+        assert_eq!(builtin.digest(), Calibration::builtin().digest(), "digest is deterministic");
+        assert_ne!(builtin.digest(), Calibration::identity().digest());
+        // A re-fit that only nudges one residual scale — the same
+        // version, the shape HBM_CALIBRATION artifacts have — still
+        // changes the digest, so cached analytical rows are re-keyed.
+        let mut refit = Calibration::builtin();
+        refit.families[0].bw_scale *= 1.01;
+        assert_ne!(builtin.digest(), refit.digest());
+    }
+
+    #[test]
     fn unfitted_family_is_untrusted_identity() {
         let cal = Calibration::identity();
         let fam = cal.family(FabricClass::Xilinx, Pattern::Ccs);
@@ -988,6 +1039,31 @@ mod tests {
         let id = Calibration::identity();
         let umask = escalation_mask(&collapse, &crow, &id, &EscalationPolicy::default());
         assert!(umask[0]);
+    }
+
+    #[test]
+    fn knee_detection_stops_at_family_boundaries() {
+        let cfg = SystemConfig::xilinx();
+        let cal = Calibration::builtin();
+        let policy = EscalationPolicy::default();
+        let a = predict(&cfg, &Workload::scs(), Fidelity::ANALYTICAL, &cal);
+        // A synthetic neighbour at a third of the throughput: well past
+        // the knee threshold, but still above the collapse floor.
+        let mut b = a.clone();
+        b.cycles *= 3;
+        assert!(b.pct_of_device() >= policy.collapse_pct, "{}", b.pct_of_device());
+        // Same family on both sides: the step is a knee, both escalate.
+        let same = vec![
+            (cfg.clone(), Workload::scs()),
+            (cfg.clone(), Workload { seed: 1, ..Workload::scs() }),
+        ];
+        let mask = escalation_mask(&same, &[a.clone(), b.clone()], &cal, &policy);
+        assert_eq!(mask, vec![true, true]);
+        // The identical rows across an SCS/SCRA family boundary: a
+        // discontinuity between unrelated curves, never a knee.
+        let cross = vec![(cfg.clone(), Workload::scs()), (cfg.clone(), Workload::scra())];
+        let mask = escalation_mask(&cross, &[a, b], &cal, &policy);
+        assert_eq!(mask, vec![false, false]);
     }
 
     #[test]

@@ -114,12 +114,34 @@ pub fn fingerprint_versioned(
     fid: Fidelity,
     version: u32,
 ) -> Fingerprint {
-    // Analytical rows additionally key the calibration artifact version:
-    // a re-fitted model re-keys every analytical point, and analytical
-    // rows can never be confused with cycle rows (the tier is part of
-    // the Fidelity JSON).
+    // Cycle tiers never touch the calibration — resolving the active
+    // artifact lazily keeps cycle-only runs from loading (and possibly
+    // warning about) HBM_CALIBRATION they do not use.
+    let cal_digest =
+        if fid.is_analytical() { crate::analytic::Calibration::active_digest() } else { 0 };
+    fingerprint_calibrated(cfg, wl, fid, version, cal_digest)
+}
+
+/// [`fingerprint_versioned`] pinned to an explicit calibration content
+/// digest ([`Calibration::digest`](crate::analytic::Calibration::digest);
+/// ignored for cycle tiers) — the hook the invalidation tests use to
+/// prove a re-fitted calibration re-keys every analytical point.
+pub fn fingerprint_calibrated(
+    cfg: &SystemConfig,
+    wl: &Workload,
+    fid: Fidelity,
+    version: u32,
+    cal_digest: u64,
+) -> Fingerprint {
+    // Analytical rows additionally key the calibration artifact: its
+    // version *and* a digest of its content, because a user-fitted
+    // artifact loaded via HBM_CALIBRATION necessarily carries the
+    // current version yet predicts different rows. A re-fitted or
+    // swapped calibration therefore re-keys every analytical point, and
+    // analytical rows can never be confused with cycle rows (the tier
+    // is part of the Fidelity JSON).
     let cal = if fid.is_analytical() {
-        format!("|cal{}", crate::analytic::CALIBRATION_VERSION)
+        format!("|cal{}:{cal_digest:016x}", crate::analytic::CALIBRATION_VERSION)
     } else {
         String::new()
     };

@@ -578,28 +578,43 @@ impl ServeHandle {
     /// queue cannot take the grid. An admitted job's points enter the
     /// fair-share rotation immediately.
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, Rejection> {
+        let wants_adaptive =
+            spec.adaptive && !spec.fidelity.is_analytical() && !spec.points.is_empty();
+        // Adaptive prep runs the whole grid through the analytical model
+        // synchronously on the submitting thread, so admission is
+        // checked *before* any model evaluation, against the raw grid
+        // size: a shutting-down pool or a grid the queue could not hold
+        // even if nothing escalated is rejected without paying the
+        // sweep, and an adaptive grid cannot bypass the capacity bound
+        // just because only its escalated points occupy queue slots.
+        if wants_adaptive {
+            let st = self.shared.state.lock().unwrap();
+            if st.shutdown || st.queued_points + spec.points.len() > self.queue_capacity {
+                st.stats.jobs_rejected.inc();
+                return Err(Rejection { retry_after_ms: self.retry_after_ms });
+            }
+        }
         // Adaptive multi-fidelity prep happens before admission: the
         // whole grid runs through the calibrated analytical model
         // (microseconds per point), and only the escalated points —
         // knees, collapses, envelope-untrusted families — consume queue
         // capacity and workers; the rest deposit their rows the moment
         // the job is admitted.
-        let adaptive = (spec.adaptive && !spec.fidelity.is_analytical() && !spec.points.is_empty())
-            .then(|| {
-                let fid = Fidelity { tier: FidelityTier::Analytical, ..spec.fidelity };
-                let rows: Vec<Measurement> = spec
-                    .points
-                    .iter()
-                    .map(|(cfg, wl)| self.shared.cache.measure_cached(cfg, wl, fid))
-                    .collect();
-                let mask = analytic::escalation_mask(
-                    &spec.points,
-                    &rows,
-                    analytic::Calibration::active(),
-                    &analytic::EscalationPolicy::default(),
-                );
-                (rows, mask)
-            });
+        let adaptive = wants_adaptive.then(|| {
+            let fid = Fidelity { tier: FidelityTier::Analytical, ..spec.fidelity };
+            let rows: Vec<Measurement> = spec
+                .points
+                .iter()
+                .map(|(cfg, wl)| self.shared.cache.measure_cached(cfg, wl, fid))
+                .collect();
+            let mask = analytic::escalation_mask(
+                &spec.points,
+                &rows,
+                analytic::Calibration::active(),
+                &analytic::EscalationPolicy::default(),
+            );
+            (rows, mask)
+        });
         let queued_cost = match &adaptive {
             Some((_, mask)) => mask.iter().filter(|&&escalate| escalate).count(),
             None => spec.points.len(),
@@ -1219,6 +1234,38 @@ mod tests {
         assert_eq!(snap.cache_misses, 4);
         assert_eq!(h.dispatch_log().len(), 4);
         server.shutdown();
+    }
+
+    #[test]
+    fn adaptive_submit_is_admission_checked_before_analytical_prep() {
+        let server = Server::spawn(ServeConfig {
+            workers: 1,
+            queue_capacity: 4,
+            retry_after_ms: 9,
+            paused: true,
+            ..ServeConfig::default()
+        });
+        let h = server.handle();
+        // A grid larger than the queue could ever hold is rejected up
+        // front — adaptive escalation accounting is no way around the
+        // capacity bound.
+        let rej = h.submit(spec("too-big", 5).with_adaptive()).unwrap_err();
+        assert_eq!(rej, Rejection { retry_after_ms: 9 });
+        assert_eq!(h.stats().jobs_rejected, 1);
+        // A grid that fits outright is admitted as before.
+        let id = h.submit(spec("fits", 4).with_adaptive()).unwrap();
+        h.resume();
+        assert_eq!(h.wait(id, WAIT), Some(JobState::Done));
+        server.shutdown();
+
+        // A shut-down pool rejects adaptive submissions without running
+        // the model sweep.
+        let server =
+            Server::spawn(ServeConfig { workers: 1, retry_after_ms: 9, ..ServeConfig::default() });
+        let h = server.handle();
+        server.shutdown();
+        let rej = h.submit(spec("late", 2).with_adaptive()).unwrap_err();
+        assert_eq!(rej, Rejection { retry_after_ms: 9 });
     }
 
     #[test]

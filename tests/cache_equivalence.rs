@@ -7,8 +7,11 @@
 
 use std::path::PathBuf;
 
+use hbm_fpga::core::analytic::Calibration;
 use hbm_fpga::core::batch::{run_grid_with_cache, GridPoint};
-use hbm_fpga::core::cache::{fingerprint, fingerprint_versioned, SIM_KERNEL_VERSION};
+use hbm_fpga::core::cache::{
+    fingerprint, fingerprint_calibrated, fingerprint_versioned, SIM_KERNEL_VERSION,
+};
 use hbm_fpga::core::experiment::Fidelity;
 use hbm_fpga::core::measure::{measure, Measurement};
 use hbm_fpga::core::prelude::*;
@@ -166,6 +169,47 @@ fn kernel_version_bump_invalidates_disk_entries() {
     assert_eq!(snap.hits, 0, "stale-version entry must not be served");
     assert_eq!(snap.misses, 1);
     assert_eq!(snap.stale_skipped, 1, "stale entry is counted, not loaded");
+}
+
+/// Analytical rows are keyed by the calibration artifact's *content*,
+/// not just its version: a user-fitted artifact loaded via
+/// `HBM_CALIBRATION` carries the current version, yet its rows must
+/// never be served for rows produced under the builtin calibration (or
+/// any other fit). Cycle rows ignore the calibration entirely.
+#[test]
+fn calibration_content_rekeys_analytical_rows_only() {
+    let cfg = SystemConfig::xilinx();
+    let wl = Workload::scs();
+    let builtin = Calibration::builtin().digest();
+    let mut refit = Calibration::builtin();
+    refit.families[0].bw_scale *= 1.01; // same version, different fit
+    let refit = refit.digest();
+
+    let analytical = Fidelity::ANALYTICAL;
+    assert_ne!(
+        fingerprint_calibrated(&cfg, &wl, analytical, SIM_KERNEL_VERSION, builtin),
+        fingerprint_calibrated(&cfg, &wl, analytical, SIM_KERNEL_VERSION, refit),
+        "calibration content must participate in analytical fingerprints"
+    );
+
+    let cycle = Fidelity::cycle(100, 300);
+    assert_eq!(
+        fingerprint_calibrated(&cfg, &wl, cycle, SIM_KERNEL_VERSION, builtin),
+        fingerprint_calibrated(&cfg, &wl, cycle, SIM_KERNEL_VERSION, refit),
+        "cycle rows are calibration-independent"
+    );
+
+    // The default path keys by the process-wide active calibration.
+    assert_eq!(
+        fingerprint(&cfg, &wl, analytical),
+        fingerprint_calibrated(
+            &cfg,
+            &wl,
+            analytical,
+            SIM_KERNEL_VERSION,
+            Calibration::active_digest()
+        ),
+    );
 }
 
 /// A segment truncated mid-write (the crash the write-then-rename

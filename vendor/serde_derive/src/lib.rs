@@ -328,30 +328,32 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 
 /// Emits `fieldname: <rebuild from __get("fieldname")>,` initializers.
 /// `#[serde(default)]` fields look the key up directly in `__entries`
-/// and fall back to `Default::default()` when it is absent.
+/// and fall back to `Default::default()` when it is absent; a present
+/// key decodes exactly like a mandatory field, through the
+/// `#[serde(with = "module")]` module when one is given.
 fn named_field_inits(fields: &[Field]) -> String {
     let mut s = String::new();
     for f in fields {
         let fname = &f.name;
+        let decode = |value_expr: &str| match &f.with {
+            None => {
+                format!("::serde::value::from_value({value_expr}).map_err(|__e| {CUSTOM}(__e))?")
+            }
+            Some(with) => format!(
+                "{with}::deserialize(::serde::value::ValueDeserializer({value_expr}))\
+                 .map_err(|__e| {CUSTOM}(__e))?"
+            ),
+        };
         if f.default {
             s.push_str(&format!(
                 "{fname}: match __entries.iter().find(|(__ek, _)| __ek == \"{fname}\") {{\n\
-                 ::core::option::Option::Some((_, __ev)) => \
-                 ::serde::value::from_value(__ev.clone()).map_err(|__e| {CUSTOM}(__e))?,\n\
+                 ::core::option::Option::Some((_, __ev)) => {},\n\
                  ::core::option::Option::None => ::core::default::Default::default(),\n\
-                 }},\n"
+                 }},\n",
+                decode("__ev.clone()")
             ));
-            continue;
-        }
-        match &f.with {
-            None => s.push_str(&format!(
-                "{fname}: ::serde::value::from_value(__get(\"{fname}\")?)\
-                 .map_err(|__e| {CUSTOM}(__e))?,\n"
-            )),
-            Some(with) => s.push_str(&format!(
-                "{fname}: {with}::deserialize(::serde::value::ValueDeserializer(__get(\"{fname}\")?))\
-                 .map_err(|__e| {CUSTOM}(__e))?,\n"
-            )),
+        } else {
+            s.push_str(&format!("{fname}: {},\n", decode(&format!("__get(\"{fname}\")?"))));
         }
     }
     s
