@@ -233,6 +233,20 @@ impl<T> StampedRing<T> {
         }
     }
 
+    /// Delivery deadline of the `idx`-th queued item (oldest = 0), ready
+    /// or not. Because deadlines are monotone this is exactly the first
+    /// cycle at which the item enters the ready window — the hint an
+    /// incremental scheduler folds into its next-event horizon when every
+    /// already-examined entry is ineligible.
+    #[inline]
+    pub fn deadline_at(&self, idx: usize) -> Option<Cycle> {
+        if idx < self.len {
+            Some(self.deadlines[self.phys(idx)])
+        } else {
+            None
+        }
+    }
+
     /// Removes and returns the `idx`-th queued item (oldest = 0) if it
     /// is ready at `now`, preserving the order of the rest. The `idx`
     /// leading entries shift one slot toward the tail — `idx` is bounded
@@ -409,6 +423,13 @@ impl<T> DelayQueue<T> {
     #[inline]
     pub fn peek_at(&self, now: Cycle, idx: usize) -> Option<&T> {
         self.ring.peek_at(now, idx)
+    }
+
+    /// Delivery time of the `idx`-th queued item (oldest = 0), ready or
+    /// not — the first cycle at which it enters the ready window.
+    #[inline]
+    pub fn deadline_at(&self, idx: usize) -> Option<Cycle> {
+        self.ring.deadline_at(idx)
     }
 
     /// Removes and returns the `idx`-th queued item (oldest = 0) if it is

@@ -82,15 +82,17 @@ fn bench_sparse_scenarios(c: &mut Criterion) {
 }
 
 fn bench_components(c: &mut Criterion) {
-    use hbm_mem::{HbmConfig, PchDram};
+    use hbm_mem::{BankPool, HbmConfig, PchDram};
     let mut g = c.benchmark_group("component_speed");
     g.bench_function("pch_execute_burst", |b| {
         let cfg = HbmConfig::default();
         let mut p = PchDram::new(&cfg, 0.0);
+        let mut pool = BankPool::new(1, cfg.banks_per_pch);
+        let mut banks = pool.unit_mut(0);
         let mut now = 0.0;
         let mut off = 0u64;
         b.iter(|| {
-            let bt = p.execute_burst(now, Dir::Read, off % (1 << 20), 512);
+            let bt = p.execute_burst(&mut banks, now, Dir::Read, off % (1 << 20), 512);
             now = bt.finish_ns - 40.0;
             off += 512;
             black_box(bt.finish_ns)

@@ -51,7 +51,7 @@ use hbm_fabric::{
     DirectFabric, FullCrossbarFabric, Interconnect, ShardLayout, SwitchShard, XilinxFabric,
 };
 use hbm_mao::MaoFabric;
-use hbm_mem::MemoryController;
+use hbm_mem::{BankPool, BanksViewMut, MemoryController};
 use hbm_traffic::{BmTrafficGen, GenStats, Workload};
 
 use crate::measure::Measurement;
@@ -90,6 +90,10 @@ struct Lanes<F: Interconnect> {
     gens: Vec<BmTrafficGen>,
     /// `k × n` memory controllers, lane-major.
     mcs: Vec<MemoryController>,
+    /// `k × n` bank-state units, lane-major, matching `mcs` order: one
+    /// structure-of-arrays pool for the whole batch (dense row state for
+    /// every lane's every channel in five flat arrays).
+    banks: BankPool,
     /// `k × n` stuck-completion slots as capacity-1 lane rings: the hot
     /// "any port stuck?" checks scan one contiguous deadline array
     /// instead of `k × n` `Option<Completion>` structs.
@@ -115,6 +119,8 @@ struct LaneView<'a, F: Interconnect> {
     gens: &'a mut [BmTrafficGen],
     fabric: &'a mut F,
     mcs: &'a mut [MemoryController],
+    /// This lane's bank-state units (unit `p` belongs to `mcs[p]`).
+    banks: BanksViewMut<'a>,
     stuck: LaneRingsView<'a, Completion>,
     now: &'a mut Cycle,
     /// Fully specialised workload-family kernel applies to this lane.
@@ -157,6 +163,7 @@ impl<F: Interconnect> Lanes<F> {
             k,
             gens,
             mcs,
+            banks: BankPool::new(k * n, cfg.hbm.banks_per_pch),
             stuck: LaneRings::new(k * n, 1),
             fabrics: (0..k).map(|_| build()).collect(),
             now: vec![0; k],
@@ -172,14 +179,16 @@ impl<F: Interconnect> Lanes<F> {
             .iter_mut()
             .zip(self.gens.chunks_mut(n))
             .zip(self.mcs.chunks_mut(n))
+            .zip(self.banks.views_mut(n))
             .zip(self.stuck.views_mut(n))
             .zip(self.now.iter_mut())
             .zip(self.family.iter().copied())
             .zip(self.affine.iter().copied())
-            .map(|((((((fabric, gens), mcs), stuck), now), family), affine)| LaneView {
+            .map(|(((((((fabric, gens), mcs), banks), stuck), now), family), affine)| LaneView {
                 gens,
                 fabric,
                 mcs,
+                banks,
                 stuck,
                 now,
                 family,
@@ -329,7 +338,7 @@ impl<F: Interconnect> LaneView<'_, F> {
             if prof {
                 profile::lap(profile::Phase::QueueOps);
             }
-            mc.tick(now);
+            mc.tick(now, &mut self.banks.unit_mut(p));
             if prof {
                 profile::lap(profile::Phase::McTick);
             }
@@ -496,14 +505,15 @@ impl<F: Interconnect> LaneView<'_, F> {
             let from = *self.now;
             let sharded =
                 self.fabric.as_sharded_mut().expect("shard_layout() promised a sharded view");
-            for (((shard, gens), mcs), mut stuck) in sharded
+            for ((((shard, gens), mcs), banks), mut stuck) in sharded
                 .shards_mut()
                 .iter_mut()
                 .zip(self.gens.chunks_mut(layout.masters_per_shard))
                 .zip(self.mcs.chunks_mut(layout.ports_per_shard))
+                .zip(self.banks.reborrow().chunks_mut(layout.ports_per_shard))
                 .zip(self.stuck.chunks_mut(layout.ports_per_shard))
             {
-                advance_domain::<FAM>(shard, gens, mcs, &mut stuck, from, barrier, prof);
+                advance_domain::<FAM>(shard, gens, mcs, banks, &mut stuck, from..barrier, prof);
             }
             if sharded.pending_reconcile() {
                 sharded.reconcile();
@@ -564,17 +574,18 @@ impl<F: Interconnect> LaneView<'_, F> {
     }
 }
 
-/// One execution domain of a sharded lane, advanced over `[from, to)`
-/// with its own event horizon — the inline mirror of the conductor's
-/// `Domain::advance`, minus the tracer (the batched path carries none)
-/// and the drain bookkeeping (batch drains use the sequential kernel).
+/// One execution domain of a sharded lane, advanced over the half-open
+/// cycle `span` with its own event horizon — the inline mirror of the
+/// conductor's `Domain::advance`, minus the tracer (the batched path
+/// carries none) and the drain bookkeeping (batch drains use the
+/// sequential kernel).
 fn advance_domain<const FAM: bool>(
     shard: &mut SwitchShard,
     gens: &mut [BmTrafficGen],
     mcs: &mut [MemoryController],
+    mut banks: BanksViewMut<'_>,
     stuck: &mut LaneRingsView<'_, Completion>,
-    from: Cycle,
-    to: Cycle,
+    span: std::ops::Range<Cycle>,
     prof: bool,
 ) {
     let domain_drained = |gens: &[BmTrafficGen],
@@ -624,8 +635,8 @@ fn advance_domain<const FAM: bool>(
         best
     };
 
-    let mut now = from;
-    while now < to {
+    let mut now = span.start;
+    while now < span.end {
         if domain_drained(gens, shard, mcs, stuck) {
             return;
         }
@@ -661,7 +672,7 @@ fn advance_domain<const FAM: bool>(
                     if prof {
                         profile::lap(profile::Phase::QueueOps);
                     }
-                    mc.tick(now);
+                    mc.tick(now, &mut banks.unit_mut(lp));
                     if prof {
                         profile::lap(profile::Phase::McTick);
                     }
@@ -690,7 +701,7 @@ fn advance_domain<const FAM: bool>(
                 }
                 now += 1;
             }
-            Some(t) => now = t.min(to),
+            Some(t) => now = t.min(span.end),
             None => return,
         }
     }

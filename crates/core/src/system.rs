@@ -6,7 +6,7 @@ use hbm_fabric::{
     SwitchShard, XilinxFabric,
 };
 use hbm_mao::{MaoConfig, MaoFabric};
-use hbm_mem::{HbmConfig, MemStats, MemoryController};
+use hbm_mem::{BankPool, BanksViewMut, HbmConfig, MemStats, MemoryController};
 use hbm_traffic::{BmTrafficGen, GenStats, Workload};
 use serde::{Deserialize, Serialize};
 
@@ -333,6 +333,11 @@ pub struct HbmSystem {
     gens: Vec<Box<dyn TrafficSource>>,
     fabric: Box<dyn Interconnect>,
     mcs: Vec<MemoryController>,
+    /// Bank row state for every pseudo-channel, structure-of-arrays (unit
+    /// `p` belongs to controller `p`). Owned here rather than inside the
+    /// controllers so the parallel conductor can lend each shard its
+    /// contiguous slice of units.
+    banks: BankPool,
     /// Completions produced by a controller that could not yet enter the
     /// return network (per port).
     stuck: Vec<Option<Completion>>,
@@ -400,6 +405,7 @@ impl HbmSystem {
             gens: sources,
             fabric,
             mcs,
+            banks: BankPool::new(n, cfg.hbm.banks_per_pch),
             now: 0,
             cfg: cfg.clone(),
             tracer: None,
@@ -552,7 +558,7 @@ impl HbmSystem {
             if prof {
                 profile::lap(profile::Phase::QueueOps);
             }
-            mc.tick(now);
+            mc.tick(now, &mut self.banks.unit_mut(p));
             if prof {
                 profile::lap(profile::Phase::McTick);
             }
@@ -857,12 +863,14 @@ impl HbmSystem {
             .iter_mut()
             .zip(self.gens.chunks_mut(layout.masters_per_shard))
             .zip(self.mcs.chunks_mut(layout.ports_per_shard))
+            .zip(self.banks.view_mut().chunks_mut(layout.ports_per_shard))
             .zip(self.stuck.chunks_mut(layout.ports_per_shard))
             .zip(last_step.iter_mut())
-            .map(|((((shard, gens), mcs), stuck), last)| Domain {
+            .map(|(((((shard, gens), mcs), banks), stuck), last)| Domain {
                 shard,
                 gens,
                 mcs,
+                banks,
                 stuck,
                 tracer,
                 last,
@@ -957,6 +965,9 @@ struct Domain<'a> {
     shard: &'a mut SwitchShard,
     gens: &'a mut [Box<dyn TrafficSource>],
     mcs: &'a mut [MemoryController],
+    /// The bank-pool units of this domain's ports (unit `lp` belongs to
+    /// `mcs[lp]`). Mutable slices only, so the domain stays `Send`.
+    banks: BanksViewMut<'a>,
     stuck: &'a mut [Option<Completion>],
     tracer: Option<&'a SharedTracer>,
     /// The cycle of this domain's most recent executed step across the
@@ -1026,7 +1037,7 @@ impl Domain<'_> {
                     mc.accept(now, txn);
                 }
             }
-            mc.tick(now);
+            mc.tick(now, &mut self.banks.unit_mut(lp));
             if let Some(c) = self.stuck[lp].take() {
                 if let Err(c) = self.shard.offer_completion(now, lp, c) {
                     self.stuck[lp] = Some(c);

@@ -9,7 +9,7 @@
 
 use hbm_axi::Addr;
 
-use crate::config::{AddressMapPolicy, HbmConfig};
+use crate::config::{AddressMapPolicy, PchGeometry};
 
 /// Decoded PCH-local address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -24,33 +24,61 @@ pub struct PchAddress {
 
 impl PchAddress {
     /// Decodes a PCH-local byte offset.
-    pub fn decode(cfg: &HbmConfig, offset: Addr) -> PchAddress {
-        debug_assert!(offset < cfg.pch_capacity, "offset beyond PCH capacity");
-        let col = (offset % cfg.row_bytes) as u32;
-        let row_linear = offset / cfg.row_bytes;
-        match cfg.addr_map {
+    pub fn decode(geom: &PchGeometry, offset: Addr) -> PchAddress {
+        debug_assert!(offset < geom.pch_capacity, "offset beyond PCH capacity");
+        let col = (offset % geom.row_bytes) as u32;
+        let row_linear = offset / geom.row_bytes;
+        match geom.addr_map {
             AddressMapPolicy::RowInterleaved => PchAddress {
-                bank: (row_linear % cfg.banks_per_pch as u64) as u32,
-                row: row_linear / cfg.banks_per_pch as u64,
+                bank: (row_linear % geom.banks_per_pch as u64) as u32,
+                row: row_linear / geom.banks_per_pch as u64,
                 col,
             },
             AddressMapPolicy::BankContiguous => PchAddress {
-                bank: (row_linear / cfg.rows_per_bank()) as u32,
-                row: row_linear % cfg.rows_per_bank(),
+                bank: (row_linear / geom.rows_per_bank()) as u32,
+                row: row_linear % geom.rows_per_bank(),
                 col,
             },
         }
     }
 
     /// Re-encodes to the PCH-local byte offset (inverse of `decode`).
-    pub fn encode(&self, cfg: &HbmConfig) -> Addr {
-        let row_linear = match cfg.addr_map {
+    pub fn encode(&self, geom: &PchGeometry) -> Addr {
+        let row_linear = match geom.addr_map {
             AddressMapPolicy::RowInterleaved => {
-                self.row * cfg.banks_per_pch as u64 + self.bank as u64
+                self.row * geom.banks_per_pch as u64 + self.bank as u64
             }
-            AddressMapPolicy::BankContiguous => self.bank as u64 * cfg.rows_per_bank() + self.row,
+            AddressMapPolicy::BankContiguous => self.bank as u64 * geom.rows_per_bank() + self.row,
         };
-        row_linear * cfg.row_bytes + self.col as u64
+        row_linear * geom.row_bytes + self.col as u64
+    }
+}
+
+/// Iterator over the per-row segments of a PCH-local byte range — see
+/// [`row_segments`]. Decodes lazily, one segment per `next`, so the
+/// common single-segment burst costs one inline decode and no heap
+/// allocation (the controller executes one of these per issued burst and
+/// the old `Vec` return was the last per-cycle allocation in the kernel).
+#[derive(Debug, Clone)]
+pub struct RowSegments {
+    geom: PchGeometry,
+    cur: Addr,
+    left: u64,
+}
+
+impl Iterator for RowSegments {
+    type Item = (PchAddress, u64);
+
+    fn next(&mut self) -> Option<(PchAddress, u64)> {
+        if self.left == 0 {
+            return None;
+        }
+        let a = PchAddress::decode(&self.geom, self.cur);
+        let room = self.geom.row_bytes - a.col as u64;
+        let seg = self.left.min(room);
+        self.cur += seg;
+        self.left -= seg;
+        Some((a, seg))
     }
 }
 
@@ -58,78 +86,74 @@ impl PchAddress {
 /// segments `(PchAddress, segment_bytes)`. A DRAM access cannot stream
 /// across a row boundary without a new activate, so the controller issues
 /// one job per segment.
-pub fn split_by_row(cfg: &HbmConfig, offset: Addr, bytes: u64) -> Vec<(PchAddress, u64)> {
-    let mut out = Vec::with_capacity(2);
-    let mut cur = offset;
-    let mut left = bytes;
-    while left > 0 {
-        let a = PchAddress::decode(cfg, cur);
-        let room = cfg.row_bytes - a.col as u64;
-        let seg = left.min(room);
-        out.push((a, seg));
-        cur += seg;
-        left -= seg;
-    }
-    out
+pub fn row_segments(geom: &PchGeometry, offset: Addr, bytes: u64) -> RowSegments {
+    RowSegments { geom: *geom, cur: offset, left: bytes }
+}
+
+/// [`row_segments`] collected into a `Vec` — for tests and offline
+/// analysis; the cycle kernel iterates lazily instead.
+pub fn split_by_row(geom: &PchGeometry, offset: Addr, bytes: u64) -> Vec<(PchAddress, u64)> {
+    row_segments(geom, offset, bytes).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::HbmConfig;
 
-    fn cfg() -> HbmConfig {
-        HbmConfig::default()
+    fn geom() -> PchGeometry {
+        HbmConfig::default().geom()
     }
 
     #[test]
     fn decode_first_row() {
-        let c = cfg();
-        let a = PchAddress::decode(&c, 0);
+        let g = geom();
+        let a = PchAddress::decode(&g, 0);
         assert_eq!((a.bank, a.row, a.col), (0, 0, 0));
-        let a = PchAddress::decode(&c, 100);
+        let a = PchAddress::decode(&g, 100);
         assert_eq!((a.bank, a.row, a.col), (0, 0, 100));
     }
 
     #[test]
     fn consecutive_rows_interleave_banks() {
-        let c = cfg();
-        let a = PchAddress::decode(&c, c.row_bytes);
+        let g = geom();
+        let a = PchAddress::decode(&g, g.row_bytes);
         assert_eq!((a.bank, a.row), (1, 0));
-        let a = PchAddress::decode(&c, c.row_bytes * c.banks_per_pch as u64);
+        let a = PchAddress::decode(&g, g.row_bytes * g.banks_per_pch as u64);
         assert_eq!((a.bank, a.row), (0, 1));
     }
 
     #[test]
     fn encode_is_inverse() {
-        let c = cfg();
-        for off in [0u64, 1, 1023, 1024, 123_456, c.pch_capacity - 1] {
-            let a = PchAddress::decode(&c, off);
-            assert_eq!(a.encode(&c), off, "offset {off}");
+        let g = geom();
+        for off in [0u64, 1, 1023, 1024, 123_456, g.pch_capacity - 1] {
+            let a = PchAddress::decode(&g, off);
+            assert_eq!(a.encode(&g), off, "offset {off}");
         }
     }
 
     #[test]
     fn bank_contiguous_policy_maps_slices() {
-        let mut c = cfg();
-        c.addr_map = AddressMapPolicy::BankContiguous;
+        let mut g = geom();
+        g.addr_map = AddressMapPolicy::BankContiguous;
         // First 16 MiB (capacity / 16 banks) stays in bank 0.
-        let slice = c.pch_capacity / c.banks_per_pch as u64;
-        let a = PchAddress::decode(&c, 0);
+        let slice = g.pch_capacity / g.banks_per_pch as u64;
+        let a = PchAddress::decode(&g, 0);
         assert_eq!(a.bank, 0);
-        let a = PchAddress::decode(&c, slice - 1);
+        let a = PchAddress::decode(&g, slice - 1);
         assert_eq!(a.bank, 0);
-        let a = PchAddress::decode(&c, slice);
+        let a = PchAddress::decode(&g, slice);
         assert_eq!((a.bank, a.row), (1, 0));
         // Round trips under the alternate policy too.
         for off in [0u64, slice - 1, slice, 3 * slice + 12345] {
-            assert_eq!(PchAddress::decode(&c, off).encode(&c), off);
+            assert_eq!(PchAddress::decode(&g, off).encode(&g), off);
         }
     }
 
     #[test]
     fn split_within_one_row() {
-        let c = cfg();
-        let parts = split_by_row(&c, 64, 512);
+        let g = geom();
+        let parts = split_by_row(&g, 64, 512);
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0].1, 512);
         assert_eq!(parts[0].0.col, 64);
@@ -137,10 +161,10 @@ mod tests {
 
     #[test]
     fn split_across_row_boundary() {
-        let c = cfg();
+        let g = geom();
         // 512 B starting 128 B below the end of row 0.
-        let start = c.row_bytes - 128;
-        let parts = split_by_row(&c, start, 512);
+        let start = g.row_bytes - 128;
+        let parts = split_by_row(&g, start, 512);
         assert_eq!(parts.len(), 2);
         assert_eq!(parts[0].1, 128);
         assert_eq!(parts[1].1, 384);
@@ -150,27 +174,36 @@ mod tests {
 
     #[test]
     fn split_exact_row_end_no_empty_segment() {
-        let c = cfg();
-        let parts = split_by_row(&c, c.row_bytes - 512, 512);
+        let g = geom();
+        let parts = split_by_row(&g, g.row_bytes - 512, 512);
         assert_eq!(parts.len(), 1);
+    }
+
+    #[test]
+    fn lazy_segments_match_collected() {
+        let g = geom();
+        let lazy: Vec<_> = row_segments(&g, g.row_bytes - 100, 2500).collect();
+        assert_eq!(lazy, split_by_row(&g, g.row_bytes - 100, 2500));
+        assert!(lazy.len() > 2);
     }
 }
 
 #[cfg(test)]
 mod proptests {
     use super::*;
+    use crate::config::HbmConfig;
     use proptest::prelude::*;
 
     proptest! {
         /// decode/encode round-trips for arbitrary in-range offsets.
         #[test]
         fn decode_encode_roundtrip(off in 0u64..(256u64 << 20)) {
-            let c = HbmConfig::default();
-            let a = PchAddress::decode(&c, off);
-            prop_assert_eq!(a.encode(&c), off);
-            prop_assert!((a.bank as usize) < c.banks_per_pch);
-            prop_assert!((a.col as u64) < c.row_bytes);
-            prop_assert!(a.row < c.rows_per_bank());
+            let g = HbmConfig::default().geom();
+            let a = PchAddress::decode(&g, off);
+            prop_assert_eq!(a.encode(&g), off);
+            prop_assert!((a.bank as usize) < g.banks_per_pch);
+            prop_assert!((a.col as u64) < g.row_bytes);
+            prop_assert!(a.row < g.rows_per_bank());
         }
 
         /// Row segments tile the range exactly and never cross a row.
@@ -179,13 +212,13 @@ mod proptests {
             off in 0u64..(1u64 << 20),
             bytes in 1u64..8192,
         ) {
-            let c = HbmConfig::default();
-            let parts = split_by_row(&c, off, bytes);
+            let g = HbmConfig::default().geom();
+            let parts = split_by_row(&g, off, bytes);
             let mut cursor = off;
             for (a, seg) in &parts {
-                prop_assert_eq!(PchAddress::decode(&c, cursor), *a);
+                prop_assert_eq!(PchAddress::decode(&g, cursor), *a);
                 // Segment stays inside its row.
-                prop_assert!(a.col as u64 + seg <= c.row_bytes);
+                prop_assert!(a.col as u64 + seg <= g.row_bytes);
                 cursor += seg;
             }
             prop_assert_eq!(cursor, off + bytes);

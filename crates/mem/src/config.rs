@@ -192,6 +192,30 @@ impl Default for McConfig {
     }
 }
 
+/// The geometry one pseudo-channel's address decode needs: a small
+/// `Copy` subset of [`HbmConfig`] kept inline in every [`crate::PchDram`]
+/// so the hot path never chases a full config clone (32 PCHs × K
+/// lockstep lanes would otherwise each carry ~200 bytes of fabric-level
+/// fields they never read).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PchGeometry {
+    /// Capacity per pseudo-channel in bytes.
+    pub pch_capacity: u64,
+    /// Row (DRAM page) size in bytes.
+    pub row_bytes: u64,
+    /// Banks per pseudo-channel.
+    pub banks_per_pch: usize,
+    /// Bank/row/column address-mapping policy.
+    pub addr_map: AddressMapPolicy,
+}
+
+impl PchGeometry {
+    /// Rows per bank implied by the geometry.
+    pub fn rows_per_bank(&self) -> u64 {
+        self.pch_capacity / (self.row_bytes * self.banks_per_pch as u64)
+    }
+}
+
 /// Full HBM subsystem geometry + timing.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HbmConfig {
@@ -254,6 +278,16 @@ impl HbmConfig {
     /// Rows per bank implied by geometry.
     pub fn rows_per_bank(&self) -> u64 {
         self.pch_capacity / (self.row_bytes * self.banks_per_pch as u64)
+    }
+
+    /// The per-PCH address-decode geometry as a small `Copy` value.
+    pub fn geom(&self) -> PchGeometry {
+        PchGeometry {
+            pch_capacity: self.pch_capacity,
+            row_bytes: self.row_bytes,
+            banks_per_pch: self.banks_per_pch,
+            addr_map: self.addr_map,
+        }
     }
 
     /// The refresh-phase offset (in nanoseconds) of pseudo-channel

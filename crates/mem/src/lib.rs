@@ -35,16 +35,20 @@
 //! ## Example
 //!
 //! ```
-//! use hbm_mem::{HbmConfig, PchDram};
+//! use hbm_mem::{BankPool, HbmConfig, PchDram};
 //! use hbm_axi::Dir;
 //!
 //! let cfg = HbmConfig::default(); // the XCVU37P's two HBM2 stacks
 //! assert_eq!(cfg.num_pch, 32);
 //! assert!((cfg.theoretical_bw_gbps() - 460.8).abs() < 0.1);
 //!
+//! // Bank row state lives in a pool owned by the system (one unit per
+//! // PCH, structure-of-arrays); the channel borrows its unit per call.
+//! let mut banks = BankPool::new(1, cfg.banks_per_pch);
+//!
 //! // First access to a closed page pays tRCD + tCL before data:
 //! let mut pch = PchDram::new(&cfg, 0.0);
-//! let t = pch.execute_burst(0.0, Dir::Read, 0, 512);
+//! let t = pch.execute_burst(&mut banks.unit_mut(0), 0.0, Dir::Read, 0, 512);
 //! assert!((t.first_data_ns - cfg.timings.closed_page_ns()).abs() < 1e-9);
 //! ```
 
@@ -55,8 +59,9 @@ pub mod controller;
 pub mod pch;
 pub mod stats;
 
-pub use address::PchAddress;
-pub use config::{AddressMapPolicy, HbmConfig, McConfig, PagePolicy, Timings};
+pub use address::{row_segments, PchAddress, RowSegments};
+pub use bank::{BankPool, BanksMut, BanksViewMut, PageOutcome};
+pub use config::{AddressMapPolicy, HbmConfig, McConfig, PagePolicy, PchGeometry, Timings};
 pub use controller::MemoryController;
 pub use pch::PchDram;
 pub use stats::MemStats;

@@ -9,13 +9,23 @@
 //! 3. each segment waits for its bank (hit/closed/miss timing) and for
 //!    the bus (previous occupancy + turnaround if the direction changed),
 //! 4. the bus is then occupied for `bytes / 32 × t_beat`.
+//!
+//! Bank state lives *outside* the `PchDram` in a [`BankPool`]
+//! (structure-of-arrays, see `bank.rs`) owned by whoever assembles the
+//! system; every call that touches rows borrows the channel's unit as a
+//! [`BanksMut`]. The `PchDram` itself carries only the small `Copy`
+//! pieces of configuration the hot path reads ([`PchGeometry`],
+//! [`Timings`], [`PagePolicy`]) — not a full [`HbmConfig`] clone.
 
 use hbm_axi::{ClockDomain, Cycle, Dir};
 
-use crate::address::split_by_row;
-use crate::bank::{Bank, PageOutcome};
-use crate::config::{HbmConfig, PagePolicy};
+use crate::address::{row_segments, PchAddress};
+use crate::bank::{BanksMut, PageOutcome};
+use crate::config::{HbmConfig, PagePolicy, PchGeometry, Timings};
 use crate::stats::MemStats;
+
+#[cfg(doc)]
+use crate::bank::BankPool;
 
 /// Timing result of one executed burst.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,11 +36,13 @@ pub struct BurstTiming {
     pub finish_ns: f64,
 }
 
-/// One pseudo-channel of HBM DRAM.
+/// One pseudo-channel of HBM DRAM (bus, turnaround, refresh bookkeeping;
+/// bank row state is borrowed per call from the owner's [`BankPool`]).
 #[derive(Debug, Clone)]
 pub struct PchDram {
-    cfg: HbmConfig,
-    banks: Vec<Bank>,
+    geom: PchGeometry,
+    timings: Timings,
+    page_policy: PagePolicy,
     bus_free_at: f64,
     last_dir: Option<Dir>,
     next_refresh_at: f64,
@@ -47,12 +59,13 @@ impl PchDram {
     /// fraction of tREFI.
     pub fn new(cfg: &HbmConfig, refresh_phase: f64) -> PchDram {
         PchDram {
-            banks: vec![Bank::new(); cfg.banks_per_pch],
+            geom: cfg.geom(),
+            timings: cfg.timings,
+            page_policy: cfg.mc.page_policy,
             bus_free_at: 0.0,
             last_dir: None,
             next_refresh_at: refresh_phase + cfg.timings.t_refi,
             recent_activates: [f64::NEG_INFINITY; 4],
-            cfg: cfg.clone(),
             stats: MemStats::default(),
         }
     }
@@ -65,6 +78,11 @@ impl PchDram {
     /// Clears statistics (e.g. after a warm-up phase).
     pub fn reset_stats(&mut self) {
         self.stats = MemStats::default();
+    }
+
+    /// The channel's DRAM timing set.
+    pub fn timings(&self) -> &Timings {
+        &self.timings
     }
 
     /// Earliest time the data bus is free.
@@ -89,20 +107,29 @@ impl PchDram {
     }
 
     /// Whether an access to the given PCH offset would hit an open row
-    /// (for FR-FCFS candidate ranking). Only the first row segment is
-    /// considered — bursts rarely span rows.
-    pub fn would_hit(&self, offset: u64) -> bool {
-        let segs = split_by_row(&self.cfg, offset, 1);
-        let a = segs[0].0;
-        self.banks[a.bank as usize].classify(a.row) == PageOutcome::Hit
+    /// (for FR-FCFS candidate ranking). Only the first row segment
+    /// matters — bursts rarely span rows — so this is a single inline
+    /// decode plus one load from the dense `open_row` array, with no
+    /// segment vector materialised.
+    #[inline]
+    pub fn would_hit(&self, banks: &BanksMut, offset: u64) -> bool {
+        let a = PchAddress::decode(&self.geom, offset);
+        banks.classify(a.bank as usize, a.row) == PageOutcome::Hit
     }
 
     /// Executes one burst of `bytes` at PCH-local `offset`, starting no
     /// earlier than `now_ns`. Returns the burst's data timing.
-    pub fn execute_burst(&mut self, now_ns: f64, dir: Dir, offset: u64, bytes: u64) -> BurstTiming {
+    pub fn execute_burst(
+        &mut self,
+        banks: &mut BanksMut,
+        now_ns: f64,
+        dir: Dir,
+        offset: u64,
+        bytes: u64,
+    ) -> BurstTiming {
         debug_assert!(bytes > 0 && bytes.is_multiple_of(32), "bursts are whole beats");
-        debug_assert!(offset + bytes <= self.cfg.pch_capacity, "burst beyond PCH");
-        let t = self.cfg.timings;
+        debug_assert!(offset + bytes <= self.geom.pch_capacity, "burst beyond PCH");
+        let t = self.timings;
 
         // Outstanding refreshes first: each blocks the bus for tRFC and
         // closes every row.
@@ -111,9 +138,7 @@ impl PchDram {
             let ref_start = self.next_refresh_at.max(self.bus_free_at);
             self.bus_free_at = ref_start + t.t_rfc;
             self.next_refresh_at += t.t_refi;
-            for b in &mut self.banks {
-                b.close();
-            }
+            banks.close_all();
             self.stats.refreshes += 1;
             start = now_ns.max(self.bus_free_at);
         }
@@ -130,15 +155,15 @@ impl PchDram {
         let mut bus_at = self.bus_free_at.max(now_ns) + turnaround;
 
         let mut first_data = f64::INFINITY;
-        for (a, seg) in split_by_row(&self.cfg, offset, bytes) {
+        for (a, seg) in row_segments(&self.geom, offset, bytes) {
             // Channel-level activate constraints: tRRD after the most
             // recent activate, tFAW after the fourth-most-recent.
             let activate_floor =
                 (self.recent_activates[3] + t.t_rrd).max(self.recent_activates[0] + t.t_faw);
-            let bank = &mut self.banks[a.bank as usize];
             // Activates are issued as soon as the request arrives and
             // overlap earlier segments' data transfer (bank parallelism).
-            let (outcome, data_ready, activate) = bank.access(&t, now_ns, activate_floor, a.row);
+            let (outcome, data_ready, activate) =
+                banks.access(&t, a.bank as usize, now_ns, activate_floor, a.row);
             match outcome {
                 PageOutcome::Hit => self.stats.page_hits += 1,
                 PageOutcome::Closed => self.stats.page_closed += 1,
@@ -153,9 +178,9 @@ impl PchDram {
             let data_end = data_start + beats as f64 * t.t_beat;
             self.stats.busy_ns += beats as f64 * t.t_beat;
             self.stats.stall_ns += data_start - bus_at;
-            match self.cfg.mc.page_policy {
-                PagePolicy::Open => bank.note_data_end(data_end),
-                PagePolicy::Closed => bank.auto_precharge(&t, data_end),
+            match self.page_policy {
+                PagePolicy::Open => banks.note_data_end(a.bank as usize, data_end),
+                PagePolicy::Closed => banks.auto_precharge(&t, a.bank as usize, data_end),
             }
             first_data = first_data.min(data_start);
             bus_at = data_end;
@@ -175,16 +200,22 @@ impl PchDram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bank::BankPool;
 
-    fn pch() -> PchDram {
-        PchDram::new(&HbmConfig::default(), 0.0)
+    /// A channel plus its bank pool (one unit), as a system would own.
+    fn pch_with(cfg: &HbmConfig) -> (PchDram, BankPool) {
+        (PchDram::new(cfg, 0.0), BankPool::new(1, cfg.banks_per_pch))
+    }
+
+    fn pch() -> (PchDram, BankPool) {
+        pch_with(&HbmConfig::default())
     }
 
     #[test]
     fn closed_page_first_access_latency() {
-        let mut p = pch();
-        let t = p.cfg.timings;
-        let bt = p.execute_burst(0.0, Dir::Read, 0, 32);
+        let (mut p, mut pool) = pch();
+        let t = *p.timings();
+        let bt = p.execute_burst(&mut pool.unit_mut(0), 0.0, Dir::Read, 0, 32);
         // First access: activate + CAS, then one beat.
         assert!((bt.first_data_ns - t.closed_page_ns()).abs() < 1e-9);
         assert!((bt.finish_ns - (t.closed_page_ns() + t.t_beat)).abs() < 1e-9);
@@ -195,8 +226,8 @@ mod tests {
         // Stream 64 KiB sequentially with 512 B bursts; the bus should be
         // busy ≥ 95 % of the time after the first activate (bank
         // interleaving hides subsequent activates).
-        let mut p = pch();
-        let t = p.cfg.timings;
+        let (mut p, mut pool) = pch();
+        let t = *p.timings();
         // Requests arrive at exactly the bus data rate (as the memory
         // controller's issue-ahead provides), so activates overlap data.
         let burst_time = 16.0 * t.t_beat;
@@ -205,7 +236,8 @@ mod tests {
         let mut off = 0;
         let mut i = 0;
         while off < total {
-            let bt = p.execute_burst(i as f64 * burst_time, Dir::Read, off, 512);
+            let bt =
+                p.execute_burst(&mut pool.unit_mut(0), i as f64 * burst_time, Dir::Read, off, 512);
             finish = bt.finish_ns;
             off += 512;
             i += 1;
@@ -220,9 +252,9 @@ mod tests {
 
     #[test]
     fn row_hits_recorded_for_sequential_same_row() {
-        let mut p = pch();
-        p.execute_burst(0.0, Dir::Read, 0, 32);
-        p.execute_burst(100.0, Dir::Read, 32, 32);
+        let (mut p, mut pool) = pch();
+        p.execute_burst(&mut pool.unit_mut(0), 0.0, Dir::Read, 0, 32);
+        p.execute_burst(&mut pool.unit_mut(0), 100.0, Dir::Read, 32, 32);
         assert_eq!(p.stats().page_hits, 1);
         assert_eq!(p.stats().page_closed, 1);
     }
@@ -230,12 +262,12 @@ mod tests {
     #[test]
     fn random_rows_in_same_bank_pay_misses() {
         let c = HbmConfig::default();
-        let mut p = pch();
+        let (mut p, mut pool) = pch();
         // Same bank, different rows: stride = row_bytes * banks.
         let stride = c.row_bytes * c.banks_per_pch as u64;
         let mut now = 0.0;
         for i in 0..4 {
-            let bt = p.execute_burst(now, Dir::Read, i * stride, 32);
+            let bt = p.execute_burst(&mut pool.unit_mut(0), now, Dir::Read, i * stride, 32);
             now = bt.finish_ns;
         }
         assert_eq!(p.stats().page_closed, 1);
@@ -244,27 +276,27 @@ mod tests {
 
     #[test]
     fn turnaround_penalty_applied_on_direction_switch() {
-        let mut p = pch();
-        let t = p.cfg.timings;
-        let r = p.execute_burst(0.0, Dir::Read, 0, 32);
-        let w = p.execute_burst(r.finish_ns, Dir::Write, 32, 32);
+        let (mut p, mut pool) = pch();
+        let t = *p.timings();
+        let r = p.execute_burst(&mut pool.unit_mut(0), 0.0, Dir::Read, 0, 32);
+        let w = p.execute_burst(&mut pool.unit_mut(0), r.finish_ns, Dir::Write, 32, 32);
         // Same row → hit; the write still waits the turnaround.
         assert!(w.first_data_ns >= r.finish_ns + t.t_rtw - 1e-9);
         assert_eq!(p.stats().turnarounds, 1);
         // Same direction again: no further penalty.
-        let w2 = p.execute_burst(w.finish_ns, Dir::Write, 64, 32);
+        let w2 = p.execute_burst(&mut pool.unit_mut(0), w.finish_ns, Dir::Write, 64, 32);
         assert!((w2.first_data_ns - w.finish_ns).abs() < 1e-9);
         assert_eq!(p.stats().turnarounds, 1);
     }
 
     #[test]
     fn refresh_blocks_bus_and_closes_rows() {
-        let mut p = pch();
-        let t = p.cfg.timings;
-        p.execute_burst(0.0, Dir::Read, 0, 32);
+        let (mut p, mut pool) = pch();
+        let t = *p.timings();
+        p.execute_burst(&mut pool.unit_mut(0), 0.0, Dir::Read, 0, 32);
         // Jump past the first refresh deadline.
         let late = t.t_refi + 1.0;
-        let bt = p.execute_burst(late, Dir::Read, 0, 32);
+        let bt = p.execute_burst(&mut pool.unit_mut(0), late, Dir::Read, 0, 32);
         assert_eq!(p.stats().refreshes, 1);
         // The row was closed by refresh → a fresh activate is needed.
         assert_eq!(p.stats().page_closed, 2);
@@ -275,8 +307,8 @@ mod tests {
     fn refresh_overhead_over_long_run_matches_derate() {
         // Stream continuously for ~20 refresh intervals and compare
         // achieved bandwidth to the configured effective bandwidth.
-        let mut p = pch();
-        let t = p.cfg.timings;
+        let (mut p, mut pool) = pch();
+        let t = *p.timings();
         let mut now = 0.0;
         let mut bytes = 0u64;
         let horizon = t.t_refi * 20.0;
@@ -285,7 +317,8 @@ mod tests {
         // issue-ahead: arrival chases the bus, never leading by > 80 ns.
         let mut arrival = 0.0f64;
         while now < horizon {
-            let bt = p.execute_burst(arrival, Dir::Read, off % (8 << 20), 512);
+            let bt =
+                p.execute_burst(&mut pool.unit_mut(0), arrival, Dir::Read, off % (8 << 20), 512);
             now = bt.finish_ns;
             arrival = (now - 40.0).max(arrival);
             off += 512;
@@ -298,11 +331,11 @@ mod tests {
 
     #[test]
     fn would_hit_reflects_open_row() {
-        let mut p = pch();
-        assert!(!p.would_hit(0));
-        p.execute_burst(0.0, Dir::Read, 0, 32);
-        assert!(p.would_hit(512)); // same row
-        assert!(!p.would_hit(1024)); // next row, different bank, closed
+        let (mut p, mut pool) = pch();
+        assert!(!p.would_hit(&pool.unit_mut(0), 0));
+        p.execute_burst(&mut pool.unit_mut(0), 0.0, Dir::Read, 0, 32);
+        assert!(p.would_hit(&pool.unit_mut(0), 512)); // same row
+        assert!(!p.would_hit(&pool.unit_mut(0), 1024)); // next row, different bank, closed
     }
 
     #[test]
@@ -310,11 +343,11 @@ mod tests {
         let mut c = HbmConfig::default();
         c.timings.t_rrd = 10.0;
         c.timings.t_faw = 0.0;
-        let mut p = PchDram::new(&c, 0.0);
+        let (mut p, mut pool) = pch_with(&c);
         // Two simultaneous accesses to different banks: the second
         // activate must wait tRRD.
-        let a = p.execute_burst(0.0, Dir::Read, 0, 32);
-        let b = p.execute_burst(0.0, Dir::Read, 1024, 32); // bank 1
+        let a = p.execute_burst(&mut pool.unit_mut(0), 0.0, Dir::Read, 0, 32);
+        let b = p.execute_burst(&mut pool.unit_mut(0), 0.0, Dir::Read, 1024, 32); // bank 1
         let t = c.timings;
         assert!((a.first_data_ns - t.closed_page_ns()).abs() < 1e-9);
         assert!(
@@ -329,12 +362,12 @@ mod tests {
         let mut c = HbmConfig::default();
         c.timings.t_rrd = 0.0;
         c.timings.t_faw = 100.0;
-        let mut p = PchDram::new(&c, 0.0);
+        let (mut p, mut pool) = pch_with(&c);
         // Five activates to five banks at t = 0: the fifth must wait for
         // the tFAW window.
         let mut last = 0.0;
         for bank in 0..5u64 {
-            let bt = p.execute_burst(0.0, Dir::Read, bank * 1024, 32);
+            let bt = p.execute_burst(&mut pool.unit_mut(0), 0.0, Dir::Read, bank * 1024, 32);
             last = bt.first_data_ns;
         }
         let t = c.timings;
@@ -348,10 +381,10 @@ mod tests {
     fn closed_page_policy_never_hits() {
         let mut c = HbmConfig::default();
         c.mc.page_policy = PagePolicy::Closed;
-        let mut p = PchDram::new(&c, 0.0);
+        let (mut p, mut pool) = pch_with(&c);
         let mut now = 0.0;
         for i in 0..8 {
-            let bt = p.execute_burst(now, Dir::Read, i * 32, 32); // same row
+            let bt = p.execute_burst(&mut pool.unit_mut(0), now, Dir::Read, i * 32, 32); // same row
             now = bt.finish_ns;
         }
         assert_eq!(p.stats().page_hits, 0, "closed policy cannot hit");
@@ -363,11 +396,17 @@ mod tests {
         let run = |policy| {
             let mut c = HbmConfig::default();
             c.mc.page_policy = policy;
-            let mut p = PchDram::new(&c, 0.0);
+            let (mut p, mut pool) = pch_with(&c);
             let burst_time = 16.0 * c.timings.t_beat;
             let mut finish = 0.0;
             for i in 0..64u64 {
-                let bt = p.execute_burst(i as f64 * burst_time, Dir::Read, i * 512, 512);
+                let bt = p.execute_burst(
+                    &mut pool.unit_mut(0),
+                    i as f64 * burst_time,
+                    Dir::Read,
+                    i * 512,
+                    512,
+                );
                 finish = bt.finish_ns;
             }
             finish
@@ -382,8 +421,8 @@ mod tests {
 
     #[test]
     fn stats_reset() {
-        let mut p = pch();
-        p.execute_burst(0.0, Dir::Write, 0, 64);
+        let (mut p, mut pool) = pch();
+        p.execute_burst(&mut pool.unit_mut(0), 0.0, Dir::Write, 0, 64);
         assert_eq!(p.stats().bytes_written, 64);
         p.reset_stats();
         assert_eq!(p.stats().bytes_written, 0);
